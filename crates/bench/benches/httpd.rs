@@ -1,0 +1,91 @@
+//! S1 — throughput of the §11 fault-tolerant server under different
+//! client mixes. Expected shape: well-behaved load scales linearly in
+//! the number of requests; hostile clients (stallers) cost one timeout
+//! each but do not block other requests (each connection has its own
+//! thread).
+
+use conch_httpd::client::{good_client, stalling_client};
+use conch_httpd::http::Response;
+use conch_httpd::net::Listener;
+use conch_httpd::server::{handler, start, Handler, ServerConfig};
+use conch_runtime::io::{for_each, sequence};
+use conch_runtime::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn routes() -> Handler {
+    handler(|_| Io::pure(Response::ok("ok")))
+}
+
+fn serve_n_good(n: u64) -> Io<()> {
+    Listener::bind().and_then(move |l| {
+        start(l, routes(), ServerConfig::default()).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                for_each(n, move |i| {
+                    Io::fork(good_client(l, format!("/{i}"), report))
+                })
+                .then(sequence((0..n).map(|_| report.take()).collect()))
+                .and_then(move |codes| {
+                    assert!(codes.iter().all(|c| *c == 200));
+                    server.shutdown().then(server.drain())
+                })
+            })
+        })
+    })
+}
+
+fn serve_mixed(good: u64, stallers: u64) -> Io<()> {
+    let total = good + stallers;
+    Listener::bind().and_then(move |l| {
+        let cfg = ServerConfig {
+            read_timeout: 1_000,
+            ..ServerConfig::default()
+        };
+        start(l, routes(), cfg).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                for_each(good, move |i| {
+                    Io::fork(good_client(l, format!("/{i}"), report))
+                })
+                .then(for_each(stallers, move |_| {
+                    Io::fork(stalling_client(l, report))
+                }))
+                .then(sequence((0..total).map(|_| report.take()).collect()))
+                .and_then(move |_| server.shutdown().then(server.drain()))
+            })
+        })
+    })
+}
+
+fn bench_good_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("httpd_good_requests");
+    for &n in &[1_u64, 10, 50] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut rt = Runtime::new();
+                rt.run(serve_n_good(n)).expect("server run");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("httpd_mixed_load");
+    group.sample_size(20);
+    for &(good, stall) in &[(10_u64, 0_u64), (10, 5), (10, 10)] {
+        group.bench_with_input(
+            BenchmarkId::new("good_vs_stallers", format!("{good}g_{stall}s")),
+            &(good, stall),
+            |b, &(good, stall)| {
+                b.iter(|| {
+                    let mut rt = Runtime::new();
+                    rt.run(serve_mixed(good, stall)).expect("server run");
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_good_load, bench_mixed_load);
+criterion_main!(benches);

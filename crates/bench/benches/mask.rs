@@ -1,0 +1,64 @@
+//! B1 — the §8.1 frame-collapse optimization (ablation).
+//!
+//! A mask-recursive loop (`block` re-entered through `unblock` in tail
+//! position) runs with the collapse on and off. Expected shape: with the
+//! collapse the loop runs in constant stack (max mask frames ≤ 2) and is
+//! at least as fast; without it the stack grows linearly and time grows
+//! superlinearly once frame pushes and the eventual unwind dominate.
+
+use conch_bench::{mask_recursive_loop, run};
+use conch_runtime::RuntimeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_mask_collapse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mask_frame_collapse");
+    for &n in &[100_u64, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("collapse_on", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = RuntimeConfig::new().collapse_mask_frames(true);
+                run(cfg, mask_recursive_loop(black_box(n)))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("collapse_off", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = RuntimeConfig::new().collapse_mask_frames(false);
+                run(cfg, mask_recursive_loop(black_box(n)))
+            })
+        });
+    }
+    group.finish();
+
+    // Report the stack shape once (the non-time half of B1).
+    for &n in &[100_u64, 1_000, 10_000] {
+        let (_, rt_on) = run(
+            RuntimeConfig::new().collapse_mask_frames(true),
+            mask_recursive_loop(n),
+        );
+        let (_, rt_off) = run(
+            RuntimeConfig::new().collapse_mask_frames(false),
+            mask_recursive_loop(n),
+        );
+        println!(
+            "B1 shape: n={n}: max mask frames collapse_on={} collapse_off={} (collapsed pushes: {})",
+            rt_on.stats().max_mask_frames,
+            rt_off.stats().max_mask_frames,
+            rt_on.stats().mask_frames_collapsed,
+        );
+    }
+}
+
+fn bench_plain_mask_entry(c: &mut Criterion) {
+    // The raw cost of entering/leaving one block scope, amortized.
+    c.bench_function("block_scope_entry_exit_x100", |b| {
+        b.iter(|| {
+            let io = conch_runtime::io::replicate(100, || {
+                conch_runtime::Io::<()>::block(conch_runtime::Io::unit())
+            });
+            run(RuntimeConfig::new(), io)
+        })
+    });
+}
+
+criterion_group!(benches, bench_mask_collapse, bench_plain_mask_entry);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B4 — MVar operation cost and the price of exception safety (§5.1).
+//!
+//! Expected shape: the §5.2-safe `modify_mvar` (block + catch + unblock
+//! around every update) costs a small constant factor over raw take/put;
+//! the naive pattern sits in between (catch only). Hand-off ping-pong
+//! between two threads measures the blocking path.
+
+use conch_bench::{mvar_naive_updates, mvar_pingpong, mvar_safe_updates, mvar_uncontended, run};
+use conch_runtime::RuntimeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_update_styles(c: &mut Criterion) {
+    const N: u64 = 1_000;
+    let mut group = c.benchmark_group("mvar_update_styles");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("raw_take_put", |b| {
+        b.iter(|| run(RuntimeConfig::new(), mvar_uncontended(N)))
+    });
+    group.bench_function("naive_catch_only", |b| {
+        b.iter(|| run(RuntimeConfig::new(), mvar_naive_updates(N)))
+    });
+    group.bench_function("safe_block_unblock", |b| {
+        b.iter(|| run(RuntimeConfig::new(), mvar_safe_updates(N)))
+    });
+    group.finish();
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mvar_pingpong");
+    for &n in &[100_u64, 1_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(RuntimeConfig::new(), mvar_pingpong(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_update_styles, bench_pingpong);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! B3 — fully-asynchronous delivery vs the polling baseline (§2, §10).
+//!
+//! Two sides of the paper's core argument against semi-asynchronous
+//! (Java/Modula-3/PThreads-deferred) designs:
+//!
+//! * **Latency**: time from `throwTo` to the victim's death. For the
+//!   polling design this grows linearly with the poll interval; for the
+//!   fully-asynchronous design it is flat and small.
+//! * **Overhead**: polling taxes pure computation even when no exception
+//!   ever arrives; full asynchrony costs nothing on the no-exception
+//!   path. Expected crossover: the finer you poll (lower latency), the
+//!   higher the tax — the paper's point that you cannot have both.
+
+use conch_bench::{kill_round_async, polled_victim_round, polling_overhead, run};
+use conch_runtime::{DeliveryMode, RuntimeConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_delivery_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delivery_latency_round");
+    group.bench_function("fully_async", |b| {
+        b.iter(|| run(RuntimeConfig::new(), kill_round_async()))
+    });
+    for &interval in &[10_u64, 100, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("polling", interval),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+                    run(cfg, polled_victim_round(interval))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // The latency table in interpreter steps (the B3 series).
+    let (_, rt) = run(RuntimeConfig::new(), kill_round_async());
+    println!(
+        "B3 latency (steps): fully_async = {:.1}",
+        rt.stats().mean_delivery_latency().unwrap_or(f64::NAN)
+    );
+    for &interval in &[10_u64, 100, 1_000, 10_000] {
+        let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+        let (_, rt) = run(cfg, polled_victim_round(interval));
+        println!(
+            "B3 latency (steps): polling interval={interval} -> {:.1}",
+            rt.stats().mean_delivery_latency().unwrap_or(f64::NAN)
+        );
+    }
+}
+
+fn bench_polling_tax(c: &mut Criterion) {
+    const TOTAL: u64 = 100_000;
+    let mut group = c.benchmark_group("pure_compute_tax");
+    group.bench_function("no_polling_fully_async", |b| {
+        b.iter(|| run(RuntimeConfig::new(), polling_overhead(TOTAL, 0)))
+    });
+    for &chunk in &[10_u64, 100, 1_000] {
+        group.bench_with_input(
+            BenchmarkId::new("poll_every", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+                    run(cfg, polling_overhead(TOTAL, chunk))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delivery_latency, bench_polling_tax);
+criterion_main!(benches);

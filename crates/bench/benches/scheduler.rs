@@ -1,0 +1,87 @@
+//! B6 — baseline numbers for the simulator substrate: raw interpreter
+//! throughput, fork/join rates, and context-switch cost. These anchor
+//! all the other benches (everything is measured in the same virtual
+//! machine, so the relative shapes in B1–B5 are meaningful).
+
+use conch_bench::{fork_join, run};
+use conch_runtime::prelude::*;
+use conch_runtime::SchedulingPolicy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_compute_throughput(c: &mut Criterion) {
+    const STEPS: u64 = 100_000;
+    let mut group = c.benchmark_group("interpreter_throughput");
+    group.throughput(Throughput::Elements(STEPS));
+    group.bench_function("compute_steps", |b| {
+        b.iter(|| run(RuntimeConfig::new(), Io::compute(STEPS)))
+    });
+    group.bench_function("bind_chain", |b| {
+        b.iter(|| {
+            let io = conch_runtime::io::replicate(STEPS / 10, || Io::pure(1_i64));
+            run(RuntimeConfig::new(), io)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fork_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fork_join");
+    for &n in &[10_u64, 100, 1_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(RuntimeConfig::new(), fork_join(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_context_switching(c: &mut Criterion) {
+    // Many threads yielding in a loop: measures scheduler rotation cost.
+    fn yielders(threads: u64, yields: u64) -> Io<i64> {
+        Io::new_mvar(0_i64).and_then(move |done| {
+            conch_runtime::io::replicate(threads, move || {
+                Io::fork(
+                    conch_runtime::io::replicate(yields, Io::yield_now)
+                        .then(conch_combinators::modify_mvar(done, |n| Io::pure(n + 1))),
+                )
+            })
+            .then(conch_bench::wait_until(done, threads as i64))
+            .then(done.take())
+        })
+    }
+    let mut group = c.benchmark_group("context_switch");
+    for &threads in &[2_u64, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("yield_storm", threads),
+            &threads,
+            |b, &threads| b.iter(|| run(RuntimeConfig::new(), yielders(threads, 50))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduling_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduling_policy");
+    let policies: [(&str, SchedulingPolicy); 2] = [
+        ("round_robin", SchedulingPolicy::RoundRobin),
+        ("random", SchedulingPolicy::Random { seed: 7 }),
+    ];
+    for (name, policy) in policies {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let cfg = RuntimeConfig::new().scheduling(policy);
+                run(cfg, fork_join(100))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compute_throughput,
+    bench_fork_join,
+    bench_context_switching,
+    bench_scheduling_policies
+);
+criterion_main!(benches);

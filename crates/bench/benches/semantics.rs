@@ -1,0 +1,115 @@
+//! B7 — throughput of the executable semantics (§6): inner evaluation,
+//! transition enumeration, random walks, and the E1 model-checking runs
+//! with their state-space sizes.
+
+use conch_semantics::engine::{check_safety, random_run, CheckResult, ExploreConfig, State};
+use conch_semantics::eval::{eval, Outcome};
+use conch_semantics::programs::{lock_scenario, naive_lock_update, safe_lock_update};
+use conch_semantics::rules::{enabled_transitions, RuleConfig};
+use conch_semantics::term::build::*;
+use conch_semantics::term::PrimOp;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_inner_eval(c: &mut Criterion) {
+    // Y-combinator factorial: a busy pure evaluation.
+    let y = lam(
+        "f",
+        app(
+            lam("x", app(var("f"), app(var("x"), var("x")))),
+            lam("x", app(var("f"), app(var("x"), var("x")))),
+        ),
+    );
+    let fact = app(
+        y,
+        lam(
+            "rec",
+            lam(
+                "n",
+                ite(
+                    prim(PrimOp::Eq, var("n"), int(0)),
+                    int(1),
+                    prim(
+                        PrimOp::Mul,
+                        var("n"),
+                        app(var("rec"), prim(PrimOp::Sub, var("n"), int(1))),
+                    ),
+                ),
+            ),
+        ),
+    );
+    let term = app(fact, int(10));
+    c.bench_function("inner_eval_factorial_10", |b| {
+        b.iter(|| {
+            let mut fuel = 1_000_000_u64;
+            match eval(&term, &mut fuel) {
+                Outcome::Value(v) => v,
+                other => panic!("unexpected {other:?}"),
+            }
+        })
+    });
+}
+
+fn bench_transition_enumeration(c: &mut Criterion) {
+    // A mid-size soup: the naive locking scenario a few steps in.
+    let prog = lock_scenario(|m| naive_lock_update(m, 2));
+    let state = State::new(prog, "");
+    let rules = RuleConfig::default();
+    c.bench_function("enabled_transitions_lock_scenario", |b| {
+        b.iter(|| enabled_transitions(&state.soup, &[], &rules))
+    });
+}
+
+fn bench_random_walk(c: &mut Criterion) {
+    let prog = lock_scenario(|m| naive_lock_update(m, 2));
+    let rules = RuleConfig::default();
+    c.bench_function("random_walk_500_steps", |b| {
+        let mut seed = 0_u64;
+        b.iter(|| {
+            seed += 1;
+            random_run(&State::new(prog.clone(), ""), seed, 500, &rules)
+        })
+    });
+}
+
+fn bench_model_checking(c: &mut Criterion) {
+    let cfg = ExploreConfig::default();
+    let mut group = c.benchmark_group("model_check_e1");
+    group.sample_size(10);
+    group.bench_function("naive_until_race", |b| {
+        b.iter(|| {
+            let init = State::new(lock_scenario(|m| naive_lock_update(m, 2)), "");
+            let r = check_safety(&init, &cfg, |s| s.is_deadlocked(&cfg.rules));
+            assert!(matches!(r, CheckResult::Violation { .. }));
+            r
+        })
+    });
+    group.bench_function("safe_exhaustive", |b| {
+        b.iter(|| {
+            let init = State::new(lock_scenario(|m| safe_lock_update(m, 2)), "");
+            let r = check_safety(&init, &cfg, |s| s.is_deadlocked(&cfg.rules));
+            assert!(r.is_safe());
+            r
+        })
+    });
+    group.finish();
+
+    // Report state-space sizes once (the B7 table).
+    for (name, prog) in [
+        ("naive", lock_scenario(|m| naive_lock_update(m, 2))),
+        ("safe", lock_scenario(|m| safe_lock_update(m, 2))),
+    ] {
+        let init = State::new(prog, "");
+        if let CheckResult::Safe { states, complete } = check_safety(&init, &cfg, |_| false) {
+            println!("B7 state space: {name} locking = {states} states (complete: {complete})");
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_inner_eval,
+    bench_transition_enumeration,
+    bench_random_walk,
+    bench_model_checking
+);
+criterion_main!(benches);

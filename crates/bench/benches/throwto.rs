@@ -1,0 +1,83 @@
+//! B2 — asynchronous vs synchronous `throwTo` (§9).
+//!
+//! Expected shape: the asynchronous design wins on fire-and-forget
+//! (no rendezvous with the target), while a single kill-and-confirm
+//! round costs about the same in both designs (the asynchronous one
+//! pays for the confirmation MVar what the synchronous one pays for the
+//! rendezvous).
+
+use conch_bench::{kill_round_async, kill_round_sync, run, spray_async};
+use conch_runtime::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_kill_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kill_and_confirm_round");
+    group.bench_function("async_throwto", |b| {
+        b.iter(|| run(RuntimeConfig::new(), kill_round_async()))
+    });
+    group.bench_function("sync_throwto", |b| {
+        b.iter(|| run(RuntimeConfig::new(), kill_round_sync()))
+    });
+    group.finish();
+}
+
+fn bench_fire_and_forget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fire_and_forget");
+    for &n in &[10_u64, 100] {
+        group.bench_with_input(BenchmarkId::new("async_spray", n), &n, |b, &n| {
+            b.iter(|| run(RuntimeConfig::new(), spray_async(n)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sync_spray_via_fork", n),
+            &n,
+            |b, &n| {
+                // The paper: "the asynchronous version can easily be
+                // implemented in terms of the synchronous one simply by
+                // forking a new thread" — measure that encoding's cost.
+                b.iter(|| {
+                    let io = sync_spray_via_fork(n);
+                    run(RuntimeConfig::new(), io)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn sync_spray_via_fork(n: u64) -> Io<()> {
+    fn resilient(lives: u64) -> Io<()> {
+        if lives == 0 {
+            Io::unit()
+        } else {
+            Io::<()>::unblock(Io::compute(u64::MAX)).catch(move |_| resilient(lives - 1))
+        }
+    }
+    Io::<ThreadId>::block(Io::fork(resilient(n))).and_then(move |v| {
+        conch_runtime::io::replicate(n, move || {
+            Io::fork(Io::throw_to_sync(v, Exception::kill_thread()))
+                .then(Io::yield_now())
+        })
+    })
+}
+
+fn bench_throw_to_dead(c: &mut Criterion) {
+    // Trivial-success path: throwing at finished threads.
+    c.bench_function("throwto_dead_thread_x100", |b| {
+        b.iter(|| {
+            let io = Io::fork(Io::unit()).and_then(|t| {
+                Io::sleep(1).then(conch_runtime::io::replicate(100, move || {
+                    Io::throw_to(t, Exception::kill_thread())
+                }))
+            });
+            run(RuntimeConfig::new(), io)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kill_round,
+    bench_fire_and_forget,
+    bench_throw_to_dead
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! B5 — overhead and composition of the §7.3 `timeout` combinator.
+//!
+//! Expected shape: each nesting level adds a constant cost (two forked
+//! threads plus an MVar rendezvous per level); the timed code itself is
+//! untouched — the whole point of the exception-free timeout design.
+
+use conch_bench::{nested_timeout_compute, run};
+use conch_combinators::{both, race, timeout};
+use conch_runtime::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_nesting_depth(c: &mut Criterion) {
+    const WORK: u64 = 1_000;
+    let mut group = c.benchmark_group("timeout_nesting");
+    for &depth in &[0_u32, 1, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| run(RuntimeConfig::new(), nested_timeout_compute(depth, WORK)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_expiring_timeout(c: &mut Criterion) {
+    // A timeout that actually fires: sleep blocked, timer wins.
+    c.bench_function("timeout_fires_on_blocked_take", |b| {
+        b.iter(|| {
+            let io = Io::new_empty_mvar::<i64>().and_then(|m| timeout(100, m.take()));
+            run(RuntimeConfig::new(), io)
+        })
+    });
+}
+
+fn bench_race_and_both(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_combinators");
+    group.bench_function("race_two_computes", |b| {
+        b.iter(|| {
+            let io = race(
+                Io::compute_returning(500, 1_i64),
+                Io::compute_returning(900, 2_i64),
+            );
+            run(RuntimeConfig::new(), io)
+        })
+    });
+    group.bench_function("both_two_computes", |b| {
+        b.iter(|| {
+            let io = both(
+                Io::compute_returning(500, 1_i64),
+                Io::compute_returning(900, 2_i64),
+            );
+            run(RuntimeConfig::new(), io)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_nesting_depth,
+    bench_expiring_timeout,
+    bench_race_and_both
+);
+criterion_main!(benches);

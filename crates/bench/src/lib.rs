@@ -1,0 +1,251 @@
+//! Shared workload builders for the benchmark suite.
+//!
+//! Each function builds one of the workloads named in DESIGN.md's
+//! experiment index (B1–B7, S1); the Criterion benches in `benches/`
+//! sweep their parameters. Keeping the builders here lets the
+//! experiment-table generator and the benches share exactly the same
+//! code paths.
+
+use conch_combinators::{modify_mvar, modify_mvar_naive, timeout};
+use conch_runtime::io::Io;
+use conch_runtime::prelude::*;
+
+/// B1: a mask-recursive loop — `block (…; unblock (…; block …))` — of
+/// the §8.1 shape, `n` levels deep. With frame collapse the stack stays
+/// O(1); without it, O(n).
+pub fn mask_recursive_loop(n: u64) -> Io<()> {
+    if n == 0 {
+        Io::unit()
+    } else {
+        Io::<()>::block(Io::<()>::unblock(
+            Io::unit().and_then(move |_| mask_recursive_loop(n - 1)),
+        ))
+    }
+}
+
+/// Runs a program on a fresh runtime with the given config; panics on
+/// error (benches must not silently fail).
+pub fn run<T: FromValue>(config: RuntimeConfig, io: Io<T>) -> (T, Runtime) {
+    let mut rt = Runtime::with_config(config);
+    let v = rt.run(io).expect("bench workload must succeed");
+    (v, rt)
+}
+
+/// B2: kill a victim and wait for confirmation, with the asynchronous
+/// `throwTo` plus an MVar acknowledgement.
+pub fn kill_round_async() -> Io<()> {
+    Io::new_empty_mvar::<i64>().and_then(|ack| {
+        let victim = Io::<()>::unblock(Io::compute(u64::MAX)).catch(move |_| ack.put(1));
+        Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+            Io::throw_to(v, Exception::kill_thread())
+                .then(ack.take())
+                .map(|_| ())
+        })
+    })
+}
+
+/// B2: the same round with the §9 synchronous `throwTo` (its return is
+/// already the delivery guarantee, but we keep the ack for symmetry).
+pub fn kill_round_sync() -> Io<()> {
+    Io::new_empty_mvar::<i64>().and_then(|ack| {
+        let victim = Io::<()>::unblock(Io::compute(u64::MAX)).catch(move |_| ack.put(1));
+        Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+            Io::throw_to_sync(v, Exception::kill_thread())
+                .then(ack.take())
+                .map(|_| ())
+        })
+    })
+}
+
+/// B2: fire-and-forget — `n` asynchronous throws at a resilient victim
+/// that catches each one and keeps going.
+pub fn spray_async(n: u64) -> Io<()> {
+    fn resilient(lives: u64) -> Io<()> {
+        if lives == 0 {
+            Io::unit()
+        } else {
+            Io::<()>::unblock(Io::compute(u64::MAX)).catch(move |_| resilient(lives - 1))
+        }
+    }
+    Io::<ThreadId>::block(Io::fork(resilient(n))).and_then(move |v| {
+        conch_runtime::io::replicate(n, move || {
+            Io::throw_to(v, Exception::kill_thread()).then(Io::yield_now())
+        })
+    })
+}
+
+/// B3: a polling victim — computes in chunks of `poll_interval` steps
+/// with an explicit safe point between chunks — killed by the parent.
+/// Returns once the victim has died. Use with
+/// [`DeliveryMode::Polling`](conch_runtime::DeliveryMode).
+pub fn polled_victim_round(poll_interval: u64) -> Io<()> {
+    fn worker(poll_interval: u64) -> Io<()> {
+        Io::compute(poll_interval)
+            .then(Io::poll_safe_point())
+            .and_then(move |_| worker(poll_interval))
+    }
+    Io::new_empty_mvar::<i64>().and_then(move |ack| {
+        let victim = worker(poll_interval).catch(move |_| ack.put(1));
+        Io::fork(victim).and_then(move |v| {
+            // Let the victim get going before the kill, so the latency we
+            // measure is a mid-computation delivery.
+            Io::yield_now()
+                .then(Io::throw_to(v, Exception::kill_thread()))
+                .then(ack.take())
+                .map(|_| ())
+        })
+    })
+}
+
+/// B3 overhead side: pure computation of `total` steps, broken into
+/// chunks with a safe point between each — the cost polling imposes even
+/// when no exception ever arrives. `chunk = 0` means no polling at all.
+pub fn polling_overhead(total: u64, chunk: u64) -> Io<()> {
+    if chunk == 0 {
+        return Io::compute(total);
+    }
+    fn go(left: u64, chunk: u64) -> Io<()> {
+        if left == 0 {
+            Io::unit()
+        } else {
+            let step = chunk.min(left);
+            Io::compute(step)
+                .then(Io::poll_safe_point())
+                .and_then(move |_| go(left - step, chunk))
+        }
+    }
+    go(total, chunk)
+}
+
+/// B4: `n` uncontended take/put pairs on one MVar.
+pub fn mvar_uncontended(n: u64) -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(move |m| {
+        conch_runtime::io::replicate(n, move || {
+            m.take().and_then(move |v| m.put(v + 1))
+        })
+        .then(m.take())
+    })
+}
+
+/// B4: the same updates through the §5.2-safe [`modify_mvar`].
+pub fn mvar_safe_updates(n: u64) -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(move |m| {
+        conch_runtime::io::replicate(n, move || modify_mvar(m, |v| Io::pure(v + 1)))
+            .then(m.take())
+    })
+}
+
+/// B4: the same updates through the racy [`modify_mvar_naive`] baseline.
+pub fn mvar_naive_updates(n: u64) -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(move |m| {
+        conch_runtime::io::replicate(n, move || modify_mvar_naive(m, |v| Io::pure(v + 1)))
+            .then(m.take())
+    })
+}
+
+/// B4: a producer/consumer ping-pong across two threads, `n` rounds.
+pub fn mvar_pingpong(n: u64) -> Io<()> {
+    Io::new_empty_mvar::<i64>().and_then(move |ping| {
+        Io::new_empty_mvar::<i64>().and_then(move |pong| {
+            let echoer = conch_runtime::io::replicate(n, move || {
+                ping.take().and_then(move |v| pong.put(v))
+            });
+            Io::fork(echoer).and_then(move |_| {
+                conch_runtime::io::replicate(n, move || {
+                    ping.put(1).then(pong.take())
+                })
+            })
+        })
+    })
+}
+
+/// B5: `depth` nested timeouts around `work` compute steps. All budgets
+/// are generous, so the work always completes; this measures pure
+/// combinator overhead.
+pub fn nested_timeout_compute(depth: u32, work: u64) -> Io<i64> {
+    fn wrap(depth: u32, inner: Io<i64>) -> Io<i64> {
+        if depth == 0 {
+            inner
+        } else {
+            wrap(depth - 1, timeout(1 << 40, inner).map(|r| r.expect("budget generous")))
+        }
+    }
+    wrap(depth, Io::compute_returning(work, 7_i64))
+}
+
+/// B6: fork `n` trivial children and wait for all (via a counter MVar).
+pub fn fork_join(n: u64) -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(move |count| {
+        conch_runtime::io::replicate(n, move || {
+            Io::fork(modify_mvar(count, |c| Io::pure(c + 1)))
+        })
+        .then(wait_until(count, n as i64))
+        .then(count.take())
+    })
+}
+
+/// Polls (sleeping) until the counter reaches `target`.
+pub fn wait_until(count: conch_runtime::MVar<i64>, target: i64) -> Io<()> {
+    conch_combinators::with_mvar(count, Io::pure).and_then(move |c| {
+        if c >= target {
+            Io::unit()
+        } else {
+            Io::sleep(10).then(wait_until(count, target))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_run_clean() {
+        let cfg = RuntimeConfig::new;
+        assert_eq!(run(cfg(), mvar_uncontended(10)).0, 10);
+        assert_eq!(run(cfg(), mvar_safe_updates(10)).0, 10);
+        assert_eq!(run(cfg(), mvar_naive_updates(10)).0, 10);
+        run(cfg(), mvar_pingpong(5));
+        run(cfg(), mask_recursive_loop(50));
+        run(cfg(), kill_round_async());
+        run(cfg(), kill_round_sync());
+        run(cfg(), spray_async(5));
+        assert_eq!(run(cfg(), nested_timeout_compute(3, 100)).0, 7);
+        assert_eq!(run(cfg(), fork_join(10)).0, 10);
+        run(cfg(), polling_overhead(500, 50));
+        let polling = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+        run(polling, polled_victim_round(50));
+    }
+
+    #[test]
+    fn mask_loop_collapse_shape() {
+        let (_, rt) = run(RuntimeConfig::new(), mask_recursive_loop(200));
+        let with = rt.stats().max_mask_frames;
+        let (_, rt2) = run(
+            RuntimeConfig::new().collapse_mask_frames(false),
+            mask_recursive_loop(200),
+        );
+        let without = rt2.stats().max_mask_frames;
+        assert!(with <= 2, "collapse keeps mask frames O(1), got {with}");
+        assert!(without >= 200, "no collapse grows mask frames O(n), got {without}");
+    }
+
+    #[test]
+    fn polling_latency_grows_with_interval() {
+        let lat = |interval: u64| {
+            let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+            let (_, rt) = run(cfg, polled_victim_round(interval));
+            rt.stats().mean_delivery_latency().expect("one delivery")
+        };
+        let fast = lat(10);
+        let slow = lat(1_000);
+        assert!(
+            slow > fast * 5.0,
+            "polling latency must scale with poll interval: {fast} vs {slow}"
+        );
+        // Fully-async latency is independent of any interval and small.
+        let (_, rt) = run(RuntimeConfig::new(), kill_round_async());
+        let async_lat = rt.stats().mean_delivery_latency().expect("one delivery");
+        assert!(async_lat < fast.max(20.0) * 3.0, "async latency {async_lat}");
+    }
+}

@@ -1,0 +1,198 @@
+//! The §9 "exceptions vs alerts" design alternative.
+//!
+//! §9 observes that sequential code written without asynchronous
+//! exceptions in mind can break the combinators: `e `catch` \_ -> e'`
+//! intercepts *any* exception — including a `KillThread` aimed at it by
+//! `timeout`'s machinery. The paper sketches a fix: "define two
+//! datatypes, exceptions and alerts, with a distinct catch operator for
+//! each type".
+//!
+//! This module implements that alternative as a library, using the
+//! runtime's [`RaiseOrigin`] to distinguish the two kinds at the moment
+//! of raising:
+//!
+//! * [`catch_sync`] — handles only *synchronous* exceptions (the
+//!   "exceptions" datatype): a universal `catch_sync` handler in
+//!   sequential code can never swallow an interruption.
+//! * [`catch_alert`] — handles only *asynchronous* exceptions (the
+//!   "alerts" datatype): cleanup-and-die handlers that must not trigger
+//!   on the code's own failures.
+//!
+//! Both pass the non-matching kind through with its origin intact
+//! ([`Io::rethrow`]), so nested handlers still see the truth.
+
+use conch_runtime::exception::Exception;
+use conch_runtime::io::Io;
+use conch_runtime::RaiseOrigin;
+
+/// `catch` restricted to synchronous exceptions: asynchronous ones pass
+/// through unhandled (with their origin preserved).
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::catch_sync;
+///
+/// let mut rt = Runtime::new();
+/// // A universal sync handler still lets the program's own throw be
+/// // handled …
+/// let prog = catch_sync(
+///     Io::<i64>::throw(Exception::error_call("mine")),
+///     |_| Io::pure(1),
+/// );
+/// assert_eq!(rt.run(prog).unwrap(), 1);
+/// ```
+pub fn catch_sync<T, H>(action: Io<T>, handler: H) -> Io<T>
+where
+    T: 'static,
+    H: FnOnce(Exception) -> Io<T> + 'static,
+{
+    action.catch_info(move |e, origin| match origin {
+        RaiseOrigin::Sync => handler(e),
+        RaiseOrigin::Async => Io::rethrow(e, origin),
+    })
+}
+
+/// `catch` restricted to asynchronous exceptions (alerts): the code's
+/// own synchronous failures pass through unhandled.
+pub fn catch_alert<T, H>(action: Io<T>, handler: H) -> Io<T>
+where
+    T: 'static,
+    H: FnOnce(Exception) -> Io<T> + 'static,
+{
+    action.catch_info(move |e, origin| match origin {
+        RaiseOrigin::Async => handler(e),
+        RaiseOrigin::Sync => Io::rethrow(e, origin),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{race, timeout, Either};
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn catch_sync_handles_own_throw() {
+        let mut rt = Runtime::new();
+        let prog = catch_sync(Io::<i64>::throw(Exception::error_call("x")), |_| {
+            Io::pure(7)
+        });
+        assert_eq!(rt.run(prog).unwrap(), 7);
+    }
+
+    #[test]
+    fn catch_sync_passes_async_through() {
+        let mut rt = Runtime::new();
+        // The victim wraps everything in a universal catch_sync; the kill
+        // must still get through and terminate it.
+        let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+            let victim = catch_sync(
+                Io::<()>::unblock(Io::compute(1_000_000)),
+                |_| Io::unit(), // would swallow, if it could
+            )
+            .map(|_| "survived".to_owned())
+            .catch(|e| Io::pure(format!("killed by {e}")))
+            .and_then(move |s| out.put(s));
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                Io::throw_to(v, Exception::kill_thread()).then(out.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "killed by KillThread");
+    }
+
+    #[test]
+    fn catch_alert_handles_kill_only() {
+        let mut rt = Runtime::new();
+        // Synchronous failure passes through catch_alert…
+        let prog = catch_alert(Io::<i64>::throw(Exception::error_call("own bug")), |_| {
+            Io::pure(0)
+        })
+        .catch(|e| {
+            assert_eq!(e, Exception::error_call("own bug"));
+            Io::pure(1)
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn catch_alert_sees_interruptions() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+            let victim = catch_alert(
+                Io::<()>::unblock(Io::compute(1_000_000)).map(|_| "done".to_owned()),
+                |e| Io::pure(format!("alert: {e}")),
+            )
+            .and_then(move |s| out.put(s));
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                Io::throw_to(v, Exception::custom("Shutdown")).then(out.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "alert: Shutdown");
+    }
+
+    #[test]
+    fn universal_catch_breaks_timeout_but_catch_sync_does_not() {
+        // The §9 scenario: "sequential code that was written without
+        // thought of asynchronous exceptions may break assumptions of
+        // our combinators". A loop with a universal resurrect-on-error
+        // handler swallows the KillThread that `timeout`'s race sends to
+        // the loser and lives on as a zombie. The same loop written with
+        // `catch_sync` resurrects on its own failures only, so the
+        // combinator can still kill it.
+        use conch_runtime::mvar::MVar;
+
+        fn bump_forever(c: MVar<i64>) -> Io<i64> {
+            Io::sleep(5)
+                .then(crate::modify_mvar(c, |n| Io::pure(n + 1)))
+                .and_then(move |_| bump_forever(c))
+        }
+        fn zombie(c: MVar<i64>) -> Io<i64> {
+            // Universal handler: resurrects on *anything*, including the
+            // combinator's KillThread.
+            bump_forever(c).catch(move |_| zombie(c))
+        }
+        fn disciplined(c: MVar<i64>) -> Io<i64> {
+            // Sync-only handler: resurrects on its own failures, lets
+            // asynchronous interruptions through.
+            catch_sync(bump_forever(c), move |_| disciplined(c))
+        }
+
+        let survives_timeout = |loop_of: fn(MVar<i64>) -> Io<i64>| {
+            let mut rt = Runtime::new();
+            let prog = Io::new_mvar(0_i64).and_then(move |c| {
+                timeout(50, loop_of(c)).and_then(move |_| {
+                    Io::sleep(500)
+                        .then(crate::with_mvar(c, Io::pure))
+                        .and_then(move |before| {
+                            Io::sleep(500)
+                                .then(crate::with_mvar(c, Io::pure))
+                                .map(move |after| after > before)
+                        })
+                })
+            });
+            rt.run(prog).unwrap()
+        };
+
+        assert!(
+            survives_timeout(zombie),
+            "the universal catch must shield the loop from the kill"
+        );
+        assert!(
+            !survives_timeout(disciplined),
+            "catch_sync must let the combinator's kill through"
+        );
+    }
+
+    #[test]
+    fn race_with_alert_aware_children() {
+        let mut rt = Runtime::new();
+        // Children that use catch_sync internally still lose races
+        // cleanly.
+        let a = catch_sync(Io::sleep(10).map(|_| 1_i64), |_| Io::pure(-1));
+        let b = catch_sync(Io::sleep(500).map(|_| 2_i64), |_| Io::pure(-2));
+        let prog = race(a, b);
+        assert_eq!(rt.run(prog).unwrap(), Either::Left(1));
+    }
+}

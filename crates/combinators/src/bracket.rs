@@ -1,0 +1,368 @@
+//! Bracketing abstractions (§7.1): `finally`, `later`, `bracket`.
+//!
+//! These are transcriptions of the paper's Haskell definitions. `finally`
+//! is, per the paper:
+//!
+//! ```haskell
+//! finally a b = block (do
+//!   r <- catch (unblock a) (\e -> do { b; throw e })
+//!   b
+//!   return r)
+//! ```
+//!
+//! The finalizer runs inside `block` so that a second asynchronous
+//! exception cannot prevent it from completing — "in a signal handler,
+//! signals of the same type are normally disabled".
+//!
+//! Because Rust's `Io` values are single-use (they own `FnOnce`
+//! continuations), actions used on more than one control path — the
+//! finalizer, a `bracket` release — are taken as factories
+//! (`Fn() -> Io<_>`) rather than as `Io` values.
+
+use conch_runtime::exception::Exception;
+use conch_runtime::io::Io;
+use conch_runtime::value::{FromValue, IntoValue};
+
+/// `finally a b` — run `a`, then *whatever happens* run the finalizer.
+///
+/// The finalizer runs exactly once: after `a` succeeds, or after `a`
+/// raises (synchronously or asynchronously), before the exception is
+/// re-thrown. It runs with asynchronous exceptions blocked.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::finally;
+///
+/// let mut rt = Runtime::new();
+/// let prog = Io::new_mvar(0_i64).and_then(|count| {
+///     finally(
+///         Io::<i64>::throw(Exception::error_call("boom")),
+///         move || count.take().and_then(move |n| count.put(n + 1)),
+///     )
+///     .catch(move |_| count.take())
+/// });
+/// assert_eq!(rt.run(prog).unwrap(), 1); // finalizer ran exactly once
+/// ```
+pub fn finally<A, B, F>(action: Io<A>, finalizer: F) -> Io<A>
+where
+    A: FromValue + IntoValue + 'static,
+    B: FromValue + 'static,
+    F: Fn() -> Io<B> + 'static,
+{
+    let finalizer = std::rc::Rc::new(finalizer);
+    let on_err = std::rc::Rc::clone(&finalizer);
+    Io::block(
+        Io::unblock(action)
+            .catch(move |e| (*on_err)().then(Io::throw(e)))
+            .and_then(move |r| (*finalizer)().then(Io::pure(r))),
+    )
+}
+
+/// `later b a` — `finally` with the arguments reversed (§7.1).
+pub fn later<A, B, F>(finalizer: F, action: Io<A>) -> Io<A>
+where
+    A: FromValue + IntoValue + 'static,
+    B: FromValue + 'static,
+    F: Fn() -> Io<B> + 'static,
+{
+    finally(action, finalizer)
+}
+
+/// `bracket acquire release use` — acquire a resource, operate on it, free
+/// it (§7.1).
+///
+/// The release runs whether `use` succeeds or raises; the acquire runs
+/// inside `block`, so it either completes (and the release is guaranteed)
+/// or raises before the resource exists — the atomicity the paper
+/// demands of `openFile`.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::bracket;
+///
+/// let mut rt = Runtime::new();
+/// let prog = Io::new_mvar(0_i64).and_then(|open_count| {
+///     bracket(
+///         open_count.take().and_then(move |n| open_count.put(n + 1)).map(|_| 7_i64),
+///         move |_| open_count.take().and_then(move |n| open_count.put(n - 1)),
+///         |handle| Io::pure(handle * 2),
+///     )
+///     .and_then(move |r| open_count.take().map(move |opens| (r, opens)))
+/// });
+/// assert_eq!(rt.run(prog).unwrap(), (14, 0)); // used, and closed again
+/// ```
+pub fn bracket<A, B, C, R, U>(acquire: Io<A>, release: R, use_resource: U) -> Io<C>
+where
+    A: FromValue + IntoValue + Clone + 'static,
+    B: FromValue + 'static,
+    C: FromValue + IntoValue + 'static,
+    R: Fn(A) -> Io<B> + 'static,
+    U: FnOnce(A) -> Io<C> + 'static,
+{
+    let release = std::rc::Rc::new(release);
+    Io::block(acquire.and_then(move |a| {
+        let a2 = a.clone();
+        let a3 = a.clone();
+        let on_err = std::rc::Rc::clone(&release);
+        Io::unblock(use_resource(a))
+            .catch(move |e| (*on_err)(a2).then(Io::throw(e)))
+            .and_then(move |r| (*release)(a3).then(Io::pure(r)))
+    }))
+}
+
+/// Like [`bracket`], but the release runs *only* when `use` raises an
+/// exception (GHC's `bracketOnError`).
+pub fn bracket_on_error<A, B, C, R, U>(acquire: Io<A>, release: R, use_resource: U) -> Io<C>
+where
+    A: FromValue + IntoValue + Clone + 'static,
+    B: FromValue + 'static,
+    C: FromValue + IntoValue + 'static,
+    R: FnOnce(A) -> Io<B> + 'static,
+    U: FnOnce(A) -> Io<C> + 'static,
+{
+    Io::block(acquire.and_then(move |a| {
+        let a2 = a.clone();
+        Io::unblock(use_resource(a)).catch(move |e| release(a2).then(Io::throw(e)))
+    }))
+}
+
+/// `onException` — run `cleanup` only if `action` raises, then re-throw.
+///
+/// Unlike [`finally`], the success path runs no extra code. The cleanup
+/// runs with asynchronous exceptions blocked.
+pub fn on_exception<A, B, F>(action: Io<A>, cleanup: F) -> Io<A>
+where
+    A: FromValue + IntoValue + 'static,
+    B: FromValue + 'static,
+    F: FnOnce() -> Io<B> + 'static,
+{
+    Io::block(Io::unblock(action).catch(move |e| cleanup().then(Io::throw(e))))
+}
+
+/// `safePoint` (§7.4) — a window during which pending asynchronous
+/// exceptions can be delivered, for use inside long masked sections.
+///
+/// Defined exactly as in the paper: `safePoint = unblock (return ())`.
+pub fn safe_point() -> Io<()> {
+    Io::unblock(Io::unit())
+}
+
+/// `killThread t` — send the `KillThread` exception to `t`.
+pub fn kill_thread(t: conch_runtime::ids::ThreadId) -> Io<()> {
+    Io::throw_to(t, Exception::kill_thread())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn counter() -> (Rc<RefCell<i64>>, impl Fn() -> Io<()>) {
+        let c = Rc::new(RefCell::new(0));
+        let c2 = Rc::clone(&c);
+        (c, move || {
+            let c3 = Rc::clone(&c2);
+            Io::effect(move || {
+                *c3.borrow_mut() += 1;
+            })
+        })
+    }
+
+    #[test]
+    fn finally_runs_on_success() {
+        let mut rt = Runtime::new();
+        let (count, fin) = counter();
+        let prog = finally(Io::pure(5_i64), fin);
+        assert_eq!(rt.run(prog).unwrap(), 5);
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn finally_runs_on_sync_exception_then_rethrows() {
+        let mut rt = Runtime::new();
+        let (count, fin) = counter();
+        let prog = finally(Io::<i64>::throw(Exception::error_call("x")), fin);
+        let r = rt.run(prog);
+        assert_eq!(r, Err(RunError::Uncaught(Exception::error_call("x"))));
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn finally_runs_on_async_exception() {
+        let mut rt = Runtime::new();
+        let (count, fin) = counter();
+        // Child is forked masked; finally's unblock opens the window.
+        let prog = Io::new_empty_mvar::<i64>().and_then(move |done| {
+            let body = finally(Io::compute(10_000), fin)
+                .catch(move |_| Io::unit())
+                .then(done.put(1));
+            Io::<ThreadId>::block(Io::fork(body)).and_then(move |child| {
+                Io::throw_to(child, Exception::kill_thread()).then(done.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn finally_finalizer_runs_exactly_once_on_each_path() {
+        let mut rt = Runtime::new();
+        let (count, fin) = counter();
+        let prog = finally(Io::pure(0_i64), fin);
+        rt.run(prog).unwrap();
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn later_is_finally_reversed() {
+        let mut rt = Runtime::new();
+        let (count, fin) = counter();
+        let prog = later(fin, Io::pure(3_i64));
+        assert_eq!(rt.run(prog).unwrap(), 3);
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn bracket_releases_on_success() {
+        let mut rt = Runtime::new();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        let l2 = Rc::clone(&log);
+        let l3 = Rc::clone(&log);
+        let prog = bracket(
+            Io::effect(move || {
+                l1.borrow_mut().push("open");
+                42_i64
+            }),
+            move |_| {
+                let l = Rc::clone(&l2);
+                Io::effect(move || l.borrow_mut().push("close"))
+            },
+            move |h| {
+                Io::effect(move || {
+                    l3.borrow_mut().push("work");
+                    h + 1
+                })
+            },
+        );
+        assert_eq!(rt.run(prog).unwrap(), 43);
+        assert_eq!(*log.borrow(), ["open", "work", "close"]);
+    }
+
+    #[test]
+    fn bracket_releases_on_exception() {
+        let mut rt = Runtime::new();
+        let (count, _) = counter();
+        let c = Rc::clone(&count);
+        let prog = bracket(
+            Io::pure(1_i64),
+            move |_| {
+                let c2 = Rc::clone(&c);
+                Io::effect(move || {
+                    *c2.borrow_mut() += 1;
+                })
+            },
+            |_| Io::<i64>::throw(Exception::error_call("use failed")),
+        );
+        assert!(rt.run(prog).is_err());
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn bracket_on_error_skips_release_on_success() {
+        let mut rt = Runtime::new();
+        let (count, _) = counter();
+        let c = Rc::clone(&count);
+        let prog = bracket_on_error(
+            Io::pure(1_i64),
+            move |_| {
+                let c2 = Rc::clone(&c);
+                Io::effect(move || {
+                    *c2.borrow_mut() += 1;
+                })
+            },
+            |h| Io::pure(h * 2),
+        );
+        assert_eq!(rt.run(prog).unwrap(), 2);
+        assert_eq!(*count.borrow(), 0);
+    }
+
+    #[test]
+    fn bracket_on_error_releases_on_failure() {
+        let mut rt = Runtime::new();
+        let (count, _) = counter();
+        let c = Rc::clone(&count);
+        let prog = bracket_on_error(
+            Io::pure(1_i64),
+            move |_| {
+                let c2 = Rc::clone(&c);
+                Io::effect(move || {
+                    *c2.borrow_mut() += 1;
+                })
+            },
+            |_| Io::<i64>::throw(Exception::error_call("nope")),
+        );
+        assert!(rt.run(prog).is_err());
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn on_exception_only_fires_on_error() {
+        let mut rt = Runtime::new();
+        let (count, _) = counter();
+        let c1 = Rc::clone(&count);
+        let c2 = Rc::clone(&count);
+        let ok = on_exception(Io::pure(1_i64), move || {
+            let c = Rc::clone(&c1);
+            Io::effect(move || {
+                *c.borrow_mut() += 1;
+            })
+        });
+        assert_eq!(rt.run(ok).unwrap(), 1);
+        assert_eq!(*count.borrow(), 0);
+        let bad = on_exception(Io::<i64>::throw(Exception::error_call("e")), move || {
+            let c = Rc::clone(&c2);
+            Io::effect(move || {
+                *c.borrow_mut() += 1;
+            })
+        });
+        assert!(rt.run(bad).is_err());
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn safe_point_delivers_pending_exception() {
+        let mut rt = Runtime::new();
+        // Inside block, a queued exception fires exactly at the safe point.
+        let prog = Io::<String>::block(Io::my_thread_id().and_then(|me| {
+            Io::throw_to(me, Exception::custom("ping"))
+                .then(Io::compute(100)) // protected
+                .then(safe_point()) // fires here
+                .then(Io::pure("no exception".to_owned()))
+                .catch(|e| Io::pure(format!("caught {e}")))
+        }));
+        assert_eq!(rt.run(prog).unwrap(), "caught ping");
+    }
+
+    #[test]
+    fn kill_thread_sends_kill() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<String>().and_then(|report| {
+            let child = Io::new_empty_mvar::<i64>()
+                .and_then(|hole| hole.take())
+                .map(|_| String::new())
+                .catch(|e| Io::pure(e.to_string()))
+                .and_then(move |s| report.put(s));
+            Io::fork(child).and_then(move |tid| {
+                Io::sleep(5).then(kill_thread(tid)).then(report.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "KillThread");
+    }
+}

@@ -1,0 +1,272 @@
+//! Unbounded FIFO channels built from `MVar`s.
+//!
+//! §4 of the paper notes that "using only MVars, many complex datatypes
+//! for concurrent communication can be built, including typed channels,
+//! semaphores and so on". This is the classic Concurrent Haskell `Chan`:
+//! a linked list of stream cells, with one `MVar` holding the read end
+//! and one the write end.
+//!
+//! Reads and writes take the end-pointer `MVar` with the §5.1 safe
+//! pattern ([`crate::modify_mvar_with`]), so an asynchronous exception
+//! arriving while a reader waits for data leaves the channel intact —
+//! exactly the exception-safety the paper's combinators exist to provide.
+
+use std::marker::PhantomData;
+
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+use crate::locking::modify_mvar_with;
+
+/// An unbounded multi-producer multi-consumer FIFO channel.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::Chan;
+///
+/// let mut rt = Runtime::new();
+/// let prog = Chan::<i64>::new().and_then(|ch| {
+///     ch.send(1).then(ch.send(2)).then(ch.recv()).and_then(move |a| {
+///         ch.recv().map(move |b| (a, b))
+///     })
+/// });
+/// assert_eq!(rt.run(prog).unwrap(), (1, 2));
+/// ```
+pub struct Chan<T> {
+    /// Holds the stream cell the next read will consume.
+    read_end: MVar<Value>,
+    /// Holds the (empty) stream cell the next write will fill.
+    write_end: MVar<Value>,
+    marker: PhantomData<fn(T) -> T>,
+}
+
+impl<T> Clone for Chan<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Chan<T> {}
+
+impl<T> std::fmt::Debug for Chan<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Chan(read={:?}, write={:?})", self.read_end, self.write_end)
+    }
+}
+
+impl<T: FromValue + IntoValue + 'static> Chan<T> {
+    /// Creates an empty channel.
+    pub fn new() -> Io<Chan<T>> {
+        // hole <- newEmptyMVar; read <- newMVar hole; write <- newMVar hole
+        Io::new_empty_mvar::<Value>().and_then(|hole| {
+            let hole_v = Value::MVar(hole.id());
+            let hole_v2 = hole_v.clone();
+            Io::new_mvar::<Value>(hole_v).and_then(move |read_end| {
+                Io::new_mvar::<Value>(hole_v2).map(move |write_end| Chan {
+                    read_end,
+                    write_end,
+                    marker: PhantomData,
+                })
+            })
+        })
+    }
+
+    /// Appends a value to the channel. Never blocks indefinitely (the
+    /// write-end `MVar` is only held for the duration of a write).
+    pub fn send(&self, v: T) -> Io<()> {
+        let item_payload = v.into_value();
+        modify_mvar_with(self.write_end, move |old_hole: Value| {
+            let old_hole: MVar<Value> = MVar::from_id(
+                old_hole.as_mvar_id().expect("write end holds a stream cell"),
+            );
+            Io::new_empty_mvar::<Value>().and_then(move |new_hole| {
+                let item = Value::Pair(
+                    Box::new(item_payload),
+                    Box::new(Value::MVar(new_hole.id())),
+                );
+                // Fill the old hole with (v, new_hole); the new write end
+                // is new_hole. putMVar here is non-interruptible: the old
+                // hole is empty by construction (§5.3).
+                old_hole
+                    .put(item)
+                    .map(move |_| (Value::MVar(new_hole.id()), ()))
+            })
+        })
+    }
+
+    /// Removes and returns the channel's oldest value, blocking while the
+    /// channel is empty.
+    ///
+    /// Blocking happens inside the stream-cell `takeMVar`, which is
+    /// interruptible (§5.3); if an asynchronous exception arrives while
+    /// waiting, the read end is restored and the channel stays usable.
+    pub fn recv(&self) -> Io<T> {
+        modify_mvar_with(self.read_end, move |stream: Value| {
+            let stream: MVar<Value> = MVar::from_id(
+                stream.as_mvar_id().expect("read end holds a stream cell"),
+            );
+            stream.take().map(move |item| match item {
+                Value::Pair(v, next) => (*next, T::from_value_or_panic(*v)),
+                other => panic!("malformed stream cell: {other}"),
+            })
+        })
+    }
+
+    /// Non-blocking receive: `Some(v)` if a value is ready.
+    ///
+    /// Restores both the stream cell and the read end if the channel is
+    /// empty, so it composes with concurrent senders.
+    pub fn try_recv(&self) -> Io<Option<T>> {
+        modify_mvar_with(self.read_end, move |stream_v: Value| {
+            let stream: MVar<Value> = MVar::from_id(
+                stream_v.as_mvar_id().expect("read end holds a stream cell"),
+            );
+            let stream_v2 = stream_v.clone();
+            stream.try_take().map(move |item| match item {
+                None => (stream_v2, None),
+                Some(Value::Pair(v, next)) => (*next, Some(T::from_value_or_panic(*v))),
+                Some(other) => panic!("malformed stream cell: {other}"),
+            })
+        })
+    }
+}
+
+impl<T: FromValue + IntoValue + 'static> FromValue for Chan<T> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(r, w) => Some(Chan {
+                read_end: MVar::from_id(r.as_mvar_id()?),
+                write_end: MVar::from_id(w.as_mvar_id()?),
+                marker: PhantomData,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl<T: FromValue + IntoValue + 'static> IntoValue for Chan<T> {
+    fn into_value(self) -> Value {
+        Value::Pair(
+            Box::new(Value::MVar(self.read_end.id())),
+            Box::new(Value::MVar(self.write_end.id())),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeout;
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut rt = Runtime::new();
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            ch.send(1)
+                .then(ch.send(2))
+                .then(ch.send(3))
+                .then(conch_runtime::io::sequence(vec![ch.recv(), ch.recv(), ch.recv()]))
+        });
+        assert_eq!(rt.run(prog).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_blocks_until_send() {
+        let mut rt = Runtime::new();
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            Io::fork(Io::sleep(50).then(ch.send(9))).then(ch.recv())
+        });
+        assert_eq!(rt.run(prog).unwrap(), 9);
+        assert!(rt.clock() >= 50);
+    }
+
+    #[test]
+    fn crosses_thread_boundaries() {
+        let mut rt = Runtime::new();
+        // Producer and consumer threads; consumer reports sum via MVar.
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            Io::new_empty_mvar::<i64>().and_then(move |result| {
+                let producer = conch_runtime::io::for_each(10, move |i| ch.send(i as i64));
+                fn consume(
+                    ch: Chan<i64>,
+                    n: u64,
+                    acc: i64,
+                    result: MVar<i64>,
+                ) -> Io<()> {
+                    if n == 0 {
+                        result.put(acc)
+                    } else {
+                        ch.recv().and_then(move |v| consume(ch, n - 1, acc + v, result))
+                    }
+                }
+                Io::fork(producer)
+                    .then(Io::fork(consume(ch, 10, 0, result)))
+                    .then(result.take())
+                    .map(|sum| sum)
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 45);
+    }
+
+    #[test]
+    fn try_recv_on_empty_is_none() {
+        let mut rt = Runtime::new();
+        let prog = Chan::<i64>::new().and_then(|ch| ch.try_recv());
+        assert_eq!(rt.run(prog).unwrap(), None);
+    }
+
+    #[test]
+    fn try_recv_then_recv_consistent() {
+        let mut rt = Runtime::new();
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            ch.send(7).then(ch.try_recv()).and_then(move |a| {
+                ch.send(8).then(ch.recv()).map(move |b| (a, b))
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), (Some(7), 8));
+    }
+
+    #[test]
+    fn interrupted_reader_leaves_channel_usable() {
+        let mut rt = Runtime::new();
+        // A reader blocks on an empty channel and is killed; afterwards
+        // the channel still delivers to a new reader.
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            let doomed = ch.recv().map(|_| ()).catch(|_| Io::unit());
+            Io::fork(doomed).and_then(move |reader| {
+                Io::sleep(10)
+                    .then(Io::throw_to(reader, Exception::kill_thread()))
+                    .then(Io::sleep(10))
+                    .then(ch.send(42))
+                    .then(ch.recv())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 42);
+    }
+
+    #[test]
+    fn timeout_recv_composes() {
+        let mut rt = Runtime::new();
+        let prog = Chan::<i64>::new().and_then(|ch| timeout(20, ch.recv()));
+        assert_eq!(rt.run(prog).unwrap(), None);
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let mut rt = Runtime::new();
+        // A Chan can itself travel through an MVar (it is just a pair of
+        // MVar references).
+        let prog = Chan::<i64>::new().and_then(|ch| {
+            Io::new_empty_mvar::<Chan<i64>>().and_then(move |carrier| {
+                carrier.put(ch).then(carrier.take()).and_then(move |ch2| {
+                    ch2.send(5).then(ch.recv())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 5);
+    }
+}

@@ -1,0 +1,344 @@
+//! N-ary generalizations of the §7.2 symmetric combinators.
+//!
+//! The paper closes §10 noting that higher-level speculative mechanisms
+//! (QLisp's kill-a-whole-tree, parallel-or) "should be possible to build
+//! … using our more primitive construct". These are those builds:
+//! [`race_many`] is n-ary parallel-or (first of *n* wins, the rest are
+//! killed), [`map_concurrently`] runs a batch and fails fast, killing
+//! the surviving siblings if any branch raises.
+//!
+//! Both follow the §7.2 recipe exactly: fork under `block`, children
+//! `catch (unblock …)` into a shared result `MVar`, the parent's wait
+//! loop forwards parent-directed exceptions to every child, and the
+//! wind-down `throwTo`s are the non-interruptible asynchronous kind.
+
+use conch_runtime::exception::Exception;
+use conch_runtime::ids::ThreadId;
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+/// Tags a child's completion: Pair(index, Left err | Right value).
+fn completion(idx: usize, res: Result<Value, Exception>) -> Value {
+    let payload = match res {
+        Ok(v) => Value::Right(Box::new(v)),
+        Err(e) => Value::Left(Box::new(Value::Exception(e))),
+    };
+    Value::Pair(Box::new(Value::Int(idx as i64)), Box::new(payload))
+}
+
+fn split_completion(v: Value) -> (usize, Result<Value, Exception>) {
+    match v {
+        Value::Pair(idx, payload) => {
+            let idx = idx.as_int().expect("completion index") as usize;
+            match *payload {
+                Value::Right(v) => (idx, Ok(*v)),
+                Value::Left(e) => match *e {
+                    Value::Exception(e) => (idx, Err(e)),
+                    other => panic!("malformed completion error: {other}"),
+                },
+                other => panic!("malformed completion payload: {other}"),
+            }
+        }
+        other => panic!("malformed completion: {other}"),
+    }
+}
+
+fn spawn_children<T>(
+    m: MVar<Value>,
+    actions: Vec<Io<T>>,
+) -> Io<Vec<ThreadId>>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    fn go<T>(
+        m: MVar<Value>,
+        mut rest: std::vec::IntoIter<Io<T>>,
+        idx: usize,
+        mut acc: Vec<ThreadId>,
+    ) -> Io<Vec<ThreadId>>
+    where
+        T: FromValue + IntoValue + 'static,
+    {
+        match rest.next() {
+            None => Io::pure(acc),
+            Some(a) => {
+                let child = Io::unblock(a)
+                    .and_then(move |r: T| m.put(completion(idx, Ok(r.into_value()))))
+                    .catch(move |e| m.put(completion(idx, Err(e))));
+                Io::fork(child).and_then(move |tid| {
+                    acc.push(tid);
+                    go(m, rest, idx + 1, acc)
+                })
+            }
+        }
+    }
+    go(m, actions.into_iter(), 0, Vec::new())
+}
+
+/// The parent wait loop of §7.2, n-ary: forward parent-directed
+/// exceptions to every child and resume waiting.
+fn await_completion(m: MVar<Value>, tids: std::rc::Rc<Vec<ThreadId>>) -> Io<Value> {
+    m.take().catch(move |e| {
+        fn forward(
+            tids: std::rc::Rc<Vec<ThreadId>>,
+            i: usize,
+            e: Exception,
+        ) -> Io<()> {
+            if i >= tids.len() {
+                Io::unit()
+            } else {
+                let t = tids[i];
+                Io::throw_to(t, e.clone()).and_then(move |_| forward(tids, i + 1, e))
+            }
+        }
+        let tids2 = std::rc::Rc::clone(&tids);
+        forward(std::rc::Rc::clone(&tids), 0, e)
+            .and_then(move |_| await_completion(m, tids2))
+    })
+}
+
+fn kill_all(tids: std::rc::Rc<Vec<ThreadId>>) -> Io<()> {
+    fn go(tids: std::rc::Rc<Vec<ThreadId>>, i: usize) -> Io<()> {
+        if i >= tids.len() {
+            Io::unit()
+        } else {
+            let t = tids[i];
+            Io::throw_to(t, Exception::kill_thread()).and_then(move |_| go(tids, i + 1))
+        }
+    }
+    go(tids, 0)
+}
+
+/// Runs all actions concurrently; returns `(index, value)` of the first
+/// to finish and kills the rest. An exception from any child before a
+/// winner exists propagates (after killing the others).
+///
+/// # Panics
+///
+/// Panics if `actions` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::race_many;
+///
+/// let mut rt = Runtime::new();
+/// let prog = race_many(vec![
+///     Io::sleep(300).map(|_| 'a'),
+///     Io::sleep(100).map(|_| 'b'),
+///     Io::sleep(200).map(|_| 'c'),
+/// ]);
+/// assert_eq!(rt.run(prog).unwrap(), (1, 'b'));
+/// ```
+pub fn race_many<T>(actions: Vec<Io<T>>) -> Io<(i64, T)>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    assert!(!actions.is_empty(), "race_many of nothing can never finish");
+    Io::new_empty_mvar::<Value>().and_then(move |m| {
+        Io::block(spawn_children(m, actions).and_then(move |tids| {
+            let tids = std::rc::Rc::new(tids);
+            let tids2 = std::rc::Rc::clone(&tids);
+            await_completion(m, tids).and_then(move |c| {
+                let (idx, res) = split_completion(c);
+                kill_all(tids2).then(match res {
+                    Ok(v) => Io::pure((idx as i64, T::from_value_or_panic(v))),
+                    Err(e) => Io::throw(e),
+                })
+            })
+        }))
+    })
+}
+
+/// Runs all actions concurrently and collects every result, in input
+/// order. If any child raises, the others are killed and the exception
+/// propagates (fail-fast `mapConcurrently`).
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::map_concurrently;
+///
+/// let mut rt = Runtime::new();
+/// let prog = map_concurrently(vec![
+///     Io::sleep(30).map(|_| 1_i64),
+///     Io::sleep(10).map(|_| 2_i64),
+///     Io::sleep(20).map(|_| 3_i64),
+/// ]);
+/// assert_eq!(rt.run(prog).unwrap(), vec![1, 2, 3]);
+/// ```
+pub fn map_concurrently<T>(actions: Vec<Io<T>>) -> Io<Vec<T>>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    let n = actions.len();
+    if n == 0 {
+        return Io::pure(Vec::new());
+    }
+    Io::new_empty_mvar::<Value>().and_then(move |m| {
+        Io::block(spawn_children(m, actions).and_then(move |tids| {
+            let tids = std::rc::Rc::new(tids);
+            collect(m, tids, vec![None; n], n)
+        }))
+    })
+}
+
+fn collect<T>(
+    m: MVar<Value>,
+    tids: std::rc::Rc<Vec<ThreadId>>,
+    mut slots: Vec<Option<Value>>,
+    mut remaining: usize,
+) -> Io<Vec<T>>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    if remaining == 0 {
+        let out: Vec<T> = slots
+            .into_iter()
+            .map(|s| T::from_value_or_panic(s.expect("all slots filled")))
+            .collect();
+        return Io::pure(out);
+    }
+    let tids2 = std::rc::Rc::clone(&tids);
+    await_completion(m, tids).and_then(move |c| {
+        let (idx, res) = split_completion(c);
+        match res {
+            Err(e) => kill_all(tids2).then(Io::throw(e)),
+            Ok(v) => {
+                slots[idx] = Some(v);
+                remaining -= 1;
+                collect(m, tids2, slots, remaining)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn race_many_first_wins() {
+        let mut rt = Runtime::new();
+        let prog = race_many(vec![
+            Io::sleep(100).map(|_| 10_i64),
+            Io::sleep(10).map(|_| 20_i64),
+            Io::sleep(50).map(|_| 30_i64),
+        ]);
+        assert_eq!(rt.run(prog).unwrap(), (1, 20));
+    }
+
+    #[test]
+    fn race_many_losers_are_killed() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_mvar(0_i64).and_then(|progress| {
+            let slowpoke = move |d: u64| {
+                Io::sleep(d).then(modify_progress(progress)).map(move |_| d as i64)
+            };
+            race_many(vec![slowpoke(10), slowpoke(10_000), slowpoke(20_000)])
+                .and_then(move |w| {
+                    Io::sleep(100_000)
+                        .then(crate::with_mvar(progress, Io::pure))
+                        .map(move |p| (w, p))
+                })
+        });
+        fn modify_progress(p: MVar<i64>) -> Io<()> {
+            crate::modify_mvar(p, |n| Io::pure(n + 1))
+        }
+        let ((idx, _), progress) = rt.run(prog).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(progress, 1, "losers must not have progressed");
+    }
+
+    #[test]
+    fn race_many_propagates_child_exception() {
+        let mut rt = Runtime::new();
+        let prog = race_many(vec![
+            Io::sleep(100).map(|_| 1_i64),
+            Io::sleep(10).then(Io::<i64>::throw(Exception::error_call("child 1 died"))),
+        ]);
+        assert_eq!(
+            rt.run(prog),
+            Err(RunError::Uncaught(Exception::error_call("child 1 died")))
+        );
+    }
+
+    #[test]
+    fn race_many_single_element() {
+        let mut rt = Runtime::new();
+        let prog = race_many(vec![Io::pure(9_i64)]);
+        assert_eq!(rt.run(prog).unwrap(), (0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "race_many of nothing")]
+    fn race_many_empty_panics() {
+        let _ = race_many(Vec::<Io<i64>>::new());
+    }
+
+    #[test]
+    fn map_concurrently_preserves_order() {
+        let mut rt = Runtime::new();
+        let prog = map_concurrently(vec![
+            Io::sleep(30).map(|_| 1_i64),
+            Io::sleep(20).map(|_| 2_i64),
+            Io::sleep(10).map(|_| 3_i64),
+            Io::sleep(40).map(|_| 4_i64),
+        ]);
+        assert_eq!(rt.run(prog).unwrap(), vec![1, 2, 3, 4]);
+        // They really ran concurrently: total time = max, not sum.
+        assert_eq!(rt.clock(), 40);
+    }
+
+    #[test]
+    fn map_concurrently_fails_fast() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_mvar(0_i64).and_then(|done| {
+            map_concurrently(vec![
+                Io::sleep(5).then(Io::<i64>::throw(Exception::error_call("bad"))),
+                Io::sleep(10_000).then(crate::modify_mvar(done, |n| Io::pure(n + 1))).map(|_| 0),
+            ])
+            .map(|_| -1_i64)
+            .catch(|_| Io::pure(7))
+            .and_then(move |r| {
+                Io::sleep(100_000).then(crate::with_mvar(done, Io::pure)).map(move |d| (r, d))
+            })
+        });
+        let (r, survivors_done) = rt.run(prog).unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(survivors_done, 0, "sibling must have been killed");
+    }
+
+    #[test]
+    fn map_concurrently_empty_is_empty() {
+        let mut rt = Runtime::new();
+        let prog = map_concurrently(Vec::<Io<i64>>::new());
+        assert_eq!(rt.run(prog).unwrap(), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn parent_exception_forwarded_to_all_children() {
+        let mut rt = Runtime::new();
+        // A racer over three blocked children; an outside thread throws
+        // to the racer; all children receive it and the race ends with
+        // that exception.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|never| {
+            Io::new_empty_mvar::<String>().and_then(move |out| {
+                let racer = race_many(vec![never.take(), never.take(), never.take()])
+                    .map(|_| "won".to_owned())
+                    .catch(|e| Io::pure(format!("racer got {e}")))
+                    .and_then(move |s| out.put(s));
+                Io::fork(racer).and_then(move |r| {
+                    Io::sleep(100)
+                        .then(Io::throw_to(r, Exception::custom("outside")))
+                        .then(out.take())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "racer got outside");
+    }
+}

@@ -1,0 +1,379 @@
+//! Symmetric process abstractions (§7.2) and time-outs (§7.3).
+//!
+//! [`race`] is the paper's `either`: run two computations concurrently,
+//! return the first result and kill the other thread. [`both`] waits for
+//! both. [`timeout`] is the composable time-out built on `race` — note
+//! that it needs *no* timeout exception at all, which is what makes nested
+//! timeouts compose (§7.3).
+//!
+//! The implementation is a line-by-line transcription of the paper's
+//! Haskell (§7.2), including the crucial details:
+//!
+//! * everything after the forks happens inside `block`, so the parent
+//!   cannot lose track of its children;
+//! * the waiting loop catches asynchronous exceptions aimed at the parent
+//!   and propagates them to *both* children, then resumes waiting;
+//! * the final `throwTo ... KillThread` calls are non-interruptible
+//!   (asynchronous `throwTo`, §9), so both children are reliably killed
+//!   before `race` returns.
+
+use conch_runtime::exception::Exception;
+use conch_runtime::ids::ThreadId;
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+use crate::either::Either;
+
+/// Tags a child's completion in the shared result `MVar`: the paper's
+/// `EitherRet` datatype (`A a | B b | X Exception`).
+fn tag_left(v: Value) -> Value {
+    Value::Left(Box::new(v))
+}
+
+fn tag_right(v: Value) -> Value {
+    Value::Right(Box::new(v))
+}
+
+/// One child of `race`/`both`: `catch (do r <- unblock body; putMVar m
+/// (tag r)) (\e -> putMVar m (X e))`.
+///
+/// The child is forked while the parent is masked, so (with mask
+/// inheritance) it installs its `catch` before any exception can arrive;
+/// the `unblock` then opens the window for the body.
+fn child<T>(m: MVar<Value>, body: Io<T>, tag: fn(Value) -> Value) -> Io<()>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    Io::unblock(body)
+        .and_then(move |r: T| m.put(tag(r.into_value())))
+        .catch(move |e| m.put(Value::Exception(e)))
+}
+
+/// The parent's waiting loop: `catch (takeMVar m) (\e -> do throwTo a_id
+/// e; throwTo b_id e; loop)`.
+///
+/// Any asynchronous exception received while waiting is propagated to both
+/// children, and the wait resumes — so the eventual answer (result or
+/// exception) always comes *from the children*.
+fn await_result(m: MVar<Value>, a_id: ThreadId, b_id: ThreadId) -> Io<Value> {
+    m.take().catch(move |e| {
+        Io::throw_to(a_id, e.clone())
+            .then(Io::throw_to(b_id, e))
+            .then(await_result(m, a_id, b_id))
+    })
+}
+
+/// The paper's `either` (§7.2): run `a` and `b` concurrently; return
+/// `Left r` if `a` finishes first with `r`, `Right r` if `b` does, or
+/// re-throw if either child raises before one returns. The losing child
+/// is sent `KillThread`.
+///
+/// If the thread executing `race` receives an asynchronous exception, the
+/// exception is propagated to both children and the wait resumes.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::{race, Either};
+///
+/// let mut rt = Runtime::new();
+/// let prog = race(Io::sleep(10).map(|_| 'a'), Io::sleep(99).map(|_| 'b'));
+/// assert_eq!(rt.run(prog).unwrap(), Either::Left('a'));
+/// ```
+pub fn race<A, B>(a: Io<A>, b: Io<B>) -> Io<Either<A, B>>
+where
+    A: FromValue + IntoValue + 'static,
+    B: FromValue + IntoValue + 'static,
+{
+    Io::new_empty_mvar::<Value>().and_then(move |m| {
+        Io::block(
+            Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
+                Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
+                    await_result(m, a_id, b_id).and_then(move |r| {
+                        Io::throw_to(a_id, Exception::kill_thread())
+                            .then(Io::throw_to(b_id, Exception::kill_thread()))
+                            .then(match r {
+                                Value::Left(v) => {
+                                    Io::pure(Either::Left(A::from_value_or_panic(*v)))
+                                }
+                                Value::Right(v) => {
+                                    Io::pure(Either::Right(B::from_value_or_panic(*v)))
+                                }
+                                Value::Exception(e) => Io::throw(e),
+                                other => panic!(
+                                    "race: impossible completion tag {}",
+                                    other.shape()
+                                ),
+                            })
+                    })
+                })
+            }),
+        )
+    })
+}
+
+/// The paper's `both` (§7.2): run `a` and `b` concurrently and wait for
+/// *both* results, returned as a pair.
+///
+/// If either child raises an exception before returning, the other child
+/// is killed and the exception propagates. Asynchronous exceptions aimed
+/// at the parent are propagated to both children while waiting.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::both;
+///
+/// let mut rt = Runtime::new();
+/// let prog = both(Io::sleep(5).map(|_| 1_i64), Io::sleep(9).map(|_| 2_i64));
+/// assert_eq!(rt.run(prog).unwrap(), (1, 2));
+/// ```
+pub fn both<A, B>(a: Io<A>, b: Io<B>) -> Io<(A, B)>
+where
+    A: FromValue + IntoValue + 'static,
+    B: FromValue + IntoValue + 'static,
+{
+    Io::new_empty_mvar::<Value>().and_then(move |m| {
+        Io::block(
+            Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
+                Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
+                    await_result(m, a_id, b_id).and_then(move |first| {
+                        if let Value::Exception(e) = first {
+                            // One child failed: kill the other immediately
+                            // and propagate (the spec's third bullet).
+                            return kill_both(a_id, b_id).then(Io::throw(e));
+                        }
+                        await_result(m, a_id, b_id).and_then(move |second| {
+                            match pair_up(first, second) {
+                                Ok((av, bv)) => {
+                                    kill_both(a_id, b_id).then(Io::pure((
+                                        A::from_value_or_panic(av),
+                                        B::from_value_or_panic(bv),
+                                    )))
+                                }
+                                Err(e) => kill_both(a_id, b_id).then(Io::throw(e)),
+                            }
+                        })
+                    })
+                })
+            }),
+        )
+    })
+}
+
+/// Sends `KillThread` to both children (non-interruptible asynchronous
+/// `throwTo`, so both sends always happen).
+fn kill_both(a_id: ThreadId, b_id: ThreadId) -> Io<()> {
+    Io::throw_to(a_id, Exception::kill_thread())
+        .then(Io::throw_to(b_id, Exception::kill_thread()))
+}
+
+/// Orders two tagged completions into `(left, right)`, or surfaces the
+/// first exception among them.
+fn pair_up(first: Value, second: Value) -> Result<(Value, Value), Exception> {
+    match (first, second) {
+        (Value::Exception(e), _) | (_, Value::Exception(e)) => Err(e),
+        (Value::Left(a), Value::Right(b)) => Ok((*a, *b)),
+        (Value::Right(b), Value::Left(a)) => Ok((*a, *b)),
+        (x, y) => panic!(
+            "both: impossible completion tags {} / {}",
+            x.shape(),
+            y.shape()
+        ),
+    }
+}
+
+/// The composable timeout (§7.3): run `action` with a time budget of `d`
+/// virtual microseconds; `Just`/`Some` its result, or `None` on expiry.
+///
+/// Built on [`race`] against `sleep d`, so no timeout exception exists to
+/// be intercepted by the timed code, and nested timeouts cannot interfere
+/// with each other.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::timeout;
+///
+/// let mut rt = Runtime::new();
+/// let fast = timeout(1_000, Io::sleep(10).map(|_| 'r'));
+/// assert_eq!(rt.run(fast).unwrap(), Some('r'));
+/// let slow = timeout(10, Io::sleep(1_000).map(|_| 'r'));
+/// assert_eq!(rt.run(slow).unwrap(), None);
+/// ```
+pub fn timeout<A>(d: u64, action: Io<A>) -> Io<Option<A>>
+where
+    A: FromValue + IntoValue + 'static,
+{
+    race(Io::sleep(d), action).map(|r| match r {
+        Either::Left(()) => None,
+        Either::Right(a) => Some(a),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn race_left_wins() {
+        let mut rt = Runtime::new();
+        let prog = race(Io::sleep(10).map(|_| 1_i64), Io::sleep(100).map(|_| 2_i64));
+        assert_eq!(rt.run(prog).unwrap(), Either::Left(1));
+    }
+
+    #[test]
+    fn race_right_wins() {
+        let mut rt = Runtime::new();
+        let prog = race(Io::sleep(100).map(|_| 1_i64), Io::sleep(10).map(|_| 2_i64));
+        assert_eq!(rt.run(prog).unwrap(), Either::Right(2));
+    }
+
+    #[test]
+    fn race_kills_the_loser() {
+        let mut rt = Runtime::new();
+        // The loser would fill `leak` if it survived.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|leak| {
+            race(
+                Io::sleep(10).map(|_| 1_i64),
+                Io::sleep(100).then(leak.put(9)).map(|_| 2_i64),
+            )
+            .and_then(move |r| {
+                // Wait past the loser's deadline, then check it never put.
+                Io::sleep(1_000).then(leak.try_take()).map(move |l| (r, l))
+            })
+        });
+        let (r, leaked) = rt.run(prog).unwrap();
+        assert_eq!(r, Either::Left(1));
+        assert_eq!(leaked, None);
+    }
+
+    #[test]
+    fn race_propagates_child_exception() {
+        let mut rt = Runtime::new();
+        let prog = race(
+            Io::sleep(50).map(|_| 1_i64),
+            Io::sleep(5).then(Io::<i64>::throw(Exception::error_call("child died"))),
+        );
+        assert_eq!(
+            rt.run(prog),
+            Err(RunError::Uncaught(Exception::error_call("child died")))
+        );
+    }
+
+    #[test]
+    fn race_parent_exception_propagates_to_children() {
+        let mut rt = Runtime::new();
+        // Parent races two sleepers; an outside thread throws to the parent.
+        // Spec: the exception is propagated to both children, so the race
+        // ends with that exception (children re-raise it).
+        let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+            let racer = race(
+                Io::sleep(10_000).map(|_| 1_i64),
+                Io::sleep(20_000).map(|_| 2_i64),
+            )
+            .map(|_| "finished".to_owned())
+            .catch(|e| Io::pure(format!("racer got {e}")))
+            .and_then(move |s| out.put(s));
+            Io::fork(racer).and_then(move |racer_id| {
+                Io::sleep(100)
+                    .then(Io::throw_to(racer_id, Exception::custom("outside")))
+                    .then(out.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "racer got outside");
+    }
+
+    #[test]
+    fn both_returns_pair_in_argument_order() {
+        let mut rt = Runtime::new();
+        // Right finishes first; pair order must still be (a, b).
+        let prog = both(Io::sleep(50).map(|_| 1_i64), Io::sleep(5).map(|_| 2_i64));
+        assert_eq!(rt.run(prog).unwrap(), (1, 2));
+    }
+
+    #[test]
+    fn both_propagates_first_exception_and_kills_other() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|leak| {
+            both(
+                Io::sleep(5).then(Io::<i64>::throw(Exception::error_call("a died"))),
+                Io::sleep(10_000).then(leak.put(1)).map(|_| 2_i64),
+            )
+            .map(|_| 0_i64)
+            .catch(|e| {
+                assert_eq!(e, Exception::error_call("a died"));
+                Io::pure(7)
+            })
+            .and_then(move |r| Io::sleep(20_000).then(leak.try_take()).map(move |l| (r, l)))
+        });
+        let (r, leaked) = rt.run(prog).unwrap();
+        assert_eq!(r, 7);
+        assert_eq!(leaked, None, "slow child must have been killed");
+    }
+
+    #[test]
+    fn timeout_returns_some_when_fast() {
+        let mut rt = Runtime::new();
+        let prog = timeout(1_000, Io::sleep(1).map(|_| 5_i64));
+        assert_eq!(rt.run(prog).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn timeout_returns_none_when_slow() {
+        let mut rt = Runtime::new();
+        let prog = timeout(10, Io::sleep(1_000).map(|_| 5_i64));
+        assert_eq!(rt.run(prog).unwrap(), None);
+    }
+
+    #[test]
+    fn timeout_aborts_blocked_computation() {
+        let mut rt = Runtime::new();
+        // The timed action blocks forever on an empty MVar; timeout must
+        // still fire (takeMVar is interruptible).
+        let prog = Io::new_empty_mvar::<i64>()
+            .and_then(|hole| timeout(50, hole.take()));
+        assert_eq!(rt.run(prog).unwrap(), None);
+        assert_eq!(rt.clock(), 50);
+    }
+
+    #[test]
+    fn nested_timeouts_do_not_interfere() {
+        let mut rt = Runtime::new();
+        // Inner timeout (tight) fires; outer (loose) must still deliver the
+        // inner's None as a successful result.
+        let prog = timeout(10_000, timeout(10, Io::sleep(1_000).map(|_| 1_i64)));
+        assert_eq!(rt.run(prog).unwrap(), Some(None));
+    }
+
+    #[test]
+    fn nested_timeouts_outer_fires_first() {
+        let mut rt = Runtime::new();
+        let prog = timeout(10, timeout(10_000, Io::sleep(1_000).map(|_| 1_i64)));
+        assert_eq!(rt.run(prog).unwrap(), None);
+    }
+
+    #[test]
+    fn timeout_of_pure_compute() {
+        let mut rt = Runtime::new();
+        // A compute-bound action finishes (virtual time does not pass while
+        // threads are runnable), so the timeout never fires.
+        let prog = timeout(1, Io::compute_returning(10_000, 3_i64));
+        assert_eq!(rt.run(prog).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn triple_nested_timeouts() {
+        let mut rt = Runtime::new();
+        let prog = timeout(
+            100_000,
+            timeout(10_000, timeout(10, Io::sleep(5_000).map(|_| 1_i64))),
+        );
+        assert_eq!(rt.run(prog).unwrap(), Some(Some(None)));
+    }
+}

@@ -1,0 +1,197 @@
+//! Restart supervision — the fault-tolerance idiom of the §11 case
+//! study, packaged as a combinator.
+//!
+//! The paper's server survives crashing handlers by catching and
+//! answering 500; a long-lived *service* survives them by being
+//! restarted. [`supervise`] runs a body, restarts it when it dies with
+//! an exception (up to a budget), and distinguishes — via
+//! [`catch_sync`](crate::catch_sync)-style origin inspection — between
+//! the body's own failures (restart) and an external `KillThread`
+//! (honour it and stop), so a supervised service still shuts down
+//! cleanly under `throwTo`/`timeout`.
+
+use conch_runtime::exception::Exception;
+use conch_runtime::io::Io;
+use conch_runtime::value::{FromValue, IntoValue};
+use conch_runtime::RaiseOrigin;
+
+/// The outcome of a supervised run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Supervised<T> {
+    /// The body completed with this value (after 0 or more restarts).
+    Finished(T),
+    /// The restart budget ran out; the last failure is attached.
+    GaveUp(Exception),
+}
+
+impl<T: IntoValue> IntoValue for Supervised<T> {
+    fn into_value(self) -> conch_runtime::Value {
+        use conch_runtime::Value;
+        match self {
+            Supervised::Finished(t) => Value::Right(Box::new(t.into_value())),
+            Supervised::GaveUp(e) => Value::Left(Box::new(Value::Exception(e))),
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Supervised<T> {
+    fn from_value(v: conch_runtime::Value) -> Option<Self> {
+        use conch_runtime::Value;
+        match v {
+            Value::Right(t) => Some(Supervised::Finished(T::from_value(*t)?)),
+            Value::Left(e) => match *e {
+                Value::Exception(e) => Some(Supervised::GaveUp(e)),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Runs `body`, restarting it on *synchronous* failure up to `restarts`
+/// times. Asynchronous exceptions (kills, timeouts) pass through with
+/// their origin preserved — supervision protects against the service's
+/// bugs, not against the supervisor's owner.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::{supervise, Supervised};
+///
+/// let mut rt = Runtime::new();
+/// // A service that crashes twice, then succeeds.
+/// let prog = Io::new_mvar(0_i64).and_then(|attempts| {
+///     supervise(5, move || {
+///         conch_combinators::modify_mvar_with(attempts, |n| Io::pure((n + 1, n + 1)))
+///             .and_then(|n| {
+///                 if n < 3 {
+///                     Io::throw(Exception::error_call("crash"))
+///                 } else {
+///                     Io::pure(n * 10)
+///                 }
+///             })
+///     })
+/// });
+/// assert_eq!(rt.run(prog).unwrap(), Supervised::Finished(30));
+/// ```
+pub fn supervise<T, F>(restarts: u32, body: F) -> Io<Supervised<T>>
+where
+    T: FromValue + IntoValue + 'static,
+    F: Fn() -> Io<T> + 'static,
+{
+    let body = std::rc::Rc::new(body);
+    go(restarts, body)
+}
+
+fn go<T>(restarts: u32, body: std::rc::Rc<dyn Fn() -> Io<T>>) -> Io<Supervised<T>>
+where
+    T: FromValue + IntoValue + 'static,
+{
+    let run = body();
+    run.map(Supervised::Finished)
+        .catch_info(move |e, origin| match origin {
+            // External interruption: not ours to absorb.
+            RaiseOrigin::Async => Io::rethrow(e, origin),
+            RaiseOrigin::Sync => {
+                if restarts == 0 {
+                    Io::pure(Supervised::GaveUp(e))
+                } else {
+                    go(restarts - 1, body)
+                }
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{modify_mvar_with, timeout};
+    use conch_runtime::prelude::*;
+
+    fn flaky(attempts: MVar<i64>, succeed_after: i64) -> impl Fn() -> Io<i64> + 'static {
+        move || {
+            modify_mvar_with(attempts, |n| Io::pure((n + 1, n + 1))).and_then(move |n| {
+                if n < succeed_after {
+                    Io::throw(Exception::error_call("crash"))
+                } else {
+                    Io::pure(n)
+                }
+            })
+        }
+    }
+
+    #[test]
+    fn succeeds_without_restarts() {
+        let mut rt = Runtime::new();
+        let prog = supervise(3, || Io::pure(7_i64));
+        assert_eq!(rt.run(prog).unwrap(), Supervised::Finished(7));
+    }
+
+    #[test]
+    fn restarts_until_success() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_mvar(0_i64)
+            .and_then(|attempts| supervise(5, flaky(attempts, 4)));
+        assert_eq!(rt.run(prog).unwrap(), Supervised::Finished(4));
+    }
+
+    #[test]
+    fn gives_up_when_budget_exhausted() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_mvar(0_i64)
+            .and_then(|attempts| supervise(2, flaky(attempts, 100)));
+        assert_eq!(
+            rt.run(prog).unwrap(),
+            Supervised::GaveUp(Exception::error_call("crash"))
+        );
+    }
+
+    #[test]
+    fn restart_count_is_exact() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_mvar(0_i64).and_then(|attempts| {
+            supervise(2, flaky(attempts, 100))
+                .then(crate::with_mvar(attempts, Io::pure))
+        });
+        // 1 initial run + 2 restarts.
+        assert_eq!(rt.run(prog).unwrap(), 3);
+    }
+
+    #[test]
+    fn kill_is_not_absorbed_by_supervision() {
+        let mut rt = Runtime::new();
+        // A supervised forever-service: crashes on its own regularly, but
+        // an external kill must end it despite the generous budget.
+        let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+            let service = supervise(1_000_000, || {
+                Io::<()>::unblock(Io::compute(100))
+                    .then(Io::<i64>::throw(Exception::error_call("respawn me")))
+            })
+            .map(|_| "gave up".to_owned())
+            .catch(|e| Io::pure(format!("ended by {e}")))
+            .and_then(move |s| out.put(s));
+            Io::<ThreadId>::block(Io::fork(service)).and_then(move |s| {
+                Io::compute(5_000)
+                    .then(Io::throw_to(s, Exception::kill_thread()))
+                    .then(out.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "ended by KillThread");
+    }
+
+    #[test]
+    fn timeout_over_supervision_fires() {
+        let mut rt = Runtime::new();
+        // Supervision keeps restarting a crashing sleeper; the timeout's
+        // kill still terminates the whole supervised tree.
+        let prog = timeout(
+            500,
+            supervise(1_000_000, || {
+                Io::sleep(50).then(Io::<i64>::throw(Exception::error_call("again")))
+            }),
+        );
+        assert_eq!(rt.run(prog).unwrap(), None);
+        assert_eq!(rt.clock(), 500);
+    }
+}

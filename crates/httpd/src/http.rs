@@ -1,0 +1,275 @@
+//! A small HTTP/1.0 subset: request parsing and response rendering.
+//!
+//! Pure Rust (no `Io`): parsing operates on the full request text after
+//! the network layer has accumulated it. Enough of the protocol for the
+//! paper's case-study workloads — request line, headers, no bodies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An HTTP request method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// `GET`.
+    Get,
+    /// `HEAD`.
+    Head,
+    /// `POST` (accepted, though bodies are not transported).
+    Post,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "HEAD" => Some(Method::Head),
+            "POST" => Some(Method::Post),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+        })
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request method.
+    pub method: Method,
+    /// The request path, e.g. `/index.html`.
+    pub path: String,
+    /// Headers, lower-cased names.
+    pub headers: BTreeMap<String, String>,
+}
+
+impl Request {
+    /// A minimal GET request for `path`.
+    pub fn get(path: impl Into<String>) -> Request {
+        Request {
+            method: Method::Get,
+            path: path.into(),
+            headers: BTreeMap::new(),
+        }
+    }
+
+    /// Renders the request as wire text (for the client side).
+    pub fn render(&self) -> String {
+        let mut s = format!("{} {} HTTP/1.0\r\n", self.method, self.path);
+        for (k, v) in &self.headers {
+            s.push_str(&format!("{k}: {v}\r\n"));
+        }
+        s.push_str("\r\n");
+        s
+    }
+}
+
+/// Why a request failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseRequestError {
+    /// The request text was empty.
+    Empty,
+    /// The request line was not `METHOD PATH VERSION`.
+    BadRequestLine(String),
+    /// Unknown method token.
+    BadMethod(String),
+    /// A header line had no colon.
+    BadHeader(String),
+}
+
+impl fmt::Display for ParseRequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseRequestError::Empty => f.write_str("empty request"),
+            ParseRequestError::BadRequestLine(l) => write!(f, "malformed request line {l:?}"),
+            ParseRequestError::BadMethod(m) => write!(f, "unknown method {m:?}"),
+            ParseRequestError::BadHeader(h) => write!(f, "malformed header {h:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseRequestError {}
+
+/// Parses the text of a request (everything up to the blank line).
+///
+/// # Errors
+///
+/// Returns a [`ParseRequestError`] describing the first malformed line.
+pub fn parse_request(text: &str) -> Result<Request, ParseRequestError> {
+    let mut lines = text.split("\r\n");
+    let request_line = lines.next().filter(|l| !l.is_empty()).ok_or(ParseRequestError::Empty)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, _version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) => (m, p, v),
+        _ => return Err(ParseRequestError::BadRequestLine(request_line.to_owned())),
+    };
+    let method = Method::parse(method).ok_or_else(|| ParseRequestError::BadMethod(method.to_owned()))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| ParseRequestError::BadHeader(line.to_owned()))?;
+        headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+    }
+    Ok(Request {
+        method,
+        path: path.to_owned(),
+        headers,
+    })
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The body text.
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` response with a body.
+    pub fn ok(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            body: body.into(),
+        }
+    }
+
+    /// A response with an arbitrary status and a default reason body.
+    pub fn status(status: u16) -> Response {
+        Response {
+            status,
+            body: reason(status).to_owned(),
+        }
+    }
+
+    /// Renders the response as wire text.
+    pub fn render(&self) -> String {
+        format!(
+            "HTTP/1.0 {} {}\r\nContent-Length: {}\r\n\r\n{}",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            self.body
+        )
+    }
+}
+
+impl conch_runtime::value::IntoValue for Response {
+    fn into_value(self) -> conch_runtime::value::Value {
+        use conch_runtime::value::Value;
+        Value::Pair(
+            Box::new(Value::Int(i64::from(self.status))),
+            Box::new(Value::Str(self.body)),
+        )
+    }
+}
+
+impl conch_runtime::value::FromValue for Response {
+    fn from_value(v: conch_runtime::value::Value) -> Option<Self> {
+        use conch_runtime::value::Value;
+        match v {
+            Value::Pair(status, body) => Some(Response {
+                status: u16::try_from(status.as_int()?).ok()?,
+                body: match *body {
+                    Value::Str(s) => s,
+                    _ => return None,
+                },
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The standard reason phrase for the status codes the server uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_get() {
+        let r = parse_request("GET /x HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(r.method, Method::Get);
+        assert_eq!(r.path, "/x");
+        assert!(r.headers.is_empty());
+    }
+
+    #[test]
+    fn parses_headers_case_insensitively() {
+        let r = parse_request("GET / HTTP/1.0\r\nHost: example\r\nX-Thing: 2\r\n\r\n").unwrap();
+        assert_eq!(r.headers["host"], "example");
+        assert_eq!(r.headers["x-thing"], "2");
+    }
+
+    #[test]
+    fn request_render_round_trips() {
+        let mut req = Request::get("/a/b");
+        req.headers.insert("host".into(), "h".into());
+        let parsed = parse_request(&req.render()).unwrap();
+        assert_eq!(parsed, req);
+    }
+
+    #[test]
+    fn rejects_bad_request_line() {
+        assert!(matches!(
+            parse_request("GARBAGE\r\n\r\n"),
+            Err(ParseRequestError::BadRequestLine(_))
+        ));
+        assert!(matches!(parse_request(""), Err(ParseRequestError::Empty)));
+    }
+
+    #[test]
+    fn rejects_unknown_method() {
+        assert!(matches!(
+            parse_request("BREW /pot HTTP/1.0\r\n\r\n"),
+            Err(ParseRequestError::BadMethod(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            parse_request("GET / HTTP/1.0\r\nnocolon\r\n\r\n"),
+            Err(ParseRequestError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn response_render_includes_status_and_length() {
+        let r = Response::ok("hello").render();
+        assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(r.contains("Content-Length: 5"));
+        assert!(r.ends_with("hello"));
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(reason(408), "Request Timeout");
+        assert_eq!(reason(504), "Gateway Timeout");
+        assert_eq!(Response::status(404).body, "Not Found");
+    }
+}

@@ -1,0 +1,45 @@
+//! # conch-httpd
+//!
+//! The paper's §11 case study: "a prototype fault-tolerant HTTP server
+//! which makes heavy use of time-outs, multithreading and exceptions"
+//! (\[8\], Marlow's Haskell web server) — rebuilt on `conch-runtime` and
+//! `conch-combinators` over a simulated network (see DESIGN.md for the
+//! substitution).
+//!
+//! * [`http`] — an HTTP/1.0-subset parser and response renderer.
+//! * [`net`] — `MVar`-channel connections and listeners; blocking reads
+//!   and accepts are interruptible operations (§5.3), which is what makes
+//!   the timeouts and the graceful shutdown possible.
+//! * [`server`] — the accept loop, per-connection workers, read/handler
+//!   timeouts, crash-to-500 conversion, counters, graceful shutdown.
+//! * [`client`] — load-generating clients: well-behaved, stalling,
+//!   trickling and garbage.
+//!
+//! ## Example
+//!
+//! ```
+//! use conch_runtime::prelude::*;
+//! use conch_httpd::http::{Request, Response};
+//! use conch_httpd::net::Listener;
+//! use conch_httpd::server::{handler, start, ServerConfig};
+//!
+//! let mut rt = Runtime::new();
+//! let prog = Listener::bind().and_then(|l| {
+//!     start(l, handler(|_| Io::pure(Response::ok("hi"))), ServerConfig::default())
+//!         .and_then(move |_srv| {
+//!             l.connect().and_then(|conn| {
+//!                 conn.send_text(Request::get("/").render())
+//!                     .then(conn.read_response())
+//!             })
+//!         })
+//! });
+//! let resp = rt.run(prog).unwrap();
+//! assert!(resp.contains("200 OK"));
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod log;
+pub mod net;
+pub mod router;
+pub mod server;

@@ -1,0 +1,224 @@
+//! The simulated network substrate.
+//!
+//! The paper's web-server case study ran on real sockets; here (per the
+//! repro substitution in DESIGN.md) a [`Connection`] is a pair of `Chan`s
+//! — request characters flowing to the server, response text flowing
+//! back — and a [`Listener`] is a `Chan` of connections. Everything is
+//! built from `MVar`s, so blocking accepts and reads are *interruptible
+//! operations* in the §5.3 sense, which is precisely what lets the
+//! server time them out.
+
+use conch_combinators::Chan;
+use conch_runtime::io::Io;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+/// One simulated TCP connection.
+///
+/// The server reads request characters from `inbound` and writes the
+/// rendered response to `outbound`; the client does the reverse.
+#[derive(Debug, Clone, Copy)]
+pub struct Connection {
+    /// Client → server request characters.
+    pub inbound: Chan<char>,
+    /// Server → client response text (one message per response).
+    pub outbound: Chan<String>,
+}
+
+impl Connection {
+    /// Allocates a fresh connection (both channels empty).
+    pub fn open() -> Io<Connection> {
+        Chan::<char>::new().and_then(|inbound| {
+            Chan::<String>::new().map(move |outbound| Connection { inbound, outbound })
+        })
+    }
+
+    /// Client side: send raw request text, one character at a time.
+    pub fn send_text(&self, text: impl Into<String>) -> Io<()> {
+        let text: String = text.into();
+        let inbound = self.inbound;
+        let mut io = Io::unit();
+        for c in text.chars().rev() {
+            let rest = io;
+            io = inbound.send(c).then(rest);
+        }
+        io
+    }
+
+    /// Client side: send text slowly — `gap` virtual microseconds between
+    /// characters. This is the slowloris-style client the paper's
+    /// timeouts defend against.
+    pub fn send_text_slowly(&self, text: impl Into<String>, gap: u64) -> Io<()> {
+        let chars: Vec<char> = text.into().chars().collect();
+        let inbound = self.inbound;
+        fn go(inbound: Chan<char>, mut chars: std::vec::IntoIter<char>, gap: u64) -> Io<()> {
+            match chars.next() {
+                None => Io::unit(),
+                Some(c) => Io::sleep(gap)
+                    .then(inbound.send(c))
+                    .and_then(move |_| go(inbound, chars, gap)),
+            }
+        }
+        go(inbound, chars.into_iter(), gap)
+    }
+
+    /// Client side: wait for the response text.
+    pub fn read_response(&self) -> Io<String> {
+        self.outbound.recv()
+    }
+
+    /// Server side: read request characters until the header-terminating
+    /// blank line (`\r\n\r\n`), returning the accumulated text.
+    pub fn read_request_text(&self) -> Io<String> {
+        let inbound = self.inbound;
+        fn go(inbound: Chan<char>, mut acc: String) -> Io<String> {
+            inbound.recv().and_then(move |c| {
+                acc.push(c);
+                if acc.ends_with("\r\n\r\n") {
+                    Io::pure(acc)
+                } else {
+                    go(inbound, acc)
+                }
+            })
+        }
+        go(inbound, String::new())
+    }
+
+    /// Server side: send the response text.
+    pub fn send_response(&self, text: impl Into<String>) -> Io<()> {
+        self.outbound.send(text.into())
+    }
+}
+
+impl FromValue for Connection {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(i, o) => Some(Connection {
+                inbound: Chan::from_value(*i)?,
+                outbound: Chan::from_value(*o)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for Connection {
+    fn into_value(self) -> Value {
+        Value::Pair(
+            Box::new(self.inbound.into_value()),
+            Box::new(self.outbound.into_value()),
+        )
+    }
+}
+
+/// The accept queue: clients push fresh connections, the server pops
+/// them. Accepting blocks on an `MVar` inside the `Chan`, so it is
+/// interruptible — a graceful shutdown simply `throwTo`s the acceptor.
+#[derive(Debug, Clone, Copy)]
+pub struct Listener {
+    accept_queue: Chan<Connection>,
+}
+
+impl Listener {
+    /// Creates a listener with an empty accept queue.
+    pub fn bind() -> Io<Listener> {
+        Chan::<Connection>::new().map(|accept_queue| Listener { accept_queue })
+    }
+
+    /// Client side: open a connection to this listener.
+    pub fn connect(&self) -> Io<Connection> {
+        let q = self.accept_queue;
+        Connection::open().and_then(move |conn| q.send(conn).map(move |_| conn))
+    }
+
+    /// Server side: wait for the next connection.
+    pub fn accept(&self) -> Io<Connection> {
+        self.accept_queue.recv()
+    }
+}
+
+impl FromValue for Listener {
+    fn from_value(v: Value) -> Option<Self> {
+        Some(Listener {
+            accept_queue: Chan::from_value(v)?,
+        })
+    }
+}
+
+impl IntoValue for Listener {
+    fn into_value(self) -> Value {
+        self.accept_queue.into_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_combinators::timeout;
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn request_text_round_trip() {
+        let mut rt = Runtime::new();
+        let prog = Connection::open().and_then(|c| {
+            c.send_text("GET / HTTP/1.0\r\n\r\n")
+                .then(c.read_request_text())
+        });
+        assert_eq!(rt.run(prog).unwrap(), "GET / HTTP/1.0\r\n\r\n");
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let mut rt = Runtime::new();
+        let prog = Connection::open().and_then(|c| {
+            c.send_response("HTTP/1.0 200 OK\r\n\r\n")
+                .then(c.read_response())
+        });
+        assert_eq!(rt.run(prog).unwrap(), "HTTP/1.0 200 OK\r\n\r\n");
+    }
+
+    #[test]
+    fn slow_send_advances_clock() {
+        let mut rt = Runtime::new();
+        let prog = Connection::open().and_then(|c| {
+            Io::fork(c.send_text_slowly("ab\r\n\r\n", 100)).then(c.read_request_text())
+        });
+        assert_eq!(rt.run(prog).unwrap(), "ab\r\n\r\n");
+        assert!(rt.clock() >= 600);
+    }
+
+    #[test]
+    fn reading_partial_request_can_time_out() {
+        let mut rt = Runtime::new();
+        // Client sends only half a request, then stalls forever.
+        let prog = Connection::open().and_then(|c| {
+            Io::fork(c.send_text("GET / HT"))
+                .then(timeout(1_000, c.read_request_text()))
+        });
+        assert_eq!(rt.run(prog).unwrap(), None);
+    }
+
+    #[test]
+    fn listener_hands_out_connections() {
+        let mut rt = Runtime::new();
+        let prog = Listener::bind().and_then(|l| {
+            // Client thread connects and sends; server accepts and reads.
+            let client = l
+                .connect()
+                .and_then(|c| c.send_text("GET /a HTTP/1.0\r\n\r\n"));
+            Io::fork(client).then(l.accept()).and_then(|c| c.read_request_text())
+        });
+        assert_eq!(rt.run(prog).unwrap(), "GET /a HTTP/1.0\r\n\r\n");
+    }
+
+    #[test]
+    fn accept_blocks_until_connect() {
+        let mut rt = Runtime::new();
+        let prog = Listener::bind().and_then(|l| {
+            Io::fork(Io::sleep(50).then(l.connect().map(|_| ())))
+                .then(l.accept())
+                .map(|_| true)
+        });
+        assert!(rt.run(prog).unwrap());
+        assert!(rt.clock() >= 50);
+    }
+}

@@ -1,0 +1,246 @@
+//! Declarative request routing.
+//!
+//! A [`Router`] maps method + path patterns to handlers, with `:param`
+//! captures and a configurable fallback — the kind of structure the
+//! paper's web server \[8\] grew around its combinators. Matching is pure
+//! Rust; the produced [`Handler`] plugs straight
+//! into [`start`](crate::server::start).
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use conch_runtime::io::Io;
+
+use crate::http::{Method, Request, Response};
+use crate::server::Handler;
+
+/// A handler receiving the request plus the captured `:params`.
+pub type RouteHandler = Rc<dyn Fn(Request, BTreeMap<String, String>) -> Io<Response>>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: RouteHandler,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    pattern
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.strip_prefix(':')
+                .map_or_else(|| Segment::Literal(s.to_owned()), |p| Segment::Param(p.to_owned()))
+        })
+        .collect()
+}
+
+fn match_path(segments: &[Segment], path: &str) -> Option<BTreeMap<String, String>> {
+    let parts: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    if parts.len() != segments.len() {
+        return None;
+    }
+    let mut params = BTreeMap::new();
+    for (seg, part) in segments.iter().zip(parts) {
+        match seg {
+            Segment::Literal(l) if l == part => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => {
+                params.insert(name.clone(), part.to_owned());
+            }
+        }
+    }
+    Some(params)
+}
+
+/// A method+pattern table of handlers.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_httpd::http::{Method, Request, Response};
+/// use conch_httpd::router::Router;
+///
+/// let router = Router::new()
+///     .get("/users/:id", |_req, params| {
+///         Io::pure(Response::ok(format!("user {}", params["id"])))
+///     })
+///     .into_handler();
+///
+/// let mut rt = Runtime::new();
+/// let resp = rt.run(router(Request::get("/users/42"))).unwrap();
+/// assert_eq!(resp.body, "user 42");
+/// ```
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<Route>,
+    fallback: Option<RouteHandler>,
+}
+
+impl Router {
+    /// An empty router (unmatched requests answer 404 unless a fallback
+    /// is installed).
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Adds a route for the given method and pattern (e.g.
+    /// `/users/:id/posts`).
+    pub fn route(
+        mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(Request, BTreeMap<String, String>) -> Io<Response> + 'static,
+    ) -> Router {
+        self.routes.push(Route {
+            method,
+            segments: parse_pattern(pattern),
+            handler: Rc::new(handler),
+        });
+        self
+    }
+
+    /// Adds a `GET` route.
+    pub fn get(
+        self,
+        pattern: &str,
+        handler: impl Fn(Request, BTreeMap<String, String>) -> Io<Response> + 'static,
+    ) -> Router {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// Adds a `POST` route.
+    pub fn post(
+        self,
+        pattern: &str,
+        handler: impl Fn(Request, BTreeMap<String, String>) -> Io<Response> + 'static,
+    ) -> Router {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Installs a fallback for unmatched requests (default: 404).
+    pub fn fallback(
+        mut self,
+        handler: impl Fn(Request, BTreeMap<String, String>) -> Io<Response> + 'static,
+    ) -> Router {
+        self.fallback = Some(Rc::new(handler));
+        self
+    }
+
+    /// Finalizes into a server [`Handler`].
+    pub fn into_handler(self) -> Handler {
+        let routes = Rc::new(self.routes);
+        let fallback = self.fallback;
+        Rc::new(move |req: Request| {
+            for route in routes.iter() {
+                if route.method == req.method {
+                    if let Some(params) = match_path(&route.segments, &req.path) {
+                        return (route.handler)(req, params);
+                    }
+                }
+            }
+            match &fallback {
+                Some(h) => h(req, BTreeMap::new()),
+                None => Io::pure(Response::status(404)),
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+
+    fn call(router: &Handler, req: Request) -> Response {
+        let mut rt = Runtime::new();
+        rt.run(router(req)).unwrap()
+    }
+
+    #[test]
+    fn literal_match() {
+        let r = Router::new()
+            .get("/health", |_, _| Io::pure(Response::ok("up")))
+            .into_handler();
+        assert_eq!(call(&r, Request::get("/health")).body, "up");
+        assert_eq!(call(&r, Request::get("/other")).status, 404);
+    }
+
+    #[test]
+    fn param_capture() {
+        let r = Router::new()
+            .get("/users/:id/posts/:post", |_, p| {
+                Io::pure(Response::ok(format!("{}-{}", p["id"], p["post"])))
+            })
+            .into_handler();
+        assert_eq!(call(&r, Request::get("/users/7/posts/9")).body, "7-9");
+        assert_eq!(call(&r, Request::get("/users/7")).status, 404);
+    }
+
+    #[test]
+    fn method_discrimination() {
+        let r = Router::new()
+            .get("/thing", |_, _| Io::pure(Response::ok("got")))
+            .post("/thing", |_, _| Io::pure(Response::ok("posted")))
+            .into_handler();
+        assert_eq!(call(&r, Request::get("/thing")).body, "got");
+        let mut post = Request::get("/thing");
+        post.method = Method::Post;
+        assert_eq!(call(&r, post).body, "posted");
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let r = Router::new()
+            .get("/a/:x", |_, _| Io::pure(Response::ok("param")))
+            .get("/a/b", |_, _| Io::pure(Response::ok("literal")))
+            .into_handler();
+        // Earlier route shadows the later literal.
+        assert_eq!(call(&r, Request::get("/a/b")).body, "param");
+    }
+
+    #[test]
+    fn fallback_replaces_404() {
+        let r = Router::new()
+            .fallback(|req, _| Io::pure(Response::ok(format!("nothing at {}", req.path))))
+            .into_handler();
+        assert_eq!(call(&r, Request::get("/missing")).body, "nothing at /missing");
+    }
+
+    #[test]
+    fn trailing_slashes_normalized() {
+        let r = Router::new()
+            .get("/a/b/", |_, _| Io::pure(Response::ok("ok")))
+            .into_handler();
+        assert_eq!(call(&r, Request::get("/a/b")).status, 200);
+        assert_eq!(call(&r, Request::get("/a/b/")).status, 200);
+    }
+
+    #[test]
+    fn routed_server_end_to_end() {
+        use crate::net::Listener;
+        use crate::server::{start, ServerConfig};
+        let mut rt = Runtime::new();
+        let router = Router::new()
+            .get("/greet/:name", |_, p| {
+                Io::pure(Response::ok(format!("hello {}", p["name"])))
+            })
+            .into_handler();
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, router, ServerConfig::default()).and_then(move |_srv| {
+                l.connect().and_then(|conn| {
+                    conn.send_text(Request::get("/greet/world").render())
+                        .then(conn.read_response())
+                })
+            })
+        });
+        let resp = rt.run(prog).unwrap();
+        assert!(resp.ends_with("hello world"), "got {resp}");
+    }
+}

@@ -1,0 +1,505 @@
+//! The fault-tolerant server proper (§11, after \[8\]).
+//!
+//! Per connection the server makes "heavy use of time-outs,
+//! multithreading and exceptions", all via the paper's combinators:
+//!
+//! * `forkIO` per connection;
+//! * [`timeout`] on reading the request (defeats stalled clients) and on
+//!   running the handler (defeats slow handlers) — composable because
+//!   timeouts carry no exception (§7.3);
+//! * `catch` around the handler, turning crashes into `500`s;
+//! * [`finally`] to keep the active-connection count exact on every exit
+//!   path;
+//! * graceful shutdown by `throwTo KillThread` at the acceptor — safe
+//!   because a blocked `accept` is an interruptible operation (§5.3).
+
+use std::rc::Rc;
+
+use conch_combinators::{finally, kill_thread, modify_mvar, timeout};
+use conch_runtime::ids::ThreadId;
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+use crate::http::{parse_request, Request, Response};
+use crate::net::{Connection, Listener};
+
+/// A request handler: maps a request to an `Io` action producing a
+/// response. Shared across connections, hence `Rc<dyn Fn…>`.
+pub type Handler = Rc<dyn Fn(Request) -> Io<Response>>;
+
+/// Wraps a plain closure as a [`Handler`].
+pub fn handler(f: impl Fn(Request) -> Io<Response> + 'static) -> Handler {
+    Rc::new(f)
+}
+
+/// Server tuning knobs (virtual microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Budget for receiving the complete request.
+    pub read_timeout: u64,
+    /// Budget for the handler to produce a response.
+    pub handler_timeout: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: 10_000,
+            handler_timeout: 50_000,
+        }
+    }
+}
+
+/// Per-server counters, each an `MVar`-protected cell updated with the
+/// §5.1 safe pattern.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Requests answered with the handler's response.
+    pub served: MVar<i64>,
+    /// Requests whose read phase timed out (answered 408).
+    pub read_timeouts: MVar<i64>,
+    /// Requests whose handler timed out (answered 504).
+    pub handler_timeouts: MVar<i64>,
+    /// Requests whose handler raised (answered 500).
+    pub handler_errors: MVar<i64>,
+    /// Requests that failed to parse (answered 400).
+    pub parse_errors: MVar<i64>,
+    /// Connections currently being handled.
+    pub active: MVar<i64>,
+}
+
+/// A snapshot of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// See [`ServerStats::served`].
+    pub served: i64,
+    /// See [`ServerStats::read_timeouts`].
+    pub read_timeouts: i64,
+    /// See [`ServerStats::handler_timeouts`].
+    pub handler_timeouts: i64,
+    /// See [`ServerStats::handler_errors`].
+    pub handler_errors: i64,
+    /// See [`ServerStats::parse_errors`].
+    pub parse_errors: i64,
+    /// See [`ServerStats::active`].
+    pub active: i64,
+}
+
+impl ServerStats {
+    fn new() -> Io<ServerStats> {
+        Io::new_mvar(0_i64).and_then(|served| {
+            Io::new_mvar(0_i64).and_then(move |read_timeouts| {
+                Io::new_mvar(0_i64).and_then(move |handler_timeouts| {
+                    Io::new_mvar(0_i64).and_then(move |handler_errors| {
+                        Io::new_mvar(0_i64).and_then(move |parse_errors| {
+                            Io::new_mvar(0_i64).map(move |active| ServerStats {
+                                served,
+                                read_timeouts,
+                                handler_timeouts,
+                                handler_errors,
+                                parse_errors,
+                                active,
+                            })
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// Reads all counters (not atomically across cells).
+    pub fn snapshot(&self) -> Io<StatsSnapshot> {
+        let s = *self;
+        conch_combinators::with_mvar(s.served, Io::pure).and_then(move |served| {
+            conch_combinators::with_mvar(s.read_timeouts, Io::pure).and_then(move |read_timeouts| {
+                conch_combinators::with_mvar(s.handler_timeouts, Io::pure).and_then(
+                    move |handler_timeouts| {
+                        conch_combinators::with_mvar(s.handler_errors, Io::pure).and_then(
+                            move |handler_errors| {
+                                conch_combinators::with_mvar(s.parse_errors, Io::pure).and_then(
+                                    move |parse_errors| {
+                                        conch_combinators::with_mvar(s.active, Io::pure).map(
+                                            move |active| StatsSnapshot {
+                                                served,
+                                                read_timeouts,
+                                                handler_timeouts,
+                                                handler_errors,
+                                                parse_errors,
+                                                active,
+                                            },
+                                        )
+                                    },
+                                )
+                            },
+                        )
+                    },
+                )
+            })
+        })
+    }
+}
+
+fn bump(cell: MVar<i64>) -> Io<()> {
+    modify_mvar(cell, |n| Io::pure(n + 1))
+}
+
+impl IntoValue for ServerStats {
+    fn into_value(self) -> Value {
+        Value::List(vec![
+            self.served.into_value(),
+            self.read_timeouts.into_value(),
+            self.handler_timeouts.into_value(),
+            self.handler_errors.into_value(),
+            self.parse_errors.into_value(),
+            self.active.into_value(),
+        ])
+    }
+}
+
+impl FromValue for ServerStats {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::List(xs) if xs.len() == 6 => {
+                let mut it = xs.into_iter();
+                Some(ServerStats {
+                    served: MVar::from_value(it.next()?)?,
+                    read_timeouts: MVar::from_value(it.next()?)?,
+                    handler_timeouts: MVar::from_value(it.next()?)?,
+                    handler_errors: MVar::from_value(it.next()?)?,
+                    parse_errors: MVar::from_value(it.next()?)?,
+                    active: MVar::from_value(it.next()?)?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for StatsSnapshot {
+    fn into_value(self) -> Value {
+        Value::List(vec![
+            Value::Int(self.served),
+            Value::Int(self.read_timeouts),
+            Value::Int(self.handler_timeouts),
+            Value::Int(self.handler_errors),
+            Value::Int(self.parse_errors),
+            Value::Int(self.active),
+        ])
+    }
+}
+
+impl FromValue for StatsSnapshot {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::List(xs) if xs.len() == 6 => {
+                let ints: Option<Vec<i64>> = xs.into_iter().map(|x| x.as_int()).collect();
+                let ints = ints?;
+                Some(StatsSnapshot {
+                    served: ints[0],
+                    read_timeouts: ints[1],
+                    handler_timeouts: ints[2],
+                    handler_errors: ints[3],
+                    parse_errors: ints[4],
+                    active: ints[5],
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for Server {
+    fn into_value(self) -> Value {
+        Value::Pair(
+            Box::new(Value::ThreadId(self.acceptor)),
+            Box::new(self.stats.into_value()),
+        )
+    }
+}
+
+impl FromValue for Server {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(t, s) => Some(Server {
+                acceptor: t.as_thread_id()?,
+                stats: ServerStats::from_value(*s)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// A running server: the acceptor's thread id plus the shared counters.
+#[derive(Debug, Clone, Copy)]
+pub struct Server {
+    /// The acceptor thread (kill it to stop accepting).
+    pub acceptor: ThreadId,
+    /// Shared counters.
+    pub stats: ServerStats,
+}
+
+impl Server {
+    /// Stops accepting new connections (in-flight requests finish).
+    ///
+    /// `accept` blocks on an `MVar`, an interruptible operation, so the
+    /// `KillThread` lands even though the acceptor spends its life
+    /// blocked — the whole reason §5.3 exists.
+    pub fn shutdown(&self) -> Io<()> {
+        kill_thread(self.acceptor)
+    }
+
+    /// Waits (by polling the active counter) until every in-flight
+    /// connection has finished.
+    pub fn drain(&self) -> Io<()> {
+        let active = self.stats.active;
+        fn wait(active: MVar<i64>) -> Io<()> {
+            conch_combinators::with_mvar(active, Io::pure).and_then(move |n| {
+                if n == 0 {
+                    Io::unit()
+                } else {
+                    Io::sleep(100).then(wait(active))
+                }
+            })
+        }
+        wait(active)
+    }
+}
+
+/// Starts the server: forks the acceptor loop and returns immediately.
+pub fn start(listener: Listener, h: Handler, config: ServerConfig) -> Io<Server> {
+    ServerStats::new().and_then(move |stats| {
+        Io::fork(accept_loop(listener, h, config, stats))
+            .map(move |acceptor| Server { acceptor, stats })
+    })
+}
+
+fn accept_loop(listener: Listener, h: Handler, config: ServerConfig, stats: ServerStats) -> Io<()> {
+    listener.accept().and_then(move |conn| {
+        let worker = handle_connection(conn, Rc::clone(&h), config, stats);
+        Io::fork(worker).then(accept_loop(listener, h, config, stats))
+    })
+}
+
+/// Handles one connection: the case study's core choreography.
+pub fn handle_connection(
+    conn: Connection,
+    h: Handler,
+    config: ServerConfig,
+    stats: ServerStats,
+) -> Io<()> {
+    let body = bump(stats.active).then(finally(
+        serve_one(conn, h, config, stats),
+        move || modify_mvar(stats.active, |n| Io::pure(n - 1)),
+    ));
+    // A worker must never crash the server: swallow anything uncaught.
+    body.catch(|_| Io::unit())
+}
+
+fn serve_one(
+    conn: Connection,
+    h: Handler,
+    config: ServerConfig,
+    stats: ServerStats,
+) -> Io<()> {
+    timeout(config.read_timeout, conn.read_request_text()).and_then(move |text| match text {
+        None => bump(stats.read_timeouts).then(conn.send_response(Response::status(408).render())),
+        Some(text) => match parse_request(&text) {
+            Err(_) => {
+                bump(stats.parse_errors).then(conn.send_response(Response::status(400).render()))
+            }
+            Ok(req) => {
+                // §9 warns that a universal `catch` inside timed code can
+                // intercept the timeout mechanism itself. Our `timeout`
+                // kills the racing computation with KillThread, so the
+                // handler guard must re-throw that and convert only
+                // genuine handler failures into 500s. The guard *tags*
+                // the outcome (Left = crashed, Right = answered) so that
+                // exactly one counter is bumped per request, at send time.
+                let guarded = h(req)
+                    .map(conch_combinators::Either::<Response, Response>::Right)
+                    .catch(move |e| {
+                        if e.is_kill_thread() {
+                            Io::throw(e)
+                        } else {
+                            Io::pure(conch_combinators::Either::Left(Response {
+                                status: 500,
+                                body: format!("handler failed: {e}"),
+                            }))
+                        }
+                    });
+                timeout(config.handler_timeout, guarded).and_then(move |resp| match resp {
+                    None => bump(stats.handler_timeouts)
+                        .then(conn.send_response(Response::status(504).render())),
+                    Some(conch_combinators::Either::Right(resp)) => {
+                        bump(stats.served).then(conn.send_response(resp.render()))
+                    }
+                    Some(conch_combinators::Either::Left(resp)) => {
+                        bump(stats.handler_errors).then(conn.send_response(resp.render()))
+                    }
+                })
+            }
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+
+    fn hello_handler() -> Handler {
+        handler(|req| Io::pure(Response::ok(format!("hello {}", req.path))))
+    }
+
+    fn run_one_request(h: Handler, cfg: ServerConfig, request_io: impl Fn(Connection) -> Io<()> + 'static) -> (String, StatsSnapshot) {
+        let mut rt = Runtime::new();
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, h, cfg).and_then(move |server| {
+                l.connect().and_then(move |conn| {
+                    Io::fork(request_io(conn)).then(conn.read_response()).and_then(
+                        move |resp| {
+                            server
+                                .shutdown()
+                                .then(server.drain())
+                                .then(server.stats.snapshot())
+                                .map(move |snap| (resp, snap))
+                        },
+                    )
+                })
+            })
+        });
+        rt.run(prog).unwrap()
+    }
+
+    #[test]
+    fn serves_a_simple_request() {
+        let (resp, snap) = run_one_request(hello_handler(), ServerConfig::default(), |c| {
+            c.send_text(Request::get("/x").render())
+        });
+        assert!(resp.contains("200 OK"), "got {resp}");
+        assert!(resp.ends_with("hello /x"));
+        assert_eq!(snap.served, 1);
+        assert_eq!(snap.active, 0);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (resp, snap) = run_one_request(hello_handler(), ServerConfig::default(), |c| {
+            c.send_text("NONSENSE\r\n\r\n")
+        });
+        assert!(resp.contains("400"), "got {resp}");
+        assert_eq!(snap.parse_errors, 1);
+    }
+
+    #[test]
+    fn stalled_client_gets_408() {
+        let (resp, snap) = run_one_request(hello_handler(), ServerConfig::default(), |c| {
+            // Send half a request and stall forever.
+            c.send_text("GET / HT")
+        });
+        assert!(resp.contains("408"), "got {resp}");
+        assert_eq!(snap.read_timeouts, 1);
+    }
+
+    #[test]
+    fn slow_handler_gets_504() {
+        let slow = handler(|_| Io::sleep(1_000_000).map(|_| Response::ok("too late")));
+        let (resp, snap) = run_one_request(slow, ServerConfig::default(), |c| {
+            c.send_text(Request::get("/").render())
+        });
+        assert!(resp.contains("504"), "got {resp}");
+        assert_eq!(snap.handler_timeouts, 1);
+        assert_eq!(snap.served, 0);
+    }
+
+    #[test]
+    fn crashing_handler_gets_500() {
+        let crashing = handler(|_| {
+            Io::<Response>::throw(Exception::error_call("bug in handler"))
+        });
+        let (resp, snap) = run_one_request(crashing, ServerConfig::default(), |c| {
+            c.send_text(Request::get("/").render())
+        });
+        assert!(resp.contains("500"), "got {resp}");
+        assert!(resp.contains("bug in handler"));
+        assert_eq!(snap.handler_errors, 1);
+    }
+
+    #[test]
+    fn slow_client_within_budget_is_served() {
+        let cfg = ServerConfig {
+            read_timeout: 100_000,
+            ..ServerConfig::default()
+        };
+        let (resp, snap) = run_one_request(hello_handler(), cfg, |c| {
+            c.send_text_slowly(Request::get("/slow").render(), 100)
+        });
+        assert!(resp.contains("200"), "got {resp}");
+        assert_eq!(snap.served, 1);
+        assert_eq!(snap.read_timeouts, 0);
+    }
+
+    #[test]
+    fn serves_many_concurrent_connections() {
+        let mut rt = Runtime::new();
+        let n: i64 = 8;
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, hello_handler(), ServerConfig::default()).and_then(move |server| {
+                // n clients, each on its own thread, each reporting success.
+                Io::new_mvar(0_i64).and_then(move |done| {
+                    conch_runtime::io::for_each(n as u64, move |i| {
+                        let client = l.connect().and_then(move |conn| {
+                            conn.send_text(Request::get(format!("/{i}")).render())
+                                .then(conn.read_response())
+                                .and_then(move |resp| {
+                                    assert!(resp.contains("200"), "got {resp}");
+                                    modify_mvar(done, |d| Io::pure(d + 1))
+                                })
+                        });
+                        Io::fork(client)
+                    })
+                    .then(wait_for(done, n))
+                    .then(server.shutdown())
+                    .then(server.drain())
+                    .then(server.stats.snapshot())
+                })
+            })
+        });
+        fn wait_for(done: MVar<i64>, n: i64) -> Io<()> {
+            conch_combinators::with_mvar(done, Io::pure).and_then(move |d| {
+                if d >= n {
+                    Io::unit()
+                } else {
+                    Io::sleep(50).then(wait_for(done, n))
+                }
+            })
+        }
+        let snap = rt.run(prog).unwrap();
+        assert_eq!(snap.served, n);
+        assert_eq!(snap.active, 0);
+    }
+
+    #[test]
+    fn shutdown_stops_accepting_but_not_inflight() {
+        let mut rt = Runtime::new();
+        // A slow-ish handler; shutdown arrives mid-request; the in-flight
+        // request still completes.
+        let slowish = handler(|_| Io::sleep(5_000).map(|_| Response::ok("done")));
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, slowish, ServerConfig::default()).and_then(move |server| {
+                l.connect().and_then(move |conn| {
+                    Io::fork(conn.send_text(Request::get("/").render()))
+                        .then(Io::sleep(1_000)) // request is now in flight
+                        .then(server.shutdown())
+                        .then(conn.read_response())
+                        .and_then(move |resp| {
+                            server.drain().then(Io::pure(resp))
+                        })
+                })
+            })
+        });
+        let resp = rt.run(prog).unwrap();
+        assert!(resp.contains("200"), "got {resp}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Runtime configuration.
+//!
+//! The configuration exists to make the paper's design choices *togglable*
+//! so the bench harness can measure them:
+//!
+//! * [`DeliveryMode`] — fully-asynchronous delivery (the paper's design)
+//!   versus the polling / safe-point baseline used by Java, Modula-3 and
+//!   PThreads deferred cancellation (§2, §10).
+//! * [`RuntimeConfig::collapse_mask_frames`] — the §8.1 stack-frame
+//!   optimization that lets mask-recursive functions run in constant stack.
+//! * [`SchedulingPolicy`] — deterministic round-robin or seeded random
+//!   preemption, so tests can explore interleavings reproducibly.
+
+/// How asynchronous exceptions are delivered to *runnable* threads.
+///
+/// Blocked (stuck) threads are always interruptible per the (Interrupt)
+/// rule, in both modes — this matches Java, where `interrupt()` wakes a
+/// `wait`/`sleep` immediately but otherwise only sets a flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryMode {
+    /// The paper's design: pending exceptions are delivered at every
+    /// interpreter step boundary while the thread is unmasked — i.e. at
+    /// *any* program point, including mid-`compute`.
+    FullyAsync,
+    /// The semi-asynchronous baseline (§2, §10): a runnable thread only
+    /// receives pending exceptions at explicit
+    /// [`Io::poll_safe_point`](crate::io::Io::poll_safe_point) calls.
+    Polling,
+}
+
+/// Which thread runs next, and for how long.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulingPolicy {
+    /// Deterministic round-robin with a fixed quantum of interpreter steps.
+    RoundRobin,
+    /// Seeded pseudo-random choice of the next thread and quantum length.
+    /// Deterministic for a given seed; used to explore interleavings.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+}
+
+/// What happens when every thread is stuck and no sleeper can wake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlockPolicy {
+    /// Stop and report [`RunError::Deadlock`](crate::error::RunError::Deadlock).
+    Report,
+    /// Mirror GHC: deliver `BlockedIndefinitely` to every stuck
+    /// thread and keep running.
+    RaiseBlockedIndefinitely,
+}
+
+/// Configuration for a [`Runtime`](crate::scheduler::Runtime).
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_runtime::config::{DeliveryMode, RuntimeConfig};
+///
+/// let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+/// let mut rt = Runtime::with_config(cfg);
+/// assert_eq!(rt.run(Io::pure(1_i64)).unwrap(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Delivery mode for asynchronous exceptions. Default: `FullyAsync`.
+    pub delivery: DeliveryMode,
+    /// Scheduling policy. Default: round-robin.
+    pub scheduling: SchedulingPolicy,
+    /// Steps a thread runs before preemption. Default: 11 (a prime, so
+    /// round-robin interleavings don't accidentally synchronize with
+    /// loop bodies).
+    pub quantum: u64,
+    /// Apply the §8.1 adjacent block/unblock frame-collapse optimization.
+    /// Default: `true`; disable for the ablation bench.
+    pub collapse_mask_frames: bool,
+    /// Deadlock handling. Default: report an error.
+    pub deadlock: DeadlockPolicy,
+    /// Hard cap on total interpreter steps (guards against accidental
+    /// non-termination in tests). `None` = unbounded. Default: `None`.
+    pub max_steps: Option<u64>,
+    /// Hard cap on a single thread's frame-stack depth, modelling the
+    /// finite stack of §2/§8.1. Exceeding it raises `StackOverflow` in the
+    /// offending thread. `None` = unbounded. Default: `None`.
+    pub stack_limit: Option<usize>,
+    /// Whether `forkIO` children inherit the parent's masking state.
+    ///
+    /// The paper's (Fork) rule starts children unblocked; GHC later changed
+    /// `forkIO` to inherit the mask precisely so that combinators like
+    /// `either` (§7.2) can install their child-side handlers without a
+    /// race. Default: `true` (GHC behaviour). Set `false` for paper-exact
+    /// semantics (the conformance tests do).
+    pub fork_inherits_mask: bool,
+}
+
+impl RuntimeConfig {
+    /// The default configuration (the paper's design on every axis).
+    pub fn new() -> Self {
+        RuntimeConfig {
+            delivery: DeliveryMode::FullyAsync,
+            scheduling: SchedulingPolicy::RoundRobin,
+            quantum: 11,
+            collapse_mask_frames: true,
+            deadlock: DeadlockPolicy::Report,
+            max_steps: None,
+            stack_limit: None,
+            fork_inherits_mask: true,
+        }
+    }
+
+    /// Sets the delivery mode.
+    pub fn delivery_mode(mut self, mode: DeliveryMode) -> Self {
+        self.delivery = mode;
+        self
+    }
+
+    /// Sets the scheduling policy.
+    pub fn scheduling(mut self, policy: SchedulingPolicy) -> Self {
+        self.scheduling = policy;
+        self
+    }
+
+    /// Sets the preemption quantum (in interpreter steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    pub fn quantum(mut self, quantum: u64) -> Self {
+        assert!(quantum > 0, "quantum must be at least 1 step");
+        self.quantum = quantum;
+        self
+    }
+
+    /// Enables or disables the §8.1 frame-collapse optimization.
+    pub fn collapse_mask_frames(mut self, on: bool) -> Self {
+        self.collapse_mask_frames = on;
+        self
+    }
+
+    /// Sets the deadlock policy.
+    pub fn deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.deadlock = policy;
+        self
+    }
+
+    /// Caps the total number of interpreter steps.
+    pub fn max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Caps per-thread stack depth (frames).
+    pub fn stack_limit(mut self, frames: usize) -> Self {
+        self.stack_limit = Some(frames);
+        self
+    }
+
+    /// Convenience: seeded random scheduling.
+    pub fn random_scheduling(self, seed: u64) -> Self {
+        self.scheduling(SchedulingPolicy::Random { seed })
+    }
+
+    /// Sets whether `forkIO` children inherit the parent's masking state.
+    pub fn fork_inherits_mask(mut self, on: bool) -> Self {
+        self.fork_inherits_mask = on;
+        self
+    }
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_design() {
+        let cfg = RuntimeConfig::default();
+        assert_eq!(cfg.delivery, DeliveryMode::FullyAsync);
+        assert!(cfg.collapse_mask_frames);
+        assert_eq!(cfg.deadlock, DeadlockPolicy::Report);
+        assert_eq!(cfg.scheduling, SchedulingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let cfg = RuntimeConfig::new()
+            .delivery_mode(DeliveryMode::Polling)
+            .quantum(3)
+            .collapse_mask_frames(false)
+            .max_steps(1000)
+            .stack_limit(64)
+            .random_scheduling(42);
+        assert_eq!(cfg.delivery, DeliveryMode::Polling);
+        assert_eq!(cfg.quantum, 3);
+        assert!(!cfg.collapse_mask_frames);
+        assert_eq!(cfg.max_steps, Some(1000));
+        assert_eq!(cfg.stack_limit, Some(64));
+        assert_eq!(cfg.scheduling, SchedulingPolicy::Random { seed: 42 });
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum")]
+    fn zero_quantum_rejected() {
+        let _ = RuntimeConfig::new().quantum(0);
+    }
+}

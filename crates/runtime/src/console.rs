@@ -1,0 +1,112 @@
+//! Console I/O substrate.
+//!
+//! The paper's canonical I/O operations are `putChar` and `getChar`
+//! (rules (PutChar), (GetChar), (Stuck GetChar)). To keep the runtime
+//! deterministic and testable we route them through a [`Console`] trait
+//! with an in-memory [`BufferConsole`] implementation: input is a
+//! pre-loaded buffer (possibly extended between runs), output is an
+//! accumulating string. `getChar` on an exhausted input buffer leaves the
+//! thread stuck — exactly the (Stuck GetChar) rule — where it remains
+//! interruptible by asynchronous exceptions.
+
+use std::collections::VecDeque;
+
+/// A source of input characters and sink of output characters.
+pub trait Console {
+    /// Attempts to read one character; `None` means "no input available
+    /// right now" (the thread blocks, per rule (Stuck GetChar)).
+    fn try_read(&mut self) -> Option<char>;
+
+    /// Writes one character.
+    fn write(&mut self, c: char);
+
+    /// Everything written so far.
+    fn output(&self) -> &str;
+}
+
+/// An in-memory console: deterministic input, accumulated output.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::console::{BufferConsole, Console};
+///
+/// let mut con = BufferConsole::with_input("hi");
+/// assert_eq!(con.try_read(), Some('h'));
+/// con.write('!');
+/// assert_eq!(con.output(), "!");
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferConsole {
+    input: VecDeque<char>,
+    output: String,
+}
+
+impl BufferConsole {
+    /// A console with no input.
+    pub fn new() -> Self {
+        BufferConsole::default()
+    }
+
+    /// A console pre-loaded with `input`.
+    pub fn with_input(input: impl Into<String>) -> Self {
+        BufferConsole {
+            input: input.into().chars().collect(),
+            output: String::new(),
+        }
+    }
+
+    /// Appends more input (e.g. between two `Runtime::run` calls).
+    pub fn feed(&mut self, input: impl Into<String>) {
+        self.input.extend(input.into().chars());
+    }
+
+    /// Number of unread input characters.
+    pub fn pending_input(&self) -> usize {
+        self.input.len()
+    }
+}
+
+impl Console for BufferConsole {
+    fn try_read(&mut self) -> Option<char> {
+        self.input.pop_front()
+    }
+
+    fn write(&mut self, c: char) {
+        self.output.push(c);
+    }
+
+    fn output(&self) -> &str {
+        &self.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_in_order() {
+        let mut con = BufferConsole::with_input("ab");
+        assert_eq!(con.try_read(), Some('a'));
+        assert_eq!(con.try_read(), Some('b'));
+        assert_eq!(con.try_read(), None);
+    }
+
+    #[test]
+    fn writes_accumulate() {
+        let mut con = BufferConsole::new();
+        con.write('x');
+        con.write('y');
+        assert_eq!(con.output(), "xy");
+    }
+
+    #[test]
+    fn feed_appends() {
+        let mut con = BufferConsole::with_input("a");
+        con.feed("b");
+        assert_eq!(con.pending_input(), 2);
+        assert_eq!(con.try_read(), Some('a'));
+        assert_eq!(con.try_read(), Some('b'));
+    }
+}

@@ -1,0 +1,191 @@
+//! Exception values.
+//!
+//! The paper (following \[15\], "imprecise exceptions") uses a single
+//! `Exception` datatype for both synchronous exceptions (raised by `throw`
+//! or by pure evaluation via `raise`) and asynchronous exceptions
+//! (delivered by `throwTo`). Section 9 discusses splitting the two in the
+//! type system; like the paper, we keep one type and record *how* an
+//! exception arrived separately (see [`crate::stats::Stats`]).
+
+use std::error::Error;
+use std::fmt;
+
+/// An exception of the embedded language.
+///
+/// Exceptions compare by structural equality, which is what `catch`
+/// handlers typically need.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::exception::Exception;
+///
+/// let e = Exception::error_call("boom");
+/// assert_eq!(e, Exception::error_call("boom"));
+/// assert_ne!(e, Exception::kill_thread());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Exception {
+    kind: ExceptionKind,
+}
+
+/// The kinds of exception the runtime and the paper's examples use.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExceptionKind {
+    /// `KillThread` — the exception `either` sends to the losing child (§7.2).
+    KillThread,
+    /// A timeout notification (used by the HTTP server; the paper's
+    /// `timeout` combinator itself needs no exception, see §7.3).
+    Timeout,
+    /// `error` calls / user errors with a message.
+    ErrorCall(String),
+    /// Division by zero and friends, raised by pure evaluation.
+    Arithmetic(ArithError),
+    /// A pattern-match failure in pure code (Figure 1's inner language).
+    PatternMatchFail,
+    /// Raised when the runtime detects that a thread is blocked forever
+    /// (deadlock). Mirrors GHC's `BlockedIndefinitelyOnMVar`.
+    BlockedIndefinitely,
+    /// Stack exhaustion (§2, resource exhaustion).
+    StackOverflow,
+    /// Heap exhaustion (§2, resource exhaustion).
+    HeapOverflow,
+    /// A user pressing the interrupt key (§2, user interrupt).
+    UserInterrupt,
+    /// An application-defined exception identified by name.
+    Custom(String),
+}
+
+/// Arithmetic failure modes for [`ExceptionKind::Arithmetic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithError {
+    /// Division by zero.
+    DivideByZero,
+    /// Integer overflow.
+    Overflow,
+}
+
+impl Exception {
+    /// Creates an exception of the given kind.
+    pub fn new(kind: ExceptionKind) -> Self {
+        Exception { kind }
+    }
+
+    /// The `KillThread` exception (§7.2).
+    pub fn kill_thread() -> Self {
+        Exception::new(ExceptionKind::KillThread)
+    }
+
+    /// A timeout exception.
+    pub fn timeout() -> Self {
+        Exception::new(ExceptionKind::Timeout)
+    }
+
+    /// A user error carrying a message.
+    pub fn error_call(msg: impl Into<String>) -> Self {
+        Exception::new(ExceptionKind::ErrorCall(msg.into()))
+    }
+
+    /// A division-by-zero exception.
+    pub fn divide_by_zero() -> Self {
+        Exception::new(ExceptionKind::Arithmetic(ArithError::DivideByZero))
+    }
+
+    /// The deadlock exception, mirroring GHC's `BlockedIndefinitelyOnMVar`.
+    pub fn blocked_indefinitely() -> Self {
+        Exception::new(ExceptionKind::BlockedIndefinitely)
+    }
+
+    /// An application-defined exception identified by `name`.
+    pub fn custom(name: impl Into<String>) -> Self {
+        Exception::new(ExceptionKind::Custom(name.into()))
+    }
+
+    /// The kind of this exception.
+    pub fn kind(&self) -> &ExceptionKind {
+        &self.kind
+    }
+
+    /// Returns `true` if this is the `KillThread` exception.
+    pub fn is_kill_thread(&self) -> bool {
+        self.kind == ExceptionKind::KillThread
+    }
+
+    /// Returns `true` if this is a timeout exception.
+    pub fn is_timeout(&self) -> bool {
+        self.kind == ExceptionKind::Timeout
+    }
+}
+
+impl From<ExceptionKind> for Exception {
+    fn from(kind: ExceptionKind) -> Self {
+        Exception::new(kind)
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ExceptionKind::KillThread => write!(f, "KillThread"),
+            ExceptionKind::Timeout => write!(f, "Timeout"),
+            ExceptionKind::ErrorCall(m) => write!(f, "ErrorCall({m:?})"),
+            ExceptionKind::Arithmetic(ArithError::DivideByZero) => {
+                write!(f, "divide by zero")
+            }
+            ExceptionKind::Arithmetic(ArithError::Overflow) => write!(f, "overflow"),
+            ExceptionKind::PatternMatchFail => write!(f, "pattern match failure"),
+            ExceptionKind::BlockedIndefinitely => {
+                write!(f, "thread blocked indefinitely")
+            }
+            ExceptionKind::StackOverflow => write!(f, "stack overflow"),
+            ExceptionKind::HeapOverflow => write!(f, "heap overflow"),
+            ExceptionKind::UserInterrupt => write!(f, "user interrupt"),
+            ExceptionKind::Custom(name) => write!(f, "{name}"),
+        }
+    }
+}
+
+impl Error for Exception {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Exception::kill_thread(), Exception::kill_thread());
+        assert_eq!(Exception::error_call("x"), Exception::error_call("x"));
+        assert_ne!(Exception::error_call("x"), Exception::error_call("y"));
+        assert_ne!(Exception::custom("a"), Exception::custom("b"));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Exception::kill_thread().is_kill_thread());
+        assert!(!Exception::timeout().is_kill_thread());
+        assert!(Exception::timeout().is_timeout());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Exception::kill_thread().to_string(), "KillThread");
+        assert_eq!(
+            Exception::error_call("bad").to_string(),
+            "ErrorCall(\"bad\")"
+        );
+        assert_eq!(Exception::divide_by_zero().to_string(), "divide by zero");
+        assert_eq!(Exception::custom("MyExc").to_string(), "MyExc");
+    }
+
+    #[test]
+    fn kind_accessor() {
+        let e = Exception::custom("E");
+        assert_eq!(e.kind(), &ExceptionKind::Custom("E".into()));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(Exception::timeout());
+    }
+}

@@ -1,0 +1,81 @@
+//! Identifiers for threads and `MVar`s.
+//!
+//! Both are small, copyable, ordered handles. In the paper's semantics
+//! (Figure 2) they correspond to the restricted names `t` and `m`; in the
+//! runtime they index slabs owned by the [`Runtime`](crate::scheduler::Runtime).
+
+use std::fmt;
+
+/// Identity of a green thread, as returned by `forkIO` and `myThreadId`.
+///
+/// `ThreadId`s support equality and ordering, as in Concurrent Haskell.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+///
+/// let mut rt = Runtime::new();
+/// let tid = rt.run(Io::fork(Io::pure(()))).unwrap();
+/// let main = rt.main_thread_id();
+/// assert_ne!(tid, main);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub(crate) u64);
+
+impl ThreadId {
+    /// The raw index of this thread. Useful for logging and for the
+    /// semantics bridge, which names threads `t0`, `t1`, ….
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread#{}", self.0)
+    }
+}
+
+/// Identity of an `MVar` cell inside a [`Runtime`](crate::scheduler::Runtime).
+///
+/// This is the untyped handle; user code normally holds the typed wrapper
+/// [`MVar<T>`](crate::mvar::MVar) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MVarId(pub(crate) u64);
+
+impl MVarId {
+    /// The raw index of this `MVar`.
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MVarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mvar#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_ids_are_ordered() {
+        assert!(ThreadId(0) < ThreadId(1));
+        assert_eq!(ThreadId(3), ThreadId(3));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(ThreadId(2).to_string(), "thread#2");
+        assert_eq!(MVarId(5).to_string(), "mvar#5");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(ThreadId(9).index(), 9);
+        assert_eq!(MVarId(4).index(), 4);
+    }
+}

@@ -1,0 +1,1452 @@
+//! The green-thread scheduler and small-step interpreter.
+//!
+//! This module is the executable counterpart of §8 of the paper: it owns
+//! the thread table, `MVar` cells, the virtual clock, and the console, and
+//! interprets one [`Action`](crate::io::Io) node per step. Preemption is a
+//! scheduling quantum measured in interpreter steps, so a `throwTo` can
+//! take effect at *any* step boundary of the target — truly asynchronous
+//! delivery, including in the middle of a pure computation.
+//!
+//! Delivery discipline (matching §5 and Figure 5):
+//!
+//! * **(Receive)** — a runnable, *unblocked* thread receives the first
+//!   pending exception at its next step (in
+//!   [`DeliveryMode::FullyAsync`]; the polling baseline defers this to
+//!   explicit safe points).
+//! * **(Interrupt)** — a *stuck* thread (blocked `takeMVar`/`putMVar`,
+//!   `sleep`, `getChar`, sync-`throwTo`) is interruptible regardless of its
+//!   masking state, and becomes runnable with the exception raised.
+//! * **Interruptible operations** (§5.3) — a blocked-mask thread that is
+//!   *about to block* on an unavailable resource receives its pending
+//!   exception instead of blocking; if the resource is available the
+//!   operation completes atomically without a delivery point.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
+use crate::console::{BufferConsole, Console};
+use crate::error::RunError;
+use crate::exception::Exception;
+use crate::ids::{MVarId, ThreadId};
+use crate::io::{Action, Io};
+use crate::mvar::MVarCell;
+use crate::stats::Stats;
+use crate::thread::{Code, Frame, MaskState, PendingExc, RaiseOrigin, Status, StuckReason, Thread};
+use crate::trace::IoEvent;
+use crate::value::{FromValue, Value};
+
+/// The runtime: scheduler, thread table, `MVar` store, clock and console.
+///
+/// A `Runtime` is reusable: each [`Runtime::run`] spawns a fresh main
+/// thread, while `MVar` cells, the console and the virtual clock persist
+/// across runs (statistics reset per run).
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+///
+/// let mut rt = Runtime::new();
+/// let result = rt.run(Io::pure(2_i64).map(|n| n + 2)).unwrap();
+/// assert_eq!(result, 4);
+/// ```
+pub struct Runtime {
+    config: RuntimeConfig,
+    threads: Vec<Option<Thread>>,
+    run_queue: VecDeque<ThreadId>,
+    mvars: Vec<MVarCell>,
+    clock: u64,
+    sleep_seq: u64,
+    /// Min-heap of `(wake_at, seq, thread index)`.
+    sleepers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    console_waiters: VecDeque<ThreadId>,
+    console: BufferConsole,
+    stats: Stats,
+    rng: Option<StdRng>,
+    trace: Vec<IoEvent>,
+    main_tid: Option<ThreadId>,
+    main_result: Option<Result<Value, Exception>>,
+    yielded: bool,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("live_threads", &self.threads.iter().flatten().count())
+            .field("clock", &self.clock)
+            .field("steps", &self.stats.steps)
+            .finish()
+    }
+}
+
+impl Default for Runtime {
+    fn default() -> Self {
+        Runtime::new()
+    }
+}
+
+impl Runtime {
+    /// A runtime with the default (paper-design) configuration.
+    pub fn new() -> Self {
+        Runtime::with_config(RuntimeConfig::default())
+    }
+
+    /// A runtime with the given configuration.
+    pub fn with_config(config: RuntimeConfig) -> Self {
+        let rng = match config.scheduling {
+            SchedulingPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            SchedulingPolicy::RoundRobin => None,
+        };
+        Runtime {
+            config,
+            threads: Vec::new(),
+            run_queue: VecDeque::new(),
+            mvars: Vec::new(),
+            clock: 0,
+            sleep_seq: 0,
+            sleepers: BinaryHeap::new(),
+            console_waiters: VecDeque::new(),
+            console: BufferConsole::new(),
+            stats: Stats::default(),
+            rng,
+            trace: Vec::new(),
+            main_tid: None,
+            main_result: None,
+            yielded: false,
+        }
+    }
+
+    /// Runs `io` to completion as the main thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Uncaught`] if the main thread dies with an
+    /// uncaught exception, [`RunError::Deadlock`] if every live thread is
+    /// stuck forever, or [`RunError::StepLimitExceeded`] if the configured
+    /// step budget runs out.
+    pub fn run<T: FromValue>(&mut self, io: Io<T>) -> Result<T, RunError> {
+        self.run_value(io.action).map(T::from_value_or_panic)
+    }
+
+    pub(crate) fn run_value(&mut self, action: Action) -> Result<Value, RunError> {
+        // Reset per-run state; keep mvars, console, clock.
+        self.threads.clear();
+        self.run_queue.clear();
+        self.sleepers.clear();
+        self.console_waiters.clear();
+        self.stats = Stats::default();
+        self.trace.clear();
+        self.main_result = None;
+
+        let main = self.spawn(action, MaskState::Unblocked);
+        self.main_tid = Some(main);
+
+        let mut last: Option<ThreadId> = None;
+        loop {
+            if let Some(res) = self.main_result.take() {
+                // (Proc GC): once the main thread is finished, all other
+                // threads die.
+                self.threads.clear();
+                self.run_queue.clear();
+                self.sleepers.clear();
+                self.console_waiters.clear();
+                return res.map_err(RunError::Uncaught);
+            }
+            if let Some(limit) = self.config.max_steps {
+                if self.stats.steps >= limit {
+                    return Err(RunError::StepLimitExceeded { limit });
+                }
+            }
+            if self.run_queue.is_empty() {
+                if self.advance_clock() {
+                    continue;
+                }
+                match self.config.deadlock {
+                    DeadlockPolicy::Report => return Err(self.deadlock_error()),
+                    DeadlockPolicy::RaiseBlockedIndefinitely => {
+                        if self.interrupt_all_stuck() {
+                            continue;
+                        }
+                        return Err(self.deadlock_error());
+                    }
+                }
+            }
+            let tid = self.pick_next();
+            if last != Some(tid) {
+                self.stats.context_switches += 1;
+                last = Some(tid);
+            }
+            let quantum = self.quantum_for();
+            self.yielded = false;
+            for _ in 0..quantum {
+                if self.main_result.is_some() {
+                    break;
+                }
+                if let Some(limit) = self.config.max_steps {
+                    if self.stats.steps >= limit {
+                        return Err(RunError::StepLimitExceeded { limit });
+                    }
+                }
+                self.step(tid);
+                let still_runnable = self
+                    .thread(tid)
+                    .map(|t| t.status == Status::Runnable)
+                    .unwrap_or(false);
+                if !still_runnable || self.yielded {
+                    break;
+                }
+            }
+            let requeue = self
+                .thread(tid)
+                .map(|t| t.status == Status::Runnable)
+                .unwrap_or(false);
+            if requeue {
+                self.run_queue.push_back(tid);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Everything the program has written with `putChar` so far.
+    pub fn output(&self) -> &str {
+        self.console.output()
+    }
+
+    /// Appends input for subsequent `getChar`s (between runs).
+    pub fn feed_input(&mut self, input: impl Into<String>) {
+        self.console.feed(input);
+    }
+
+    /// The observable I/O trace of the last run.
+    pub fn io_trace(&self) -> &[IoEvent] {
+        &self.trace
+    }
+
+    /// Statistics of the last run.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The virtual clock, in microseconds.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The `ThreadId` the main thread had in the last run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been run yet.
+    pub fn main_thread_id(&self) -> ThreadId {
+        self.main_tid.expect("no run has started yet")
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Thread table helpers
+    // ------------------------------------------------------------------
+
+    fn thread(&self, tid: ThreadId) -> Option<&Thread> {
+        self.threads.get(tid.0 as usize).and_then(Option::as_ref)
+    }
+
+    fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut Thread> {
+        self.threads.get_mut(tid.0 as usize).and_then(Option::as_mut)
+    }
+
+    fn spawn(&mut self, action: Action, mask: MaskState) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u64);
+        let mut th = Thread::new(tid, action);
+        th.mask = mask;
+        self.threads.push(Some(th));
+        self.run_queue.push_back(tid);
+        tid
+    }
+
+    fn quantum_for(&mut self) -> u64 {
+        let q = self.config.quantum;
+        match &mut self.rng {
+            Some(rng) => rng.gen_range(1..=q),
+            None => q,
+        }
+    }
+
+    fn pick_next(&mut self) -> ThreadId {
+        match &mut self.rng {
+            None => self.run_queue.pop_front().expect("non-empty run queue"),
+            Some(rng) => {
+                let i = rng.gen_range(0..self.run_queue.len());
+                self.run_queue.remove(i).expect("index in range")
+            }
+        }
+    }
+
+    /// Advances the virtual clock to the earliest sleeper and wakes all
+    /// sleepers that are due. Returns `false` if there are no sleepers.
+    fn advance_clock(&mut self) -> bool {
+        let earliest = loop {
+            match self.sleepers.peek().copied() {
+                None => return false,
+                Some(Reverse((wake_at, _, tidx))) => {
+                    if self.sleeper_is_valid(ThreadId(tidx), wake_at) {
+                        break wake_at;
+                    }
+                    self.sleepers.pop(); // stale entry
+                }
+            }
+        };
+        if earliest > self.clock {
+            self.trace.push(IoEvent::TimeAdvance(earliest - self.clock));
+            self.clock = earliest;
+        }
+        while let Some(Reverse((wake_at, _, tidx))) = self.sleepers.peek().copied() {
+            if wake_at > self.clock {
+                break;
+            }
+            self.sleepers.pop();
+            let tid = ThreadId(tidx);
+            if self.sleeper_is_valid(tid, wake_at) {
+                let th = self.thread_mut(tid).expect("sleeper exists");
+                th.status = Status::Runnable;
+                th.code = Code::ReturnVal(Value::Unit);
+                self.run_queue.push_back(tid);
+            }
+        }
+        true
+    }
+
+    /// Is `tid` still genuinely asleep until exactly `wake_at`?
+    ///
+    /// Heap entries are invalidated lazily: an interrupted sleeper keeps
+    /// its entry, which this check skips.
+    fn sleeper_is_valid(&self, tid: ThreadId, wake_at: u64) -> bool {
+        match self.thread(tid) {
+            Some(t) => matches!(
+                t.status,
+                Status::Stuck(StuckReason::Sleep { wake_at: w }) if w == wake_at
+            ),
+            None => false,
+        }
+    }
+
+    fn deadlock_error(&self) -> RunError {
+        let stuck = self
+            .threads
+            .iter()
+            .flatten()
+            .filter_map(|t| match &t.status {
+                Status::Stuck(r) => Some((t.tid, r.describe())),
+                Status::Runnable => None,
+            })
+            .collect();
+        RunError::Deadlock { stuck }
+    }
+
+    /// GHC-style deadlock recovery: throw `BlockedIndefinitely` to every
+    /// stuck thread. Returns `true` if any thread was interrupted.
+    fn interrupt_all_stuck(&mut self) -> bool {
+        let stuck: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .flatten()
+            .filter(|t| t.is_stuck())
+            .map(|t| t.tid)
+            .collect();
+        let any = !stuck.is_empty();
+        for tid in stuck {
+            self.enqueue_exception(tid, Exception::blocked_indefinitely(), None);
+        }
+        any
+    }
+
+    // ------------------------------------------------------------------
+    // Exception delivery
+    // ------------------------------------------------------------------
+
+    /// Appends an exception to `target`'s pending queue and, if the target
+    /// is stuck, interrupts it immediately (rule (Interrupt)).
+    ///
+    /// Does nothing if the target no longer exists (`throwTo` to a dead
+    /// thread trivially succeeds) — except waking `notify`, since the
+    /// trivial success still counts as delivered for the §9 sync design.
+    fn enqueue_exception(&mut self, target: ThreadId, exc: Exception, notify: Option<ThreadId>) {
+        let step = self.stats.steps;
+        let stuck = match self.thread_mut(target) {
+            None => {
+                if let Some(n) = notify {
+                    self.wake_sync_notifier(n);
+                }
+                return;
+            }
+            Some(th) => {
+                th.pending.push_back(PendingExc {
+                    exc,
+                    notify,
+                    enqueued_step: step,
+                });
+                th.is_stuck()
+            }
+        };
+        if stuck {
+            self.interrupt_stuck_thread(target);
+        }
+    }
+
+    /// Delivers the first pending exception to a stuck thread, waking it.
+    fn interrupt_stuck_thread(&mut self, tid: ThreadId) {
+        let (reason, notify, enqueued_step) = {
+            let Some(th) = self.thread_mut(tid) else {
+                return;
+            };
+            if !th.is_stuck() {
+                return;
+            }
+            let Some(p) = th.take_pending() else {
+                return;
+            };
+            let Status::Stuck(reason) =
+                std::mem::replace(&mut th.status, Status::Runnable)
+            else {
+                unreachable!("is_stuck checked above");
+            };
+            let notify = p.notify;
+            let enqueued_step = p.enqueued_step;
+            th.code = Code::Raise(p.exc, RaiseOrigin::Async);
+            (reason, notify, enqueued_step)
+        };
+        // Remove the thread from whatever wait structure held it.
+        match reason {
+            StuckReason::TakeMVar(m) | StuckReason::PutMVar(m) => {
+                self.mvars[m.0 as usize].forget_waiter(tid);
+            }
+            StuckReason::Sleep { .. } => {
+                // Lazy removal: the heap entry is invalidated by the status
+                // change and skipped when popped.
+            }
+            StuckReason::GetChar => {
+                self.console_waiters.retain(|&t| t != tid);
+            }
+            StuckReason::SyncThrow { .. } => {
+                // The exception we sent stays queued at the target; the
+                // paper notes this wart of the synchronous design (§9).
+            }
+        }
+        self.run_queue.push_back(tid);
+        self.stats.interrupted_blocked += 1;
+        self.stats.delivery_latency_total += self.stats.steps - enqueued_step;
+        self.stats.delivery_latency_samples += 1;
+        if let Some(n) = notify {
+            self.wake_sync_notifier(n);
+        }
+    }
+
+    /// Wakes a thread waiting in a synchronous `throwTo` (§9).
+    fn wake_sync_notifier(&mut self, tid: ThreadId) {
+        let Some(th) = self.thread_mut(tid) else {
+            return;
+        };
+        if matches!(th.status, Status::Stuck(StuckReason::SyncThrow { .. })) {
+            th.status = Status::Runnable;
+            th.code = Code::ReturnVal(Value::Unit);
+            self.run_queue.push_back(tid);
+        }
+    }
+
+    /// Records a (Receive)-path delivery in the statistics.
+    fn record_receive(&mut self, p: &PendingExc) {
+        self.stats.async_deliveries += 1;
+        self.stats.delivery_latency_total += self.stats.steps - p.enqueued_step;
+        self.stats.delivery_latency_samples += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Thread termination
+    // ------------------------------------------------------------------
+
+    /// Wakes sync-throw waiters whose exceptions will now never be
+    /// received: delivery to a dead thread trivially succeeds.
+    fn drain_pending_notifiers(&mut self, mut th: Thread) {
+        while let Some(p) = th.take_pending() {
+            if let Some(n) = p.notify {
+                self.wake_sync_notifier(n);
+            }
+        }
+    }
+
+    fn finish_thread(&mut self, th: Thread, value: Value) {
+        let tid = th.tid;
+        if Some(tid) == self.main_tid {
+            self.main_result = Some(Ok(value));
+        }
+        self.stats.finished_threads += 1;
+        self.threads[tid.0 as usize] = None;
+        self.drain_pending_notifiers(th);
+    }
+
+    fn die_thread(&mut self, th: Thread, exc: Exception) {
+        let tid = th.tid;
+        if Some(tid) == self.main_tid {
+            self.main_result = Some(Err(exc));
+        }
+        self.stats.died_threads += 1;
+        self.threads[tid.0 as usize] = None;
+        self.drain_pending_notifiers(th);
+    }
+
+    // ------------------------------------------------------------------
+    // The interpreter
+    // ------------------------------------------------------------------
+
+    /// Pushes a frame, enforcing the stack limit; on overflow the thread's
+    /// code becomes `Raise(StackOverflow)` and `false` is returned.
+    fn push_frame_checked(&mut self, th: &mut Thread, frame: Frame) -> bool {
+        if let Some(limit) = self.config.stack_limit {
+            if th.stack.len() >= limit {
+                th.code = Code::Raise(
+                    Exception::new(crate::exception::ExceptionKind::StackOverflow),
+                    RaiseOrigin::Sync,
+                );
+                return false;
+            }
+        }
+        th.push_frame(frame);
+        if th.stack.len() > self.stats.max_stack_depth {
+            self.stats.max_stack_depth = th.stack.len();
+        }
+        if th.mask_frames > self.stats.max_mask_frames {
+            self.stats.max_mask_frames = th.mask_frames;
+        }
+        true
+    }
+
+    /// Executes one small step of thread `tid`.
+    fn step(&mut self, tid: ThreadId) {
+        let mut th = self.threads[tid.0 as usize]
+            .take()
+            .expect("scheduled thread exists");
+        debug_assert_eq!(th.status, Status::Runnable);
+        self.stats.steps += 1;
+
+        // (Receive): asynchronous delivery at any program point, for
+        // unblocked threads, in fully-asynchronous mode. Delivery does not
+        // preempt an exception already being raised: §8 treats raising as
+        // atomic (the stack is truncated to the handler in one go), so a
+        // mid-unwind thread is not a delivery point.
+        if self.config.delivery == DeliveryMode::FullyAsync
+            && th.mask == MaskState::Unblocked
+            && !matches!(th.code, Code::Raise(_, _))
+        {
+            if let Some(p) = th.take_pending() {
+                self.record_receive(&p);
+                if let Some(n) = p.notify {
+                    self.wake_sync_notifier(n);
+                }
+                th.code = Code::Raise(p.exc, RaiseOrigin::Async);
+                self.threads[tid.0 as usize] = Some(th);
+                return;
+            }
+        }
+
+        let code = std::mem::replace(&mut th.code, Code::ReturnVal(Value::Unit));
+        match code {
+            Code::ReturnVal(v) => match th.pop_frame() {
+                None => {
+                    self.finish_thread(th, v);
+                    return;
+                }
+                Some(Frame::Bind(k)) => th.code = Code::Run(k(v)),
+                Some(Frame::Catch { .. }) => th.code = Code::ReturnVal(v),
+                Some(Frame::Restore(s)) => {
+                    th.mask = s;
+                    th.code = Code::ReturnVal(v);
+                }
+            },
+            Code::Raise(e, origin) => match th.pop_frame() {
+                None => {
+                    self.die_thread(th, e);
+                    return;
+                }
+                Some(Frame::Bind(_)) => th.code = Code::Raise(e, origin),
+                Some(Frame::Restore(s)) => {
+                    th.mask = s;
+                    th.code = Code::Raise(e, origin);
+                }
+                Some(Frame::Catch { handler, saved_mask }) => {
+                    th.mask = saved_mask;
+                    self.stats.catches += 1;
+                    th.code = Code::Run(handler(e, origin));
+                }
+            },
+            Code::Run(action) => self.run_action(&mut th, action),
+        }
+
+        self.threads[tid.0 as usize] = Some(th);
+    }
+
+    /// Interprets one action node in thread `th`.
+    ///
+    /// `th` has been removed from the thread table for the duration, so
+    /// helper methods that touch *other* threads are safe to call.
+    fn run_action(&mut self, th: &mut Thread, action: Action) {
+        match action {
+            Action::Pure(v) => th.code = Code::ReturnVal(v),
+            Action::Bind(m, k) => {
+                if self.push_frame_checked(th, Frame::Bind(k)) {
+                    th.code = Code::Run(*m);
+                }
+            }
+            Action::Catch(m, handler) => {
+                let saved_mask = th.mask;
+                if self.push_frame_checked(th, Frame::Catch { handler, saved_mask }) {
+                    th.code = Code::Run(*m);
+                }
+            }
+            Action::Throw(e) => {
+                self.stats.sync_throws += 1;
+                th.code = Code::Raise(e, RaiseOrigin::Sync);
+            }
+            Action::Rethrow(e, origin) => {
+                self.stats.sync_throws += 1;
+                th.code = Code::Raise(e, origin);
+            }
+            Action::Block(m) => {
+                let collapsed = th.enter_block(self.config.collapse_mask_frames);
+                if collapsed {
+                    self.stats.mask_frames_collapsed += 1;
+                }
+                if th.mask_frames > self.stats.max_mask_frames {
+                    self.stats.max_mask_frames = th.mask_frames;
+                }
+                if th.stack.len() > self.stats.max_stack_depth {
+                    self.stats.max_stack_depth = th.stack.len();
+                }
+                th.code = Code::Run(*m);
+            }
+            Action::Unblock(m) => {
+                let collapsed = th.enter_unblock(self.config.collapse_mask_frames);
+                if collapsed {
+                    self.stats.mask_frames_collapsed += 1;
+                }
+                if th.mask_frames > self.stats.max_mask_frames {
+                    self.stats.max_mask_frames = th.mask_frames;
+                }
+                if th.stack.len() > self.stats.max_stack_depth {
+                    self.stats.max_stack_depth = th.stack.len();
+                }
+                th.code = Code::Run(*m);
+            }
+            Action::GetMaskingState => {
+                th.code = Code::ReturnVal(Value::Bool(th.mask == MaskState::Blocked));
+            }
+            Action::Fork(body) => {
+                let mask = if self.config.fork_inherits_mask {
+                    th.mask
+                } else {
+                    MaskState::Unblocked
+                };
+                let child = self.spawn(*body, mask);
+                self.stats.forks += 1;
+                th.code = Code::ReturnVal(Value::ThreadId(child));
+            }
+            Action::MyThreadId => th.code = Code::ReturnVal(Value::ThreadId(th.tid)),
+            Action::NewMVar(contents) => {
+                let id = MVarId(self.mvars.len() as u64);
+                self.mvars.push(match contents {
+                    None => MVarCell::empty(),
+                    Some(v) => MVarCell::full(v),
+                });
+                th.code = Code::ReturnVal(Value::MVar(id));
+            }
+            Action::TakeMVar(m) => self.do_take_mvar(th, m),
+            Action::PutMVar(m, v) => self.do_put_mvar(th, m, v),
+            Action::TryTakeMVar(m) => {
+                let cell = &mut self.mvars[m.0 as usize];
+                match cell.contents.take() {
+                    None => th.code = Code::ReturnVal(Value::Nothing),
+                    Some(v) => {
+                        self.refill_from_put_queue(m);
+                        self.stats.mvar_ops += 1;
+                        th.code = Code::ReturnVal(Value::Just(Box::new(v)));
+                    }
+                }
+            }
+            Action::TryPutMVar(m, v) => {
+                let cell = &mut self.mvars[m.0 as usize];
+                if cell.contents.is_some() {
+                    th.code = Code::ReturnVal(Value::Bool(false));
+                } else {
+                    self.fill_or_handoff(m, v);
+                    self.stats.mvar_ops += 1;
+                    th.code = Code::ReturnVal(Value::Bool(true));
+                }
+            }
+            Action::Sleep(d) => {
+                if d == 0 {
+                    th.code = Code::ReturnVal(Value::Unit);
+                } else if let Some(p) = th.take_pending() {
+                    // Interruptible at the moment of blocking (§5.3).
+                    self.deliver_at_block_point(th, p);
+                } else {
+                    let wake_at = self.clock + d;
+                    th.status = Status::Stuck(StuckReason::Sleep { wake_at });
+                    self.sleep_seq += 1;
+                    self.sleepers.push(Reverse((wake_at, self.sleep_seq, th.tid.0)));
+                    self.stats.blocks += 1;
+                }
+            }
+            Action::GetChar => match self.console.try_read() {
+                Some(c) => {
+                    self.trace.push(IoEvent::Get(c));
+                    th.code = Code::ReturnVal(Value::Char(c));
+                }
+                None => {
+                    if let Some(p) = th.take_pending() {
+                        self.deliver_at_block_point(th, p);
+                    } else {
+                        th.status = Status::Stuck(StuckReason::GetChar);
+                        self.console_waiters.push_back(th.tid);
+                        self.stats.blocks += 1;
+                    }
+                }
+            },
+            Action::PutChar(c) => {
+                self.console.write(c);
+                self.trace.push(IoEvent::Put(c));
+                th.code = Code::ReturnVal(Value::Unit);
+            }
+            Action::Compute { steps, result } => {
+                if steps <= 1 {
+                    th.code = Code::ReturnVal(result);
+                } else {
+                    th.code = Code::Run(Action::Compute {
+                        steps: steps - 1,
+                        result,
+                    });
+                }
+            }
+            Action::PollSafePoint => {
+                if th.mask == MaskState::Unblocked {
+                    if let Some(p) = th.take_pending() {
+                        self.record_receive(&p);
+                        if let Some(n) = p.notify {
+                            self.wake_sync_notifier(n);
+                        }
+                        th.code = Code::Raise(p.exc, RaiseOrigin::Async);
+                        return;
+                    }
+                }
+                th.code = Code::ReturnVal(Value::Unit);
+            }
+            Action::Yield => {
+                self.yielded = true;
+                th.code = Code::ReturnVal(Value::Unit);
+            }
+            Action::Now => th.code = Code::ReturnVal(Value::Int(self.clock as i64)),
+            Action::Effect(f) => th.code = Code::ReturnVal(f()),
+            Action::ThrowTo(target, e) => {
+                self.stats.throwtos += 1;
+                if target == th.tid {
+                    // Self-throw: queue it; it is delivered at the next
+                    // delivery point if unmasked, like any other pending
+                    // asynchronous exception.
+                    let step = self.stats.steps;
+                    th.pending.push_back(PendingExc {
+                        exc: e,
+                        notify: None,
+                        enqueued_step: step,
+                    });
+                } else {
+                    self.enqueue_exception(target, e, None);
+                }
+                th.code = Code::ReturnVal(Value::Unit);
+            }
+            Action::ThrowToSync(target, e) => {
+                self.stats.throwtos += 1;
+                if target == th.tid {
+                    // §9: special case — a thread throwing to itself raises
+                    // the exception immediately.
+                    th.code = Code::Raise(e, RaiseOrigin::Async);
+                } else if self.thread(target).is_none() {
+                    th.code = Code::ReturnVal(Value::Unit);
+                } else if let Some(p) = th.take_pending() {
+                    // Synchronous throwTo is interruptible (§9): if we
+                    // already have a pending exception, receive it instead
+                    // of starting to wait.
+                    self.deliver_at_block_point(th, p);
+                } else {
+                    self.enqueue_exception(target, e, Some(th.tid));
+                    th.status = Status::Stuck(StuckReason::SyncThrow { target });
+                    self.stats.blocks += 1;
+                }
+            }
+        }
+    }
+
+    /// §5.3: an interruptible operation receives a pending exception at
+    /// the moment it would otherwise block, regardless of the mask.
+    fn deliver_at_block_point(&mut self, th: &mut Thread, p: PendingExc) {
+        self.stats.interrupted_blocked += 1;
+        self.stats.delivery_latency_total += self.stats.steps - p.enqueued_step;
+        self.stats.delivery_latency_samples += 1;
+        if let Some(n) = p.notify {
+            self.wake_sync_notifier(n);
+        }
+        th.code = Code::Raise(p.exc, RaiseOrigin::Async);
+    }
+
+    fn do_take_mvar(&mut self, th: &mut Thread, m: MVarId) {
+        let cell = &mut self.mvars[m.0 as usize];
+        match cell.contents.take() {
+            Some(v) => {
+                // Full: take succeeds atomically — *not* a delivery point,
+                // even with pending exceptions (§5.3: "an interruptible
+                // operation cannot be interrupted if the resource ... is
+                // available").
+                self.refill_from_put_queue(m);
+                self.stats.mvar_ops += 1;
+                th.code = Code::ReturnVal(v);
+            }
+            None => {
+                if let Some(p) = th.take_pending() {
+                    self.deliver_at_block_point(th, p);
+                } else {
+                    th.status = Status::Stuck(StuckReason::TakeMVar(m));
+                    self.mvars[m.0 as usize].take_queue.push_back(th.tid);
+                    self.stats.blocks += 1;
+                }
+            }
+        }
+    }
+
+    fn do_put_mvar(&mut self, th: &mut Thread, m: MVarId, v: Value) {
+        let full = self.mvars[m.0 as usize].contents.is_some();
+        if full {
+            if let Some(p) = th.take_pending() {
+                self.deliver_at_block_point(th, p);
+            } else {
+                th.status = Status::Stuck(StuckReason::PutMVar(m));
+                self.mvars[m.0 as usize].put_queue.push_back((th.tid, v));
+                self.stats.blocks += 1;
+            }
+        } else {
+            self.fill_or_handoff(m, v);
+            self.stats.mvar_ops += 1;
+            th.code = Code::ReturnVal(Value::Unit);
+        }
+    }
+
+    /// Puts `v` into the empty `MVar` `m`, or hands it directly to the
+    /// first waiting taker (FIFO hand-off, so no woken thread retries).
+    fn fill_or_handoff(&mut self, m: MVarId, v: Value) {
+        let taker = self.mvars[m.0 as usize].take_queue.pop_front();
+        match taker {
+            None => self.mvars[m.0 as usize].contents = Some(v),
+            Some(t) => {
+                let th = self.thread_mut(t).expect("waiting taker exists");
+                debug_assert!(matches!(
+                    th.status,
+                    Status::Stuck(StuckReason::TakeMVar(_))
+                ));
+                th.status = Status::Runnable;
+                th.code = Code::ReturnVal(v);
+                self.run_queue.push_back(t);
+                self.stats.mvar_ops += 1;
+            }
+        }
+    }
+
+    /// After a take empties `m`, admits the first queued putter (if any):
+    /// its value fills the cell and the putter wakes with `()`.
+    fn refill_from_put_queue(&mut self, m: MVarId) {
+        if let Some((t, v)) = self.mvars[m.0 as usize].put_queue.pop_front() {
+            self.mvars[m.0 as usize].contents = Some(v);
+            let th = self.thread_mut(t).expect("waiting putter exists");
+            debug_assert!(matches!(
+                th.status,
+                Status::Stuck(StuckReason::PutMVar(_))
+            ));
+            th.status = Status::Runnable;
+            th.code = Code::ReturnVal(Value::Unit);
+            self.run_queue.push_back(t);
+            self.stats.mvar_ops += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+
+    #[test]
+    fn pure_program_runs() {
+        let mut rt = Runtime::new();
+        assert_eq!(rt.run(Io::pure(1_i64)).unwrap(), 1);
+    }
+
+    #[test]
+    fn uncaught_throw_is_reported() {
+        let mut rt = Runtime::new();
+        let r = rt.run(Io::<i64>::throw(Exception::error_call("bang")));
+        assert_eq!(r, Err(RunError::Uncaught(Exception::error_call("bang"))));
+    }
+
+    #[test]
+    fn catch_handles_sync_exception() {
+        let mut rt = Runtime::new();
+        let prog = Io::<i64>::throw(Exception::error_call("bang")).catch(|_| Io::pure(5_i64));
+        assert_eq!(rt.run(prog).unwrap(), 5);
+    }
+
+    #[test]
+    fn catch_passes_through_success() {
+        let mut rt = Runtime::new();
+        let prog = Io::pure(3_i64).catch(|_| Io::pure(0_i64));
+        assert_eq!(rt.run(prog).unwrap(), 3);
+    }
+
+    #[test]
+    fn handler_receives_the_exception() {
+        let mut rt = Runtime::new();
+        let prog = Io::<String>::throw(Exception::custom("E1"))
+            .catch(|e| Io::pure(e.to_string()));
+        assert_eq!(rt.run(prog).unwrap(), "E1");
+    }
+
+    #[test]
+    fn fork_runs_concurrently() {
+        let mut rt = Runtime::new();
+        // Child fills the MVar; parent waits for it.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            Io::fork(m.put(10)).then(m.take())
+        });
+        assert_eq!(rt.run(prog).unwrap(), 10);
+    }
+
+    #[test]
+    fn take_on_empty_blocks_until_put() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            // Parent takes first (blocks); child sleeps then puts.
+            Io::fork(Io::sleep(100).then(m.put(42))).then(m.take())
+        });
+        assert_eq!(rt.run(prog).unwrap(), 42);
+        assert!(rt.clock() >= 100);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| m.take());
+        match rt.run(prog) {
+            Err(RunError::Deadlock { stuck }) => assert_eq!(stuck.len(), 1),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_policy_can_raise() {
+        let cfg = RuntimeConfig::new().deadlock_policy(DeadlockPolicy::RaiseBlockedIndefinitely);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = Io::new_empty_mvar::<i64>()
+            .and_then(|m| m.take())
+            .catch(|e| {
+                assert_eq!(e, Exception::blocked_indefinitely());
+                Io::pure(0_i64)
+            });
+        assert_eq!(rt.run(prog).unwrap(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_clock() {
+        let mut rt = Runtime::new();
+        rt.run(Io::sleep(500)).unwrap();
+        assert_eq!(rt.clock(), 500);
+    }
+
+    #[test]
+    fn sleeps_wake_in_time_order() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            Io::fork(Io::sleep(200).then(m.put(2)))
+                .then(Io::fork(Io::sleep(100).then(Io::unit())))
+                .then(m.take())
+        });
+        assert_eq!(rt.run(prog).unwrap(), 2);
+        assert_eq!(rt.clock(), 200);
+    }
+
+    #[test]
+    fn get_char_reads_input() {
+        let mut rt = Runtime::new();
+        rt.feed_input("x");
+        assert_eq!(rt.run(Io::get_char()).unwrap(), 'x');
+    }
+
+    #[test]
+    fn get_char_blocks_without_input() {
+        let mut rt = Runtime::new();
+        match rt.run(Io::get_char()) {
+            Err(RunError::Deadlock { stuck }) => {
+                assert!(stuck[0].1.contains("getChar"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let cfg = RuntimeConfig::new().max_steps(50);
+        let mut rt = Runtime::with_config(cfg);
+        let r = rt.run(Io::compute(1000));
+        assert_eq!(r, Err(RunError::StepLimitExceeded { limit: 50 }));
+    }
+
+    #[test]
+    fn stack_limit_raises_stack_overflow() {
+        use crate::exception::ExceptionKind;
+        let cfg = RuntimeConfig::new().stack_limit(16);
+        let mut rt = Runtime::with_config(cfg);
+        fn deep(n: i64) -> Io<i64> {
+            if n == 0 {
+                Io::pure(0)
+            } else {
+                deep(n - 1).and_then(move |x| Io::pure(x + 1))
+            }
+        }
+        // Each recursion level needs a Bind frame before any returns, so 100
+        // levels overflow a 16-frame stack.
+        let prog = deep(100).catch(|e| {
+            assert_eq!(e.kind(), &ExceptionKind::StackOverflow);
+            Io::pure(-1)
+        });
+        assert_eq!(rt.run(prog).unwrap(), -1);
+    }
+
+    #[test]
+    fn throw_to_kills_runnable_thread() {
+        let mut rt = Runtime::new();
+        // Child loops forever; parent kills it, then finishes.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|_m| {
+            Io::fork(Io::compute(u64::MAX)).and_then(|child| {
+                Io::throw_to(child, Exception::kill_thread()).then(Io::pure(1_i64))
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn throw_to_dead_thread_trivially_succeeds() {
+        let mut rt = Runtime::new();
+        let prog = Io::fork(Io::unit()).and_then(|child| {
+            // Give the child time to finish, then throw.
+            Io::sleep(10)
+                .then(Io::throw_to(child, Exception::kill_thread()))
+                .then(Io::pure(7_i64))
+        });
+        assert_eq!(rt.run(prog).unwrap(), 7);
+    }
+
+    #[test]
+    fn throw_to_interrupts_stuck_takemvar() {
+        let mut rt = Runtime::new();
+        // Child blocks on an empty MVar; parent interrupts it; child's
+        // handler reports via another MVar.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|hole| {
+            Io::new_empty_mvar::<String>().and_then(move |report| {
+                let child_body = hole
+                    .take()
+                    .map(|_| "no exception".to_owned())
+                    .catch(|e| Io::pure(format!("caught {e}")))
+                    .and_then(move |s| report.put(s));
+                Io::fork(child_body).and_then(move |child| {
+                    Io::sleep(10)
+                        .then(Io::throw_to(child, Exception::kill_thread()))
+                        .then(report.take())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "caught KillThread");
+        assert!(rt.stats().interrupted_blocked >= 1);
+    }
+
+    #[test]
+    fn block_defers_async_exception() {
+        let mut rt = Runtime::new();
+        // Child computes inside block; the exception must wait until the
+        // child unblocks. The fork happens inside a block so the child
+        // inherits the blocked state and there is no pre-block window.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            let body = Io::compute(50)
+                .then(m.put(1)) // protected: must complete
+                .then(Io::<()>::unblock(Io::compute(1000))); // killable
+            Io::<ThreadId>::block(Io::fork(body)).and_then(move |child| {
+                Io::throw_to(child, Exception::kill_thread()).then(m.take())
+            })
+        });
+        // The put under the inherited mask always happens even though the
+        // kill was thrown before it ran.
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn unblock_inside_block_restores_on_exit() {
+        let mut rt = Runtime::new();
+        let prog = Io::<bool>::block(Io::<bool>::unblock(Io::masking_state()).and_then(
+            |inside_unblock| Io::masking_state().map(move |after| {
+                assert!(!inside_unblock, "inside unblock must be unmasked");
+                after
+            }),
+        ));
+        // After leaving unblock we are blocked again.
+        assert!(rt.run(prog).unwrap());
+    }
+
+    #[test]
+    fn mask_restored_after_block_exits() {
+        let mut rt = Runtime::new();
+        let prog = Io::<bool>::block(Io::masking_state())
+            .and_then(|inside| {
+                Io::masking_state().map(move |outside| (inside, outside))
+            });
+        let (inside, outside) = rt.run(prog).unwrap();
+        assert!(inside);
+        assert!(!outside);
+    }
+
+    #[test]
+    fn self_throw_to_is_deferred_while_masked() {
+        let mut rt = Runtime::new();
+        let prog = Io::<i64>::block(
+            Io::my_thread_id().and_then(|me| {
+                Io::throw_to(me, Exception::kill_thread())
+                    // Still alive here because we are masked.
+                    .then(Io::compute_returning(10, 42_i64))
+            }),
+        )
+        .catch(|e| {
+            assert!(e.is_kill_thread());
+            Io::pure(-1)
+        });
+        // On leaving block, the pending exception fires before the result
+        // can be returned, so the handler runs.
+        assert_eq!(rt.run(prog).unwrap(), -1);
+    }
+
+    #[test]
+    fn sync_throw_to_self_raises_immediately() {
+        let mut rt = Runtime::new();
+        let prog = Io::my_thread_id()
+            .and_then(|me| Io::throw_to_sync(me, Exception::custom("self")).then(Io::pure(0_i64)))
+            .catch(|e| {
+                assert_eq!(e, Exception::custom("self"));
+                Io::pure(1)
+            });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn sync_throw_to_waits_for_delivery() {
+        let mut rt = Runtime::new();
+        // Child is forked masked (no pre-handler window), installs a catch,
+        // and unmasks; parent sync-throws. The parent can only proceed after
+        // the child actually receives the exception.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            let child_body =
+                Io::<()>::unblock(Io::compute(100_000)).catch(move |_| m.put(99));
+            Io::<ThreadId>::block(Io::fork(child_body)).and_then(move |child| {
+                Io::throw_to_sync(child, Exception::kill_thread()).then(m.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 99);
+        assert!(rt.stats().async_deliveries >= 1);
+    }
+
+    #[test]
+    fn interruptible_take_in_block_receives_exception() {
+        let mut rt = Runtime::new();
+        // §5.3: takeMVar inside block is interruptible while the MVar is
+        // empty.
+        let prog = Io::new_empty_mvar::<i64>().and_then(|hole| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                let child = Io::<()>::block(
+                    hole.take().map(|_| ()).catch(move |_| report.put(1).map(|_| ())),
+                );
+                Io::fork(child).and_then(move |c| {
+                    Io::sleep(5)
+                        .then(Io::throw_to(c, Exception::kill_thread()))
+                        .then(report.take())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn noninterruptible_take_when_mvar_full() {
+        let mut rt = Runtime::new();
+        // §5.3: with the resource available, take inside block completes
+        // even with a pending exception; the exception arrives only at the
+        // next delivery point.
+        let prog = Io::new_mvar(5_i64).and_then(|m| {
+            Io::<i64>::block(Io::my_thread_id().and_then(move |me| {
+                Io::throw_to(me, Exception::kill_thread())
+                    .then(m.take()) // must succeed despite pending kill
+            }))
+            .catch(|_| Io::pure(-1))
+        });
+        // take succeeded inside block; kill delivered on unmasking at exit,
+        // caught by the handler. The handler observes... the take result is
+        // lost because the exception fires before block returns it.
+        assert_eq!(rt.run(prog).unwrap(), -1);
+        assert!(rt.stats().mvar_ops >= 1);
+    }
+
+    #[test]
+    fn polling_mode_defers_to_safe_point() {
+        let cfg = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            let child = Io::compute(100)
+                .then(m.put(1)) // completes despite pending exception
+                .then(Io::poll_safe_point()) // exception fires here
+                .then(m.take().map(|_| ()))
+                .catch(move |_| Io::unit());
+            Io::fork(child).and_then(move |c| {
+                Io::throw_to(c, Exception::kill_thread()).then(m.take())
+            })
+        });
+        // If polling mode delivered mid-compute, the put would never happen
+        // and this would deadlock.
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn fifo_delivery_of_multiple_pending() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let mut rt = Runtime::new();
+        let log = Rc::new(RefCell::new(Vec::<String>::new()));
+        let l1 = Rc::clone(&log);
+        let l2 = Rc::clone(&log);
+        // Queue two exceptions while masked, then open two unmask windows;
+        // each window receives exactly one exception, in FIFO order, and
+        // each handler runs masked (saved catch state), so the second
+        // exception waits for the second window.
+        let prog = Io::<()>::block(Io::my_thread_id().and_then(move |me| {
+            Io::throw_to(me, Exception::custom("first"))
+                .then(Io::throw_to(me, Exception::custom("second")))
+                .then(Io::<()>::unblock(Io::unit()))
+                .catch(move |e| {
+                    Io::effect(move || l1.borrow_mut().push(e.to_string()))
+                })
+                .then(Io::<()>::unblock(Io::unit()))
+                .catch(move |e| {
+                    Io::effect(move || l2.borrow_mut().push(e.to_string()))
+                })
+        }));
+        rt.run(prog).unwrap();
+        assert_eq!(*log.borrow(), ["first".to_owned(), "second".to_owned()]);
+    }
+
+    #[test]
+    fn random_scheduling_is_deterministic_per_seed() {
+        let run_with = |seed: u64| {
+            let cfg = RuntimeConfig::new().random_scheduling(seed);
+            let mut rt = Runtime::with_config(cfg);
+            let prog = Io::new_mvar(0_i64).and_then(|m| {
+                let bump = move || m.take().and_then(move |n| m.put(n + 1));
+                Io::fork(bump().then(bump()))
+                    .then(Io::fork(bump()))
+                    .then(Io::sleep(1000))
+                    .then(m.take())
+            });
+            (rt.run(prog).unwrap(), rt.stats().context_switches)
+        };
+        assert_eq!(run_with(7), run_with(7));
+    }
+
+    #[test]
+    fn stats_count_forks_and_switches() {
+        let mut rt = Runtime::new();
+        let prog = Io::fork(Io::unit())
+            .then(Io::fork(Io::unit()))
+            .then(Io::sleep(1));
+        rt.run(prog).unwrap();
+        assert_eq!(rt.stats().forks, 2);
+        assert!(rt.stats().context_switches >= 1);
+        assert_eq!(rt.stats().finished_threads, 3);
+    }
+
+    #[test]
+    fn output_and_trace_are_recorded() {
+        let mut rt = Runtime::new();
+        rt.feed_input("a");
+        let prog = Io::get_char().and_then(|c| Io::put_char(c).then(Io::put_char('!')));
+        rt.run(prog).unwrap();
+        assert_eq!(rt.output(), "a!");
+        assert_eq!(
+            rt.io_trace(),
+            &[IoEvent::Get('a'), IoEvent::Put('a'), IoEvent::Put('!')]
+        );
+    }
+
+    #[test]
+    fn yield_rotates_scheduler() {
+        let mut rt = Runtime::new();
+        // Two threads alternate via yield; both finish.
+        let prog = Io::new_mvar(0_i64).and_then(|m| {
+            Io::fork(Io::yield_now().then(m.take().and_then(move |n| m.put(n + 1))))
+                .then(Io::yield_now())
+                .then(Io::sleep(10))
+                .then(m.take())
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn mask_frames_collapse_stat() {
+        // A mask-recursive loop: block(unblock(block(...))).
+        fn looped(n: u64) -> Io<()> {
+            if n == 0 {
+                Io::unit()
+            } else {
+                Io::<()>::block(Io::<()>::unblock(Io::unit().and_then(move |_| looped(n - 1))))
+            }
+        }
+        let mut rt = Runtime::new();
+        rt.run(looped(50)).unwrap();
+        let with = rt.stats().max_mask_frames;
+        assert!(rt.stats().mask_frames_collapsed > 0);
+
+        let cfg = RuntimeConfig::new().collapse_mask_frames(false);
+        let mut rt2 = Runtime::with_config(cfg);
+        rt2.run(looped(50)).unwrap();
+        let without = rt2.stats().max_mask_frames;
+        assert!(
+            without > with,
+            "collapse should bound mask frames: with={with}, without={without}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod origin_tests {
+    use crate::prelude::*;
+    use crate::thread::RaiseOrigin;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn throw_reports_sync_origin() {
+        let mut rt = Runtime::new();
+        let prog = Io::<i64>::throw(Exception::error_call("mine"))
+            .catch_info(|_, origin| Io::pure(i64::from(origin == RaiseOrigin::Sync)));
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn delivered_exception_reports_async_origin() {
+        let mut rt = Runtime::new();
+        let origins = Rc::new(RefCell::new(Vec::<RaiseOrigin>::new()));
+        let o2 = Rc::clone(&origins);
+        let prog = Io::new_empty_mvar::<i64>().and_then(move |done| {
+            let victim = Io::<()>::unblock(Io::compute(100_000))
+                .catch_info(move |_, origin| {
+                    let o3 = Rc::clone(&o2);
+                    Io::effect(move || o3.borrow_mut().push(origin))
+                })
+                .then(done.put(1));
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                Io::throw_to(v, Exception::kill_thread()).then(done.take())
+            })
+        });
+        rt.run(prog).unwrap();
+        assert_eq!(*origins.borrow(), [RaiseOrigin::Async]);
+    }
+
+    #[test]
+    fn interrupted_blocked_take_reports_async_origin() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|hole| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                let victim = hole
+                    .take()
+                    .catch_info(move |_, origin| {
+                        report.put(i64::from(origin == RaiseOrigin::Async))
+                            .then(Io::pure(0))
+                    })
+                    .map(|_| ());
+                Io::fork(victim).and_then(move |v| {
+                    Io::sleep(5)
+                        .then(Io::throw_to(v, Exception::kill_thread()))
+                        .then(report.take())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn rethrow_preserves_async_origin_across_handlers() {
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|report| {
+            let inner = Io::<()>::unblock(Io::compute(100_000));
+            let victim = inner
+                // Inner handler passes it along with origin intact.
+                .catch_info(Io::rethrow)
+                // Outer handler still sees Async.
+                .catch_info(move |_, origin| {
+                    report
+                        .put(i64::from(origin == RaiseOrigin::Async))
+                        .map(|_| ())
+                });
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                Io::throw_to(v, Exception::kill_thread()).then(report.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn plain_rethrow_launders_to_sync() {
+        // Documented behaviour: re-raising with Io::throw makes it look
+        // synchronous to outer handlers (use Io::rethrow to preserve).
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|report| {
+            let victim = Io::<()>::unblock(Io::compute(100_000))
+                .catch(Io::throw)
+                .catch_info(move |_, origin| {
+                    report
+                        .put(i64::from(origin == RaiseOrigin::Sync))
+                        .map(|_| ())
+                });
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                Io::throw_to(v, Exception::kill_thread()).then(report.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    #[test]
+    fn self_sync_throwto_is_async_origin() {
+        let mut rt = Runtime::new();
+        let prog = Io::my_thread_id()
+            .and_then(|me| {
+                Io::throw_to_sync(me, Exception::custom("self")).then(Io::pure(0_i64))
+            })
+            .catch_info(|_, origin| Io::pure(i64::from(origin == RaiseOrigin::Async)));
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+}

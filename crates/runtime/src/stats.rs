@@ -1,0 +1,106 @@
+//! Execution statistics.
+//!
+//! Stats make the paper's informal performance claims measurable:
+//! `max_mask_frames` quantifies the §8.1 frame-collapse optimization,
+//! `async_deliveries`/`interrupted_blocked` separate the (Receive) and
+//! (Interrupt) delivery paths, and `delivery_latency` samples back the
+//! §2/§10 async-vs-polling comparison.
+
+/// Counters accumulated by a [`Runtime`](crate::scheduler::Runtime) run.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+///
+/// let mut rt = Runtime::new();
+/// rt.run(Io::compute(100)).unwrap();
+/// assert!(rt.stats().steps >= 100);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total interpreter small-steps executed.
+    pub steps: u64,
+    /// Times the scheduler switched from one thread to another.
+    pub context_switches: u64,
+    /// Threads created with `forkIO` (excluding the main thread).
+    pub forks: u64,
+    /// Threads that finished normally.
+    pub finished_threads: u64,
+    /// Threads that died with an uncaught exception (rule (Throw GC)).
+    pub died_threads: u64,
+    /// Asynchronous exceptions delivered to *runnable* threads
+    /// (rule (Receive)).
+    pub async_deliveries: u64,
+    /// Asynchronous exceptions delivered to *stuck* threads
+    /// (rule (Interrupt)) — i.e. interruptible operations interrupted.
+    pub interrupted_blocked: u64,
+    /// Synchronous `throw`s raised.
+    pub sync_throws: u64,
+    /// Exceptions caught by `catch` handlers.
+    pub catches: u64,
+    /// `throwTo` calls issued (async and sync designs combined).
+    pub throwtos: u64,
+    /// takeMVar/putMVar operations that completed.
+    pub mvar_ops: u64,
+    /// Times a thread blocked on an MVar, sleep, console or sync-throw.
+    pub blocks: u64,
+    /// Deepest frame stack observed on any thread.
+    pub max_stack_depth: usize,
+    /// Deepest count of mask (block/unblock) frames observed on any
+    /// thread's stack — the quantity §8.1's optimization keeps constant.
+    pub max_mask_frames: usize,
+    /// Block/unblock frame pushes avoided by the §8.1 collapse.
+    pub mask_frames_collapsed: u64,
+    /// Sum and count of delivery latencies: interpreter steps between a
+    /// `throwTo` enqueue and the exception being raised in the target.
+    pub delivery_latency_total: u64,
+    /// Number of latency samples in `delivery_latency_total`.
+    pub delivery_latency_samples: u64,
+}
+
+impl Stats {
+    /// Mean steps between `throwTo` and delivery, if any were delivered.
+    pub fn mean_delivery_latency(&self) -> Option<f64> {
+        if self.delivery_latency_samples == 0 {
+            None
+        } else {
+            Some(self.delivery_latency_total as f64 / self.delivery_latency_samples as f64)
+        }
+    }
+
+    /// Total asynchronous deliveries over both paths.
+    pub fn total_deliveries(&self) -> u64 {
+        self.async_deliveries + self.interrupted_blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_mean_empty_is_none() {
+        assert_eq!(Stats::default().mean_delivery_latency(), None);
+    }
+
+    #[test]
+    fn latency_mean_computes() {
+        let s = Stats {
+            delivery_latency_total: 30,
+            delivery_latency_samples: 3,
+            ..Stats::default()
+        };
+        assert_eq!(s.mean_delivery_latency(), Some(10.0));
+    }
+
+    #[test]
+    fn total_deliveries_sums_paths() {
+        let s = Stats {
+            async_deliveries: 2,
+            interrupted_blocked: 3,
+            ..Stats::default()
+        };
+        assert_eq!(s.total_deliveries(), 5);
+    }
+}

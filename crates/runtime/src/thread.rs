@@ -1,0 +1,397 @@
+//! Per-thread state: the §8 implementation design.
+//!
+//! Each green thread carries exactly the data §8.1 prescribes:
+//!
+//! * a **frame stack** with bind frames, catch frames (which record the
+//!   masking state at the time they were pushed), and block/unblock
+//!   frames (represented as `Frame::Restore`: "set the masking state to
+//!   this when control returns here");
+//! * the current **masking state** (blocked or unblocked);
+//! * a FIFO **queue of pending asynchronous exceptions** waiting to be
+//!   delivered.
+//!
+//! `Thread::enter_block`/`Thread::enter_unblock` implement the 4-step
+//! algorithm of §8.1 including the adjacent-frame collapse (step 3) that
+//! lets mask-recursive functions run in constant stack space. The collapse
+//! can be disabled ([`crate::config::RuntimeConfig::collapse_mask_frames`])
+//! for the ablation benchmark.
+
+use std::collections::VecDeque;
+
+use crate::exception::Exception;
+use crate::ids::{MVarId, ThreadId};
+use crate::io::{Action, Handler, Kont};
+use crate::value::Value;
+
+/// The asynchronous-exception masking state of a thread (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MaskState {
+    /// Asynchronous exceptions may be delivered (the initial state).
+    Unblocked,
+    /// Delivery is postponed; only interruptible operations that actually
+    /// block can receive exceptions (§5.3).
+    Blocked,
+}
+
+/// A frame on a thread's control stack (§8).
+pub(crate) enum Frame {
+    /// The continuation of `>>=`.
+    Bind(Kont),
+    /// A `catch` frame: handler plus the masking state when pushed, which
+    /// is restored before the handler runs (§8, "Extend the catch frame to
+    /// include the state ... of asynchronous exceptions").
+    Catch {
+        handler: Handler,
+        saved_mask: MaskState,
+    },
+    /// A block/unblock frame: on return (normal or exceptional), set the
+    /// masking state to the recorded value. `Restore(Unblocked)` is the
+    /// paper's "unblock frame", `Restore(Blocked)` its "block frame".
+    Restore(MaskState),
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Frame::Bind(_) => write!(f, "Bind"),
+            Frame::Catch { saved_mask, .. } => write!(f, "Catch(saved={saved_mask:?})"),
+            Frame::Restore(s) => write!(f, "Restore({s:?})"),
+        }
+    }
+}
+
+/// How an exception came to be raised in a thread.
+///
+/// The paper keeps one `Exception` type but §8 (thunk treatment) and §9
+/// (the exceptions-vs-alerts alternative) both need to know whether a
+/// given raise was the deterministic result of running the code
+/// (synchronous) or an external interruption (asynchronous).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaiseOrigin {
+    /// Raised by `throw` or by pure evaluation: re-running the same code
+    /// would raise it again (§8: safe to overwrite a thunk with it).
+    Sync,
+    /// Delivered by `throwTo` (or deadlock recovery): an external event
+    /// that says nothing about the interrupted code itself.
+    Async,
+}
+
+/// What the thread will do at its next step.
+#[derive(Debug)]
+pub(crate) enum Code {
+    /// Interpret this action.
+    Run(Action),
+    /// Return this value to the top frame.
+    ReturnVal(Value),
+    /// Unwind the stack with this exception.
+    Raise(Exception, RaiseOrigin),
+}
+
+/// Why a thread cannot currently run (the ⊛ state of §6.3).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum StuckReason {
+    /// Waiting in `takeMVar` on an empty `MVar`.
+    TakeMVar(MVarId),
+    /// Waiting in `putMVar` on a full `MVar` (the value travels in the
+    /// cell's put queue).
+    PutMVar(MVarId),
+    /// Sleeping until the virtual clock reaches `wake_at`.
+    Sleep {
+        /// Absolute virtual time (µs) at which to wake.
+        wake_at: u64,
+    },
+    /// Waiting in `getChar` for console input.
+    GetChar,
+    /// Waiting in a synchronous `throwTo` (§9 variant) for the target to
+    /// receive the exception.
+    SyncThrow {
+        /// The thread we threw to.
+        target: ThreadId,
+    },
+}
+
+impl StuckReason {
+    /// Human-readable description for deadlock reports.
+    pub fn describe(&self) -> String {
+        match self {
+            StuckReason::TakeMVar(m) => format!("blocked in takeMVar on {m}"),
+            StuckReason::PutMVar(m) => format!("blocked in putMVar on {m}"),
+            StuckReason::Sleep { wake_at } => format!("sleeping until t={wake_at}"),
+            StuckReason::GetChar => "blocked in getChar".to_owned(),
+            StuckReason::SyncThrow { target } => {
+                format!("waiting for synchronous throwTo to {target}")
+            }
+        }
+    }
+}
+
+/// Scheduling status of a thread.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Status {
+    /// May be chosen by the scheduler (∘ in §6.3).
+    Runnable,
+    /// Blocked on a resource (⊛ in §6.3); always interruptible.
+    Stuck(StuckReason),
+}
+
+/// An asynchronous exception queued for delivery (§8.2).
+#[derive(Debug)]
+pub(crate) struct PendingExc {
+    /// The exception to raise in the target.
+    pub exc: Exception,
+    /// For the synchronous `throwTo` design (§9): the thread to wake once
+    /// this exception has been received.
+    pub notify: Option<ThreadId>,
+    /// Global step count at enqueue time, for delivery-latency stats.
+    pub enqueued_step: u64,
+}
+
+/// One green thread.
+pub(crate) struct Thread {
+    pub tid: ThreadId,
+    pub code: Code,
+    pub stack: Vec<Frame>,
+    pub mask: MaskState,
+    pub pending: VecDeque<PendingExc>,
+    pub status: Status,
+    /// Count of `Restore` frames currently on the stack (for the §8.1
+    /// max-mask-frames statistic).
+    pub mask_frames: usize,
+}
+
+impl Thread {
+    /// A fresh thread about to run `action`, unblocked and runnable.
+    pub fn new(tid: ThreadId, action: Action) -> Self {
+        Thread {
+            tid,
+            code: Code::Run(action),
+            stack: Vec::new(),
+            mask: MaskState::Unblocked,
+            pending: VecDeque::new(),
+            status: Status::Runnable,
+            mask_frames: 0,
+        }
+    }
+
+    /// Pushes a frame, maintaining the mask-frame count.
+    pub fn push_frame(&mut self, frame: Frame) {
+        if matches!(frame, Frame::Restore(_)) {
+            self.mask_frames += 1;
+        }
+        self.stack.push(frame);
+    }
+
+    /// Pops a frame, maintaining the mask-frame count.
+    pub fn pop_frame(&mut self) -> Option<Frame> {
+        let f = self.stack.pop();
+        if matches!(f, Some(Frame::Restore(_))) {
+            self.mask_frames -= 1;
+        }
+        f
+    }
+
+    /// Enters a `block` scope: the §8.1 algorithm.
+    ///
+    /// Returns `true` if an adjacent frame was collapsed (step 3's removal)
+    /// — the quantity the ablation bench counts.
+    pub fn enter_block(&mut self, collapse: bool) -> bool {
+        // Step 1: already blocked => nothing to do.
+        if self.mask == MaskState::Blocked {
+            return false;
+        }
+        // Step 2: set the state.
+        self.mask = MaskState::Blocked;
+        // Step 3: collapse an adjacent "block frame" (Restore(Blocked))
+        // instead of pushing an "unblock frame" (Restore(Unblocked)).
+        if collapse && matches!(self.stack.last(), Some(Frame::Restore(MaskState::Blocked))) {
+            self.pop_frame();
+            true
+        } else {
+            self.push_frame(Frame::Restore(MaskState::Unblocked));
+            false
+        }
+    }
+
+    /// Enters an `unblock` scope: the dual of [`Thread::enter_block`].
+    pub fn enter_unblock(&mut self, collapse: bool) -> bool {
+        if self.mask == MaskState::Unblocked {
+            return false;
+        }
+        self.mask = MaskState::Unblocked;
+        if collapse && matches!(self.stack.last(), Some(Frame::Restore(MaskState::Unblocked))) {
+            self.pop_frame();
+            true
+        } else {
+            self.push_frame(Frame::Restore(MaskState::Blocked));
+            false
+        }
+    }
+
+    /// Is this thread currently stuck?
+    pub fn is_stuck(&self) -> bool {
+        matches!(self.status, Status::Stuck(_))
+    }
+
+    /// Takes the first pending exception, if any.
+    pub fn take_pending(&mut self) -> Option<PendingExc> {
+        self.pending.pop_front()
+    }
+}
+
+impl std::fmt::Debug for Thread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Thread")
+            .field("tid", &self.tid)
+            .field("mask", &self.mask)
+            .field("status", &self.status)
+            .field("stack_depth", &self.stack.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Thread {
+        Thread::new(ThreadId(0), Action::Pure(Value::Unit))
+    }
+
+    #[test]
+    fn starts_unblocked_runnable() {
+        let t = fresh();
+        assert_eq!(t.mask, MaskState::Unblocked);
+        assert_eq!(t.status, Status::Runnable);
+        assert!(t.stack.is_empty());
+    }
+
+    #[test]
+    fn block_pushes_unblock_frame() {
+        let mut t = fresh();
+        let collapsed = t.enter_block(true);
+        assert!(!collapsed);
+        assert_eq!(t.mask, MaskState::Blocked);
+        assert!(matches!(
+            t.stack.last(),
+            Some(Frame::Restore(MaskState::Unblocked))
+        ));
+        assert_eq!(t.mask_frames, 1);
+    }
+
+    #[test]
+    fn nested_block_is_noop() {
+        let mut t = fresh();
+        t.enter_block(true);
+        let depth = t.stack.len();
+        t.enter_block(true);
+        // §5.2: no counting of scopes — second block changes nothing.
+        assert_eq!(t.stack.len(), depth);
+        assert_eq!(t.mask, MaskState::Blocked);
+    }
+
+    #[test]
+    fn unblock_in_tail_position_collapses_block_scope() {
+        // §8.1 reversed step 3: an unblock whose stack top is the enclosing
+        // block's unblock-frame removes it instead of pushing.
+        let mut t = fresh();
+        t.enter_block(true);
+        let collapsed = t.enter_unblock(true);
+        assert!(collapsed);
+        assert_eq!(t.mask, MaskState::Unblocked);
+        assert!(t.stack.is_empty());
+        assert_eq!(t.mask_frames, 0);
+    }
+
+    #[test]
+    fn unblock_in_non_tail_position_pushes_block_frame() {
+        // With an intervening frame (a pending `>>=` continuation), the
+        // collapse cannot fire and a block-frame is pushed.
+        let mut t = fresh();
+        t.enter_block(true);
+        t.push_frame(Frame::Bind(Box::new(Action::Pure)));
+        let collapsed = t.enter_unblock(true);
+        assert!(!collapsed);
+        assert_eq!(t.mask, MaskState::Unblocked);
+        assert!(matches!(
+            t.stack.last(),
+            Some(Frame::Restore(MaskState::Blocked))
+        ));
+        assert_eq!(t.mask_frames, 2);
+    }
+
+    #[test]
+    fn block_collapses_adjacent_block_frame() {
+        // §8.1 step 3 exactly: inside an unblock scope (which pushed a
+        // block-frame), a tail-position block removes that frame.
+        let mut t = fresh();
+        t.mask = MaskState::Blocked;
+        t.enter_unblock(true); // pushes Restore(Blocked)
+        assert_eq!(t.stack.len(), 1);
+        let collapsed = t.enter_block(true);
+        assert!(collapsed);
+        assert!(t.stack.is_empty());
+        assert_eq!(t.mask_frames, 0);
+        assert_eq!(t.mask, MaskState::Blocked);
+    }
+
+    #[test]
+    fn no_collapse_grows_stack() {
+        let mut t = fresh();
+        t.enter_block(false);
+        t.enter_unblock(false);
+        let collapsed = t.enter_block(false);
+        assert!(!collapsed);
+        assert_eq!(t.stack.len(), 3);
+        assert_eq!(t.mask_frames, 3);
+    }
+
+    #[test]
+    fn collapse_keeps_recursion_constant_space() {
+        let mut t = fresh();
+        t.enter_block(true);
+        for _ in 0..1000 {
+            t.enter_unblock(true);
+            t.enter_block(true);
+        }
+        assert_eq!(t.stack.len(), 1);
+    }
+
+    #[test]
+    fn without_collapse_recursion_grows_linearly() {
+        let mut t = fresh();
+        t.enter_block(false);
+        for _ in 0..100 {
+            t.enter_unblock(false);
+            t.enter_block(false);
+        }
+        assert_eq!(t.stack.len(), 201);
+    }
+
+    #[test]
+    fn pending_is_fifo() {
+        let mut t = fresh();
+        t.pending.push_back(PendingExc {
+            exc: Exception::custom("first"),
+            notify: None,
+            enqueued_step: 0,
+        });
+        t.pending.push_back(PendingExc {
+            exc: Exception::custom("second"),
+            notify: None,
+            enqueued_step: 0,
+        });
+        assert_eq!(t.take_pending().unwrap().exc, Exception::custom("first"));
+        assert_eq!(t.take_pending().unwrap().exc, Exception::custom("second"));
+        assert!(t.take_pending().is_none());
+    }
+
+    #[test]
+    fn stuck_reason_descriptions() {
+        assert!(StuckReason::TakeMVar(MVarId(1))
+            .describe()
+            .contains("takeMVar"));
+        assert!(StuckReason::Sleep { wake_at: 5 }.describe().contains('5'));
+        assert!(StuckReason::GetChar.describe().contains("getChar"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Observable I/O traces.
+//!
+//! The paper's outer semantics labels transitions with events: `!c`
+//! (writing character `c`), `?c` (reading `c`) and `$d` (time passing).
+//! The runtime records the same events so that the conformance tests can
+//! check every concrete execution against the trace set admitted by the
+//! formal labelled transition system.
+
+/// One observable event of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IoEvent {
+    /// `!c` — a character written to standard output.
+    Put(char),
+    /// `?c` — a character read from standard input.
+    Get(char),
+    /// `$d` — the virtual clock advanced by `d` microseconds.
+    TimeAdvance(u64),
+}
+
+impl std::fmt::Display for IoEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoEvent::Put(c) => write!(f, "!{c}"),
+            IoEvent::Get(c) => write!(f, "?{c}"),
+            IoEvent::TimeAdvance(d) => write!(f, "${d}"),
+        }
+    }
+}
+
+/// Renders a trace as a compact string, e.g. `"!h!i$5?x"`.
+pub fn render_trace(events: &[IoEvent]) -> String {
+    events.iter().map(|e| e.to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(IoEvent::Put('a').to_string(), "!a");
+        assert_eq!(IoEvent::Get('b').to_string(), "?b");
+        assert_eq!(IoEvent::TimeAdvance(10).to_string(), "$10");
+    }
+
+    #[test]
+    fn render_concatenates() {
+        let t = [IoEvent::Put('h'), IoEvent::Put('i'), IoEvent::TimeAdvance(5)];
+        assert_eq!(render_trace(&t), "!h!i$5");
+    }
+}

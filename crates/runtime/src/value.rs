@@ -1,0 +1,538 @@
+//! Dynamic runtime values.
+//!
+//! The interpreter is untyped internally: every value that flows through a
+//! thread, an [`MVar`](crate::mvar::MVar) or a continuation is a [`Value`].
+//! The typed [`Io<T>`](crate::io::Io) surface converts between `T` and
+//! [`Value`] at the boundaries using [`IntoValue`] and [`FromValue`], so user
+//! code never sees this representation unless it wants to.
+//!
+//! This mirrors the paper's Figure 1, where constants, characters, integers,
+//! exceptions, `MVar` names and `ThreadId`s are all values of the object
+//! language.
+
+use std::fmt;
+
+use crate::exception::Exception;
+use crate::ids::{MVarId, ThreadId};
+
+/// A dynamically-typed value of the embedded language.
+///
+/// `Value` is the universal currency of the interpreter: thread results,
+/// `MVar` contents and continuation arguments are all `Value`s.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::value::{IntoValue, Value};
+///
+/// let v = 42_i64.into_value();
+/// assert_eq!(v.as_int(), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Value {
+    /// The trivial value `()`.
+    #[default]
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A 64-bit integer.
+    Int(i64),
+    /// A character (the argument/result of `putChar`/`getChar`).
+    Char(char),
+    /// A string.
+    Str(String),
+    /// A pair `(a, b)` — the result shape of the `both` combinator.
+    Pair(Box<Value>, Box<Value>),
+    /// A homogeneous list.
+    List(Vec<Value>),
+    /// `Left a` of a sum — the result shape of the `either` combinator.
+    Left(Box<Value>),
+    /// `Right b` of a sum.
+    Right(Box<Value>),
+    /// `Nothing` of an option — the result shape of `timeout` on expiry.
+    Nothing,
+    /// `Just a` of an option.
+    Just(Box<Value>),
+    /// A thread identifier, as returned by `forkIO` and `myThreadId`.
+    ThreadId(ThreadId),
+    /// An `MVar` reference, as returned by `newEmptyMVar`.
+    MVar(MVarId),
+    /// A first-class exception value.
+    Exception(Exception),
+}
+
+impl Value {
+    /// Returns the integer payload, or `None` for any other shape.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, or `None` for any other shape.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the character payload, or `None` for any other shape.
+    pub fn as_char(&self) -> Option<char> {
+        match self {
+            Value::Char(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, or `None` for any other shape.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the thread-id payload, or `None` for any other shape.
+    pub fn as_thread_id(&self) -> Option<ThreadId> {
+        match self {
+            Value::ThreadId(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Returns the `MVar`-id payload, or `None` for any other shape.
+    pub fn as_mvar_id(&self) -> Option<MVarId> {
+        match self {
+            Value::MVar(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is the unit value.
+    pub fn is_unit(&self) -> bool {
+        matches!(self, Value::Unit)
+    }
+
+    /// A short name for the value's shape, used in conversion panic messages.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Char(_) => "char",
+            Value::Str(_) => "str",
+            Value::Pair(_, _) => "pair",
+            Value::List(_) => "list",
+            Value::Left(_) => "left",
+            Value::Right(_) => "right",
+            Value::Nothing => "nothing",
+            Value::Just(_) => "just",
+            Value::ThreadId(_) => "thread-id",
+            Value::MVar(_) => "mvar",
+            Value::Exception(_) => "exception",
+        }
+    }
+}
+
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Char(c) => write!(f, "{c:?}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+            Value::List(xs) => {
+                write!(f, "[")?;
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Left(v) => write!(f, "Left {v}"),
+            Value::Right(v) => write!(f, "Right {v}"),
+            Value::Nothing => write!(f, "Nothing"),
+            Value::Just(v) => write!(f, "Just {v}"),
+            Value::ThreadId(t) => write!(f, "{t}"),
+            Value::MVar(m) => write!(f, "{m}"),
+            Value::Exception(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Conversion from a native Rust type into a [`Value`].
+///
+/// Implemented for the primitive types the embedded language knows about.
+/// The typed [`Io<T>`](crate::io::Io) API uses this to inject results.
+pub trait IntoValue {
+    /// Converts `self` into a dynamic [`Value`].
+    fn into_value(self) -> Value;
+}
+
+/// Conversion from a [`Value`] back into a native Rust type.
+///
+/// `from_value` returns `None` when the value has the wrong shape; the typed
+/// API treats that as an internal invariant violation (it can only happen if
+/// untyped values are smuggled across a typed boundary, e.g. via a raw
+/// `Value` `MVar`).
+pub trait FromValue: Sized {
+    /// Converts a dynamic [`Value`] into `Self`, or `None` on shape mismatch.
+    fn from_value(v: Value) -> Option<Self>;
+
+    /// Converts, panicking with a descriptive message on shape mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not have the shape expected by `Self`.
+    fn from_value_or_panic(v: Value) -> Self {
+        let shape = v.shape();
+        Self::from_value(v).unwrap_or_else(|| {
+            panic!(
+                "type confusion crossing the typed Io boundary: \
+                 expected {}, got a {} value",
+                std::any::type_name::<Self>(),
+                shape
+            )
+        })
+    }
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+
+impl FromValue for Value {
+    fn from_value(v: Value) -> Option<Self> {
+        Some(v)
+    }
+}
+
+impl IntoValue for () {
+    fn into_value(self) -> Value {
+        Value::Unit
+    }
+}
+
+impl FromValue for () {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Unit => Some(()),
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for bool {
+    fn into_value(self) -> Value {
+        Value::Bool(self)
+    }
+}
+
+impl FromValue for bool {
+    fn from_value(v: Value) -> Option<Self> {
+        v.as_bool()
+    }
+}
+
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+}
+
+impl FromValue for i64 {
+    fn from_value(v: Value) -> Option<Self> {
+        v.as_int()
+    }
+}
+
+impl IntoValue for char {
+    fn into_value(self) -> Value {
+        Value::Char(self)
+    }
+}
+
+impl FromValue for char {
+    fn from_value(v: Value) -> Option<Self> {
+        v.as_char()
+    }
+}
+
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+}
+
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl FromValue for String {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for ThreadId {
+    fn into_value(self) -> Value {
+        Value::ThreadId(self)
+    }
+}
+
+impl FromValue for ThreadId {
+    fn from_value(v: Value) -> Option<Self> {
+        v.as_thread_id()
+    }
+}
+
+impl IntoValue for Exception {
+    fn into_value(self) -> Value {
+        Value::Exception(self)
+    }
+}
+
+impl FromValue for Exception {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Exception(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl<A: IntoValue, B: IntoValue> IntoValue for (A, B) {
+    fn into_value(self) -> Value {
+        Value::Pair(Box::new(self.0.into_value()), Box::new(self.1.into_value()))
+    }
+}
+
+impl<A: FromValue, B: FromValue> FromValue for (A, B) {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(a, b) => Some((A::from_value(*a)?, B::from_value(*b)?)),
+            _ => None,
+        }
+    }
+}
+
+/// Triples nest as `(a, (b, c))`.
+impl<A: IntoValue, B: IntoValue, C: IntoValue> IntoValue for (A, B, C) {
+    fn into_value(self) -> Value {
+        (self.0, (self.1, self.2)).into_value()
+    }
+}
+
+impl<A: FromValue, B: FromValue, C: FromValue> FromValue for (A, B, C) {
+    fn from_value(v: Value) -> Option<Self> {
+        let (a, (b, c)) = <(A, (B, C))>::from_value(v)?;
+        Some((a, b, c))
+    }
+}
+
+/// Quadruples nest as `(a, (b, (c, d)))`.
+impl<A: IntoValue, B: IntoValue, C: IntoValue, D: IntoValue> IntoValue for (A, B, C, D) {
+    fn into_value(self) -> Value {
+        (self.0, (self.1, (self.2, self.3))).into_value()
+    }
+}
+
+impl<A: FromValue, B: FromValue, C: FromValue, D: FromValue> FromValue for (A, B, C, D) {
+    fn from_value(v: Value) -> Option<Self> {
+        let (a, (b, (c, d))) = <(A, (B, (C, D)))>::from_value(v)?;
+        Some((a, b, c, d))
+    }
+}
+
+impl<T: IntoValue> IntoValue for Option<T> {
+    fn into_value(self) -> Value {
+        match self {
+            None => Value::Nothing,
+            Some(x) => Value::Just(Box::new(x.into_value())),
+        }
+    }
+}
+
+impl<T: FromValue> FromValue for Option<T> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Nothing => Some(None),
+            Value::Just(x) => Some(Some(T::from_value(*x)?)),
+            _ => None,
+        }
+    }
+}
+
+/// `Either e t` rendered as Rust: `Err` is `Left`, `Ok` is `Right`.
+impl<T: IntoValue, E: IntoValue> IntoValue for Result<T, E> {
+    fn into_value(self) -> Value {
+        match self {
+            Ok(t) => Value::Right(Box::new(t.into_value())),
+            Err(e) => Value::Left(Box::new(e.into_value())),
+        }
+    }
+}
+
+impl<T: FromValue, E: FromValue> FromValue for Result<T, E> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Right(t) => Some(Ok(T::from_value(*t)?)),
+            Value::Left(e) => Some(Err(E::from_value(*e)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: IntoValue> IntoValue for Vec<T> {
+    fn into_value(self) -> Value {
+        Value::List(self.into_iter().map(IntoValue::into_value).collect())
+    }
+}
+
+impl<T: FromValue> FromValue for Vec<T> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::List(xs) => xs.into_iter().map(T::from_value).collect(),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_round_trip() {
+        let v = 17_i64.into_value();
+        assert_eq!(i64::from_value(v), Some(17));
+    }
+
+    #[test]
+    fn unit_round_trip() {
+        assert_eq!(<()>::from_value(().into_value()), Some(()));
+    }
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(bool::from_value(true.into_value()), Some(true));
+        assert_eq!(bool::from_value(false.into_value()), Some(false));
+    }
+
+    #[test]
+    fn char_round_trip() {
+        assert_eq!(char::from_value('λ'.into_value()), Some('λ'));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        assert_eq!(
+            String::from_value("hello".into_value()),
+            Some("hello".to_owned())
+        );
+    }
+
+    #[test]
+    fn pair_round_trip() {
+        let v = (1_i64, 'x').into_value();
+        assert_eq!(<(i64, char)>::from_value(v), Some((1, 'x')));
+    }
+
+    #[test]
+    fn nested_pair_round_trip() {
+        let v = ((1_i64, 2_i64), (3_i64, 4_i64)).into_value();
+        assert_eq!(
+            <((i64, i64), (i64, i64))>::from_value(v),
+            Some(((1, 2), (3, 4)))
+        );
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(
+            Option::<i64>::from_value(Some(5_i64).into_value()),
+            Some(Some(5))
+        );
+        assert_eq!(Option::<i64>::from_value(None::<i64>.into_value()), Some(None));
+    }
+
+    #[test]
+    fn result_round_trip() {
+        let ok: Result<i64, char> = Ok(9);
+        let err: Result<i64, char> = Err('e');
+        assert_eq!(
+            <Result<i64, char>>::from_value(ok.into_value()),
+            Some(Ok(9))
+        );
+        assert_eq!(
+            <Result<i64, char>>::from_value(err.into_value()),
+            Some(Err('e'))
+        );
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let v = vec![1_i64, 2, 3].into_value();
+        assert_eq!(Vec::<i64>::from_value(v), Some(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn shape_mismatch_is_none() {
+        assert_eq!(i64::from_value(Value::Char('x')), None);
+        assert_eq!(char::from_value(Value::Int(7)), None);
+        assert_eq!(<(i64, i64)>::from_value(Value::Unit), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "type confusion")]
+    fn from_value_or_panic_panics_on_mismatch() {
+        let _ = i64::from_value_or_panic(Value::Char('x'));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(
+            Value::Pair(Box::new(Value::Int(1)), Box::new(Value::Unit)).to_string(),
+            "(1, ())"
+        );
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(Value::Nothing.to_string(), "Nothing");
+        assert_eq!(Value::Just(Box::new(Value::Int(1))).to_string(), "Just 1");
+    }
+
+    #[test]
+    fn shapes_are_distinct() {
+        let shapes = [
+            Value::Unit.shape(),
+            Value::Bool(true).shape(),
+            Value::Int(0).shape(),
+            Value::Char('a').shape(),
+            Value::Str(String::new()).shape(),
+            Value::Nothing.shape(),
+        ];
+        let mut unique = shapes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), shapes.len());
+    }
+}

@@ -1,0 +1,494 @@
+//! Structural congruence — Figure 3 of the paper.
+//!
+//! Figure 3 defines ≡ as the least congruence containing commutativity
+//! and associativity of `|`, exchange of adjacent restrictions (Swap),
+//! scope extrusion (Extrude), and α-conversion (Alpha); rule (Equiv)
+//! lets transitions fire up to ≡.
+//!
+//! We realize ≡ computationally by *flattening* a [`ProcTerm`] to a
+//! [`Soup`]: the flattening forgets the tree structure of `|` (Comm,
+//! Assoc) and the position of `ν` binders (Swap, Extrude), and renames
+//! every ν-bound name to a canonical fresh name in a deterministic order
+//! (Alpha). Two process terms are structurally congruent iff their
+//! canonical soups are equal — [`congruent`].
+//!
+//! Free (unrestricted) names keep their identity, as they must: `⟨M⟩t ≢
+//! ⟨M⟩u` when `t`, `u` are both free.
+
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use crate::process::{Mark, ProcTerm, Soup, ThreadState};
+use crate::term::{Exc, MVarName, Term, TidName};
+
+/// An atom of a flattened process: one non-composite Figure 2 process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Atom {
+    Thread(TidName, Rc<Term>, Mark),
+    Dead(TidName),
+    EmptyMVar(MVarName),
+    FullMVar(MVarName, Rc<Term>),
+    InFlight(TidName, Exc),
+}
+
+/// A renaming of ν-bound names to canonical indices.
+#[derive(Debug, Default)]
+struct Renaming {
+    tids: BTreeMap<TidName, TidName>,
+    mvars: BTreeMap<MVarName, MVarName>,
+}
+
+/// Flattens a process term into its atoms, renaming each ν-bound name to
+/// a canonical fresh name at binding time (outermost-leftmost order).
+fn flatten(p: &ProcTerm, ren: &mut Renaming, next_tid: &mut u32, next_mvar: &mut u32, out: &mut Vec<Atom>) {
+    match p {
+        ProcTerm::Thread(t, m, mark) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            out.push(Atom::Thread(t, rename_term(m, ren), *mark));
+        }
+        ProcTerm::Dead(t) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            out.push(Atom::Dead(t));
+        }
+        ProcTerm::EmptyMVar(m) => {
+            let m = ren.mvars.get(m).copied().unwrap_or(*m);
+            out.push(Atom::EmptyMVar(m));
+        }
+        ProcTerm::FullMVar(m, v) => {
+            let m2 = ren.mvars.get(m).copied().unwrap_or(*m);
+            out.push(Atom::FullMVar(m2, rename_term(v, ren)));
+        }
+        ProcTerm::InFlight(t, e) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            out.push(Atom::InFlight(t, e.clone()));
+        }
+        ProcTerm::Par(a, b) => {
+            flatten(a, ren, next_tid, next_mvar, out);
+            flatten(b, ren, next_tid, next_mvar, out);
+        }
+        ProcTerm::NuTid(t, body) => {
+            let fresh = TidName(*next_tid);
+            *next_tid += 1;
+            let shadowed = ren.tids.insert(*t, fresh);
+            flatten(body, ren, next_tid, next_mvar, out);
+            match shadowed {
+                Some(old) => {
+                    ren.tids.insert(*t, old);
+                }
+                None => {
+                    ren.tids.remove(t);
+                }
+            }
+        }
+        ProcTerm::NuMVar(m, body) => {
+            let fresh = MVarName(*next_mvar);
+            *next_mvar += 1;
+            let shadowed = ren.mvars.insert(*m, fresh);
+            flatten(body, ren, next_tid, next_mvar, out);
+            match shadowed {
+                Some(old) => {
+                    ren.mvars.insert(*m, old);
+                }
+                None => {
+                    ren.mvars.remove(m);
+                }
+            }
+        }
+    }
+}
+
+/// Applies a name renaming throughout a term (names occur as `MVarRef`
+/// and `TidRef` leaves).
+fn rename_term(t: &Rc<Term>, ren: &Renaming) -> Rc<Term> {
+    if ren.tids.is_empty() && ren.mvars.is_empty() {
+        return Rc::clone(t);
+    }
+    fn go(t: &Rc<Term>, ren: &Renaming) -> Rc<Term> {
+        match &**t {
+            Term::MVarRef(m) => match ren.mvars.get(m) {
+                Some(m2) => Rc::new(Term::MVarRef(*m2)),
+                None => Rc::clone(t),
+            },
+            Term::TidRef(x) => match ren.tids.get(x) {
+                Some(x2) => Rc::new(Term::TidRef(*x2)),
+                None => Rc::clone(t),
+            },
+            Term::Lam(x, b) => Rc::new(Term::Lam(x.clone(), go(b, ren))),
+            Term::App(a, b) => Rc::new(Term::App(go(a, ren), go(b, ren))),
+            Term::If(c, a, b) => Rc::new(Term::If(go(c, ren), go(a, ren), go(b, ren))),
+            Term::Prim(op, a, b) => Rc::new(Term::Prim(*op, go(a, ren), go(b, ren))),
+            Term::Raise(e) => Rc::new(Term::Raise(go(e, ren))),
+            Term::Con(k, args) => {
+                Rc::new(Term::Con(k.clone(), args.iter().map(|a| go(a, ren)).collect()))
+            }
+            Term::Return(m) => Rc::new(Term::Return(go(m, ren))),
+            Term::Bind(a, b) => Rc::new(Term::Bind(go(a, ren), go(b, ren))),
+            Term::PutChar(c) => Rc::new(Term::PutChar(go(c, ren))),
+            Term::PutMVar(a, b) => Rc::new(Term::PutMVar(go(a, ren), go(b, ren))),
+            Term::TakeMVar(m) => Rc::new(Term::TakeMVar(go(m, ren))),
+            Term::Sleep(d) => Rc::new(Term::Sleep(go(d, ren))),
+            Term::Fork(m) => Rc::new(Term::Fork(go(m, ren))),
+            Term::Throw(e) => Rc::new(Term::Throw(go(e, ren))),
+            Term::Catch(a, b) => Rc::new(Term::Catch(go(a, ren), go(b, ren))),
+            Term::ThrowTo(a, b) => Rc::new(Term::ThrowTo(go(a, ren), go(b, ren))),
+            Term::Block(m) => Rc::new(Term::Block(go(m, ren))),
+            Term::Unblock(m) => Rc::new(Term::Unblock(go(m, ren))),
+            Term::Var(_)
+            | Term::Unit
+            | Term::Bool(_)
+            | Term::Int(_)
+            | Term::Char(_)
+            | Term::ExcLit(_)
+            | Term::GetChar
+            | Term::NewEmptyMVar
+            | Term::MyThreadId => Rc::clone(t),
+        }
+    }
+    go(t, ren)
+}
+
+/// Base for temporary names given to ν-bound binders during flattening.
+const TEMP_BASE: u32 = 1 << 30;
+
+/// Base for the canonical names bound binders end up with.
+const CANON_BASE: u32 = 1_000_000;
+
+/// Collects the thread and `MVar` names occurring in an atom, in a
+/// deterministic traversal order.
+fn atom_names(a: &Atom) -> Vec<NameRef> {
+    let mut out = Vec::new();
+    match a {
+        Atom::Thread(t, m, _) => {
+            out.push(NameRef::Tid(*t));
+            term_names(m, &mut out);
+        }
+        Atom::Dead(t) => out.push(NameRef::Tid(*t)),
+        Atom::EmptyMVar(m) => out.push(NameRef::MVar(*m)),
+        Atom::FullMVar(m, v) => {
+            out.push(NameRef::MVar(*m));
+            term_names(v, &mut out);
+        }
+        Atom::InFlight(t, _) => out.push(NameRef::Tid(*t)),
+    }
+    out
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NameRef {
+    Tid(TidName),
+    MVar(MVarName),
+}
+
+fn term_names(t: &Rc<Term>, out: &mut Vec<NameRef>) {
+    match &**t {
+        Term::MVarRef(m) => out.push(NameRef::MVar(*m)),
+        Term::TidRef(x) => out.push(NameRef::Tid(*x)),
+        Term::Lam(_, b) | Term::Raise(b) | Term::Return(b) | Term::PutChar(b)
+        | Term::TakeMVar(b) | Term::Sleep(b) | Term::Fork(b) | Term::Throw(b)
+        | Term::Block(b) | Term::Unblock(b) => term_names(b, out),
+        Term::App(a, b) | Term::Prim(_, a, b) | Term::Bind(a, b) | Term::PutMVar(a, b)
+        | Term::Catch(a, b) | Term::ThrowTo(a, b) => {
+            term_names(a, out);
+            term_names(b, out);
+        }
+        Term::If(c, a, b) => {
+            term_names(c, out);
+            term_names(a, out);
+            term_names(b, out);
+        }
+        Term::Con(_, args) => {
+            for a in args {
+                term_names(a, out);
+            }
+        }
+        Term::Var(_) | Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Char(_)
+        | Term::ExcLit(_) | Term::GetChar | Term::NewEmptyMVar | Term::MyThreadId => {}
+    }
+}
+
+/// Renders an atom with every bound (temporary) name erased, giving a
+/// name-independent sort key.
+fn atom_skeleton(a: &Atom) -> String {
+    let mut ren = Renaming::default();
+    for n in atom_names(a) {
+        match n {
+            NameRef::Tid(t) if t.0 >= TEMP_BASE => {
+                ren.tids.insert(t, TidName(u32::MAX));
+            }
+            NameRef::MVar(m) if m.0 >= TEMP_BASE => {
+                ren.mvars.insert(m, MVarName(u32::MAX));
+            }
+            _ => {}
+        }
+    }
+    match a {
+        Atom::Thread(t, m, mark) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            format!("T:{t}:{:?}:{}", mark, rename_term(m, &ren))
+        }
+        Atom::Dead(t) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            format!("D:{t}")
+        }
+        Atom::EmptyMVar(m) => {
+            let m = ren.mvars.get(m).copied().unwrap_or(*m);
+            format!("E:{m}")
+        }
+        Atom::FullMVar(m, v) => {
+            let m2 = ren.mvars.get(m).copied().unwrap_or(*m);
+            format!("F:{m2}:{}", rename_term(v, &ren))
+        }
+        Atom::InFlight(t, e) => {
+            let t = ren.tids.get(t).copied().unwrap_or(*t);
+            format!("X:{t}:{e}")
+        }
+    }
+}
+
+/// Renames all temporarily-named (ν-bound) binders to canonical names, in
+/// order of first occurrence when atoms are visited in skeleton order.
+///
+/// This makes the canonical soup independent of binder order and nesting
+/// (the Swap/Extrude/Alpha laws). Caveat: when two *structurally
+/// identical* atoms mention distinct bound names, their relative order is
+/// arbitrary, so some α-equivalent soups of that special shape may be
+/// distinguished; this is sound (never equates inequivalent states) and
+/// only costs the model checker duplicate states.
+fn canonicalize(atoms: Vec<Atom>) -> (Vec<Atom>, u32, u32) {
+    let mut order: Vec<usize> = (0..atoms.len()).collect();
+    let skeletons: Vec<String> = atoms.iter().map(atom_skeleton).collect();
+    order.sort_by(|&i, &j| skeletons[i].cmp(&skeletons[j]).then(i.cmp(&j)));
+
+    let mut ren = Renaming::default();
+    let mut next_tid = CANON_BASE;
+    let mut next_mvar = CANON_BASE;
+    for &i in &order {
+        for n in atom_names(&atoms[i]) {
+            match n {
+                NameRef::Tid(t) if t.0 >= TEMP_BASE => {
+                    ren.tids.entry(t).or_insert_with(|| {
+                        let c = TidName(next_tid);
+                        next_tid += 1;
+                        c
+                    });
+                }
+                NameRef::MVar(m) if m.0 >= TEMP_BASE => {
+                    ren.mvars.entry(m).or_insert_with(|| {
+                        let c = MVarName(next_mvar);
+                        next_mvar += 1;
+                        c
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+    let renamed = atoms
+        .into_iter()
+        .map(|a| match a {
+            Atom::Thread(t, m, mark) => Atom::Thread(
+                ren.tids.get(&t).copied().unwrap_or(t),
+                rename_term(&m, &ren),
+                mark,
+            ),
+            Atom::Dead(t) => Atom::Dead(ren.tids.get(&t).copied().unwrap_or(t)),
+            Atom::EmptyMVar(m) => Atom::EmptyMVar(ren.mvars.get(&m).copied().unwrap_or(m)),
+            Atom::FullMVar(m, v) => Atom::FullMVar(
+                ren.mvars.get(&m).copied().unwrap_or(m),
+                rename_term(&v, &ren),
+            ),
+            Atom::InFlight(t, e) => {
+                Atom::InFlight(ren.tids.get(&t).copied().unwrap_or(t), e)
+            }
+        })
+        .collect();
+    (renamed, next_tid, next_mvar)
+}
+
+/// Flattens a process term into a canonical [`Soup`], treating `main` as
+/// the distinguished main thread.
+///
+/// ν-bound names are canonically renamed by first occurrence in
+/// skeleton-sorted atom order, realizing α-equivalence together with the
+/// Comm/Assoc/Swap/Extrude laws (see `canonicalize` for the caveat).
+///
+/// # Panics
+///
+/// Panics if the same thread or `MVar` name occurs for two distinct atoms
+/// (an ill-formed process).
+pub fn to_soup(p: &ProcTerm, main: TidName) -> Soup {
+    let mut atoms = Vec::new();
+    let mut ren = Renaming::default();
+    let mut next_tid = TEMP_BASE;
+    let mut next_mvar = TEMP_BASE;
+    flatten(p, &mut ren, &mut next_tid, &mut next_mvar, &mut atoms);
+    let (atoms, next_tid, next_mvar) = canonicalize(atoms);
+
+    let mut soup = Soup {
+        threads: BTreeMap::new(),
+        dead: Default::default(),
+        mvars: BTreeMap::new(),
+        inflight: Vec::new(),
+        main,
+        next_tid,
+        next_mvar,
+    };
+    for atom in atoms {
+        match atom {
+            Atom::Thread(t, term, mark) => {
+                let prev = soup.threads.insert(t, ThreadState { term, mark });
+                assert!(prev.is_none(), "duplicate thread name {t}");
+            }
+            Atom::Dead(t) => {
+                assert!(soup.dead.insert(t), "duplicate dead thread {t}");
+            }
+            Atom::EmptyMVar(m) => {
+                let prev = soup.mvars.insert(m, None);
+                assert!(prev.is_none(), "duplicate MVar name {m}");
+            }
+            Atom::FullMVar(m, v) => {
+                let prev = soup.mvars.insert(m, Some(v));
+                assert!(prev.is_none(), "duplicate MVar name {m}");
+            }
+            Atom::InFlight(t, e) => soup.add_inflight(t, e),
+        }
+    }
+    soup
+}
+
+/// Decides structural congruence (Figure 3) between two process terms:
+/// `P ≡ Q` iff their canonical soups coincide.
+pub fn congruent(p: &ProcTerm, q: &ProcTerm, main: TidName) -> bool {
+    to_soup(p, main) == to_soup(q, main)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::build::*;
+
+    fn thread(t: u32, term: crate::term::build::T) -> ProcTerm {
+        ProcTerm::Thread(TidName(t), term, Mark::Runnable)
+    }
+
+    #[test]
+    fn comm_law() {
+        // P | Q ≡ Q | P
+        let p = thread(0, ret(unit()));
+        let q = ProcTerm::EmptyMVar(MVarName(5));
+        let pq = ProcTerm::par(p.clone(), q.clone());
+        let qp = ProcTerm::par(q, p);
+        assert!(congruent(&pq, &qp, TidName(0)));
+    }
+
+    #[test]
+    fn assoc_law() {
+        // P | (Q | R) ≡ (P | Q) | R
+        let p = thread(0, ret(unit()));
+        let q = ProcTerm::EmptyMVar(MVarName(1));
+        let r = ProcTerm::Dead(TidName(9));
+        let left = ProcTerm::par(p.clone(), ProcTerm::par(q.clone(), r.clone()));
+        let right = ProcTerm::par(ProcTerm::par(p, q), r);
+        assert!(congruent(&left, &right, TidName(0)));
+    }
+
+    #[test]
+    fn swap_law() {
+        // νx.νy.P ≡ νy.νx.P
+        let body = ProcTerm::par(
+            ProcTerm::EmptyMVar(MVarName(10)),
+            ProcTerm::FullMVar(MVarName(11), int(1)),
+        );
+        let xy = ProcTerm::NuMVar(
+            MVarName(10),
+            Box::new(ProcTerm::NuMVar(MVarName(11), Box::new(body.clone()))),
+        );
+        let yx = ProcTerm::NuMVar(
+            MVarName(11),
+            Box::new(ProcTerm::NuMVar(MVarName(10), Box::new(body))),
+        );
+        assert!(congruent(&xy, &yx, TidName(0)));
+    }
+
+    #[test]
+    fn extrude_law() {
+        // (νm.P) | Q ≡ νm.(P | Q) when m ∉ fn(Q)
+        let p = ProcTerm::EmptyMVar(MVarName(3));
+        let q = thread(0, ret(unit()));
+        let left = ProcTerm::par(
+            ProcTerm::NuMVar(MVarName(3), Box::new(p.clone())),
+            q.clone(),
+        );
+        let right = ProcTerm::NuMVar(MVarName(3), Box::new(ProcTerm::par(p, q)));
+        assert!(congruent(&left, &right, TidName(0)));
+    }
+
+    #[test]
+    fn alpha_law() {
+        // νm.⟨⟩m ≡ νm'.⟨⟩m'
+        let a = ProcTerm::NuMVar(MVarName(1), Box::new(ProcTerm::EmptyMVar(MVarName(1))));
+        let b = ProcTerm::NuMVar(MVarName(2), Box::new(ProcTerm::EmptyMVar(MVarName(2))));
+        assert!(congruent(&a, &b, TidName(0)));
+    }
+
+    #[test]
+    fn alpha_renames_occurrences_in_terms() {
+        // νm.⟨takeMVar m⟩t ≡ νm'.⟨takeMVar m'⟩t
+        let a = ProcTerm::NuMVar(
+            MVarName(1),
+            Box::new(thread(0, take_mvar(mvar(MVarName(1))))),
+        );
+        let b = ProcTerm::NuMVar(
+            MVarName(7),
+            Box::new(thread(0, take_mvar(mvar(MVarName(7))))),
+        );
+        assert!(congruent(&a, &b, TidName(0)));
+    }
+
+    #[test]
+    fn free_names_are_significant() {
+        // ⟨⟩m1 ≢ ⟨⟩m2 when both are free.
+        let a = ProcTerm::EmptyMVar(MVarName(1));
+        let b = ProcTerm::EmptyMVar(MVarName(2));
+        assert!(!congruent(&a, &b, TidName(0)));
+    }
+
+    #[test]
+    fn bound_vs_free_distinguished() {
+        // νm.⟨⟩m ≢ ⟨⟩m (bound vs free).
+        let bound = ProcTerm::NuMVar(MVarName(1), Box::new(ProcTerm::EmptyMVar(MVarName(1))));
+        let free = ProcTerm::EmptyMVar(MVarName(1));
+        assert!(!congruent(&bound, &free, TidName(0)));
+    }
+
+    #[test]
+    fn shadowed_binders_restore() {
+        // νm.(⟨⟩m | νm.⟨⟩m): inner binder shadows; both atoms distinct.
+        let p = ProcTerm::NuMVar(
+            MVarName(1),
+            Box::new(ProcTerm::par(
+                ProcTerm::EmptyMVar(MVarName(1)),
+                ProcTerm::NuMVar(MVarName(1), Box::new(ProcTerm::EmptyMVar(MVarName(1)))),
+            )),
+        );
+        let soup = to_soup(&p, TidName(0));
+        assert_eq!(soup.mvars.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_free_names_rejected() {
+        let p = ProcTerm::par(
+            ProcTerm::EmptyMVar(MVarName(1)),
+            ProcTerm::EmptyMVar(MVarName(1)),
+        );
+        let _ = to_soup(&p, TidName(0));
+    }
+
+    #[test]
+    fn stuck_marker_distinguishes_states() {
+        let a = ProcTerm::Thread(TidName(0), ret(unit()), Mark::Runnable);
+        let b = ProcTerm::Thread(TidName(0), ret(unit()), Mark::Stuck);
+        assert!(!congruent(&a, &b, TidName(0)));
+    }
+}

@@ -1,0 +1,233 @@
+//! Evaluation contexts — §6.2 and the split-level contexts of §6.3.
+//!
+//! The base semantics uses `E ::= [·] | E >>= M | catch E M`. §6.3 splits
+//! the contexts to track masking:
+//!
+//! ```text
+//! Ê ::= [·] | Ê >>= M | catch Ê M
+//! E ::= Ê | Ê[block E] | Ê[unblock E]
+//! ```
+//!
+//! so that a thread's term decomposes as a stack of context frames around
+//! a redex, and whether the *innermost* surrounding `block`/`unblock` is
+//! a `block` determines if the thread is masked. The paper's convention
+//! that contexts be *maximal* corresponds to [`decompose`] recursing as
+//! deep as the grammar allows; the side condition `M ≠ block N` on rule
+//! (Receive) is then automatic.
+
+use std::rc::Rc;
+
+use crate::term::Term;
+
+/// One frame of an evaluation context, innermost-last in a
+/// [`Decomposition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtxFrame {
+    /// `[·] >>= M`.
+    BindK(Rc<Term>),
+    /// `catch [·] H`.
+    CatchH(Rc<Term>),
+    /// `block [·]`.
+    Block,
+    /// `unblock [·]`.
+    Unblock,
+}
+
+/// A maximal decomposition of a thread's term into context frames and a
+/// redex.
+///
+/// Invariant: the redex is never itself `Bind`, `Catch`, `Block` or
+/// `Unblock` (those always open a frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decomposition {
+    /// Context frames, outermost first.
+    pub frames: Vec<CtxFrame>,
+    /// The term at the evaluation site.
+    pub redex: Rc<Term>,
+}
+
+impl Decomposition {
+    /// Is the evaluation site masked — i.e. is the innermost enclosing
+    /// `block`/`unblock` frame a `block`?
+    ///
+    /// A thread with no mask frames at all is unmasked: threads start in
+    /// the unblocked state (§5.2).
+    pub fn masked(&self) -> bool {
+        for f in self.frames.iter().rev() {
+            match f {
+                CtxFrame::Block => return true,
+                CtxFrame::Unblock => return false,
+                CtxFrame::BindK(_) | CtxFrame::CatchH(_) => {}
+            }
+        }
+        false
+    }
+
+    /// The innermost frame, if any.
+    pub fn innermost(&self) -> Option<&CtxFrame> {
+        self.frames.last()
+    }
+
+    /// Rebuilds the whole term with `new_redex` plugged into the hole.
+    pub fn plug(&self, new_redex: Rc<Term>) -> Rc<Term> {
+        let mut t = new_redex;
+        for f in self.frames.iter().rev() {
+            t = match f {
+                CtxFrame::BindK(k) => Rc::new(Term::Bind(t, Rc::clone(k))),
+                CtxFrame::CatchH(h) => Rc::new(Term::Catch(t, Rc::clone(h))),
+                CtxFrame::Block => Rc::new(Term::Block(t)),
+                CtxFrame::Unblock => Rc::new(Term::Unblock(t)),
+            };
+        }
+        t
+    }
+
+    /// Rebuilds with the innermost frame removed and `new_redex` plugged
+    /// where the frame's *contents* were — the shape of rules like
+    /// (Bind), (Catch) and (Block Return), which consume one frame.
+    pub fn pop_plug(&self, new_redex: Rc<Term>) -> Rc<Term> {
+        assert!(!self.frames.is_empty(), "pop_plug on a frameless context");
+        let popped = Decomposition {
+            frames: self.frames[..self.frames.len() - 1].to_vec(),
+            redex: Rc::clone(&self.redex),
+        };
+        popped.plug(new_redex)
+    }
+}
+
+/// Maximally decomposes `term` into evaluation context and redex.
+pub fn decompose(term: &Rc<Term>) -> Decomposition {
+    let mut frames = Vec::new();
+    let mut cur = Rc::clone(term);
+    loop {
+        let next = match &*cur {
+            Term::Bind(m, k) => {
+                frames.push(CtxFrame::BindK(Rc::clone(k)));
+                Rc::clone(m)
+            }
+            Term::Catch(m, h) => {
+                frames.push(CtxFrame::CatchH(Rc::clone(h)));
+                Rc::clone(m)
+            }
+            Term::Block(m) => {
+                frames.push(CtxFrame::Block);
+                Rc::clone(m)
+            }
+            Term::Unblock(m) => {
+                frames.push(CtxFrame::Unblock);
+                Rc::clone(m)
+            }
+            _ => break,
+        };
+        cur = next;
+    }
+    Decomposition { frames, redex: cur }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::build::*;
+
+    #[test]
+    fn trivial_decomposition() {
+        let d = decompose(&ret(unit()));
+        assert!(d.frames.is_empty());
+        assert_eq!(d.redex, ret(unit()));
+        assert!(!d.masked());
+    }
+
+    #[test]
+    fn bind_spine() {
+        // (getChar >>= k1) >>= k2 decomposes to getChar under two frames.
+        let t = bind(bind(get_char(), var("k1")), var("k2"));
+        let d = decompose(&t);
+        assert_eq!(d.frames.len(), 2);
+        assert_eq!(*d.redex, crate::term::Term::GetChar);
+        assert_eq!(d.frames[0], CtxFrame::BindK(var("k2")));
+        assert_eq!(d.frames[1], CtxFrame::BindK(var("k1")));
+    }
+
+    #[test]
+    fn catch_opens_a_frame() {
+        let t = catch(get_char(), var("h"));
+        let d = decompose(&t);
+        assert_eq!(d.frames, vec![CtxFrame::CatchH(var("h"))]);
+    }
+
+    #[test]
+    fn masked_inside_block() {
+        let t = block(bind(get_char(), var("k")));
+        let d = decompose(&t);
+        assert!(d.masked());
+    }
+
+    #[test]
+    fn innermost_mask_wins() {
+        // block (unblock M): unmasked at the redex.
+        let t = block(unblock(get_char()));
+        assert!(!decompose(&t).masked());
+        // unblock (block M): masked.
+        let t2 = unblock(block(get_char()));
+        assert!(decompose(&t2).masked());
+    }
+
+    #[test]
+    fn mask_state_looks_through_bind_frames() {
+        // block (unblock M >>= k): the redex of the whole term is inside
+        // unblock's body only if decomposition enters unblock — here the
+        // bind is *inside* block but *outside* unblock... build:
+        // block( (unblock getChar) >>= k )
+        let t = block(bind(unblock(get_char()), var("k")));
+        let d = decompose(&t);
+        // frames: Block, BindK(k), Unblock — innermost mask frame is
+        // Unblock, so the redex is unmasked.
+        assert_eq!(
+            d.frames,
+            vec![
+                CtxFrame::Block,
+                CtxFrame::BindK(var("k")),
+                CtxFrame::Unblock
+            ]
+        );
+        assert!(!d.masked());
+    }
+
+    #[test]
+    fn plug_round_trips() {
+        let t = block(bind(unblock(get_char()), var("k")));
+        let d = decompose(&t);
+        assert_eq!(d.plug(Rc::clone(&d.redex)), t);
+    }
+
+    #[test]
+    fn pop_plug_removes_innermost_frame() {
+        // decomposing `getChar >>= k` and pop-plugging `return 'x' >>= k`'s
+        // replacement: (Bind)-style rewrites.
+        let t = bind(ret(ch('x')), var("k"));
+        let d = decompose(&t);
+        assert_eq!(d.frames.len(), 1);
+        let rebuilt = d.pop_plug(app(var("k"), ch('x')));
+        assert_eq!(rebuilt, app(var("k"), ch('x')));
+    }
+
+    #[test]
+    fn redex_is_never_a_context_former() {
+        let t = block(unblock(bind(catch(bind(get_char(), var("a")), var("h")), var("b"))));
+        let d = decompose(&t);
+        assert!(!matches!(
+            &*d.redex,
+            crate::term::Term::Bind(_, _)
+                | crate::term::Term::Catch(_, _)
+                | crate::term::Term::Block(_)
+                | crate::term::Term::Unblock(_)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "frameless")]
+    fn pop_plug_on_empty_context_panics() {
+        let d = decompose(&ret(unit()));
+        let _ = d.pop_plug(unit());
+    }
+}

@@ -1,0 +1,495 @@
+//! Exploring the labelled transition system.
+//!
+//! The rules of [`crate::rules`] define, for each state, the set of
+//! enabled transitions. This module drives them three ways:
+//!
+//! * [`check_safety`] — bounded-exhaustive BFS (a model checker): visit
+//!   every reachable state up to a budget, report a counterexample trace
+//!   to any state satisfying a "bad" predicate. Used to *prove* the §5.1
+//!   naive-locking race reachable and its `block`/`unblock` fix safe.
+//! * [`admits_trace`] — directed search deciding whether an observable
+//!   I/O trace (as recorded by the `conch-runtime` interpreter) is one
+//!   the formal semantics admits. This is the conformance oracle.
+//! * [`random_run`] — seeded random walks, for statistical testing.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::process::Soup;
+use crate::rules::{enabled_transitions, Label, RuleConfig, RuleName, Transition};
+use crate::term::{Term, TidName};
+
+/// A program state under exploration: the process soup plus the remaining
+/// (scripted) standard input.
+#[derive(Debug, Clone)]
+pub struct State {
+    /// The process soup.
+    pub soup: Soup,
+    /// Characters standard input will still deliver.
+    pub input: Vec<char>,
+}
+
+impl State {
+    /// The initial state of `term` with scripted input.
+    pub fn new(term: Rc<Term>, input: &str) -> State {
+        State {
+            soup: Soup::initial(term),
+            input: input.chars().collect(),
+        }
+    }
+
+    /// A canonical key for visited-state deduplication.
+    pub fn key(&self) -> String {
+        let mut k = self.soup.render();
+        k.push('⊢');
+        k.extend(self.input.iter());
+        k
+    }
+
+    /// All successor states, with the transitions that produce them.
+    pub fn successors(&self, config: &RuleConfig) -> Vec<(Transition, State)> {
+        enabled_transitions(&self.soup, &self.input, config)
+            .into_iter()
+            .map(|t| {
+                let input = if t.consumed_input {
+                    self.input[1..].to_vec()
+                } else {
+                    self.input.clone()
+                };
+                let state = State {
+                    soup: t.soup.clone(),
+                    input,
+                };
+                (t, state)
+            })
+            .collect()
+    }
+
+    /// Has the program finished (main thread dead)?
+    pub fn is_terminal(&self) -> bool {
+        self.soup.is_terminal()
+    }
+
+    /// Is the program wedged: not finished, but no transition enabled?
+    ///
+    /// This is the semantics' picture of deadlock — e.g. every thread
+    /// stuck on an `MVar` that nobody will ever fill.
+    pub fn is_deadlocked(&self, config: &RuleConfig) -> bool {
+        !self.is_terminal() && enabled_transitions(&self.soup, &self.input, config).is_empty()
+    }
+}
+
+/// Budget for exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Stop after visiting this many distinct states.
+    pub max_states: usize,
+    /// Ignore paths longer than this many transitions.
+    pub max_depth: usize,
+    /// Rule-level configuration.
+    pub rules: RuleConfig,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_states: 200_000,
+            max_depth: 10_000,
+            rules: RuleConfig::default(),
+        }
+    }
+}
+
+/// One step of a counterexample trace.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// The rule that fired.
+    pub rule: RuleName,
+    /// Its label.
+    pub label: Label,
+    /// The thread it fired in.
+    pub tid: Option<TidName>,
+    /// The state reached, rendered in the paper's notation.
+    pub state: String,
+}
+
+/// The result of a safety check.
+#[derive(Debug, Clone)]
+pub enum CheckResult {
+    /// No reachable state satisfies the bad predicate.
+    Safe {
+        /// Distinct states visited.
+        states: usize,
+        /// Whether the exploration was exhaustive (within bounds).
+        complete: bool,
+    },
+    /// A bad state is reachable; here is how.
+    Violation {
+        /// The rule/label sequence from the initial state.
+        trace: Vec<TraceStep>,
+        /// The bad state, rendered.
+        state: String,
+        /// Distinct states visited before finding it.
+        states: usize,
+    },
+}
+
+impl CheckResult {
+    /// True for [`CheckResult::Safe`].
+    pub fn is_safe(&self) -> bool {
+        matches!(self, CheckResult::Safe { .. })
+    }
+}
+
+/// Bounded-exhaustive BFS over the transition system, checking a safety
+/// property: returns a counterexample trace to the first state where
+/// `bad` holds, or reports safety within the explored bound.
+pub fn check_safety(
+    init: &State,
+    config: &ExploreConfig,
+    bad: impl Fn(&State) -> bool,
+) -> CheckResult {
+    struct Edge {
+        parent: String,
+        rule: RuleName,
+        label: Label,
+        tid: Option<TidName>,
+        state_render: String,
+    }
+    let mut visited: HashSet<String> = HashSet::new();
+    let mut edges: HashMap<String, Edge> = HashMap::new();
+    let mut queue: VecDeque<(State, usize)> = VecDeque::new();
+    let init_key = init.key();
+    visited.insert(init_key.clone());
+    queue.push_back((init.clone(), 0));
+    let mut complete = true;
+
+    let rebuild_trace = |edges: &HashMap<String, Edge>, mut key: String| {
+        let mut steps = Vec::new();
+        while let Some(e) = edges.get(&key) {
+            steps.push(TraceStep {
+                rule: e.rule,
+                label: e.label,
+                tid: e.tid,
+                state: e.state_render.clone(),
+            });
+            key = e.parent.clone();
+        }
+        steps.reverse();
+        steps
+    };
+
+    if bad(init) {
+        return CheckResult::Violation {
+            trace: Vec::new(),
+            state: init.soup.render(),
+            states: 1,
+        };
+    }
+
+    while let Some((state, depth)) = queue.pop_front() {
+        if depth >= config.max_depth {
+            complete = false;
+            continue;
+        }
+        let key = state.key();
+        for (t, next) in state.successors(&config.rules) {
+            let nkey = next.key();
+            if visited.contains(&nkey) {
+                continue;
+            }
+            if visited.len() >= config.max_states {
+                complete = false;
+                continue;
+            }
+            visited.insert(nkey.clone());
+            edges.insert(
+                nkey.clone(),
+                Edge {
+                    parent: key.clone(),
+                    rule: t.rule,
+                    label: t.label,
+                    tid: t.tid,
+                    state_render: next.soup.render(),
+                },
+            );
+            if bad(&next) {
+                let states = visited.len();
+                return CheckResult::Violation {
+                    trace: rebuild_trace(&edges, nkey),
+                    state: next.soup.render(),
+                    states,
+                };
+            }
+            queue.push_back((next, depth + 1));
+        }
+    }
+    CheckResult::Safe {
+        states: visited.len(),
+        complete,
+    }
+}
+
+/// An observable event for conformance checking: the `!c`/`?c` labels
+/// (time labels are treated as internal — the runtime's virtual clock
+/// partitions time differently than the per-sleep `$d` labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Obs {
+    /// A character written.
+    Put(char),
+    /// A character read.
+    Get(char),
+}
+
+/// Does the semantics admit the observable trace `w`, starting from
+/// `init` and (if `require_termination`) ending in a terminal state?
+///
+/// Directed search with memoization on (state, position): internal
+/// transitions (τ and `$d`) advance the state freely; `!c`/`?c` labels
+/// must match the next event of `w`.
+pub fn admits_trace(
+    init: &State,
+    w: &[Obs],
+    require_termination: bool,
+    config: &ExploreConfig,
+) -> bool {
+    let mut seen: HashSet<(String, usize)> = HashSet::new();
+    let mut stack: Vec<(State, usize, usize)> = vec![(init.clone(), 0, 0)];
+    while let Some((state, pos, depth)) = stack.pop() {
+        if pos == w.len() && (!require_termination || state.is_terminal()) {
+            return true;
+        }
+        if depth >= config.max_depth || seen.len() >= config.max_states {
+            continue;
+        }
+        let key = (state.key(), pos);
+        if !seen.insert(key) {
+            continue;
+        }
+        for (t, next) in state.successors(&config.rules) {
+            match t.label {
+                Label::Tau | Label::Time(_) => stack.push((next, pos, depth + 1)),
+                Label::Put(c) => {
+                    if pos < w.len() && w[pos] == Obs::Put(c) {
+                        stack.push((next, pos + 1, depth + 1));
+                    }
+                }
+                Label::Get(c) => {
+                    if pos < w.len() && w[pos] == Obs::Get(c) {
+                        stack.push((next, pos + 1, depth + 1));
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// The result of a random walk.
+#[derive(Debug, Clone)]
+pub struct RandomRun {
+    /// The rules fired, in order, with labels.
+    pub steps: Vec<(RuleName, Label)>,
+    /// The final state.
+    pub state: State,
+    /// Whether the walk ended in a terminal state.
+    pub terminated: bool,
+    /// Whether the walk ended wedged (deadlock).
+    pub deadlocked: bool,
+}
+
+/// Takes a uniformly random enabled transition at each step, up to
+/// `max_steps`, with a seeded RNG (deterministic per seed).
+pub fn random_run(init: &State, seed: u64, max_steps: usize, config: &RuleConfig) -> RandomRun {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = init.clone();
+    let mut steps = Vec::new();
+    for _ in 0..max_steps {
+        if state.is_terminal() {
+            break;
+        }
+        let succ = state.successors(config);
+        if succ.is_empty() {
+            return RandomRun {
+                steps,
+                terminated: false,
+                deadlocked: true,
+                state,
+            };
+        }
+        let i = rng.gen_range(0..succ.len());
+        let (t, next) = succ.into_iter().nth(i).expect("index in range");
+        steps.push((t.rule, t.label));
+        state = next;
+    }
+    let terminated = state.is_terminal();
+    RandomRun {
+        steps,
+        terminated,
+        deadlocked: false,
+        state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::build::*;
+
+    #[test]
+    fn hello_terminates() {
+        let prog = seq(put_char(ch('h')), put_char(ch('i')));
+        let init = State::new(prog, "");
+        let r = check_safety(&init, &ExploreConfig::default(), |_| false);
+        match r {
+            CheckResult::Safe { states, complete } => {
+                assert!(complete);
+                assert!(states > 2);
+            }
+            CheckResult::Violation { .. } => panic!("no bad predicate given"),
+        }
+    }
+
+    #[test]
+    fn admits_correct_trace() {
+        let prog = seq(put_char(ch('h')), put_char(ch('i')));
+        let init = State::new(prog, "");
+        let cfg = ExploreConfig::default();
+        assert!(admits_trace(&init, &[Obs::Put('h'), Obs::Put('i')], true, &cfg));
+        assert!(!admits_trace(&init, &[Obs::Put('i'), Obs::Put('h')], true, &cfg));
+        assert!(!admits_trace(&init, &[Obs::Put('h')], true, &cfg));
+        // ...but 'h' alone is fine if termination is not required.
+        assert!(admits_trace(&init, &[Obs::Put('h')], false, &cfg));
+    }
+
+    #[test]
+    fn echo_program_traces() {
+        // do { c <- getChar; putChar c }
+        let prog = bind(get_char(), lam("c", put_char(var("c"))));
+        let init = State::new(prog, "z");
+        let cfg = ExploreConfig::default();
+        assert!(admits_trace(&init, &[Obs::Get('z'), Obs::Put('z')], true, &cfg));
+        assert!(!admits_trace(&init, &[Obs::Put('z')], true, &cfg));
+    }
+
+    #[test]
+    fn concurrent_puts_admit_both_orders() {
+        // forkIO (putChar 'a') >> putChar 'b': both !a!b and !b!a legal.
+        let prog = seq(fork(put_char(ch('a'))), put_char(ch('b')));
+        let init = State::new(prog, "");
+        let cfg = ExploreConfig::default();
+        assert!(admits_trace(&init, &[Obs::Put('a'), Obs::Put('b')], true, &cfg));
+        assert!(admits_trace(&init, &[Obs::Put('b'), Obs::Put('a')], true, &cfg));
+        assert!(!admits_trace(&init, &[Obs::Put('a'), Obs::Put('a')], true, &cfg));
+        // The child's output may be lost if main finishes first: (Proc GC).
+        assert!(admits_trace(&init, &[Obs::Put('b')], true, &cfg));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let prog = bind(new_empty_mvar(), lam("m", take_mvar(var("m"))));
+        let init = State::new(prog, "");
+        let cfg = ExploreConfig::default();
+        let r = check_safety(&init, &cfg, |s| s.is_deadlocked(&cfg.rules));
+        match r {
+            CheckResult::Violation { trace, .. } => {
+                let rules: Vec<_> = trace.iter().map(|s| s.rule).collect();
+                assert!(rules.contains(&RuleName::StuckTakeMVar));
+            }
+            CheckResult::Safe { .. } => panic!("expected a deadlock"),
+        }
+    }
+
+    #[test]
+    fn kill_thread_reaches_the_target() {
+        // main forks a putChar-looper? Simpler: fork a sleeper, then
+        // throwTo it; check a state is reachable where the child has an
+        // exception at its redex.
+        let prog = bind(
+            fork(seq(sleep(int(5)), put_char(ch('L')))),
+            lam("t", seq(throw_to(var("t"), exc("KillThread")), put_char(ch('M')))),
+        );
+        let init = State::new(prog, "");
+        let cfg = ExploreConfig::default();
+        // Bad = the loser printed L *after* being killed is impossible to
+        // state directly; instead: verify !M alone is admissible (child
+        // killed before printing) AND !L!M, !M!L are admissible (child
+        // won the race or interleaved).
+        assert!(admits_trace(&init, &[Obs::Put('M')], true, &cfg));
+        assert!(admits_trace(&init, &[Obs::Put('L'), Obs::Put('M')], true, &cfg));
+        assert!(admits_trace(&init, &[Obs::Put('M'), Obs::Put('L')], true, &cfg));
+    }
+
+    #[test]
+    fn random_run_is_deterministic_per_seed() {
+        let prog = seq(
+            fork(put_char(ch('a'))),
+            seq(fork(put_char(ch('b'))), put_char(ch('c'))),
+        );
+        let mk = || State::new(prog.clone(), "");
+        let cfg = RuleConfig::default();
+        let r1 = random_run(&mk(), 99, 500, &cfg);
+        let r2 = random_run(&mk(), 99, 500, &cfg);
+        assert_eq!(r1.steps, r2.steps);
+    }
+
+    #[test]
+    fn random_run_reports_deadlock() {
+        let prog = bind(new_empty_mvar(), lam("m", take_mvar(var("m"))));
+        let r = random_run(&State::new(prog, ""), 1, 100, &RuleConfig::default());
+        assert!(r.deadlocked);
+        assert!(!r.terminated);
+    }
+
+    #[test]
+    fn masked_region_protects_against_kill() {
+        // main: m <- newEmptyMVar; t <- fork child; throwTo t K; takeMVar m
+        // child: (putChar 'x'; putChar 'y'; putMVar m ()), optionally
+        // wrapped in block.
+        //
+        // Unprotected child: the kill can land between the puts and the
+        // putMVar — main then waits forever: DEADLOCK REACHABLE.
+        // Protected child: the child is masked from its very first step
+        // (the fork body *is* the block), putChar is not interruptible
+        // while runnable, so the child always completes: DEADLOCK
+        // UNREACHABLE. This is E1's shape at the semantics level.
+        let mk = |protect: bool| {
+            let core = seq(
+                put_char(ch('x')),
+                seq(put_char(ch('y')), put_mvar(var("m"), unit())),
+            );
+            let child = if protect { block(core) } else { core };
+            bind(
+                new_empty_mvar(),
+                lam(
+                    "m",
+                    bind(
+                        fork(child),
+                        lam("t", seq(throw_to(var("t"), exc("K")), take_mvar(var("m")))),
+                    ),
+                ),
+            )
+        };
+        let cfg = ExploreConfig::default();
+
+        let unprotected = State::new(mk(false), "");
+        let r = check_safety(&unprotected, &cfg, |s| s.is_deadlocked(&cfg.rules));
+        assert!(
+            matches!(r, CheckResult::Violation { .. }),
+            "unprotected child must be killable mid-sequence, deadlocking main"
+        );
+
+        let protected_ = State::new(mk(true), "");
+        let r = check_safety(&protected_, &cfg, |s| s.is_deadlocked(&cfg.rules));
+        match r {
+            CheckResult::Safe { complete, .. } => assert!(complete),
+            CheckResult::Violation { trace, state, .. } => {
+                let rendered: Vec<_> = trace.iter().map(|s| format!("{} {}", s.rule, s.state)).collect();
+                panic!("block failed to protect the child: {rendered:#?} -> {state}");
+            }
+        }
+    }
+}

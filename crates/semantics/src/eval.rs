@@ -1,0 +1,413 @@
+//! The inner, purely-functional semantics (§6.2).
+//!
+//! The paper stratifies its semantics: an *inner* semantics evaluates pure
+//! terms (call-by-name, after \[11\]), defining two mutually exclusive
+//! relations — convergence `M ⇓ V` and exceptional convergence `M ⇓ e` —
+//! and the outer transition system lifts evaluation with the (Eval) and
+//! (Raise) rules.
+//!
+//! This module implements that inner semantics as a fuel-bounded big-step
+//! evaluator over closed terms. Pure code can `raise` exceptions (but not
+//! catch them); whether the evaluator reports convergence or exceptional
+//! convergence for a given term is deterministic here (leftmost-innermost
+//! choice among strict positions), which is one admissible refinement of
+//! the paper's imprecise-exceptions nondeterminism.
+
+use std::rc::Rc;
+
+use crate::term::{Exc, PrimOp, Term};
+
+/// The outcome of evaluating a pure term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `M ⇓ V` — the term converged to the value `V`.
+    Value(Rc<Term>),
+    /// `M ⇓ e` — the term raised the exception `e` during evaluation.
+    Raised(Exc),
+    /// The fuel budget ran out: the term may diverge.
+    OutOfFuel,
+    /// Evaluation got wedged: a free variable at the head, an ill-typed
+    /// primitive, or a non-function applied. The term is not part of the
+    /// meaningful language; surfaced explicitly rather than panicking so
+    /// the model checker can flag bad states.
+    Wedged(String),
+}
+
+impl Outcome {
+    /// Unwraps a converged value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome is not [`Outcome::Value`].
+    pub fn unwrap_value(self) -> Rc<Term> {
+        match self {
+            Outcome::Value(v) => v,
+            other => panic!("expected convergence, got {other:?}"),
+        }
+    }
+}
+
+/// Capture-avoiding substitution `M[N/x]`.
+///
+/// Bound variables that would capture free variables of `N` are renamed
+/// with a fresh suffix.
+pub fn subst(m: &Rc<Term>, x: &str, n: &Rc<Term>) -> Rc<Term> {
+    let fv_n = n.free_vars();
+    subst_go(m, x, n, &fv_n, &mut 0)
+}
+
+fn subst_go(
+    m: &Rc<Term>,
+    x: &str,
+    n: &Rc<Term>,
+    fv_n: &std::collections::BTreeSet<String>,
+    fresh: &mut u64,
+) -> Rc<Term> {
+    match &**m {
+        Term::Var(y) => {
+            if y == x {
+                Rc::clone(n)
+            } else {
+                Rc::clone(m)
+            }
+        }
+        Term::Lam(y, body) => {
+            if y == x {
+                // x is shadowed; no substitution under the binder.
+                Rc::clone(m)
+            } else if fv_n.contains(y) {
+                // Rename y to avoid capturing N's free y.
+                let mut y2 = format!("{y}'{fresh}");
+                *fresh += 1;
+                while fv_n.contains(&y2) || body.free_vars().contains(&y2) {
+                    y2 = format!("{y}'{fresh}");
+                    *fresh += 1;
+                }
+                let renamed = subst_go(
+                    body,
+                    y,
+                    &Rc::new(Term::Var(y2.clone())),
+                    &std::iter::once(y2.clone()).collect(),
+                    fresh,
+                );
+                Rc::new(Term::Lam(y2, subst_go(&renamed, x, n, fv_n, fresh)))
+            } else {
+                Rc::new(Term::Lam(y.clone(), subst_go(body, x, n, fv_n, fresh)))
+            }
+        }
+        Term::App(a, b) => Rc::new(Term::App(
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::If(c, t, e) => Rc::new(Term::If(
+            subst_go(c, x, n, fv_n, fresh),
+            subst_go(t, x, n, fv_n, fresh),
+            subst_go(e, x, n, fv_n, fresh),
+        )),
+        Term::Prim(op, a, b) => Rc::new(Term::Prim(
+            *op,
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::Raise(e) => Rc::new(Term::Raise(subst_go(e, x, n, fv_n, fresh))),
+        Term::Con(k, args) => Rc::new(Term::Con(
+            k.clone(),
+            args.iter().map(|a| subst_go(a, x, n, fv_n, fresh)).collect(),
+        )),
+        Term::Return(a) => Rc::new(Term::Return(subst_go(a, x, n, fv_n, fresh))),
+        Term::Bind(a, b) => Rc::new(Term::Bind(
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::PutChar(a) => Rc::new(Term::PutChar(subst_go(a, x, n, fv_n, fresh))),
+        Term::PutMVar(a, b) => Rc::new(Term::PutMVar(
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::TakeMVar(a) => Rc::new(Term::TakeMVar(subst_go(a, x, n, fv_n, fresh))),
+        Term::Sleep(a) => Rc::new(Term::Sleep(subst_go(a, x, n, fv_n, fresh))),
+        Term::Fork(a) => Rc::new(Term::Fork(subst_go(a, x, n, fv_n, fresh))),
+        Term::Throw(a) => Rc::new(Term::Throw(subst_go(a, x, n, fv_n, fresh))),
+        Term::Catch(a, b) => Rc::new(Term::Catch(
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::ThrowTo(a, b) => Rc::new(Term::ThrowTo(
+            subst_go(a, x, n, fv_n, fresh),
+            subst_go(b, x, n, fv_n, fresh),
+        )),
+        Term::Block(a) => Rc::new(Term::Block(subst_go(a, x, n, fv_n, fresh))),
+        Term::Unblock(a) => Rc::new(Term::Unblock(subst_go(a, x, n, fv_n, fresh))),
+        Term::Unit
+        | Term::Bool(_)
+        | Term::Int(_)
+        | Term::Char(_)
+        | Term::ExcLit(_)
+        | Term::MVarRef(_)
+        | Term::TidRef(_)
+        | Term::GetChar
+        | Term::NewEmptyMVar
+        | Term::MyThreadId => Rc::clone(m),
+    }
+}
+
+/// Native-stack guard: evaluation deeper than this reports
+/// [`Outcome::OutOfFuel`] (the term is treated as divergent). The pure
+/// fragments of the paper's programs are all shallow; only intentionally
+/// divergent terms (Ω) hit this.
+const MAX_EVAL_DEPTH: u32 = 300;
+
+/// Evaluates a pure term to a Figure 1 value, with a fuel bound.
+///
+/// Implements the inner semantics: `M ⇓ V` yields [`Outcome::Value`],
+/// `M ⇓ e` yields [`Outcome::Raised`].
+pub fn eval(m: &Rc<Term>, fuel: &mut u64) -> Outcome {
+    eval_at(m, fuel, 0)
+}
+
+fn eval_at(m: &Rc<Term>, fuel: &mut u64, depth: u32) -> Outcome {
+    if *fuel == 0 || depth > MAX_EVAL_DEPTH {
+        return Outcome::OutOfFuel;
+    }
+    *fuel -= 1;
+    if m.is_value() {
+        return Outcome::Value(Rc::clone(m));
+    }
+    match &**m {
+        Term::App(f, a) => match eval_at(f, fuel, depth + 1) {
+            Outcome::Value(fv) => match &*fv {
+                Term::Lam(x, body) => eval_at(&subst(body, x, a), fuel, depth + 1),
+                other => Outcome::Wedged(format!("applied non-function: {other}")),
+            },
+            other => other,
+        },
+        Term::If(c, t, e) => match eval_at(c, fuel, depth + 1) {
+            Outcome::Value(cv) => match &*cv {
+                Term::Bool(true) => eval_at(t, fuel, depth + 1),
+                Term::Bool(false) => eval_at(e, fuel, depth + 1),
+                other => Outcome::Wedged(format!("if on non-boolean: {other}")),
+            },
+            other => other,
+        },
+        Term::Prim(op, a, b) => {
+            let av = match eval_at(a, fuel, depth + 1) {
+                Outcome::Value(v) => v,
+                other => return other,
+            };
+            let bv = match eval_at(b, fuel, depth + 1) {
+                Outcome::Value(v) => v,
+                other => return other,
+            };
+            match (&*av, &*bv) {
+                (Term::Int(x), Term::Int(y)) => prim_int(*op, *x, *y),
+                _ => Outcome::Wedged(format!(
+                    "primitive {} on non-integers: {av}, {bv}",
+                    op.symbol()
+                )),
+            }
+        }
+        Term::Raise(e) => match eval_at(e, fuel, depth + 1) {
+            Outcome::Value(ev) => match &*ev {
+                Term::ExcLit(exc) => Outcome::Raised(exc.clone()),
+                other => Outcome::Wedged(format!("raise of non-exception: {other}")),
+            },
+            other => other,
+        },
+        // Monadic operations with unevaluated strict arguments: evaluate
+        // the argument, then rebuild (putChar is "a strict data
+        // constructor", §6).
+        Term::PutChar(a) => strict1(a, fuel, depth, Term::PutChar),
+        Term::TakeMVar(a) => strict1(a, fuel, depth, Term::TakeMVar),
+        Term::Sleep(a) => strict1(a, fuel, depth, Term::Sleep),
+        Term::Throw(a) => strict1(a, fuel, depth, Term::Throw),
+        Term::PutMVar(a, b) => {
+            let b = Rc::clone(b);
+            strict1(a, fuel, depth, move |v| Term::PutMVar(v, Rc::clone(&b)))
+        }
+        Term::ThrowTo(a, b) => {
+            let av = match eval_at(a, fuel, depth + 1) {
+                Outcome::Value(v) => v,
+                other => return other,
+            };
+            let bv = match eval_at(b, fuel, depth + 1) {
+                Outcome::Value(v) => v,
+                other => return other,
+            };
+            Outcome::Value(Rc::new(Term::ThrowTo(av, bv)))
+        }
+        Term::Var(x) => Outcome::Wedged(format!("free variable {x}")),
+        _ => Outcome::Wedged(format!("no evaluation rule for {m}")),
+    }
+}
+
+fn strict1(
+    a: &Rc<Term>,
+    fuel: &mut u64,
+    depth: u32,
+    rebuild: impl FnOnce(Rc<Term>) -> Term,
+) -> Outcome {
+    match eval_at(a, fuel, depth + 1) {
+        Outcome::Value(v) => Outcome::Value(Rc::new(rebuild(v))),
+        other => other,
+    }
+}
+
+fn prim_int(op: PrimOp, x: i64, y: i64) -> Outcome {
+    match op {
+        PrimOp::Add => Outcome::Value(Rc::new(Term::Int(x.wrapping_add(y)))),
+        PrimOp::Sub => Outcome::Value(Rc::new(Term::Int(x.wrapping_sub(y)))),
+        PrimOp::Mul => Outcome::Value(Rc::new(Term::Int(x.wrapping_mul(y)))),
+        PrimOp::Div => {
+            if y == 0 {
+                Outcome::Raised(Exc::divide_by_zero())
+            } else {
+                Outcome::Value(Rc::new(Term::Int(x.wrapping_div(y))))
+            }
+        }
+        PrimOp::Eq => Outcome::Value(Rc::new(Term::Bool(x == y))),
+        PrimOp::Lt => Outcome::Value(Rc::new(Term::Bool(x < y))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::build::*;
+
+    fn ev(t: crate::term::build::T) -> Outcome {
+        let mut fuel = 100_000;
+        eval(&t, &mut fuel)
+    }
+
+    #[test]
+    fn beta_reduction() {
+        let t = app(lam("x", add(var("x"), int(1))), int(41));
+        assert_eq!(ev(t), Outcome::Value(int(42)));
+    }
+
+    #[test]
+    fn call_by_name_ignores_unused_divergence() {
+        // (\x -> 7) Ω converges under call-by-name.
+        let omega = app(
+            lam("w", app(var("w"), var("w"))),
+            lam("w", app(var("w"), var("w"))),
+        );
+        let t = app(lam("x", int(7)), omega);
+        assert_eq!(ev(t), Outcome::Value(int(7)));
+    }
+
+    #[test]
+    fn divergence_exhausts_fuel() {
+        let omega = app(
+            lam("w", app(var("w"), var("w"))),
+            lam("w", app(var("w"), var("w"))),
+        );
+        assert_eq!(ev(omega), Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn conditionals() {
+        let t = ite(prim(crate::term::PrimOp::Lt, int(1), int(2)), int(10), int(20));
+        assert_eq!(ev(t), Outcome::Value(int(10)));
+    }
+
+    #[test]
+    fn divide_by_zero_raises() {
+        assert_eq!(ev(div(int(1), int(0))), Outcome::Raised(Exc::divide_by_zero()));
+    }
+
+    #[test]
+    fn raise_propagates_through_context() {
+        // raise inside an argument that *is* demanded.
+        let t = add(int(1), raise(exc("Boom")));
+        assert_eq!(ev(t), Outcome::Raised(Exc::new("Boom")));
+    }
+
+    #[test]
+    fn convergence_and_raising_are_exclusive() {
+        // The same term cannot both converge and raise: evaluation is a
+        // function of the term here (deterministic refinement).
+        let t = add(raise(exc("A")), raise(exc("B")));
+        assert_eq!(ev(t.clone()), Outcome::Raised(Exc::new("A")));
+        assert_eq!(ev(t), Outcome::Raised(Exc::new("A")));
+    }
+
+    #[test]
+    fn strict_monadic_argument_evaluated() {
+        // putChar (chr 65): we model chr via arithmetic on chars being
+        // unavailable, so use an if: putChar (if true then 'A' else 'B').
+        let t = put_char(ite(boolean(true), ch('A'), ch('B')));
+        let v = ev(t).unwrap_value();
+        assert_eq!(*v, crate::term::Term::PutChar(ch('A')));
+        assert!(v.is_value());
+    }
+
+    #[test]
+    fn sleep_argument_computed() {
+        let t = sleep(add(int(2), int(3)));
+        let v = ev(t).unwrap_value();
+        assert_eq!(v.to_string(), "(sleep 5)");
+    }
+
+    #[test]
+    fn raising_inside_strict_argument() {
+        let t = put_char(raise(exc("E")));
+        assert_eq!(ev(t), Outcome::Raised(Exc::new("E")));
+    }
+
+    #[test]
+    fn capture_avoiding_substitution() {
+        // (\x -> \y -> x) y  ⇓  \y' -> y  (not \y -> y!)
+        let t = app(lam("x", lam("y", var("x"))), var("y"));
+        let v = ev(t).unwrap_value();
+        match &*v {
+            crate::term::Term::Lam(b, body) => {
+                assert_ne!(b, "y");
+                assert_eq!(**body, crate::term::Term::Var("y".into()));
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn free_variable_is_wedged() {
+        assert!(matches!(ev(add(var("x"), int(1))), Outcome::Wedged(_)));
+    }
+
+    #[test]
+    fn ill_typed_application_is_wedged() {
+        assert!(matches!(ev(app(int(3), int(4))), Outcome::Wedged(_)));
+    }
+
+    #[test]
+    fn recursion_via_y_combinator() {
+        // Y f = (\x -> f (x x)) (\x -> f (x x)) — call-by-name Y works.
+        let y = lam(
+            "f",
+            app(
+                lam("x", app(var("f"), app(var("x"), var("x")))),
+                lam("x", app(var("f"), app(var("x"), var("x")))),
+            ),
+        );
+        // fact = Y (\rec -> \n -> if n == 0 then 1 else n * rec (n - 1))
+        let fact = app(
+            y,
+            lam(
+                "rec",
+                lam(
+                    "n",
+                    ite(
+                        prim(crate::term::PrimOp::Eq, var("n"), int(0)),
+                        int(1),
+                        prim(
+                            crate::term::PrimOp::Mul,
+                            var("n"),
+                            app(var("rec"), prim(crate::term::PrimOp::Sub, var("n"), int(1))),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(ev(app(fact, int(5))), Outcome::Value(int(120)));
+    }
+}

@@ -1,0 +1,231 @@
+//! Program states — Figure 2 of the paper, plus the §6.3 extensions.
+//!
+//! Two representations:
+//!
+//! * [`ProcTerm`] — the syntactic process calculus with parallel
+//!   composition `P | Q` and restriction `νx.P`, exactly as in Figure 2.
+//!   Used to state and test the structural-congruence laws of Figure 3.
+//! * [`Soup`] — the canonical "chemical solution" form: a flat multiset of
+//!   threads, `MVar`s and in-flight exceptions, with restriction handled
+//!   by a fresh-name supply. The transition rules operate on `Soup`s.
+//!
+//! §6.3 adds two pieces of state: threads carry a runnable (∘) or stuck
+//! (⊛) marker, and an exception thrown but not yet received floats as a
+//! separate process `⌈t ⇐ e⌉` ([`Soup::inflight`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+use crate::term::{Exc, MVarName, Term, TidName};
+
+/// The ∘/⊛ marker of §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mark {
+    /// ∘ — the thread may make transitions.
+    Runnable,
+    /// ⊛ — the thread is stuck (blocked `takeMVar`/`putMVar`, waiting
+    /// `getChar`/`putChar`/`sleep`); only (Interrupt) or the relevant
+    /// labelled rule can revive it.
+    Stuck,
+}
+
+/// A process term of Figure 2 (with the Figure 5 in-flight exception).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProcTerm {
+    /// `⟨M⟩t` — a thread of computation named `t`.
+    Thread(TidName, Rc<Term>, Mark),
+    /// `⊘t` — a finished thread named `t`.
+    Dead(TidName),
+    /// `⟨⟩m` — an empty `MVar` named `m`.
+    EmptyMVar(MVarName),
+    /// `⟨M⟩m` — a full `MVar` named `m` holding `M`.
+    FullMVar(MVarName, Rc<Term>),
+    /// `⌈t ⇐ e⌉` — exception `e` in flight towards thread `t` (§6.3).
+    InFlight(TidName, Exc),
+    /// `P | Q` — parallel composition.
+    Par(Box<ProcTerm>, Box<ProcTerm>),
+    /// `νt.P` — restriction of a thread name.
+    NuTid(TidName, Box<ProcTerm>),
+    /// `νm.P` — restriction of an `MVar` name.
+    NuMVar(MVarName, Box<ProcTerm>),
+}
+
+impl ProcTerm {
+    /// `P | Q`, taking ownership.
+    pub fn par(p: ProcTerm, q: ProcTerm) -> ProcTerm {
+        ProcTerm::Par(Box::new(p), Box::new(q))
+    }
+}
+
+/// The state of one thread in a [`Soup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadState {
+    /// The thread's remaining computation.
+    pub term: Rc<Term>,
+    /// Runnable or stuck.
+    pub mark: Mark,
+}
+
+/// The canonical flattened program state.
+///
+/// All process atoms of a [`ProcTerm`], with ν-bound names resolved
+/// against a monotone fresh-name supply. Equality on `Soup`s is used by
+/// the model checker to deduplicate states.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soup {
+    /// Live threads, by name.
+    pub threads: BTreeMap<TidName, ThreadState>,
+    /// Finished threads `⊘t`.
+    pub dead: BTreeSet<TidName>,
+    /// `MVar`s: `None` = empty, `Some(M)` = full holding `M`.
+    pub mvars: BTreeMap<MVarName, Option<Rc<Term>>>,
+    /// Exceptions in flight, as a sorted multiset of `(target, exc)`.
+    pub inflight: Vec<(TidName, Exc)>,
+    /// The distinguished main thread.
+    pub main: TidName,
+    /// Fresh-name supply for `ν` (thread names).
+    pub next_tid: u32,
+    /// Fresh-name supply for `ν` (`MVar` names).
+    pub next_mvar: u32,
+}
+
+impl Soup {
+    /// The initial state: one runnable main thread running `term`.
+    pub fn initial(term: Rc<Term>) -> Soup {
+        let main = TidName(0);
+        let mut threads = BTreeMap::new();
+        threads.insert(
+            main,
+            ThreadState {
+                term,
+                mark: Mark::Runnable,
+            },
+        );
+        Soup {
+            threads,
+            dead: BTreeSet::new(),
+            mvars: BTreeMap::new(),
+            inflight: Vec::new(),
+            main,
+            next_tid: 1,
+            next_mvar: 0,
+        }
+    }
+
+    /// Allocates a fresh thread name (the `ν u` of rule (Fork)).
+    pub fn fresh_tid(&mut self) -> TidName {
+        let t = TidName(self.next_tid);
+        self.next_tid += 1;
+        t
+    }
+
+    /// Allocates a fresh `MVar` name (the `ν m` of rule (NewMVar)).
+    pub fn fresh_mvar(&mut self) -> MVarName {
+        let m = MVarName(self.next_mvar);
+        self.next_mvar += 1;
+        m
+    }
+
+    /// Adds an in-flight exception, keeping the multiset sorted.
+    pub fn add_inflight(&mut self, t: TidName, e: Exc) {
+        let pos = self
+            .inflight
+            .binary_search(&(t, e.clone()))
+            .unwrap_or_else(|p| p);
+        self.inflight.insert(pos, (t, e));
+    }
+
+    /// Is the main thread finished (normally or by an uncaught throw)?
+    pub fn main_finished(&self) -> bool {
+        self.dead.contains(&self.main)
+    }
+
+    /// Is this a terminal state: no transition can ever fire again?
+    ///
+    /// True when the main thread is dead (then (Proc GC) reaps the rest)
+    /// — callers treat that as normal termination.
+    pub fn is_terminal(&self) -> bool {
+        self.main_finished()
+    }
+
+    /// Renders the soup in the paper's notation.
+    pub fn render(&self) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        for (t, st) in &self.threads {
+            let mark = match st.mark {
+                Mark::Runnable => "°",
+                Mark::Stuck => "⊛",
+            };
+            let main = if *t == self.main { "*" } else { "" };
+            parts.push(format!("⟨{}⟩{}{}{}", st.term, t, mark, main));
+        }
+        for t in &self.dead {
+            parts.push(format!("⊘{t}"));
+        }
+        for (m, contents) in &self.mvars {
+            match contents {
+                None => parts.push(format!("⟨⟩{m}")),
+                Some(v) => parts.push(format!("⟨{v}⟩{m}")),
+            }
+        }
+        for (t, e) in &self.inflight {
+            parts.push(format!("⌈{t} ⇐ {e}⌉"));
+        }
+        parts.join(" | ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::build::*;
+
+    #[test]
+    fn initial_soup_has_main_runnable() {
+        let s = Soup::initial(ret(unit()));
+        assert_eq!(s.threads.len(), 1);
+        assert_eq!(s.threads[&s.main].mark, Mark::Runnable);
+        assert!(!s.main_finished());
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let mut s = Soup::initial(ret(unit()));
+        let t1 = s.fresh_tid();
+        let t2 = s.fresh_tid();
+        assert_ne!(t1, t2);
+        let m1 = s.fresh_mvar();
+        let m2 = s.fresh_mvar();
+        assert_ne!(m1, m2);
+    }
+
+    #[test]
+    fn inflight_multiset_is_sorted() {
+        let mut s = Soup::initial(ret(unit()));
+        s.add_inflight(TidName(2), Exc::new("B"));
+        s.add_inflight(TidName(1), Exc::new("A"));
+        s.add_inflight(TidName(2), Exc::new("A"));
+        let rendered: Vec<_> = s.inflight.iter().map(|(t, e)| format!("{t}{e}")).collect();
+        assert_eq!(rendered, ["t1A", "t2A", "t2B"]);
+    }
+
+    #[test]
+    fn render_uses_paper_notation() {
+        let mut s = Soup::initial(ret(unit()));
+        let m = s.fresh_mvar();
+        s.mvars.insert(m, None);
+        s.add_inflight(s.main, Exc::kill_thread());
+        let r = s.render();
+        assert!(r.contains("⟨(return ())⟩t0"), "got {r}");
+        assert!(r.contains("⟨⟩m0"));
+        assert!(r.contains("⌈t0 ⇐ KillThread⌉"));
+    }
+
+    #[test]
+    fn terminal_when_main_dead() {
+        let mut s = Soup::initial(ret(unit()));
+        s.threads.remove(&s.main);
+        s.dead.insert(s.main);
+        assert!(s.is_terminal());
+    }
+}

@@ -1,0 +1,553 @@
+//! The syntax of values and terms — Figure 1 of the paper.
+//!
+//! Terms `M, N, H` form a small call-by-name λ-calculus extended with the
+//! monadic `IO` primitives. A [`Term`] is a *value* (`V` in Figure 1) when
+//! the purely-functional semantics considers it evaluated; notably the
+//! monadic operations are values once their *strict* arguments are values
+//! — `putChar (chr 65)` is not a value, `putChar 'A'` is. [`Term::is_value`]
+//! implements exactly that classification.
+//!
+//! Terms are immutable and shared via [`Rc`]; building blocks live in the
+//! [`build`] module, which gives tests and example programs a compact DSL.
+
+use std::fmt;
+use std::rc::Rc;
+
+/// The name of a thread in the semantics (`t`, `u` in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TidName(pub u32);
+
+impl fmt::Display for TidName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The name of an `MVar` in the semantics (`m` in Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MVarName(pub u32);
+
+impl fmt::Display for MVarName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// An exception constant (`e` in Figure 1).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Exc(pub String);
+
+impl Exc {
+    /// An exception named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Exc(name.into())
+    }
+
+    /// The `KillThread` exception of §7.2.
+    pub fn kill_thread() -> Self {
+        Exc::new("KillThread")
+    }
+
+    /// The divide-by-zero exception raised by pure evaluation.
+    pub fn divide_by_zero() -> Self {
+        Exc::new("DivideByZero")
+    }
+}
+
+impl fmt::Display for Exc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Primitive binary operations of the inner language.
+///
+/// Not in Figure 1 (which leaves constants `k` abstract) but needed so
+/// example programs can compute; division by zero raises, exercising the
+/// imprecise-exceptions path of the inner semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Integer addition.
+    Add,
+    /// Integer subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Integer division; `_ / 0` raises `DivideByZero`.
+    Div,
+    /// Integer equality, yielding a boolean.
+    Eq,
+    /// Integer less-than, yielding a boolean.
+    Lt,
+}
+
+impl PrimOp {
+    /// The operator's conventional symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            PrimOp::Add => "+",
+            PrimOp::Sub => "-",
+            PrimOp::Mul => "*",
+            PrimOp::Div => "/",
+            PrimOp::Eq => "==",
+            PrimOp::Lt => "<",
+        }
+    }
+}
+
+/// A term of the object language (Figure 1, plus the Figure 5 additions
+/// `throwTo`, `block` and `unblock`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    // ----- the inner, purely-functional language -----
+    /// A variable `x`.
+    Var(String),
+    /// A λ-abstraction `\x -> M`.
+    Lam(String, Rc<Term>),
+    /// Application `M N`.
+    App(Rc<Term>, Rc<Term>),
+    /// `if M then N1 else N2`.
+    If(Rc<Term>, Rc<Term>, Rc<Term>),
+    /// A primitive arithmetic/comparison operation.
+    Prim(PrimOp, Rc<Term>, Rc<Term>),
+    /// `raise e` — raising an exception in *pure* code (§6.2).
+    Raise(Rc<Term>),
+    /// The unit constant `()`.
+    Unit,
+    /// A boolean constant.
+    Bool(bool),
+    /// An integer constant `d`.
+    Int(i64),
+    /// A character constant `ch`.
+    Char(char),
+    /// An exception constant `e`.
+    ExcLit(Exc),
+    /// An `MVar` name `m`.
+    MVarRef(MVarName),
+    /// A thread name `t`.
+    TidRef(TidName),
+    /// A saturated constructor application `k M1 … Mn`.
+    Con(String, Vec<Rc<Term>>),
+
+    // ----- monadic IO values (Figure 1) -----
+    /// `return M`.
+    Return(Rc<Term>),
+    /// `M >>= N`.
+    Bind(Rc<Term>, Rc<Term>),
+    /// `putChar M` — a value only when `M` is a character constant.
+    PutChar(Rc<Term>),
+    /// `getChar`.
+    GetChar,
+    /// `putMVar M N` — a value only when `M` is an `MVar` name.
+    PutMVar(Rc<Term>, Rc<Term>),
+    /// `takeMVar M` — a value only when `M` is an `MVar` name.
+    TakeMVar(Rc<Term>),
+    /// `newEmptyMVar`.
+    NewEmptyMVar,
+    /// `sleep M` — a value only when `M` is an integer constant.
+    Sleep(Rc<Term>),
+    /// `forkIO M`.
+    Fork(Rc<Term>),
+    /// `myThreadId`.
+    MyThreadId,
+    /// `throw M` — a value only when `M` is an exception constant.
+    Throw(Rc<Term>),
+    /// `catch M H`.
+    Catch(Rc<Term>, Rc<Term>),
+
+    // ----- the §5 extension (Figure 5 values) -----
+    /// `throwTo M N` — a value when `M` is a thread name and `N` an
+    /// exception constant.
+    ThrowTo(Rc<Term>, Rc<Term>),
+    /// `block M`.
+    Block(Rc<Term>),
+    /// `unblock M`.
+    Unblock(Rc<Term>),
+}
+
+impl Term {
+    /// Is this term a value `V` in the sense of Figure 1?
+    ///
+    /// Monadic operations count as values exactly when their strict
+    /// arguments are already constants of the right kind.
+    pub fn is_value(&self) -> bool {
+        match self {
+            Term::Var(_)
+            | Term::Lam(_, _)
+            | Term::Unit
+            | Term::Bool(_)
+            | Term::Int(_)
+            | Term::Char(_)
+            | Term::ExcLit(_)
+            | Term::MVarRef(_)
+            | Term::TidRef(_)
+            | Term::Con(_, _)
+            | Term::Return(_)
+            | Term::Bind(_, _)
+            | Term::GetChar
+            | Term::NewEmptyMVar
+            | Term::Fork(_)
+            | Term::MyThreadId
+            | Term::Catch(_, _)
+            | Term::Block(_)
+            | Term::Unblock(_) => true,
+            Term::PutChar(m) => matches!(**m, Term::Char(_)),
+            Term::PutMVar(m, _) => matches!(**m, Term::MVarRef(_)),
+            Term::TakeMVar(m) => matches!(**m, Term::MVarRef(_)),
+            Term::Sleep(d) => matches!(**d, Term::Int(_)),
+            Term::Throw(e) => matches!(**e, Term::ExcLit(_)),
+            Term::ThrowTo(t, e) => {
+                matches!(**t, Term::TidRef(_)) && matches!(**e, Term::ExcLit(_))
+            }
+            Term::App(_, _)
+            | Term::If(_, _, _)
+            | Term::Prim(_, _, _)
+            | Term::Raise(_) => false,
+        }
+    }
+
+    /// The free variables of this term.
+    pub fn free_vars(&self) -> std::collections::BTreeSet<String> {
+        fn go(t: &Term, bound: &mut Vec<String>, out: &mut std::collections::BTreeSet<String>) {
+            match t {
+                Term::Var(x) => {
+                    if !bound.iter().any(|b| b == x) {
+                        out.insert(x.clone());
+                    }
+                }
+                Term::Lam(x, b) => {
+                    bound.push(x.clone());
+                    go(b, bound, out);
+                    bound.pop();
+                }
+                Term::App(a, b) | Term::Prim(_, a, b) | Term::Bind(a, b)
+                | Term::PutMVar(a, b) | Term::Catch(a, b) | Term::ThrowTo(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Term::If(c, a, b) => {
+                    go(c, bound, out);
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Term::Raise(m)
+                | Term::Return(m)
+                | Term::PutChar(m)
+                | Term::TakeMVar(m)
+                | Term::Sleep(m)
+                | Term::Fork(m)
+                | Term::Throw(m)
+                | Term::Block(m)
+                | Term::Unblock(m) => go(m, bound, out),
+                Term::Con(_, args) => {
+                    for a in args {
+                        go(a, bound, out);
+                    }
+                }
+                Term::Unit
+                | Term::Bool(_)
+                | Term::Int(_)
+                | Term::Char(_)
+                | Term::ExcLit(_)
+                | Term::MVarRef(_)
+                | Term::TidRef(_)
+                | Term::GetChar
+                | Term::NewEmptyMVar
+                | Term::MyThreadId => {}
+            }
+        }
+        let mut out = std::collections::BTreeSet::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(x) => f.write_str(x),
+            Term::Lam(x, b) => write!(f, "(\\{x} -> {b})"),
+            Term::App(a, b) => write!(f, "({a} {b})"),
+            Term::If(c, t, e) => write!(f, "(if {c} then {t} else {e})"),
+            Term::Prim(op, a, b) => write!(f, "({a} {} {b})", op.symbol()),
+            Term::Raise(e) => write!(f, "(raise {e})"),
+            Term::Unit => f.write_str("()"),
+            Term::Bool(b) => write!(f, "{b}"),
+            Term::Int(n) => write!(f, "{n}"),
+            Term::Char(c) => write!(f, "{c:?}"),
+            Term::ExcLit(e) => write!(f, "{e}"),
+            Term::MVarRef(m) => write!(f, "{m}"),
+            Term::TidRef(t) => write!(f, "{t}"),
+            Term::Con(k, args) => {
+                write!(f, "({k}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                f.write_str(")")
+            }
+            Term::Return(m) => write!(f, "(return {m})"),
+            Term::Bind(a, b) => write!(f, "({a} >>= {b})"),
+            Term::PutChar(c) => write!(f, "(putChar {c})"),
+            Term::GetChar => f.write_str("getChar"),
+            Term::PutMVar(m, v) => write!(f, "(putMVar {m} {v})"),
+            Term::TakeMVar(m) => write!(f, "(takeMVar {m})"),
+            Term::NewEmptyMVar => f.write_str("newEmptyMVar"),
+            Term::Sleep(d) => write!(f, "(sleep {d})"),
+            Term::Fork(m) => write!(f, "(forkIO {m})"),
+            Term::MyThreadId => f.write_str("myThreadId"),
+            Term::Throw(e) => write!(f, "(throw {e})"),
+            Term::Catch(m, h) => write!(f, "(catch {m} {h})"),
+            Term::ThrowTo(t, e) => write!(f, "(throwTo {t} {e})"),
+            Term::Block(m) => write!(f, "(block {m})"),
+            Term::Unblock(m) => write!(f, "(unblock {m})"),
+        }
+    }
+}
+
+/// A compact construction DSL for terms.
+///
+/// # Examples
+///
+/// ```
+/// use conch_semantics::term::build::*;
+///
+/// // do { c <- getChar; putChar c }
+/// let prog = bind(get_char(), lam("c", put_char(var("c"))));
+/// assert!(prog.is_value());
+/// ```
+pub mod build {
+    use super::*;
+
+    /// Shorthand for an `Rc`'d term.
+    pub type T = Rc<Term>;
+
+    /// A variable reference.
+    pub fn var(x: &str) -> T {
+        Rc::new(Term::Var(x.to_owned()))
+    }
+
+    /// A λ-abstraction.
+    pub fn lam(x: &str, body: T) -> T {
+        Rc::new(Term::Lam(x.to_owned(), body))
+    }
+
+    /// Application.
+    pub fn app(f: T, a: T) -> T {
+        Rc::new(Term::App(f, a))
+    }
+
+    /// `if c then t else e`.
+    pub fn ite(c: T, t: T, e: T) -> T {
+        Rc::new(Term::If(c, t, e))
+    }
+
+    /// A primitive operation.
+    pub fn prim(op: PrimOp, a: T, b: T) -> T {
+        Rc::new(Term::Prim(op, a, b))
+    }
+
+    /// Integer addition.
+    pub fn add(a: T, b: T) -> T {
+        prim(PrimOp::Add, a, b)
+    }
+
+    /// Integer division.
+    pub fn div(a: T, b: T) -> T {
+        prim(PrimOp::Div, a, b)
+    }
+
+    /// The unit constant.
+    pub fn unit() -> T {
+        Rc::new(Term::Unit)
+    }
+
+    /// An integer constant.
+    pub fn int(n: i64) -> T {
+        Rc::new(Term::Int(n))
+    }
+
+    /// A boolean constant.
+    pub fn boolean(b: bool) -> T {
+        Rc::new(Term::Bool(b))
+    }
+
+    /// A character constant.
+    pub fn ch(c: char) -> T {
+        Rc::new(Term::Char(c))
+    }
+
+    /// An exception constant.
+    pub fn exc(name: &str) -> T {
+        Rc::new(Term::ExcLit(Exc::new(name)))
+    }
+
+    /// `raise e` in pure code.
+    pub fn raise(e: T) -> T {
+        Rc::new(Term::Raise(e))
+    }
+
+    /// `return M`.
+    pub fn ret(m: T) -> T {
+        Rc::new(Term::Return(m))
+    }
+
+    /// `M >>= N`.
+    pub fn bind(m: T, k: T) -> T {
+        Rc::new(Term::Bind(m, k))
+    }
+
+    /// `M >> N` — sequencing, desugared to `M >>= \_ -> N`.
+    pub fn seq(m: T, n: T) -> T {
+        bind(m, lam("_seq", n))
+    }
+
+    /// `putChar M`.
+    pub fn put_char(m: T) -> T {
+        Rc::new(Term::PutChar(m))
+    }
+
+    /// `getChar`.
+    pub fn get_char() -> T {
+        Rc::new(Term::GetChar)
+    }
+
+    /// `putMVar M N`.
+    pub fn put_mvar(m: T, v: T) -> T {
+        Rc::new(Term::PutMVar(m, v))
+    }
+
+    /// `takeMVar M`.
+    pub fn take_mvar(m: T) -> T {
+        Rc::new(Term::TakeMVar(m))
+    }
+
+    /// `newEmptyMVar`.
+    pub fn new_empty_mvar() -> T {
+        Rc::new(Term::NewEmptyMVar)
+    }
+
+    /// A literal `MVar` name.
+    pub fn mvar(m: MVarName) -> T {
+        Rc::new(Term::MVarRef(m))
+    }
+
+    /// A literal thread name.
+    pub fn tid(t: TidName) -> T {
+        Rc::new(Term::TidRef(t))
+    }
+
+    /// `sleep M`.
+    pub fn sleep(d: T) -> T {
+        Rc::new(Term::Sleep(d))
+    }
+
+    /// `forkIO M`.
+    pub fn fork(m: T) -> T {
+        Rc::new(Term::Fork(m))
+    }
+
+    /// `myThreadId`.
+    pub fn my_thread_id() -> T {
+        Rc::new(Term::MyThreadId)
+    }
+
+    /// `throw M`.
+    pub fn throw(e: T) -> T {
+        Rc::new(Term::Throw(e))
+    }
+
+    /// `catch M H`.
+    pub fn catch(m: T, h: T) -> T {
+        Rc::new(Term::Catch(m, h))
+    }
+
+    /// `throwTo M N`.
+    pub fn throw_to(t: T, e: T) -> T {
+        Rc::new(Term::ThrowTo(t, e))
+    }
+
+    /// `block M`.
+    pub fn block(m: T) -> T {
+        Rc::new(Term::Block(m))
+    }
+
+    /// `unblock M`.
+    pub fn unblock(m: T) -> T {
+        Rc::new(Term::Unblock(m))
+    }
+
+    /// A saturated constructor application.
+    pub fn con(k: &str, args: Vec<T>) -> T {
+        Rc::new(Term::Con(k.to_owned(), args))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn figure1_value_classification() {
+        // The paper's own example: putChar (chr 65) is not a value, but
+        // putChar 'A' is. We render `chr 65` as an application.
+        let not_value = put_char(app(var("chr"), int(65)));
+        assert!(!not_value.is_value());
+        let value = put_char(ch('A'));
+        assert!(value.is_value());
+    }
+
+    #[test]
+    fn monadic_ops_are_values() {
+        assert!(ret(app(var("f"), int(1))).is_value()); // return M: M arbitrary
+        assert!(bind(get_char(), var("k")).is_value()); // M >>= N
+        assert!(sleep(int(3)).is_value());
+        assert!(!sleep(add(int(1), int(2))).is_value()); // strict arg unevaluated
+        assert!(take_mvar(mvar(MVarName(0))).is_value());
+        assert!(!take_mvar(var("m")).is_value());
+        assert!(throw(exc("E")).is_value());
+        assert!(!throw(raise(exc("E"))).is_value());
+        assert!(throw_to(tid(TidName(1)), exc("E")).is_value());
+        assert!(!throw_to(var("t"), exc("E")).is_value());
+        assert!(block(app(var("f"), unit())).is_value());
+    }
+
+    #[test]
+    fn pure_redexes_are_not_values() {
+        assert!(!app(lam("x", var("x")), unit()).is_value());
+        assert!(!ite(boolean(true), unit(), unit()).is_value());
+        assert!(!add(int(1), int(2)).is_value());
+        assert!(!raise(exc("E")).is_value());
+    }
+
+    #[test]
+    fn free_vars_respect_binding() {
+        let t = lam("x", app(var("x"), var("y")));
+        let fv = t.free_vars();
+        assert!(fv.contains("y"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn free_vars_of_closed_term_is_empty() {
+        let t = bind(get_char(), lam("c", put_char(var("c"))));
+        assert!(t.free_vars().is_empty());
+    }
+
+    #[test]
+    fn display_is_paper_like() {
+        let t = bind(get_char(), lam("c", put_char(var("c"))));
+        assert_eq!(t.to_string(), "(getChar >>= (\\c -> (putChar c)))");
+        assert_eq!(block(unit()).to_string(), "(block ())");
+        assert_eq!(
+            throw_to(tid(TidName(2)), exc("KillThread")).to_string(),
+            "(throwTo t2 KillThread)"
+        );
+    }
+
+    #[test]
+    fn seq_desugars_to_bind() {
+        let t = seq(put_char(ch('a')), put_char(ch('b')));
+        assert!(matches!(&*t, Term::Bind(_, _)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Property tests for Figure 3's structural-congruence laws (experiment
+//! F3) over randomly generated process terms, and structural invariants
+//! of the transition rules (F4/F5) over random walks.
+
+use std::rc::Rc;
+
+use conch_semantics::congruence::{congruent, to_soup};
+use conch_semantics::engine::{random_run, State};
+use conch_semantics::process::{Mark, ProcTerm};
+use conch_semantics::rules::{enabled_transitions, RuleConfig};
+use conch_semantics::term::build as tb;
+use conch_semantics::term::{Exc, MVarName, Term, TidName};
+use proptest::prelude::*;
+
+// ------------------------------------------------------------------
+// Random process terms
+// ------------------------------------------------------------------
+
+/// Small object-language terms to sit inside threads and MVars.
+fn term_strategy() -> impl Strategy<Value = Rc<Term>> {
+    prop_oneof![
+        Just(tb::ret(tb::unit())),
+        (0i64..5).prop_map(|n| tb::ret(tb::int(n))),
+        prop::char::range('a', 'c').prop_map(|c| tb::put_char(tb::ch(c))),
+        (0u32..3).prop_map(|m| tb::take_mvar(tb::mvar(MVarName(m)))),
+        (0u32..3).prop_map(|m| tb::put_mvar(tb::mvar(MVarName(m)), tb::unit())),
+        (0u32..3).prop_map(|t| tb::throw_to(tb::tid(TidName(t)), tb::exc("E"))),
+        Just(tb::block(tb::ret(tb::unit()))),
+    ]
+}
+
+/// Atoms with names drawn from small, possibly-overlapping pools. To
+/// keep processes well-formed (no duplicate names), atoms get distinct
+/// name indices by position; ν-binders are layered on top.
+fn atom(idx: u32) -> impl Strategy<Value = ProcTerm> {
+    term_strategy().prop_flat_map(move |t| {
+        prop_oneof![
+            Just(ProcTerm::Thread(TidName(idx), Rc::clone(&t), Mark::Runnable)),
+            Just(ProcTerm::Thread(TidName(idx), Rc::clone(&t), Mark::Stuck)),
+            Just(ProcTerm::Dead(TidName(idx))),
+            Just(ProcTerm::EmptyMVar(MVarName(idx))),
+            Just(ProcTerm::FullMVar(MVarName(idx), Rc::clone(&t))),
+            Just(ProcTerm::InFlight(TidName(idx), Exc::new("E"))),
+        ]
+    })
+}
+
+/// A parallel composition of 1–5 distinct atoms, with random tree shape
+/// and random ν-binders wrapped around prefixes.
+fn proc_strategy() -> impl Strategy<Value = ProcTerm> {
+    prop::collection::vec(any::<bool>(), 1..5)
+        .prop_flat_map(|shape| {
+            let n = shape.len() as u32;
+            let atoms: Vec<_> = (0..n).map(atom).collect();
+            (atoms, Just(shape))
+        })
+        .prop_map(|(atoms, shape)| {
+            let mut it = atoms.into_iter();
+            let mut p = it.next().expect("at least one atom");
+            for (a, left) in it.zip(shape) {
+                p = if left {
+                    ProcTerm::par(a, p)
+                } else {
+                    ProcTerm::par(p, a)
+                };
+            }
+            p
+        })
+}
+
+const MAIN: TidName = TidName(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// (Comm): P | Q ≡ Q | P.
+    #[test]
+    fn comm_law(p in proc_strategy(), q_idx in 100u32..110) {
+        let q = ProcTerm::EmptyMVar(MVarName(q_idx));
+        let pq = ProcTerm::par(p.clone(), q.clone());
+        let qp = ProcTerm::par(q, p);
+        prop_assert!(congruent(&pq, &qp, MAIN));
+    }
+
+    /// (Assoc): P | (Q | R) ≡ (P | Q) | R.
+    #[test]
+    fn assoc_law(p in proc_strategy()) {
+        let q = ProcTerm::Dead(TidName(200));
+        let r = ProcTerm::EmptyMVar(MVarName(201));
+        let left = ProcTerm::par(p.clone(), ProcTerm::par(q.clone(), r.clone()));
+        let right = ProcTerm::par(ProcTerm::par(p, q), r);
+        prop_assert!(congruent(&left, &right, MAIN));
+    }
+
+    /// (Extrude): (νm.P) | Q ≡ νm.(P | Q) when m ∉ fn(Q).
+    #[test]
+    fn extrude_law(p in proc_strategy(), bound in 300u32..310) {
+        // Wrap p's MVar name `bound`… p doesn't use it, which is fine:
+        // restriction of an unused name is still congruence-relevant.
+        let inner = ProcTerm::par(ProcTerm::EmptyMVar(MVarName(bound)), p.clone());
+        let q = ProcTerm::Dead(TidName(400));
+        let left = ProcTerm::par(
+            ProcTerm::NuMVar(MVarName(bound), Box::new(inner.clone())),
+            q.clone(),
+        );
+        let right = ProcTerm::NuMVar(MVarName(bound), Box::new(ProcTerm::par(inner, q)));
+        prop_assert!(congruent(&left, &right, MAIN));
+    }
+
+    /// (Alpha): renaming a bound name preserves congruence.
+    #[test]
+    fn alpha_law(p in proc_strategy(), a in 500u32..505, b in 505u32..510) {
+        let mk = |name: u32| {
+            ProcTerm::NuMVar(
+                MVarName(name),
+                Box::new(ProcTerm::par(
+                    ProcTerm::FullMVar(MVarName(name), tb::ret(tb::unit())),
+                    p.clone(),
+                )),
+            )
+        };
+        prop_assert!(congruent(&mk(a), &mk(b), MAIN));
+    }
+
+    /// Congruence is reflexive and flattening is deterministic.
+    #[test]
+    fn congruence_reflexive(p in proc_strategy()) {
+        prop_assert!(congruent(&p, &p, MAIN));
+        prop_assert_eq!(to_soup(&p, MAIN), to_soup(&p, MAIN));
+    }
+
+    /// Swapping the two halves of any Par node anywhere in the term
+    /// preserves congruence (congruence-closure of Comm).
+    #[test]
+    fn comm_inside_nu(p in proc_strategy(), bound in 600u32..605) {
+        let a = ProcTerm::EmptyMVar(MVarName(bound));
+        let left = ProcTerm::NuMVar(
+            MVarName(bound),
+            Box::new(ProcTerm::par(a.clone(), p.clone())),
+        );
+        let right = ProcTerm::NuMVar(MVarName(bound), Box::new(ProcTerm::par(p, a)));
+        prop_assert!(congruent(&left, &right, MAIN));
+    }
+}
+
+// ------------------------------------------------------------------
+// Structural invariants of the transition system
+// ------------------------------------------------------------------
+
+fn program_strategy() -> impl Strategy<Value = Rc<Term>> {
+    // Small well-formed closed programs.
+    let leaf = prop_oneof![
+        Just(tb::ret(tb::unit())),
+        prop::char::range('a', 'c').prop_map(|c| tb::put_char(tb::ch(c))),
+        Just(tb::throw(tb::exc("E"))),
+        Just(tb::get_char()),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| tb::seq(a, b)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| tb::catch(a, tb::lam("_e", b))),
+            inner.clone().prop_map(tb::block),
+            inner.clone().prop_map(tb::unblock),
+            inner.clone().prop_map(|a| tb::seq(
+                tb::bind(tb::fork(a), tb::lam("t", tb::throw_to(tb::var("t"), tb::exc("K")))),
+                tb::ret(tb::unit())
+            )),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random walks through the LTS preserve well-formedness: every
+    /// in-flight exception targets a known thread, thread names are
+    /// unique by construction (BTreeMap), and a terminal state is
+    /// exactly "main is dead".
+    #[test]
+    fn random_walks_preserve_wellformedness(
+        prog in program_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let init = State::new(prog, "xyz");
+        let cfg = RuleConfig::default();
+        let run = random_run(&init, seed, 300, &cfg);
+        let soup = &run.state.soup;
+        for (target, _) in &soup.inflight {
+            prop_assert!(
+                soup.threads.contains_key(target),
+                "in-flight exception to unknown thread {target}"
+            );
+        }
+        if run.terminated {
+            prop_assert!(soup.threads.is_empty());
+            prop_assert!(soup.mvars.is_empty());
+            prop_assert!(soup.inflight.is_empty());
+        }
+        // Enumeration from the final state must not panic and must be
+        // empty iff terminal or deadlocked.
+        let succ = enabled_transitions(&soup.clone(), &run.state.input, &cfg);
+        if run.terminated || run.deadlocked {
+            prop_assert!(succ.is_empty());
+        }
+    }
+
+    /// Determinism: the same seed yields the same walk.
+    #[test]
+    fn random_walks_deterministic(prog in program_strategy(), seed in 0u64..1_000) {
+        let a = random_run(&State::new(prog.clone(), "x"), seed, 100, &RuleConfig::default());
+        let b = random_run(&State::new(prog, "x"), seed, 100, &RuleConfig::default());
+        prop_assert_eq!(a.steps, b.steps);
+    }
+}

@@ -1,0 +1,90 @@
+//! Speculative computation (§2's first motivation) with `either`/`race`.
+//!
+//! Run with `cargo run --example speculative`.
+//!
+//! Two search strategies race over the same (simulated) problem; the
+//! first to finish wins and the loser is killed — its partial work and
+//! its locks evaporate safely thanks to asynchronous exceptions. A
+//! third scenario shows the whole race under a `timeout`, and a fourth
+//! shows `both` waiting for two halves of a task.
+
+use conch::prelude::*;
+use conch_runtime::io::for_each;
+
+/// A simulated search: `steps` chunks of pure work, checking a shared
+/// "found it" flag via an MVar-protected counter along the way.
+fn search(name: &'static str, steps: u64, progress: MVar<i64>) -> Io<String> {
+    for_each(steps, move |_| {
+        Io::compute(500).then(modify_mvar(progress, |n| Io::pure(n + 1)))
+    })
+    .map(move |_| format!("{name} found the answer"))
+}
+
+fn main() {
+    let mut rt = Runtime::new();
+
+    // --- Scenario 1: fast strategy beats slow strategy.
+    let prog = Io::new_mvar(0_i64).and_then(|progress| {
+        race(
+            search("breadth-first", 10, progress),
+            search("depth-first", 50, progress),
+        )
+        .and_then(move |winner| {
+            // Give the loser time to leak work if it survived the kill.
+            Io::sleep(10_000)
+                .then(with_mvar(progress, Io::pure))
+                .map(move |work_after| (winner, work_after))
+        })
+        .and_then(move |(winner, at_finish)| {
+            Io::sleep(50_000)
+                .then(with_mvar(progress, Io::pure))
+                .map(move |later| (winner, at_finish, later))
+        })
+    });
+    let (winner, at_finish, later) = rt.run(prog).unwrap();
+    match &winner {
+        Either::Left(msg) => println!("[race]  winner: {msg}"),
+        Either::Right(msg) => println!("[race]  winner: {msg}"),
+    }
+    assert!(winner.is_left(), "breadth-first does less work and must win");
+    assert_eq!(
+        at_finish, later,
+        "the loser kept computing after it was killed!"
+    );
+    println!("[race]  loser stopped promptly: progress frozen at {later} chunks");
+
+    // --- Scenario 2: the answer arrives before the deadline.
+    let prog = Io::new_mvar(0_i64).and_then(|p| {
+        timeout(10_000_000, race(search("a", 5, p), search("b", 9, p)))
+    });
+    let within = rt.run(prog).unwrap();
+    println!("[budget] within deadline: {:?}", within.map(|w| w.fold(|a| a, |b| b)));
+
+    // --- Scenario 3: the deadline kills the whole race.
+    // Searches blocked on an MVar that is never filled: both stuck, the
+    // timeout interrupts them (blocked takeMVar is interruptible, §5.3).
+    let prog = Io::new_empty_mvar::<i64>().and_then(|never| {
+        timeout(
+            1_000,
+            race(
+                never.take().map(|_| "a".to_owned()),
+                never.take().map(|_| "b".to_owned()),
+            ),
+        )
+    });
+    let expired = rt.run(prog).unwrap();
+    println!("[budget] stuck searches under deadline: {expired:?}");
+    assert!(expired.is_none());
+
+    // --- Scenario 4: `both` gathers two halves of a task.
+    let prog = Io::new_mvar(0_i64).and_then(|p| {
+        both(
+            search("left half", 4, p),
+            search("right half", 6, p),
+        )
+    });
+    let (l, r) = rt.run(prog).unwrap();
+    println!("[both]  gathered: {l:?} + {r:?}");
+
+    println!("total scheduler steps this run: {}", rt.stats().steps);
+}

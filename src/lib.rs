@@ -1,0 +1,44 @@
+//! # conch
+//!
+//! **Con**current Haskell with asynchronous exceptions, in Rust: a full
+//! reproduction of Marlow, Peyton Jones, Moran & Reppy, *Asynchronous
+//! Exceptions in Haskell* (PLDI 2001).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`runtime`] — the green-thread interpreter with `throwTo`,
+//!   scoped `block`/`unblock`, and interruptible operations (§3–§5, §8).
+//! * [`combinators`] — `finally`, `bracket`, `either`/`both`, the
+//!   composable `timeout`, safe `MVar` locking, and `Chan` (§7).
+//! * [`semantics`] — the executable operational semantics: Figures 1–5
+//!   as data types and transition rules, plus a model checker (§6).
+//! * [`httpd`] — the fault-tolerant HTTP-server case study (§11).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the reproduction map, and
+//! `EXPERIMENTS.md` for the measured results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use conch::prelude::*;
+//! use conch::combinators::timeout;
+//!
+//! let mut rt = Runtime::new();
+//! // Abort a computation stuck on an empty MVar after 1ms of virtual time.
+//! let prog = Io::new_empty_mvar::<i64>().and_then(|m| timeout(1_000, m.take()));
+//! assert_eq!(rt.run(prog).unwrap(), None);
+//! ```
+
+pub use conch_combinators as combinators;
+pub use conch_httpd as httpd;
+pub use conch_runtime as runtime;
+pub use conch_semantics as semantics;
+
+/// The most commonly used names from across the workspace.
+pub mod prelude {
+    pub use conch_combinators::{
+        both, bracket, finally, kill_thread, modify_mvar, race, safe_point, timeout, with_mvar,
+        Chan, Either,
+    };
+    pub use conch_runtime::prelude::*;
+}

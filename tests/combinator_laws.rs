@@ -1,0 +1,265 @@
+//! Property tests for the §7 combinators under adversarial scheduling
+//! and random asynchronous-exception injection (experiments E3–E5).
+//!
+//! The common harness runs a victim computation built from the
+//! combinators while a killer thread fires `KillThread` after a random
+//! number of scheduler steps (implemented as a random `compute` delay),
+//! across many seeds. The properties are the ones the paper's
+//! abstractions promise:
+//!
+//! * `finally`/`bracket`: the finalizer/release runs **exactly once** on
+//!   every path (E3);
+//! * `bracket`: acquisitions and releases balance — no leaked resource
+//!   (E3);
+//! * `modify_mvar`: the lock is never lost and the state is never
+//!   half-updated (E1/E2);
+//! * nested `timeout`s: inner expiry never disturbs the outer result
+//!   shape, and timers do not leak (E5).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conch_combinators::{bracket, finally, modify_mvar, timeout};
+use conch_runtime::prelude::*;
+use proptest::prelude::*;
+
+/// Runs `victim` (forked masked, so it can install handlers, then
+/// unmasked inside) while a killer fires after `delay` compute steps.
+/// Returns when both the victim is dead/done and the killer finished.
+fn run_under_fire(victim: Io<()>, delay: u64, seed: u64) -> Runtime {
+    let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(3);
+    let mut rt = Runtime::with_config(cfg);
+    let prog = Io::new_empty_mvar::<i64>().and_then(move |done| {
+        let body = victim.catch(|_| Io::unit()).then(done.put(1));
+        Io::<ThreadId>::block(Io::fork(body)).and_then(move |victim_tid| {
+            Io::compute(delay)
+                .then(Io::throw_to(victim_tid, Exception::kill_thread()))
+                .then(done.take())
+                .map(|_| ())
+        })
+    });
+    rt.run(prog).expect("harness must not wedge");
+    rt
+}
+
+fn counter() -> (Rc<RefCell<i64>>, impl Fn() -> Io<()> + Clone) {
+    let c = Rc::new(RefCell::new(0_i64));
+    let c2 = Rc::clone(&c);
+    (c, move || {
+        let c3 = Rc::clone(&c2);
+        Io::effect(move || {
+            *c3.borrow_mut() += 1;
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// E3: `finally`'s finalizer runs exactly once whether the body
+    /// completes, is killed mid-body, or is killed before starting.
+    #[test]
+    fn finally_runs_exactly_once_under_fire(
+        delay in 0u64..400,
+        body_len in 0u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let (count, bump) = counter();
+        // The body opens an unmask window (finally masks around it would
+        // be wrong — finally itself unmasks the body).
+        let victim = finally(Io::compute(body_len), bump);
+        run_under_fire(victim, delay, seed);
+        prop_assert_eq!(*count.borrow(), 1);
+    }
+
+    /// E3: bracket acquire/release balance under fire — whatever was
+    /// acquired is released, and nothing is released twice.
+    #[test]
+    fn bracket_balances_under_fire(
+        delay in 0u64..400,
+        body_len in 0u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let open = Rc::new(RefCell::new(0_i64));
+        let peak = Rc::new(RefCell::new(0_i64));
+        let (o1, o2, o3) = (Rc::clone(&open), Rc::clone(&open), Rc::clone(&open));
+        let p1 = Rc::clone(&peak);
+        let victim = bracket(
+            Io::effect(move || {
+                *o1.borrow_mut() += 1;
+                let now = *o1.borrow();
+                let mut pk = p1.borrow_mut();
+                if now > *pk { *pk = now; }
+                7_i64
+            }),
+            move |_| {
+                let o = Rc::clone(&o2);
+                Io::effect(move || { *o.borrow_mut() -= 1; })
+            },
+            move |_| Io::compute(body_len),
+        );
+        run_under_fire(victim.map(|_| ()), delay, seed);
+        let _ = o3;
+        prop_assert_eq!(*open.borrow(), 0, "leaked or double-released");
+        prop_assert!(*peak.borrow() <= 1);
+    }
+
+    /// E1/E2: `modify_mvar` never loses the lock and never exposes a
+    /// torn state: afterwards the MVar is full, holding either the old
+    /// or the new value.
+    #[test]
+    fn modify_mvar_atomic_under_fire(
+        delay in 0u64..400,
+        body_len in 0u64..200,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(3);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = Io::new_mvar(100_i64).and_then(move |m| {
+            let worker = modify_mvar(m, move |v| {
+                Io::compute(body_len).then(Io::pure(v + 11))
+            })
+            .catch(|_| Io::unit());
+            Io::fork(worker).and_then(move |w| {
+                Io::compute(delay)
+                    .then(Io::throw_to(w, Exception::kill_thread()))
+                    .then(Io::sleep(1_000_000))
+                    .then(m.try_take())
+            })
+        });
+        let final_state = rt.run(prog).expect("harness must not wedge");
+        prop_assert!(
+            final_state == Some(100) || final_state == Some(111),
+            "lock lost or state torn: {:?}", final_state
+        );
+    }
+
+    /// E5: nested timeouts — the outer timeout's verdict depends only on
+    /// the outer budget vs. the actual runtime, never on the inner
+    /// timeout's machinery.
+    #[test]
+    fn nested_timeouts_do_not_interfere(
+        inner_budget in 1u64..2_000,
+        outer_budget in 1u64..2_000,
+        work in 1u64..2_000,
+        seed in 0u64..10_000,
+    ) {
+        let cfg = RuntimeConfig::new().random_scheduling(seed);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = timeout(outer_budget, timeout(inner_budget, Io::sleep(work).map(|_| 1_i64)))
+            // Let every killed loser finish dying before main exits, so
+            // the leak accounting below sees all threads.
+            .and_then(|r| Io::sleep(10_000_000).then(Io::pure(r)));
+        let result = rt.run(prog).expect("must not wedge");
+        // Virtual time is exact, so the expected shape is decidable.
+        // Races at exactly-equal deadlines may go either way, so strict
+        // inequalities only.
+        if work < inner_budget && work < outer_budget {
+            prop_assert_eq!(result, Some(Some(1)));
+        } else if inner_budget < work && inner_budget < outer_budget {
+            prop_assert_eq!(result, Some(None), "inner should have fired alone");
+        } else if outer_budget < work && outer_budget < inner_budget {
+            prop_assert_eq!(result, None, "outer should have fired alone");
+        }
+        // No thread leaked: after the run only the main thread finished.
+        prop_assert_eq!(rt.stats().died_threads + rt.stats().finished_threads,
+            rt.stats().forks + 1);
+    }
+
+    /// Deterministic programs produce identical results under every
+    /// scheduling policy (scheduler-independence of sequential code).
+    #[test]
+    fn sequential_programs_are_schedule_independent(seed in 0u64..10_000, q in 1u64..40) {
+        let run = |cfg: RuntimeConfig| {
+            let mut rt = Runtime::with_config(cfg);
+            rt.feed_input("abc");
+            let prog = Io::get_char().and_then(|c1| {
+                Io::put_char(c1)
+                    .then(Io::compute(50))
+                    .then(Io::get_char())
+                    .and_then(move |c2| Io::put_char(c2).then(Io::pure((c1, c2))))
+            });
+            let r = rt.run(prog).unwrap();
+            (r, rt.output().to_owned())
+        };
+        let base = run(RuntimeConfig::new());
+        let alt = run(RuntimeConfig::new().random_scheduling(seed).quantum(q));
+        prop_assert_eq!(base, alt);
+    }
+
+    /// Mask nesting is idempotent (§5.2: "no counting of scopes"):
+    /// `block (block m)` observes the same masking states as `block m`.
+    #[test]
+    fn mask_nesting_is_idempotent(depth in 1usize..6, seed in 0u64..1_000) {
+        let build = |n: usize| {
+            let mut io: Io<bool> = Io::masking_state();
+            for _ in 0..n {
+                io = Io::<bool>::block(io);
+            }
+            io.and_then(|inside| Io::masking_state().map(move |outside| (inside, outside)))
+        };
+        let cfg = RuntimeConfig::new().random_scheduling(seed);
+        let mut rt = Runtime::with_config(cfg);
+        let once = rt.run(build(1)).unwrap();
+        let many = rt.run(build(depth)).unwrap();
+        prop_assert_eq!(once, (true, false));
+        prop_assert_eq!(many, (true, false));
+    }
+}
+
+/// E3, deterministic corner: a finalizer that *itself* blocks is still
+/// executed to completion because `finally` masks it.
+#[test]
+fn blocking_finalizer_completes() {
+    let mut rt = Runtime::new();
+    let prog = Io::new_mvar(0_i64).and_then(|log| {
+        Io::new_empty_mvar::<i64>().and_then(move |gate| {
+            // Somebody eventually opens the gate.
+            let opener = Io::sleep(500).then(gate.put(1));
+            let victim = finally(Io::compute(10_000), move || {
+                gate.take().then(modify_mvar(log, |n| Io::pure(n + 1)))
+            })
+            .catch(|_| Io::unit());
+            Io::fork(opener)
+                .then(Io::<ThreadId>::block(Io::fork(victim)))
+                .and_then(move |v| {
+                    Io::throw_to(v, Exception::kill_thread())
+                        .then(Io::sleep(1_000_000))
+                        .then(log.take())
+                })
+        })
+    });
+    assert_eq!(rt.run(prog).unwrap(), 1);
+}
+
+/// The §5.3 fine print: inside `block`, an interruptible `takeMVar` can
+/// be interrupted only *while the MVar is empty*; once full it wins.
+#[test]
+fn interruptible_window_closes_when_resource_appears() {
+    for seed in 0..30 {
+        let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(2);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            Io::new_empty_mvar::<String>().and_then(move |out| {
+                let victim = Io::<()>::block(
+                    m.take()
+                        .and_then(move |v| out.put(format!("took {v}")))
+                        .catch(move |e| out.put(format!("interrupted by {e}"))),
+                );
+                Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                    Io::fork(Io::sleep(10).then(m.put(5)))
+                        .then(Io::sleep(20))
+                        .then(Io::throw_to(v, Exception::kill_thread()))
+                        .then(out.take())
+                })
+            })
+        });
+        let outcome = rt.run(prog).unwrap();
+        // Whichever way the race goes, the outcome is one of exactly two
+        // clean states — never a taken-then-interrupted mixture.
+        assert!(
+            outcome == "took 5" || outcome == "interrupted by KillThread",
+            "seed {seed}: unexpected outcome {outcome}"
+        );
+    }
+}

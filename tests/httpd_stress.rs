@@ -1,0 +1,159 @@
+//! Experiment S1: the §11 fault-tolerant server under randomized load
+//! and randomized scheduling.
+//!
+//! Invariants checked on every schedule:
+//!
+//! * every client receives exactly one well-formed HTTP response;
+//! * the response class matches the client's behaviour (200 for good,
+//!   408 for stallers, 400 for garbage, 500 for crash routes);
+//! * after shutdown + drain no worker is still active;
+//! * the server process itself never wedges (the run terminates).
+
+use conch_httpd::client::{garbage_client, good_client, stalling_client, trickling_client};
+use conch_httpd::http::Response;
+use conch_httpd::net::Listener;
+use conch_httpd::server::{handler, start, Handler, ServerConfig, StatsSnapshot};
+use conch_runtime::io::{for_each, sequence};
+use conch_runtime::prelude::*;
+use proptest::prelude::*;
+
+fn routes() -> Handler {
+    handler(|req| match req.path.as_str() {
+        "/crash" => Io::<Response>::throw(Exception::error_call("boom")),
+        "/slow" => Io::sleep(1_000_000).map(|_| Response::ok("late")),
+        "/work" => Io::compute_returning(2_000, Response::ok("worked")),
+        _ => Io::pure(Response::ok("fine")),
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClientKind {
+    Good,
+    Crash,
+    Slow,
+    Work,
+    Stall,
+    Trickle,
+    Garbage,
+}
+
+fn spawn_client(kind: ClientKind, l: Listener, report: MVar<i64>) -> Io<()> {
+    match kind {
+        ClientKind::Good => good_client(l, "/".into(), report),
+        ClientKind::Crash => good_client(l, "/crash".into(), report),
+        ClientKind::Slow => good_client(l, "/slow".into(), report),
+        ClientKind::Work => good_client(l, "/work".into(), report),
+        ClientKind::Stall => stalling_client(l, report),
+        ClientKind::Trickle => trickling_client(l, "/".into(), 50, report),
+        ClientKind::Garbage => garbage_client(l, report),
+    }
+}
+
+fn expected_status(kind: ClientKind) -> i64 {
+    match kind {
+        ClientKind::Good | ClientKind::Work | ClientKind::Trickle => 200,
+        ClientKind::Crash => 500,
+        ClientKind::Slow => 504,
+        ClientKind::Stall => 408,
+        ClientKind::Garbage => 400,
+    }
+}
+
+fn kind_strategy() -> impl Strategy<Value = ClientKind> {
+    prop_oneof![
+        Just(ClientKind::Good),
+        Just(ClientKind::Crash),
+        Just(ClientKind::Slow),
+        Just(ClientKind::Work),
+        Just(ClientKind::Stall),
+        Just(ClientKind::Trickle),
+        Just(ClientKind::Garbage),
+    ]
+}
+
+fn run_storm(kinds: Vec<ClientKind>, seed: u64) -> (Vec<i64>, Vec<i64>, StatsSnapshot) {
+    let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(7);
+    let mut rt = Runtime::with_config(cfg);
+    let n = kinds.len();
+    let server_cfg = ServerConfig {
+        read_timeout: 20_000,
+        handler_timeout: 100_000,
+    };
+    let kinds2 = kinds.clone();
+    let prog = Listener::bind().and_then(move |l| {
+        start(l, routes(), server_cfg).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                let kinds3 = kinds2.clone();
+                for_each(n as u64, move |i| {
+                    Io::fork(spawn_client(kinds3[i as usize], l, report))
+                })
+                .then(sequence((0..n).map(|_| report.take()).collect()))
+                .and_then(move |codes| {
+                    server
+                        .shutdown()
+                        .then(server.drain())
+                        .then(server.stats.snapshot())
+                        .map(move |snap| (codes, snap))
+                })
+            })
+        })
+    });
+    let (codes, snap) = rt.run(prog).expect("server run must terminate");
+    let expect: Vec<i64> = kinds.iter().map(|k| expected_status(*k)).collect();
+    (codes, expect, snap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn storm_invariants(
+        kinds in prop::collection::vec(kind_strategy(), 1..10),
+        seed in 0u64..10_000,
+    ) {
+        let (mut codes, mut expect, snap) = run_storm(kinds.clone(), seed);
+        // Every client answered with a well-formed response.
+        prop_assert_eq!(codes.len(), expect.len());
+        prop_assert!(codes.iter().all(|c| *c > 0), "garbled response: {:?}", codes);
+        // The multiset of status codes matches the client mix exactly
+        // (responses may arrive in any order).
+        codes.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(&codes, &expect, "kinds {:?} seed {}", kinds, seed);
+        // No leaked workers.
+        prop_assert_eq!(snap.active, 0);
+        // Counter bookkeeping adds up.
+        let total = snap.served + snap.read_timeouts + snap.handler_timeouts
+            + snap.handler_errors + snap.parse_errors;
+        prop_assert_eq!(total, kinds.len() as i64);
+    }
+}
+
+#[test]
+fn large_storm_deterministic() {
+    use ClientKind::*;
+    let kinds = vec![
+        Good, Crash, Stall, Trickle, Garbage, Work, Slow, Good, Good, Crash, Stall, Work,
+        Trickle, Garbage, Good, Work, Good, Crash, Stall, Good,
+    ];
+    let (mut codes, mut expect, snap) = run_storm(kinds, 42);
+    codes.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(codes, expect);
+    assert_eq!(snap.active, 0);
+}
+
+#[test]
+fn server_survives_repeated_storms_in_one_runtime() {
+    // Reusing a Runtime across runs: each run is a fresh server.
+    for seed in 0..5 {
+        use ClientKind::*;
+        let (codes, expect, snap) = run_storm(vec![Good, Crash, Garbage, Stall], seed);
+        let mut c = codes;
+        let mut e = expect;
+        c.sort_unstable();
+        e.sort_unstable();
+        assert_eq!(c, e, "seed {seed}");
+        assert_eq!(snap.active, 0);
+    }
+}

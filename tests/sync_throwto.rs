@@ -1,0 +1,198 @@
+//! Experiment B2's functional half: the §9 design alternative —
+//! synchronous `throwTo` — behaves as the paper describes.
+//!
+//! §9's claims, each tested below:
+//!
+//! 1. the synchronous version "provides a guarantee that the target
+//!    thread has received the exception" before the caller resumes;
+//! 2. it is an *interruptible* operation (it can block indefinitely);
+//! 3. "the asynchronous version can easily be implemented in terms of
+//!    the synchronous one simply by forking a new thread to perform the
+//!    throwTo";
+//! 4. a thread throwing synchronously to itself raises immediately (the
+//!    special case the semantics would need);
+//! 5. throwing to a finished thread trivially succeeds in both designs.
+
+use conch_runtime::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Claim 1: after `throw_to_sync` returns, the target has the exception.
+#[test]
+fn sync_throwto_guarantees_receipt() {
+    for seed in 0..25 {
+        let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(3);
+        let mut rt = Runtime::with_config(cfg);
+        let received = Rc::new(RefCell::new(false));
+        let r2 = Rc::clone(&received);
+        let prog = Io::new_empty_mvar::<i64>().and_then(move |done| {
+            let r3 = Rc::clone(&r2);
+            let victim = Io::<()>::unblock(Io::compute(1_000_000))
+                .catch(move |_| {
+                    Io::effect(move || {
+                        *r3.borrow_mut() = true;
+                    })
+                })
+                .then(done.put(1));
+            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
+                let r4 = Rc::clone(&r2);
+                Io::throw_to_sync(v, Exception::kill_thread())
+                    // At this exact moment the exception must have been
+                    // received (the handler may still be running, but the
+                    // *delivery* — the raise — has happened).
+                    .then(Io::effect(move || *r4.borrow()))
+                    .and_then(move |seen| done.take().map(move |_| seen))
+            })
+        });
+        let _seen_at_return = rt.run(prog).unwrap();
+        // Delivery means the raise replaced the victim's continuation;
+        // the handler effect itself may run a step later. What is
+        // guaranteed observable: at least one delivery happened before
+        // throw_to_sync returned.
+        assert!(rt.stats().total_deliveries() >= 1, "seed {seed}");
+        assert!(*received.borrow(), "seed {seed}: exception never handled");
+    }
+}
+
+/// Claims 1 and 2 together: the caller *waits* on an unreceptive target
+/// (one that is masked and never blocks), and while waiting it is itself
+/// interruptible — a third thread can kill the stuck thrower.
+///
+/// Note on the victim: a masked thread that never unmasks and never
+/// blocks keeps the run queue busy forever, so the test cannot use
+/// virtual-time sleeps to sequence events — the killer paces itself with
+/// `compute` instead (scheduler steps always advance).
+#[test]
+fn sync_throwto_blocks_and_is_interruptible() {
+    let mut rt = Runtime::new();
+    let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+        // Victim: masked, runnable, unreceptive. (A masked *stuck* thread
+        // would still be interruptible per §5.3, so spinning is the only
+        // truly unreceptive state.)
+        let victim = Io::<()>::block(Io::compute(u64::MAX));
+        Io::fork(victim).and_then(move |v| {
+            let thrower = Io::throw_to_sync(v, Exception::custom("A"))
+                .map(|_| "delivered".to_owned())
+                .catch(|e| Io::pure(format!("thrower killed by {e}")))
+                .and_then(move |s| out.put(s));
+            Io::fork(thrower).and_then(move |t| {
+                // Pace by steps, not virtual time: the spinner never lets
+                // the clock advance.
+                Io::compute(500)
+                    .then(Io::throw_to(t, Exception::kill_thread()))
+                    .then(out.take())
+            })
+        })
+    });
+    // The thrower never completed its sync throw (the victim is
+    // unreceptive) — it died *waiting*, which proves it was blocked, and
+    // the kill proves the wait is interruptible.
+    assert_eq!(rt.run(prog).unwrap(), "thrower killed by KillThread");
+}
+
+/// Claim 3: async throwTo = fork (sync throwTo). The derived version
+/// passes the same observable test as the primitive one.
+#[test]
+fn async_derivable_from_sync() {
+    fn async_via_fork(t: ThreadId, e: Exception) -> Io<()> {
+        Io::fork(Io::throw_to_sync(t, e)).map(|_| ())
+    }
+    for seed in 0..25 {
+        let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(3);
+        let mut rt = Runtime::with_config(cfg);
+        let prog = Io::new_empty_mvar::<String>().and_then(|out| {
+            let victim = Io::new_empty_mvar::<i64>()
+                .and_then(|hole| hole.take())
+                .map(|_| String::new())
+                .catch(|e| Io::pure(format!("got {e}")))
+                .and_then(move |s| out.put(s));
+            Io::fork(victim).and_then(move |v| {
+                Io::sleep(10)
+                    .then(async_via_fork(v, Exception::custom("Derived")))
+                    .then(out.take())
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), "got Derived", "seed {seed}");
+    }
+}
+
+/// Claim 4: self-throw raises immediately.
+#[test]
+fn sync_self_throw_raises_immediately() {
+    let mut rt = Runtime::new();
+    let prog = Io::my_thread_id()
+        .and_then(|me| {
+            Io::throw_to_sync(me, Exception::custom("SelfSync"))
+                .then(Io::pure("survived".to_owned()))
+        })
+        .catch(|e| {
+            Io::pure(if e == Exception::custom("SelfSync") {
+                "raised".to_owned()
+            } else {
+                "other".to_owned()
+            })
+        });
+    assert_eq!(rt.run(prog).unwrap(), "raised");
+}
+
+/// Claim 4 contrast: the *asynchronous* self-throw queues and only fires
+/// at the next delivery point, so masked code continues first.
+#[test]
+fn async_self_throw_is_deferred() {
+    let mut rt = Runtime::new();
+    let log = Rc::new(RefCell::new(Vec::<&'static str>::new()));
+    let (l1, l2) = (Rc::clone(&log), Rc::clone(&log));
+    let prog = Io::<()>::block(Io::my_thread_id().and_then(move |me| {
+        Io::throw_to(me, Exception::custom("SelfAsync"))
+            .then(Io::effect(move || l1.borrow_mut().push("after-throw")))
+            .then(Io::<()>::unblock(Io::unit()))
+            .then(Io::effect(|| ()))
+    }))
+    .catch(move |_| Io::effect(move || l2.borrow_mut().push("handler")));
+    rt.run(prog).unwrap();
+    assert_eq!(*log.borrow(), ["after-throw", "handler"]);
+}
+
+/// Claim 5: both designs trivially succeed against dead threads.
+#[test]
+fn both_designs_succeed_on_dead_targets() {
+    let mut rt = Runtime::new();
+    let prog = Io::fork(Io::unit()).and_then(|t| {
+        Io::sleep(10)
+            .then(Io::throw_to(t, Exception::kill_thread()))
+            .then(Io::throw_to_sync(t, Exception::kill_thread()))
+            .then(Io::pure(1_i64))
+    });
+    assert_eq!(rt.run(prog).unwrap(), 1);
+}
+
+/// Multiple sync throwers queue up against one target and all eventually
+/// return as the target drains its pending exceptions handler by handler.
+#[test]
+fn multiple_sync_throwers_all_complete() {
+    let mut rt = Runtime::new();
+    let prog = Io::new_mvar(0_i64).and_then(|completions| {
+        // Victim: loops forever in unmasked compute, catching each
+        // exception and continuing.
+        fn resilient(n: u64) -> Io<()> {
+            if n == 0 {
+                Io::unit()
+            } else {
+                Io::<()>::unblock(Io::compute(10_000))
+                    .catch(move |_| resilient(n - 1))
+            }
+        }
+        Io::<ThreadId>::block(Io::fork(resilient(5))).and_then(move |v| {
+            let thrower = move || {
+                Io::throw_to_sync(v, Exception::custom("S"))
+                    .then(conch_combinators::modify_mvar(completions, |n| Io::pure(n + 1)))
+            };
+            Io::fork(thrower())
+                .then(Io::fork(thrower()))
+                .then(Io::fork(thrower()))
+                .then(Io::sleep(1_000_000))
+                .then(completions.take())
+        })
+    });
+    assert_eq!(rt.run(prog).unwrap(), 3);
+}
