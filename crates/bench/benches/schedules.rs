@@ -1,0 +1,108 @@
+//! B9 — schedule-exploration throughput (`conch-explore`).
+//!
+//! Measures how fast the explorer enumerates the schedule space of a
+//! three-thread workload (two workers contending on one `MVar`, plus a
+//! `throwTo` aimed at one of them): explored schedules per second and
+//! the sleep-set pruning ratio, with and without a preemption bound.
+//!
+//! Besides the timing output, writes `BENCH_explore.json` at the
+//! workspace root with the headline numbers, for EXPERIMENTS.md.
+
+use std::time::Instant;
+
+use conch_explore::{ExploreConfig, Explorer, Report, RunOutcome, TestCase};
+use conch_runtime::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Three threads, one MVar, one kill: worker 1 increments, worker 2 adds
+/// ten, the main thread kills worker 1 somewhere in between and reads
+/// the survivor's arithmetic.
+fn workload() -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(|m| {
+        Io::fork(
+            m.take()
+                .and_then(move |n| m.put(n + 1))
+                .catch(|_| Io::unit()),
+        )
+        .and_then(move |w1| {
+            Io::fork(
+                m.take()
+                    .and_then(move |n| m.put(n + 10))
+                    .catch(|_| Io::unit()),
+            )
+            .then(Io::throw_to(w1, Exception::kill_thread()))
+            .then(Io::sleep(5))
+            .then(m.take())
+        })
+    })
+}
+
+fn explore_once(preemption_bound: Option<usize>) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        preemption_bound,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg)
+        .check(|| TestCase::new(workload(), |_: &RunOutcome<i64>| Ok(())));
+    result.report().clone()
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_exploration");
+    group.bench_function("three_thread_mvar_throwto", |b| {
+        b.iter(|| explore_once(None))
+    });
+    group.bench_function("three_thread_mvar_throwto_pb2", |b| {
+        b.iter(|| explore_once(Some(2)))
+    });
+    group.finish();
+
+    emit_json();
+}
+
+/// One measured exploration per configuration, written as a small JSON
+/// report next to the workspace `Cargo.toml`.
+fn emit_json() {
+    let mut rows = Vec::new();
+    for (name, bound) in [
+        ("unbounded", None),
+        ("preemption_bound_2", Some(2)),
+        ("preemption_bound_0", Some(0)),
+    ] {
+        let start = Instant::now();
+        let report = explore_once(bound);
+        let secs = start.elapsed().as_secs_f64();
+        let per_sec = report.explored as f64 / secs.max(1e-9);
+        let denominator = (report.explored + report.pruned).max(1);
+        let pruning_ratio = report.pruned as f64 / denominator as f64;
+        rows.push(format!(
+            concat!(
+                "    {{\"config\": \"{}\", \"explored\": {}, \"pruned\": {}, ",
+                "\"truncated\": {}, \"complete\": {}, \"seconds\": {:.6}, ",
+                "\"schedules_per_sec\": {:.1}, \"pruning_ratio\": {:.4}}}"
+            ),
+            name,
+            report.explored,
+            report.pruned,
+            report.truncated,
+            report.complete,
+            secs,
+            per_sec,
+            pruning_ratio,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"schedule_exploration\",\n  \"workload\": \
+         \"3 threads, 1 MVar, 1 throwTo\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

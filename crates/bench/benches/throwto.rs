@@ -27,19 +27,15 @@ fn bench_fire_and_forget(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("async_spray", n), &n, |b, &n| {
             b.iter(|| run(RuntimeConfig::new(), spray_async(n)))
         });
-        group.bench_with_input(
-            BenchmarkId::new("sync_spray_via_fork", n),
-            &n,
-            |b, &n| {
-                // The paper: "the asynchronous version can easily be
-                // implemented in terms of the synchronous one simply by
-                // forking a new thread" — measure that encoding's cost.
-                b.iter(|| {
-                    let io = sync_spray_via_fork(n);
-                    run(RuntimeConfig::new(), io)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sync_spray_via_fork", n), &n, |b, &n| {
+            // The paper: "the asynchronous version can easily be
+            // implemented in terms of the synchronous one simply by
+            // forking a new thread" — measure that encoding's cost.
+            b.iter(|| {
+                let io = sync_spray_via_fork(n);
+                run(RuntimeConfig::new(), io)
+            })
+        });
     }
     group.finish();
 }
@@ -54,8 +50,7 @@ fn sync_spray_via_fork(n: u64) -> Io<()> {
     }
     Io::<ThreadId>::block(Io::fork(resilient(n))).and_then(move |v| {
         conch_runtime::io::replicate(n, move || {
-            Io::fork(Io::throw_to_sync(v, Exception::kill_thread()))
-                .then(Io::yield_now())
+            Io::fork(Io::throw_to_sync(v, Exception::kill_thread())).then(Io::yield_now())
         })
     })
 }

@@ -13,13 +13,9 @@ fn bench_nesting_depth(c: &mut Criterion) {
     const WORK: u64 = 1_000;
     let mut group = c.benchmark_group("timeout_nesting");
     for &depth in &[0_u32, 1, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(depth),
-            &depth,
-            |b, &depth| {
-                b.iter(|| run(RuntimeConfig::new(), nested_timeout_compute(depth, WORK)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| run(RuntimeConfig::new(), nested_timeout_compute(depth, WORK)))
+        });
     }
     group.finish();
 }

@@ -120,18 +120,15 @@ pub fn polling_overhead(total: u64, chunk: u64) -> Io<()> {
 /// B4: `n` uncontended take/put pairs on one MVar.
 pub fn mvar_uncontended(n: u64) -> Io<i64> {
     Io::new_mvar(0_i64).and_then(move |m| {
-        conch_runtime::io::replicate(n, move || {
-            m.take().and_then(move |v| m.put(v + 1))
-        })
-        .then(m.take())
+        conch_runtime::io::replicate(n, move || m.take().and_then(move |v| m.put(v + 1)))
+            .then(m.take())
     })
 }
 
 /// B4: the same updates through the §5.2-safe [`modify_mvar`].
 pub fn mvar_safe_updates(n: u64) -> Io<i64> {
     Io::new_mvar(0_i64).and_then(move |m| {
-        conch_runtime::io::replicate(n, move || modify_mvar(m, |v| Io::pure(v + 1)))
-            .then(m.take())
+        conch_runtime::io::replicate(n, move || modify_mvar(m, |v| Io::pure(v + 1))).then(m.take())
     })
 }
 
@@ -147,13 +144,10 @@ pub fn mvar_naive_updates(n: u64) -> Io<i64> {
 pub fn mvar_pingpong(n: u64) -> Io<()> {
     Io::new_empty_mvar::<i64>().and_then(move |ping| {
         Io::new_empty_mvar::<i64>().and_then(move |pong| {
-            let echoer = conch_runtime::io::replicate(n, move || {
-                ping.take().and_then(move |v| pong.put(v))
-            });
+            let echoer =
+                conch_runtime::io::replicate(n, move || ping.take().and_then(move |v| pong.put(v)));
             Io::fork(echoer).and_then(move |_| {
-                conch_runtime::io::replicate(n, move || {
-                    ping.put(1).then(pong.take())
-                })
+                conch_runtime::io::replicate(n, move || ping.put(1).then(pong.take()))
             })
         })
     })
@@ -167,7 +161,10 @@ pub fn nested_timeout_compute(depth: u32, work: u64) -> Io<i64> {
         if depth == 0 {
             inner
         } else {
-            wrap(depth - 1, timeout(1 << 40, inner).map(|r| r.expect("budget generous")))
+            wrap(
+                depth - 1,
+                timeout(1 << 40, inner).map(|r| r.expect("budget generous")),
+            )
         }
     }
     wrap(depth, Io::compute_returning(work, 7_i64))
@@ -176,11 +173,9 @@ pub fn nested_timeout_compute(depth: u32, work: u64) -> Io<i64> {
 /// B6: fork `n` trivial children and wait for all (via a counter MVar).
 pub fn fork_join(n: u64) -> Io<i64> {
     Io::new_mvar(0_i64).and_then(move |count| {
-        conch_runtime::io::replicate(n, move || {
-            Io::fork(modify_mvar(count, |c| Io::pure(c + 1)))
-        })
-        .then(wait_until(count, n as i64))
-        .then(count.take())
+        conch_runtime::io::replicate(n, move || Io::fork(modify_mvar(count, |c| Io::pure(c + 1))))
+            .then(wait_until(count, n as i64))
+            .then(count.take())
     })
 }
 
@@ -227,7 +222,10 @@ mod tests {
         );
         let without = rt2.stats().max_mask_frames;
         assert!(with <= 2, "collapse keeps mask frames O(1), got {with}");
-        assert!(without >= 200, "no collapse grows mask frames O(n), got {without}");
+        assert!(
+            without >= 200,
+            "no collapse grows mask frames O(n), got {without}"
+        );
     }
 
     #[test]
@@ -246,6 +244,9 @@ mod tests {
         // Fully-async latency is independent of any interval and small.
         let (_, rt) = run(RuntimeConfig::new(), kill_round_async());
         let async_lat = rt.stats().mean_delivery_latency().expect("one delivery");
-        assert!(async_lat < fast.max(20.0) * 3.0, "async latency {async_lat}");
+        assert!(
+            async_lat < fast.max(20.0) * 3.0,
+            "async latency {async_lat}"
+        );
     }
 }

@@ -95,9 +95,8 @@ mod tests {
             .map(|_| "survived".to_owned())
             .catch(|e| Io::pure(format!("killed by {e}")))
             .and_then(move |s| out.put(s));
-            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
-                Io::throw_to(v, Exception::kill_thread()).then(out.take())
-            })
+            Io::<ThreadId>::block(Io::fork(victim))
+                .and_then(move |v| Io::throw_to(v, Exception::kill_thread()).then(out.take()))
         });
         assert_eq!(rt.run(prog).unwrap(), "killed by KillThread");
     }
@@ -125,9 +124,8 @@ mod tests {
                 |e| Io::pure(format!("alert: {e}")),
             )
             .and_then(move |s| out.put(s));
-            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
-                Io::throw_to(v, Exception::custom("Shutdown")).then(out.take())
-            })
+            Io::<ThreadId>::block(Io::fork(victim))
+                .and_then(move |v| Io::throw_to(v, Exception::custom("Shutdown")).then(out.take()))
         });
         assert_eq!(rt.run(prog).unwrap(), "alert: Shutdown");
     }

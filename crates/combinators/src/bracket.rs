@@ -359,9 +359,8 @@ mod tests {
                 .map(|_| String::new())
                 .catch(|e| Io::pure(e.to_string()))
                 .and_then(move |s| report.put(s));
-            Io::fork(child).and_then(move |tid| {
-                Io::sleep(5).then(kill_thread(tid)).then(report.take())
-            })
+            Io::fork(child)
+                .and_then(move |tid| Io::sleep(5).then(kill_thread(tid)).then(report.take()))
         });
         assert_eq!(rt.run(prog).unwrap(), "KillThread");
     }

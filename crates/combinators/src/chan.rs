@@ -53,7 +53,11 @@ impl<T> Copy for Chan<T> {}
 
 impl<T> std::fmt::Debug for Chan<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Chan(read={:?}, write={:?})", self.read_end, self.write_end)
+        write!(
+            f,
+            "Chan(read={:?}, write={:?})",
+            self.read_end, self.write_end
+        )
     }
 }
 
@@ -80,13 +84,13 @@ impl<T: FromValue + IntoValue + 'static> Chan<T> {
         let item_payload = v.into_value();
         modify_mvar_with(self.write_end, move |old_hole: Value| {
             let old_hole: MVar<Value> = MVar::from_id(
-                old_hole.as_mvar_id().expect("write end holds a stream cell"),
+                old_hole
+                    .as_mvar_id()
+                    .expect("write end holds a stream cell"),
             );
             Io::new_empty_mvar::<Value>().and_then(move |new_hole| {
-                let item = Value::Pair(
-                    Box::new(item_payload),
-                    Box::new(Value::MVar(new_hole.id())),
-                );
+                let item =
+                    Value::Pair(Box::new(item_payload), Box::new(Value::MVar(new_hole.id())));
                 // Fill the old hole with (v, new_hole); the new write end
                 // is new_hole. putMVar here is non-interruptible: the old
                 // hole is empty by construction (§5.3).
@@ -105,9 +109,8 @@ impl<T: FromValue + IntoValue + 'static> Chan<T> {
     /// waiting, the read end is restored and the channel stays usable.
     pub fn recv(&self) -> Io<T> {
         modify_mvar_with(self.read_end, move |stream: Value| {
-            let stream: MVar<Value> = MVar::from_id(
-                stream.as_mvar_id().expect("read end holds a stream cell"),
-            );
+            let stream: MVar<Value> =
+                MVar::from_id(stream.as_mvar_id().expect("read end holds a stream cell"));
             stream.take().map(move |item| match item {
                 Value::Pair(v, next) => (*next, T::from_value_or_panic(*v)),
                 other => panic!("malformed stream cell: {other}"),
@@ -121,9 +124,8 @@ impl<T: FromValue + IntoValue + 'static> Chan<T> {
     /// empty, so it composes with concurrent senders.
     pub fn try_recv(&self) -> Io<Option<T>> {
         modify_mvar_with(self.read_end, move |stream_v: Value| {
-            let stream: MVar<Value> = MVar::from_id(
-                stream_v.as_mvar_id().expect("read end holds a stream cell"),
-            );
+            let stream: MVar<Value> =
+                MVar::from_id(stream_v.as_mvar_id().expect("read end holds a stream cell"));
             let stream_v2 = stream_v.clone();
             stream.try_take().map(move |item| match item {
                 None => (stream_v2, None),
@@ -169,7 +171,11 @@ mod tests {
             ch.send(1)
                 .then(ch.send(2))
                 .then(ch.send(3))
-                .then(conch_runtime::io::sequence(vec![ch.recv(), ch.recv(), ch.recv()]))
+                .then(conch_runtime::io::sequence(vec![
+                    ch.recv(),
+                    ch.recv(),
+                    ch.recv(),
+                ]))
         });
         assert_eq!(rt.run(prog).unwrap(), vec![1, 2, 3]);
     }
@@ -177,9 +183,8 @@ mod tests {
     #[test]
     fn recv_blocks_until_send() {
         let mut rt = Runtime::new();
-        let prog = Chan::<i64>::new().and_then(|ch| {
-            Io::fork(Io::sleep(50).then(ch.send(9))).then(ch.recv())
-        });
+        let prog = Chan::<i64>::new()
+            .and_then(|ch| Io::fork(Io::sleep(50).then(ch.send(9))).then(ch.recv()));
         assert_eq!(rt.run(prog).unwrap(), 9);
         assert!(rt.clock() >= 50);
     }
@@ -191,16 +196,12 @@ mod tests {
         let prog = Chan::<i64>::new().and_then(|ch| {
             Io::new_empty_mvar::<i64>().and_then(move |result| {
                 let producer = conch_runtime::io::for_each(10, move |i| ch.send(i as i64));
-                fn consume(
-                    ch: Chan<i64>,
-                    n: u64,
-                    acc: i64,
-                    result: MVar<i64>,
-                ) -> Io<()> {
+                fn consume(ch: Chan<i64>, n: u64, acc: i64, result: MVar<i64>) -> Io<()> {
                     if n == 0 {
                         result.put(acc)
                     } else {
-                        ch.recv().and_then(move |v| consume(ch, n - 1, acc + v, result))
+                        ch.recv()
+                            .and_then(move |v| consume(ch, n - 1, acc + v, result))
                     }
                 }
                 Io::fork(producer)
@@ -223,9 +224,9 @@ mod tests {
     fn try_recv_then_recv_consistent() {
         let mut rt = Runtime::new();
         let prog = Chan::<i64>::new().and_then(|ch| {
-            ch.send(7).then(ch.try_recv()).and_then(move |a| {
-                ch.send(8).then(ch.recv()).map(move |b| (a, b))
-            })
+            ch.send(7)
+                .then(ch.try_recv())
+                .and_then(move |a| ch.send(8).then(ch.recv()).map(move |b| (a, b)))
         });
         assert_eq!(rt.run(prog).unwrap(), (Some(7), 8));
     }
@@ -262,9 +263,10 @@ mod tests {
         // MVar references).
         let prog = Chan::<i64>::new().and_then(|ch| {
             Io::new_empty_mvar::<Chan<i64>>().and_then(move |carrier| {
-                carrier.put(ch).then(carrier.take()).and_then(move |ch2| {
-                    ch2.send(5).then(ch.recv())
-                })
+                carrier
+                    .put(ch)
+                    .then(carrier.take())
+                    .and_then(move |ch2| ch2.send(5).then(ch.recv()))
             })
         });
         assert_eq!(rt.run(prog).unwrap(), 5);

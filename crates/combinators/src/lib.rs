@@ -61,11 +61,11 @@ pub use crate::bracket::{
 };
 pub use crate::chan::Chan;
 pub use crate::either::Either;
-pub use crate::many::{map_concurrently, race_many};
-pub use crate::mask::{mask, modify_mvar_restoring, Restore};
 pub use crate::locking::{
     modify_mvar, modify_mvar_masked, modify_mvar_naive, modify_mvar_with, with_mvar,
 };
+pub use crate::many::{map_concurrently, race_many};
+pub use crate::mask::{mask, modify_mvar_restoring, Restore};
 pub use crate::race::{both, race, timeout};
 pub use crate::sem::Sem;
 pub use crate::supervise::{supervise, Supervised};

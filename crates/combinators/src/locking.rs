@@ -132,9 +132,8 @@ mod tests {
     #[test]
     fn modify_mvar_updates_state() {
         let mut rt = Runtime::new();
-        let prog = Io::new_mvar(10_i64).and_then(|m| {
-            modify_mvar(m, |n| Io::pure(n + 5)).then(m.take())
-        });
+        let prog =
+            Io::new_mvar(10_i64).and_then(|m| modify_mvar(m, |n| Io::pure(n + 5)).then(m.take()));
         assert_eq!(rt.run(prog).unwrap(), 15);
     }
 
@@ -142,9 +141,11 @@ mod tests {
     fn modify_mvar_restores_on_sync_exception() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(10_i64).and_then(|m| {
-            modify_mvar(m, |_| Io::<i64>::throw(Exception::error_call("compute failed")))
-                .catch(|_| Io::unit())
-                .then(m.take())
+            modify_mvar(m, |_| {
+                Io::<i64>::throw(Exception::error_call("compute failed"))
+            })
+            .catch(|_| Io::unit())
+            .then(m.take())
         });
         // Old state restored; a later take succeeds instead of deadlocking.
         assert_eq!(rt.run(prog).unwrap(), 10);
@@ -164,9 +165,8 @@ mod tests {
     fn with_mvar_restores_same_value() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(9_i64).and_then(|m| {
-            with_mvar(m, |n| Io::pure(n * 100)).and_then(move |r| {
-                m.take().map(move |still| (r, still))
-            })
+            with_mvar(m, |n| Io::pure(n * 100))
+                .and_then(move |r| m.take().map(move |still| (r, still)))
         });
         assert_eq!(rt.run(prog).unwrap(), (900, 9));
     }
@@ -175,9 +175,11 @@ mod tests {
     fn with_mvar_restores_on_exception() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(9_i64).and_then(|m| {
-            with_mvar(m, |_: i64| Io::<i64>::throw(Exception::error_call("user code")))
-                .catch(|_| Io::pure(-1))
-                .then(m.take())
+            with_mvar(m, |_: i64| {
+                Io::<i64>::throw(Exception::error_call("user code"))
+            })
+            .catch(|_| Io::pure(-1))
+            .then(m.take())
         });
         assert_eq!(rt.run(prog).unwrap(), 9);
     }
@@ -193,10 +195,8 @@ mod tests {
         // catch is installed.
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(1_i64).and_then(|m| {
-            let worker = modify_mvar_naive(m, |n| {
-                Io::compute(1_000).then(Io::pure(n + 1))
-            })
-            .catch(|_| Io::unit());
+            let worker = modify_mvar_naive(m, |n| Io::compute(1_000).then(Io::pure(n + 1)))
+                .catch(|_| Io::unit());
             Io::fork(worker).and_then(move |w| {
                 // Let the worker pass takeMVar, then kill it mid-compute?
                 // mid-compute is protected; instead kill immediately after
@@ -231,9 +231,8 @@ mod tests {
             let cfg = RuntimeConfig::new().random_scheduling(seed).quantum(3);
             let mut rt = Runtime::with_config(cfg);
             let prog = Io::new_mvar(1_i64).and_then(|m| {
-                let worker =
-                    modify_mvar(m, |n| Io::compute(100).then(Io::pure(n + 1)))
-                        .catch(|_| Io::unit());
+                let worker = modify_mvar(m, |n| Io::compute(100).then(Io::pure(n + 1)))
+                    .catch(|_| Io::unit());
                 Io::fork(worker).and_then(move |w| {
                     Io::throw_to(w, Exception::kill_thread())
                         .then(Io::sleep(10_000))
@@ -252,10 +251,8 @@ mod tests {
     fn masked_modify_ignores_exception_until_done() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(0_i64).and_then(|m| {
-            let worker = modify_mvar_masked(m, |n| {
-                Io::compute(500).then(Io::pure(n + 1))
-            })
-            .catch(|_| Io::unit());
+            let worker = modify_mvar_masked(m, |n| Io::compute(500).then(Io::pure(n + 1)))
+                .catch(|_| Io::unit());
             Io::<ThreadId>::block(Io::fork(worker)).and_then(move |w| {
                 Io::throw_to(w, Exception::kill_thread())
                     .then(Io::sleep(10))

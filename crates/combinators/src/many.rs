@@ -44,10 +44,7 @@ fn split_completion(v: Value) -> (usize, Result<Value, Exception>) {
     }
 }
 
-fn spawn_children<T>(
-    m: MVar<Value>,
-    actions: Vec<Io<T>>,
-) -> Io<Vec<ThreadId>>
+fn spawn_children<T>(m: MVar<Value>, actions: Vec<Io<T>>) -> Io<Vec<ThreadId>>
 where
     T: FromValue + IntoValue + 'static,
 {
@@ -80,11 +77,7 @@ where
 /// exceptions to every child and resume waiting.
 fn await_completion(m: MVar<Value>, tids: std::rc::Rc<Vec<ThreadId>>) -> Io<Value> {
     m.take().catch(move |e| {
-        fn forward(
-            tids: std::rc::Rc<Vec<ThreadId>>,
-            i: usize,
-            e: Exception,
-        ) -> Io<()> {
+        fn forward(tids: std::rc::Rc<Vec<ThreadId>>, i: usize, e: Exception) -> Io<()> {
             if i >= tids.len() {
                 Io::unit()
             } else {
@@ -93,8 +86,7 @@ fn await_completion(m: MVar<Value>, tids: std::rc::Rc<Vec<ThreadId>>) -> Io<Valu
             }
         }
         let tids2 = std::rc::Rc::clone(&tids);
-        forward(std::rc::Rc::clone(&tids), 0, e)
-            .and_then(move |_| await_completion(m, tids2))
+        forward(std::rc::Rc::clone(&tids), 0, e).and_then(move |_| await_completion(m, tids2))
     })
 }
 
@@ -237,14 +229,15 @@ mod tests {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(0_i64).and_then(|progress| {
             let slowpoke = move |d: u64| {
-                Io::sleep(d).then(modify_progress(progress)).map(move |_| d as i64)
+                Io::sleep(d)
+                    .then(modify_progress(progress))
+                    .map(move |_| d as i64)
             };
-            race_many(vec![slowpoke(10), slowpoke(10_000), slowpoke(20_000)])
-                .and_then(move |w| {
-                    Io::sleep(100_000)
-                        .then(crate::with_mvar(progress, Io::pure))
-                        .map(move |p| (w, p))
-                })
+            race_many(vec![slowpoke(10), slowpoke(10_000), slowpoke(20_000)]).and_then(move |w| {
+                Io::sleep(100_000)
+                    .then(crate::with_mvar(progress, Io::pure))
+                    .map(move |p| (w, p))
+            })
         });
         fn modify_progress(p: MVar<i64>) -> Io<()> {
             crate::modify_mvar(p, |n| Io::pure(n + 1))
@@ -300,12 +293,16 @@ mod tests {
         let prog = Io::new_mvar(0_i64).and_then(|done| {
             map_concurrently(vec![
                 Io::sleep(5).then(Io::<i64>::throw(Exception::error_call("bad"))),
-                Io::sleep(10_000).then(crate::modify_mvar(done, |n| Io::pure(n + 1))).map(|_| 0),
+                Io::sleep(10_000)
+                    .then(crate::modify_mvar(done, |n| Io::pure(n + 1)))
+                    .map(|_| 0),
             ])
             .map(|_| -1_i64)
             .catch(|_| Io::pure(7))
             .and_then(move |r| {
-                Io::sleep(100_000).then(crate::with_mvar(done, Io::pure)).map(move |d| (r, d))
+                Io::sleep(100_000)
+                    .then(crate::with_mvar(done, Io::pure))
+                    .map(move |d| (r, d))
             })
         });
         let (r, survivors_done) = rt.run(prog).unwrap();

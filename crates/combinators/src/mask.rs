@@ -62,18 +62,13 @@ where
     T: FromValue + IntoValue + 'static,
     F: FnOnce(Restore) -> Io<T> + 'static,
 {
-    Io::masking_state().and_then(move |was_masked| {
-        Io::block(body(Restore { was_masked }))
-    })
+    Io::masking_state().and_then(move |was_masked| Io::block(body(Restore { was_masked })))
 }
 
 /// An exception-safe state update in the `mask` style: like
 /// [`modify_mvar`](crate::modify_mvar), but a *masked caller stays
 /// masked* during the user computation.
-pub fn modify_mvar_restoring<T, F>(
-    m: conch_runtime::MVar<T>,
-    compute: F,
-) -> Io<()>
+pub fn modify_mvar_restoring<T, F>(m: conch_runtime::MVar<T>, compute: F) -> Io<()>
 where
     T: FromValue + IntoValue + Clone + 'static,
     F: FnOnce(T) -> Io<T> + 'static,
@@ -104,9 +99,8 @@ mod tests {
                 restore
                     .apply(Io::masking_state())
                     .and_then(move |during_restore| {
-                        Io::masking_state().map(move |after_restore| {
-                            (inside, during_restore, after_restore)
-                        })
+                        Io::masking_state()
+                            .map(move |after_restore| (inside, during_restore, after_restore))
                     })
             })
         });
@@ -132,8 +126,7 @@ mod tests {
         // written with the paper's unblock opens a window inside a
         // masked caller.
         let mut rt = Runtime::new();
-        let library_fn =
-            || Io::<bool>::block(Io::<bool>::unblock(Io::masking_state()));
+        let library_fn = || Io::<bool>::block(Io::<bool>::unblock(Io::masking_state()));
         let prog = Io::<bool>::block(library_fn());
         // Caller masked, yet the state observed inside is UNMASKED.
         assert!(!rt.run(prog).unwrap());
@@ -170,9 +163,8 @@ mod tests {
         // modify_mvar: the user computation is interruptible.
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(0_i64).and_then(|m| {
-            let worker =
-                modify_mvar_restoring(m, |n| Io::compute(100_000).then(Io::pure(n + 1)))
-                    .catch(|_| Io::unit());
+            let worker = modify_mvar_restoring(m, |n| Io::compute(100_000).then(Io::pure(n + 1)))
+                .catch(|_| Io::unit());
             Io::fork(worker).and_then(move |w| {
                 // Pace by steps, not virtual time: the worker's compute
                 // keeps the run queue busy, so the clock cannot advance.
@@ -191,12 +183,8 @@ mod tests {
         let mut rt = Runtime::new();
         // Masked bookkeeping + restored wait: the timeout can still fire
         // during the restored window.
-        let prog = Io::new_empty_mvar::<i64>().and_then(|never| {
-            timeout(
-                100,
-                mask(move |restore| restore.apply(never.take())),
-            )
-        });
+        let prog = Io::new_empty_mvar::<i64>()
+            .and_then(|never| timeout(100, mask(move |restore| restore.apply(never.take()))));
         assert_eq!(rt.run(prog).unwrap(), None);
         assert_eq!(rt.clock(), 100);
     }

@@ -88,29 +88,20 @@ where
     B: FromValue + IntoValue + 'static,
 {
     Io::new_empty_mvar::<Value>().and_then(move |m| {
-        Io::block(
-            Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
-                Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
-                    await_result(m, a_id, b_id).and_then(move |r| {
-                        Io::throw_to(a_id, Exception::kill_thread())
-                            .then(Io::throw_to(b_id, Exception::kill_thread()))
-                            .then(match r {
-                                Value::Left(v) => {
-                                    Io::pure(Either::Left(A::from_value_or_panic(*v)))
-                                }
-                                Value::Right(v) => {
-                                    Io::pure(Either::Right(B::from_value_or_panic(*v)))
-                                }
-                                Value::Exception(e) => Io::throw(e),
-                                other => panic!(
-                                    "race: impossible completion tag {}",
-                                    other.shape()
-                                ),
-                            })
-                    })
+        Io::block(Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
+            Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
+                await_result(m, a_id, b_id).and_then(move |r| {
+                    Io::throw_to(a_id, Exception::kill_thread())
+                        .then(Io::throw_to(b_id, Exception::kill_thread()))
+                        .then(match r {
+                            Value::Left(v) => Io::pure(Either::Left(A::from_value_or_panic(*v))),
+                            Value::Right(v) => Io::pure(Either::Right(B::from_value_or_panic(*v))),
+                            Value::Exception(e) => Io::throw(e),
+                            other => panic!("race: impossible completion tag {}", other.shape()),
+                        })
                 })
-            }),
-        )
+            })
+        }))
     })
 }
 
@@ -137,38 +128,33 @@ where
     B: FromValue + IntoValue + 'static,
 {
     Io::new_empty_mvar::<Value>().and_then(move |m| {
-        Io::block(
-            Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
-                Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
-                    await_result(m, a_id, b_id).and_then(move |first| {
-                        if let Value::Exception(e) = first {
-                            // One child failed: kill the other immediately
-                            // and propagate (the spec's third bullet).
-                            return kill_both(a_id, b_id).then(Io::throw(e));
+        Io::block(Io::fork(child(m, a, tag_left)).and_then(move |a_id| {
+            Io::fork(child(m, b, tag_right)).and_then(move |b_id| {
+                await_result(m, a_id, b_id).and_then(move |first| {
+                    if let Value::Exception(e) = first {
+                        // One child failed: kill the other immediately
+                        // and propagate (the spec's third bullet).
+                        return kill_both(a_id, b_id).then(Io::throw(e));
+                    }
+                    await_result(m, a_id, b_id).and_then(move |second| {
+                        match pair_up(first, second) {
+                            Ok((av, bv)) => kill_both(a_id, b_id).then(Io::pure((
+                                A::from_value_or_panic(av),
+                                B::from_value_or_panic(bv),
+                            ))),
+                            Err(e) => kill_both(a_id, b_id).then(Io::throw(e)),
                         }
-                        await_result(m, a_id, b_id).and_then(move |second| {
-                            match pair_up(first, second) {
-                                Ok((av, bv)) => {
-                                    kill_both(a_id, b_id).then(Io::pure((
-                                        A::from_value_or_panic(av),
-                                        B::from_value_or_panic(bv),
-                                    )))
-                                }
-                                Err(e) => kill_both(a_id, b_id).then(Io::throw(e)),
-                            }
-                        })
                     })
                 })
-            }),
-        )
+            })
+        }))
     })
 }
 
 /// Sends `KillThread` to both children (non-interruptible asynchronous
 /// `throwTo`, so both sends always happen).
 fn kill_both(a_id: ThreadId, b_id: ThreadId) -> Io<()> {
-    Io::throw_to(a_id, Exception::kill_thread())
-        .then(Io::throw_to(b_id, Exception::kill_thread()))
+    Io::throw_to(a_id, Exception::kill_thread()).then(Io::throw_to(b_id, Exception::kill_thread()))
 }
 
 /// Orders two tagged completions into `(left, right)`, or surfaces the
@@ -336,8 +322,7 @@ mod tests {
         let mut rt = Runtime::new();
         // The timed action blocks forever on an empty MVar; timeout must
         // still fire (takeMVar is interruptible).
-        let prog = Io::new_empty_mvar::<i64>()
-            .and_then(|hole| timeout(50, hole.take()));
+        let prog = Io::new_empty_mvar::<i64>().and_then(|hole| timeout(50, hole.take()));
         assert_eq!(rt.run(prog).unwrap(), None);
         assert_eq!(rt.clock(), 50);
     }

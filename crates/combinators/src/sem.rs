@@ -64,7 +64,10 @@ impl Sem {
             } else {
                 Io::new_empty_mvar::<Value>().map(move |cell| {
                     waiters.push(Value::MVar(cell.id()));
-                    (join(0, waiters), Value::Just(Box::new(Value::MVar(cell.id()))))
+                    (
+                        join(0, waiters),
+                        Value::Just(Box::new(Value::MVar(cell.id()))),
+                    )
                 })
             }
         })
@@ -194,7 +197,8 @@ mod tests {
     fn try_wait_respects_count() {
         let mut rt = Runtime::new();
         let prog = Sem::new(1).and_then(|s| {
-            s.try_wait().and_then(move |a| s.try_wait().map(move |b| (a, b)))
+            s.try_wait()
+                .and_then(move |a| s.try_wait().map(move |b| (a, b)))
         });
         assert_eq!(rt.run(prog).unwrap(), (true, false));
     }
@@ -275,10 +279,8 @@ mod tests {
                                 s.with(move || {
                                     modify_mvar(inside, |n| Io::pure(n + 1))
                                         .then(crate::with_mvar(inside, move |n| {
-                                            modify_mvar(peak, move |p| {
-                                                Io::pure(p.max(n))
-                                            })
-                                            .then(Io::pure(n))
+                                            modify_mvar(peak, move |p| Io::pure(p.max(n)))
+                                                .then(Io::pure(n))
                                         }))
                                         .then(Io::compute(20))
                                         .then(modify_mvar(inside, |n| Io::pure(n - 1)))

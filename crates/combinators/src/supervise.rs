@@ -131,16 +131,14 @@ mod tests {
     #[test]
     fn restarts_until_success() {
         let mut rt = Runtime::new();
-        let prog = Io::new_mvar(0_i64)
-            .and_then(|attempts| supervise(5, flaky(attempts, 4)));
+        let prog = Io::new_mvar(0_i64).and_then(|attempts| supervise(5, flaky(attempts, 4)));
         assert_eq!(rt.run(prog).unwrap(), Supervised::Finished(4));
     }
 
     #[test]
     fn gives_up_when_budget_exhausted() {
         let mut rt = Runtime::new();
-        let prog = Io::new_mvar(0_i64)
-            .and_then(|attempts| supervise(2, flaky(attempts, 100)));
+        let prog = Io::new_mvar(0_i64).and_then(|attempts| supervise(2, flaky(attempts, 100)));
         assert_eq!(
             rt.run(prog).unwrap(),
             Supervised::GaveUp(Exception::error_call("crash"))
@@ -151,8 +149,7 @@ mod tests {
     fn restart_count_is_exact() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(0_i64).and_then(|attempts| {
-            supervise(2, flaky(attempts, 100))
-                .then(crate::with_mvar(attempts, Io::pure))
+            supervise(2, flaky(attempts, 100)).then(crate::with_mvar(attempts, Io::pure))
         });
         // 1 initial run + 2 restarts.
         assert_eq!(rt.run(prog).unwrap(), 3);

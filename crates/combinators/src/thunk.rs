@@ -189,10 +189,7 @@ mod tests {
     use crate::modify_mvar;
     use conch_runtime::prelude::*;
 
-    fn counting_thunk(
-        evals: MVar<i64>,
-        result: i64,
-    ) -> impl Fn() -> Io<i64> + 'static {
+    fn counting_thunk(evals: MVar<i64>, result: i64) -> impl Fn() -> Io<i64> + 'static {
         move || modify_mvar(evals, |n| Io::pure(n + 1)).then(Io::pure(result))
     }
 
@@ -218,9 +215,7 @@ mod tests {
             Thunk::suspend(counting_thunk(evals, 9), move |t| {
                 let (t2, t3) = (t.clone(), t.clone());
                 t.peek().and_then(move |before| {
-                    t2.force()
-                        .then(t3.peek())
-                        .map(move |after| (before, after))
+                    t2.force().then(t3.peek()).map(move |after| (before, after))
                 })
             })
         });

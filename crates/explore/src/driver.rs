@@ -1,0 +1,261 @@
+//! The scripted [`Decider`] the explorer installs into a [`Runtime`]
+//! (see [`conch_runtime::scheduler::Runtime::set_decider`]).
+//!
+//! One `DriverState` drives one run. It replays a *script* — the choice
+//! at every branch point of some prefix — and past the end of the
+//! script makes default choices, recording every branch point it passes
+//! so the DFS in [`crate::explorer`] can backtrack.
+//!
+//! Three reductions keep the branch-point count down:
+//!
+//! * **Invisible-move fast-forwarding** — a runnable thread whose next
+//!   step is local to itself ([`StepFootprint::is_local`]) and that has
+//!   no pending asynchronous exceptions is always run first, without a
+//!   branch point: its step commutes with every other thread's, so
+//!   scheduling it eagerly explores one representative of each
+//!   equivalence class of interleavings.
+//! * **Sleep sets** — when the DFS has already explored running thread
+//!   `a` at a branch point and comes back to try sibling `b`, `a` is
+//!   put to sleep: in the `b` subtree `a` is not chosen again until
+//!   some step *dependent* on `a`'s (per [`StepFootprint::independent`])
+//!   executes, because until then `b…a` reaches the same state as the
+//!   already-explored `a…b`.
+//! * **Preemption bounding** — optionally, once a run has used its
+//!   budget of preemptions (choosing against a still-runnable previous
+//!   thread), the previous thread is forced, CHESS-style.
+//!
+//! Crucially, *which* step boundaries count as branch points is a
+//! deterministic function of the executed path alone — never of the
+//! sleep sets — so a bare list of choices ([`crate::Schedule`]) is
+//! enough to replay a run exactly, with no DFS bookkeeping attached.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conch_runtime::decide::{Decider, StepFootprint, ThreadView};
+use conch_runtime::ids::ThreadId;
+
+use crate::schedule::Choice;
+
+/// A sleep-set entry: a thread and the footprint of the step it was put
+/// to sleep with.
+pub(crate) type SleepEntry = (u64, StepFootprint);
+
+/// A branch point recorded during a run.
+#[derive(Debug, Clone)]
+pub(crate) struct Point {
+    /// For scheduling points: the full candidate list (thread id and
+    /// next-step footprint, in run-queue order). Empty for delivery
+    /// points.
+    pub alts: Vec<(u64, StepFootprint)>,
+    /// Thread ids among `alts` that were asleep when this point was
+    /// first created (candidates the DFS will skip).
+    pub sleeping: Vec<u64>,
+    /// The choice taken this run.
+    pub chosen: Choice,
+}
+
+impl Point {
+    /// Is this a delivery (rather than scheduling) point?
+    pub fn is_delivery(&self) -> bool {
+        matches!(self.chosen, Choice::Deliver(_))
+    }
+}
+
+/// Mutable driver state for one run, shared between the [`Decider`]
+/// installed in the runtime and the explorer that owns the run.
+pub(crate) struct DriverState {
+    /// Choices to replay, one per branch point, in order.
+    script: Vec<Choice>,
+    /// Per scripted point: sibling alternatives already explored at that
+    /// point, to be added to the sleep set there. Parallel to `script`
+    /// (missing entries mean "none").
+    extra_sleep: Vec<Vec<SleepEntry>>,
+    /// Next script position.
+    pos: usize,
+    /// Every branch point passed this run (scripted and frontier).
+    pub record: Vec<Point>,
+    /// The current sleep set.
+    sleep: Vec<SleepEntry>,
+    /// Preemptions used so far this run.
+    preemptions: usize,
+    preemption_bound: Option<usize>,
+    /// Branch-point budget; beyond it choices are forced to defaults.
+    max_points: usize,
+    /// Whether the branch-point budget was hit (the run is truncated:
+    /// schedules below this point were not enumerated).
+    pub depth_hit: bool,
+}
+
+impl DriverState {
+    pub fn new(
+        script: Vec<Choice>,
+        extra_sleep: Vec<Vec<SleepEntry>>,
+        preemption_bound: Option<usize>,
+        max_points: usize,
+    ) -> Self {
+        DriverState {
+            script,
+            extra_sleep,
+            pos: 0,
+            record: Vec::new(),
+            sleep: Vec::new(),
+            preemptions: 0,
+            preemption_bound,
+            max_points,
+            depth_hit: false,
+        }
+    }
+
+    /// A step by `tid` with footprint `fp` is about to execute: wake
+    /// every sleep entry that is dependent on it (and the thread itself,
+    /// should it somehow be asleep).
+    fn note_exec(&mut self, tid: u64, fp: StepFootprint) {
+        self.sleep
+            .retain(|&(q, qfp)| q != tid && fp.independent(qfp));
+    }
+
+    fn is_asleep(&self, tid: u64) -> bool {
+        self.sleep.iter().any(|&(q, _)| q == tid)
+    }
+
+    /// The scheduling decision for a branch point with candidates
+    /// `runnable`. Returns the index to run.
+    fn sched_point(&mut self, runnable: &[ThreadView], previous: Option<ThreadId>) -> usize {
+        let alts: Vec<(u64, StepFootprint)> = runnable
+            .iter()
+            .map(|v| (v.tid.index(), v.footprint))
+            .collect();
+
+        // Preemption bounding: out of budget and the previous thread can
+        // continue => force it (deterministically, so this is not a
+        // branch point and consumes no script entry).
+        if let (Some(bound), Some(prev)) = (self.preemption_bound, previous) {
+            if self.preemptions >= bound {
+                if let Some(i) = runnable.iter().position(|v| v.tid == prev) {
+                    self.note_exec(alts[i].0, alts[i].1);
+                    return i;
+                }
+            }
+        }
+
+        // Branch-point budget: beyond it, force the default choice.
+        if self.record.len() >= self.max_points {
+            self.depth_hit = true;
+            self.note_exec(alts[0].0, alts[0].1);
+            return 0;
+        }
+
+        // Scripted or frontier choice.
+        let scripted = if self.pos < self.script.len() {
+            if let Some(extra) = self.extra_sleep.get(self.pos) {
+                for &entry in extra {
+                    if !self.is_asleep(entry.0) {
+                        self.sleep.push(entry);
+                    }
+                }
+            }
+            let c = self.script[self.pos];
+            self.pos += 1;
+            Some(c)
+        } else {
+            None
+        };
+
+        let sleeping: Vec<u64> = alts
+            .iter()
+            .map(|&(t, _)| t)
+            .filter(|&t| self.is_asleep(t))
+            .collect();
+
+        let default_index = || {
+            alts.iter()
+                .position(|&(t, _)| !sleeping.contains(&t))
+                .unwrap_or(0)
+        };
+        let index = match scripted {
+            Some(Choice::Thread(t)) => alts
+                .iter()
+                .position(|&(a, _)| a == t)
+                .unwrap_or_else(default_index),
+            // A delivery choice at a scheduling point can only happen
+            // when replaying a spliced (shrunk) schedule; fall back.
+            Some(Choice::Deliver(_)) | None => default_index(),
+        };
+
+        if let Some(prev) = previous {
+            if runnable[index].tid != prev && runnable.iter().any(|v| v.tid == prev) {
+                self.preemptions += 1;
+            }
+        }
+        self.record.push(Point {
+            alts: alts.clone(),
+            sleeping,
+            chosen: Choice::Thread(alts[index].0),
+        });
+        self.note_exec(alts[index].0, alts[index].1);
+        index
+    }
+
+    fn deliver_point(&mut self, view: ThreadView) -> bool {
+        if self.record.len() >= self.max_points {
+            self.depth_hit = true;
+            return true;
+        }
+        let scripted = if self.pos < self.script.len() {
+            let c = self.script[self.pos];
+            self.pos += 1;
+            Some(c)
+        } else {
+            None
+        };
+        let deliver = match scripted {
+            Some(Choice::Deliver(b)) => b,
+            // A thread choice here means a spliced schedule; default.
+            Some(Choice::Thread(_)) | None => true,
+        };
+        if deliver {
+            // The delivered exception starts unwinding the target: a step
+            // local to that thread, but conservatively wake everything
+            // that was sleeping on the target's originally-intended step.
+            self.note_exec(view.tid.index(), StepFootprint::Effect);
+        }
+        self.record.push(Point {
+            alts: Vec::new(),
+            sleeping: Vec::new(),
+            chosen: Choice::Deliver(deliver),
+        });
+        deliver
+    }
+}
+
+/// The [`Decider`] facade over a shared [`DriverState`].
+pub(crate) struct ScriptedDecider(pub Rc<RefCell<DriverState>>);
+
+impl Decider for ScriptedDecider {
+    fn choose_thread(&mut self, runnable: &[ThreadView], previous: Option<ThreadId>) -> usize {
+        let mut st = self.0.borrow_mut();
+        // Forced: only one thread can run.
+        if runnable.len() == 1 {
+            let v = &runnable[0];
+            st.note_exec(v.tid.index(), v.footprint);
+            return 0;
+        }
+        // Invisible-move fast-forward: run a local, exception-free step
+        // without branching (lowest thread id for determinism).
+        let local = runnable
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.pending == 0 && v.footprint.is_local())
+            .min_by_key(|(_, v)| v.tid);
+        if let Some((i, v)) = local {
+            st.note_exec(v.tid.index(), v.footprint);
+            return i;
+        }
+        st.sched_point(runnable, previous)
+    }
+
+    fn deliver_now(&mut self, view: ThreadView) -> bool {
+        self.0.borrow_mut().deliver_point(view)
+    }
+}

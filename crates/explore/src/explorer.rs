@@ -1,0 +1,689 @@
+//! The bounded schedule explorer: DFS over scheduling and delivery
+//! choices, with sleep-set pruning, preemption bounding, replay and
+//! greedy schedule shrinking.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conch_runtime::config::RuntimeConfig;
+use conch_runtime::error::RunError;
+use conch_runtime::io::Io;
+use conch_runtime::scheduler::Runtime;
+use conch_runtime::stats::Stats;
+use conch_runtime::trace::IoEvent;
+use conch_runtime::value::FromValue;
+
+use crate::driver::{DriverState, Point, ScriptedDecider, SleepEntry};
+use crate::schedule::{Choice, Schedule};
+
+/// Everything observable about one driven execution.
+#[derive(Debug)]
+pub struct RunOutcome<T> {
+    /// What `Runtime::run` returned.
+    pub result: Result<T, RunError>,
+    /// Everything the program printed.
+    pub output: String,
+    /// Step counters for the run.
+    pub stats: Stats,
+    /// The I/O (and, if enabled, scheduler) trace.
+    pub trace: Vec<IoEvent>,
+    /// The complete schedule of the run — replaying it reproduces this
+    /// outcome exactly.
+    pub schedule: Schedule,
+}
+
+/// A boxed property over one execution: `Err(reason)` fails the check.
+pub type Property<T> = Box<dyn FnOnce(&RunOutcome<T>) -> Result<(), String>>;
+
+/// A program plus the property its executions must satisfy.
+///
+/// `Io` values are consumed by running them, so [`Explorer::check`]
+/// takes a *factory* that builds a fresh `TestCase` per explored
+/// schedule.
+pub struct TestCase<T> {
+    /// The program to run.
+    pub program: Io<T>,
+    /// The property: `Err(reason)` fails the check for this schedule.
+    pub check: Property<T>,
+}
+
+impl<T> TestCase<T> {
+    /// Pair a program with a property.
+    pub fn new(
+        program: Io<T>,
+        check: impl FnOnce(&RunOutcome<T>) -> Result<(), String> + 'static,
+    ) -> Self {
+        TestCase {
+            program,
+            check: Box::new(check),
+        }
+    }
+}
+
+/// Exploration limits and the base runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Stop after this many schedules (0 = unlimited is not supported;
+    /// use a large number).
+    pub max_schedules: usize,
+    /// Maximum branch points per run; beyond it choices are forced to
+    /// defaults and the run counts as truncated.
+    pub max_depth: usize,
+    /// CHESS-style bound on preemptive context switches per run
+    /// (`None` = unbounded).
+    pub preemption_bound: Option<usize>,
+    /// Step budget per run; exceeding it counts as truncated, not as a
+    /// property failure.
+    pub step_budget: u64,
+    /// Base runtime configuration. Scheduling is forced to
+    /// [`SchedulingPolicy::External`](conch_runtime::config::SchedulingPolicy)
+    /// and `max_steps` to `step_budget` regardless of what this says.
+    pub runtime: RuntimeConfig,
+    /// Cap on extra runs spent shrinking a failing schedule.
+    pub max_shrink_runs: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 10_000,
+            max_depth: 64,
+            preemption_bound: None,
+            step_budget: 20_000,
+            runtime: RuntimeConfig::new(),
+            max_shrink_runs: 512,
+        }
+    }
+}
+
+/// What an exploration covered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Schedules actually executed.
+    pub explored: usize,
+    /// Alternatives skipped by the sleep-set rule (each would have
+    /// re-reached an already-explored state).
+    pub pruned: usize,
+    /// Runs cut short by the depth or step budget.
+    pub truncated: usize,
+    /// Extra runs spent validating shrink candidates.
+    pub shrink_runs: usize,
+    /// `true` iff the DFS exhausted the (bounded) schedule space with no
+    /// run truncated — i.e. the verification is complete at this bound.
+    pub complete: bool,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "explored {} / pruned {} / truncated {} ({})",
+            self.explored,
+            self.pruned,
+            self.truncated,
+            if self.complete { "complete" } else { "partial" }
+        )
+    }
+}
+
+/// A property violation, with its replayable certificates.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Why the property failed (on the minimal schedule).
+    pub message: String,
+    /// The minimal failing schedule found by shrinking.
+    pub schedule: Schedule,
+    /// The original (unshrunk) failing schedule.
+    pub original: Schedule,
+    /// Coverage up to (and including) the failing run.
+    pub report: Report,
+}
+
+/// Result of [`Explorer::check`].
+#[derive(Debug)]
+pub enum CheckResult {
+    /// Every explored schedule satisfied the property.
+    Passed(Report),
+    /// Some schedule violated the property.
+    Failed(Box<Failure>),
+}
+
+impl CheckResult {
+    /// The failure, if any.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            CheckResult::Passed(_) => None,
+            CheckResult::Failed(f) => Some(f),
+        }
+    }
+
+    /// The coverage report (of the pass, or up to the failure).
+    pub fn report(&self) -> &Report {
+        match self {
+            CheckResult::Passed(r) => r,
+            CheckResult::Failed(f) => &f.report,
+        }
+    }
+
+    /// Panic with the failure message unless the check passed.
+    pub fn expect_pass(&self) -> &Report {
+        match self {
+            CheckResult::Passed(r) => r,
+            CheckResult::Failed(f) => panic!(
+                "property failed: {} (schedule {}, {})",
+                f.message, f.schedule, f.report
+            ),
+        }
+    }
+
+    /// Panic unless the check failed; returns the failure.
+    pub fn expect_fail(&self) -> &Failure {
+        match self {
+            CheckResult::Passed(r) => panic!("expected a property failure, but passed: {r}"),
+            CheckResult::Failed(f) => f,
+        }
+    }
+}
+
+/// One node of the DFS stack: a branch point and the index of the
+/// alternative currently being explored below it.
+#[derive(Debug, Clone)]
+struct Node {
+    point: Point,
+    /// For scheduling nodes: index into `point.alts` of the current
+    /// choice. Unused for delivery nodes.
+    chosen_idx: usize,
+}
+
+impl Node {
+    fn from_point(point: Point) -> Self {
+        let chosen_idx = match point.chosen {
+            Choice::Thread(t) => point
+                .alts
+                .iter()
+                .position(|&(a, _)| a == t)
+                .expect("recorded choice must be among its alternatives"),
+            Choice::Deliver(_) => 0,
+        };
+        Node { point, chosen_idx }
+    }
+
+    fn choice(&self) -> Choice {
+        if self.point.is_delivery() {
+            self.point.chosen
+        } else {
+            Choice::Thread(self.point.alts[self.chosen_idx].0)
+        }
+    }
+
+    /// Alternatives already explored at this node (to be slept in
+    /// sibling subtrees).
+    fn explored_alts(&self) -> Vec<SleepEntry> {
+        if self.point.is_delivery() {
+            Vec::new()
+        } else {
+            self.point.alts[..self.chosen_idx].to_vec()
+        }
+    }
+
+    /// Move to the next unexplored alternative. Returns `false` when the
+    /// node is exhausted.
+    fn advance(&mut self) -> bool {
+        if self.point.is_delivery() {
+            // Deliver-now is explored first; defer second; then done.
+            if self.point.chosen == Choice::Deliver(true) {
+                self.point.chosen = Choice::Deliver(false);
+                true
+            } else {
+                false
+            }
+        } else {
+            match (self.chosen_idx + 1..self.point.alts.len())
+                .find(|&i| !self.point.sleeping.contains(&self.point.alts[i].0))
+            {
+                Some(i) => {
+                    self.chosen_idx = i;
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+}
+
+/// The exploration engine. See the crate docs for the model.
+#[derive(Debug, Clone, Default)]
+pub struct Explorer {
+    config: ExploreConfig,
+}
+
+struct RunRecord {
+    record: Vec<Point>,
+    depth_hit: bool,
+    check_result: Result<(), String>,
+}
+
+impl Explorer {
+    /// An explorer with default bounds.
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// An explorer with explicit bounds.
+    pub fn with_config(config: ExploreConfig) -> Self {
+        Explorer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ExploreConfig {
+        &self.config
+    }
+
+    /// Explore the schedule space of the program produced by `factory`,
+    /// checking each execution's property. On failure the schedule is
+    /// shrunk to a minimal failing certificate.
+    pub fn check<T, F>(&self, mut factory: F) -> CheckResult
+    where
+        T: FromValue,
+        F: FnMut() -> TestCase<T>,
+    {
+        let mut stack: Vec<Node> = Vec::new();
+        let mut report = Report::default();
+        loop {
+            let script: Vec<Choice> = stack.iter().map(Node::choice).collect();
+            let extra: Vec<Vec<SleepEntry>> = stack.iter().map(Node::explored_alts).collect();
+            let (run, outcome_schedule) = self.run_once(factory(), script, extra);
+            report.explored += 1;
+            if run.depth_hit {
+                report.truncated += 1;
+            }
+            if let Err(message) = run.check_result {
+                let original = outcome_schedule;
+                let (schedule, message) =
+                    self.shrink(&mut factory, original.clone(), message, &mut report);
+                return CheckResult::Failed(Box::new(Failure {
+                    message,
+                    schedule,
+                    original,
+                    report,
+                }));
+            }
+            // Newly discovered branch points below the scripted prefix
+            // become fresh DFS nodes.
+            for point in run.record.into_iter().skip(stack.len()) {
+                report.pruned += point.sleeping.len();
+                stack.push(Node::from_point(point));
+            }
+            // Backtrack: advance the deepest advanceable node.
+            loop {
+                match stack.last_mut() {
+                    None => {
+                        report.complete = report.truncated == 0;
+                        return CheckResult::Passed(report);
+                    }
+                    Some(node) => {
+                        if node.advance() {
+                            break;
+                        }
+                        stack.pop();
+                    }
+                }
+            }
+            if report.explored >= self.config.max_schedules {
+                report.complete = false;
+                return CheckResult::Passed(report);
+            }
+        }
+    }
+
+    /// Replay a schedule byte-for-byte in a fresh `Runtime` and apply the
+    /// case's property. Choices past the end of the schedule (or that no
+    /// longer fit, after shrinking spliced the list) fall back to
+    /// deterministic defaults.
+    pub fn replay<T: FromValue>(
+        &self,
+        case: TestCase<T>,
+        schedule: &Schedule,
+    ) -> (RunOutcome<T>, Result<(), String>) {
+        let state = Rc::new(RefCell::new(DriverState::new(
+            schedule.choices.clone(),
+            Vec::new(),
+            self.config.preemption_bound,
+            self.config.max_depth,
+        )));
+        let outcome = self.drive(case.program, &state);
+        let check_result = (case.check)(&outcome);
+        (outcome, check_result)
+    }
+
+    /// One driven execution with the given script.
+    fn run_once<T: FromValue>(
+        &self,
+        case: TestCase<T>,
+        script: Vec<Choice>,
+        extra: Vec<Vec<SleepEntry>>,
+    ) -> (RunRecord, Schedule) {
+        let state = Rc::new(RefCell::new(DriverState::new(
+            script,
+            extra,
+            self.config.preemption_bound,
+            self.config.max_depth,
+        )));
+        let outcome = self.drive(case.program, &state);
+        let schedule = outcome.schedule.clone();
+        let check_result = (case.check)(&outcome);
+        let truncated_by_steps = matches!(outcome.result, Err(RunError::StepLimitExceeded { .. }));
+        let state = Rc::try_unwrap(state)
+            .ok()
+            .expect("runtime (and its decider) was dropped")
+            .into_inner();
+        (
+            RunRecord {
+                depth_hit: state.depth_hit || truncated_by_steps,
+                record: state.record,
+                check_result,
+            },
+            schedule,
+        )
+    }
+
+    /// Run `program` in a fresh `Runtime` under the scripted decider.
+    fn drive<T: FromValue>(
+        &self,
+        program: Io<T>,
+        state: &Rc<RefCell<DriverState>>,
+    ) -> RunOutcome<T> {
+        let config = self
+            .config
+            .runtime
+            .clone()
+            .external_scheduling()
+            .max_steps(self.config.step_budget);
+        let mut rt = Runtime::with_config(config);
+        rt.set_decider(Box::new(ScriptedDecider(Rc::clone(state))));
+        let result = rt.run(program);
+        let schedule = Schedule::from(
+            state
+                .borrow()
+                .record
+                .iter()
+                .map(|p| p.chosen)
+                .collect::<Vec<_>>(),
+        );
+        RunOutcome {
+            result,
+            output: rt.output().to_owned(),
+            stats: rt.stats().clone(),
+            trace: rt.io_trace().to_vec(),
+            schedule,
+        }
+    }
+
+    /// Greedily shrink a failing schedule: first the shortest failing
+    /// prefix, then repeated single-choice deletion, each candidate
+    /// validated by a full replay.
+    fn shrink<T, F>(
+        &self,
+        factory: &mut F,
+        original: Schedule,
+        original_message: String,
+        report: &mut Report,
+    ) -> (Schedule, String)
+    where
+        T: FromValue,
+        F: FnMut() -> TestCase<T>,
+    {
+        let mut best = original;
+        let mut best_message = original_message;
+        let budget = self.config.max_shrink_runs;
+
+        let mut fails = |sched: &Schedule, report: &mut Report| -> Option<String> {
+            report.shrink_runs += 1;
+            let (_, check) = self.replay(factory(), sched);
+            check.err()
+        };
+
+        // Phase 1: shortest failing prefix.
+        for len in 0..best.len() {
+            if report.shrink_runs >= budget {
+                return (best, best_message);
+            }
+            let prefix = Schedule::from(best.choices[..len].to_vec());
+            if let Some(msg) = fails(&prefix, report) {
+                best = prefix;
+                best_message = msg;
+                break;
+            }
+        }
+
+        // Phase 2: delete single choices until a fixpoint.
+        loop {
+            let mut improved = false;
+            let mut i = 0;
+            while i < best.len() {
+                if report.shrink_runs >= budget {
+                    return (best, best_message);
+                }
+                let mut candidate = best.clone();
+                candidate.choices.remove(i);
+                match fails(&candidate, report) {
+                    Some(msg) => {
+                        best = candidate;
+                        best_message = msg;
+                        improved = true;
+                    }
+                    None => i += 1,
+                }
+            }
+            if !improved {
+                return (best, best_message);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::exception::Exception;
+    use std::collections::BTreeSet;
+
+    /// fork (putChar 'b'); putChar 'a'; sleep 1 — the classic two-way
+    /// output race.
+    fn race_program() -> Io<()> {
+        Io::fork(Io::put_char('b'))
+            .then(Io::put_char('a'))
+            .then(Io::sleep(1))
+    }
+
+    #[test]
+    fn explores_both_orders_of_a_two_thread_race() {
+        let seen = Rc::new(RefCell::new(BTreeSet::new()));
+        let result = Explorer::new().check(|| {
+            let seen = Rc::clone(&seen);
+            TestCase::new(race_program(), move |out: &RunOutcome<()>| {
+                seen.borrow_mut().insert(out.output.clone());
+                Ok(())
+            })
+        });
+        let report = result.expect_pass();
+        assert!(report.complete, "small race should be fully explored");
+        let seen = seen.borrow();
+        assert!(seen.contains("ab") && seen.contains("ba"), "saw {seen:?}");
+    }
+
+    #[test]
+    fn failing_schedule_replays_deterministically() {
+        let explorer = Explorer::new();
+        let result = explorer.check(|| {
+            TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err(format!("child won: {:?}", out.output))
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        let failure = result.expect_fail();
+        // The certificate replays to the same failing output in a brand
+        // new Runtime — twice.
+        for _ in 0..2 {
+            let case = TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err("child won".to_owned())
+                } else {
+                    Ok(())
+                }
+            });
+            let (outcome, check) = explorer.replay(case, &failure.schedule);
+            assert_eq!(outcome.output, "ba");
+            assert!(check.is_err());
+        }
+        // And the serialized form round-trips.
+        let parsed: Schedule = failure.schedule.to_string().parse().unwrap();
+        assert_eq!(parsed, failure.schedule);
+    }
+
+    #[test]
+    fn shrinking_minimizes_the_certificate() {
+        let explorer = Explorer::new();
+        let result = explorer.check(|| {
+            TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err("child won".to_owned())
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        let failure = result.expect_fail();
+        assert!(
+            failure.schedule.len() <= failure.original.len(),
+            "shrunk {} > original {}",
+            failure.schedule,
+            failure.original
+        );
+        // Every choice in the minimal schedule is necessary: deleting any
+        // one of them makes the failure disappear.
+        for i in 0..failure.schedule.len() {
+            let mut cand = failure.schedule.clone();
+            cand.choices.remove(i);
+            let case = TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err("child won".to_owned())
+                } else {
+                    Ok(())
+                }
+            });
+            let (_, check) = explorer.replay(case, &cand);
+            assert!(
+                check.is_ok(),
+                "choice {i} of {} is redundant",
+                failure.schedule
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_points_are_both_explored() {
+        // main masks, forks a child that throws back, then unmasks and
+        // loops briefly: the exploration must cover both delivering at
+        // the first opportunity and deferring.
+        let outcomes = Rc::new(RefCell::new(BTreeSet::new()));
+        let prog = || {
+            Io::my_thread_id().and_then(|me| {
+                Io::fork(Io::throw_to(me, Exception::kill_thread()))
+                    .then(Io::put_char('x'))
+                    .then(Io::put_char('y'))
+                    .map(|_| 0i64)
+                    .catch(|_| Io::pure(1i64))
+            })
+        };
+        let result = Explorer::new().check(|| {
+            let outcomes = Rc::clone(&outcomes);
+            TestCase::new(prog(), move |out: &RunOutcome<i64>| {
+                outcomes
+                    .borrow_mut()
+                    .insert((out.result.clone().ok(), out.output.clone()));
+                Ok(())
+            })
+        });
+        result.expect_pass();
+        let outcomes = outcomes.borrow();
+        // Depending on where the exception lands, the handler runs after
+        // zero, one, or two characters (or the kill never lands before
+        // the program finishes).
+        assert!(outcomes.len() >= 2, "only saw {outcomes:?}");
+    }
+
+    #[test]
+    fn sleep_sets_prune_independent_interleavings() {
+        // Two children touching *different* MVars are independent; sleep
+        // sets must skip at least one redundant interleaving.
+        let prog = || {
+            Io::new_empty_mvar::<i64>().and_then(|a| {
+                Io::new_empty_mvar::<i64>().and_then(move |b| {
+                    Io::fork(a.put(1))
+                        .then(Io::fork(b.put(2)))
+                        .then(a.take())
+                        .and_then(move |x| b.take().map(move |y| x + y))
+                })
+            })
+        };
+        let result = Explorer::new().check(|| {
+            TestCase::new(prog(), |out: &RunOutcome<i64>| match &out.result {
+                Ok(3) => Ok(()),
+                other => Err(format!("expected Ok(3), got {other:?}")),
+            })
+        });
+        let report = result.expect_pass();
+        assert!(report.complete);
+        assert!(report.pruned > 0, "no pruning happened: {report}");
+    }
+
+    #[test]
+    fn depth_budget_marks_runs_truncated() {
+        let cfg = ExploreConfig {
+            max_depth: 0,
+            ..ExploreConfig::default()
+        };
+        let result = Explorer::with_config(cfg)
+            .check(|| TestCase::new(race_program(), |_: &RunOutcome<()>| Ok(())));
+        let report = result.expect_pass();
+        assert!(report.truncated > 0);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn schedule_cap_stops_exploration_incomplete() {
+        let cfg = ExploreConfig {
+            max_schedules: 1,
+            ..ExploreConfig::default()
+        };
+        let result = Explorer::with_config(cfg)
+            .check(|| TestCase::new(race_program(), |_: &RunOutcome<()>| Ok(())));
+        let report = result.expect_pass();
+        assert_eq!(report.explored, 1);
+        assert!(!report.complete);
+    }
+
+    #[test]
+    fn preemption_bound_zero_still_finds_non_preemptive_schedules() {
+        let cfg = ExploreConfig {
+            preemption_bound: Some(0),
+            ..ExploreConfig::default()
+        };
+        let seen = Rc::new(RefCell::new(BTreeSet::new()));
+        let result = Explorer::with_config(cfg).check(|| {
+            let seen = Rc::clone(&seen);
+            TestCase::new(race_program(), move |out: &RunOutcome<()>| {
+                seen.borrow_mut().insert(out.output.clone());
+                Ok(())
+            })
+        });
+        result.expect_pass();
+        // With zero preemptions the scheduler may still switch at blocking
+        // points, so "ab" (main runs to its sleep, then child) survives.
+        assert!(seen.borrow().contains("ab"), "saw {:?}", seen.borrow());
+    }
+}

@@ -1,0 +1,71 @@
+//! # conch-explore
+//!
+//! Bounded schedule exploration ("model checking", in the style of loom
+//! and shuttle) for [`conch-runtime`](conch_runtime), the Rust
+//! reproduction of *Asynchronous Exceptions in Haskell* (Marlow, Peyton
+//! Jones, Moran & Reppy, PLDI 2001).
+//!
+//! The paper's semantics (Figures 4 and 5) is nondeterministic in
+//! exactly two places:
+//!
+//! 1. **Which thread steps next** — the soup evaluation context picks an
+//!    arbitrary runnable thread.
+//! 2. **When a pending asynchronous exception lands** — the (Receive)
+//!    rule may fire at any step boundary of an unmasked thread.
+//!
+//! This crate enumerates those choices systematically. An [`Explorer`]
+//! installs a scripted [`Decider`](conch_runtime::decide::Decider) into
+//! a fresh deterministic [`Runtime`](conch_runtime::scheduler::Runtime)
+//! per schedule and walks the choice tree depth-first, subject to
+//! bounds (schedule count, branch-point depth, preemption budget, step
+//! budget — see [`ExploreConfig`]). Sleep-set pruning skips
+//! interleavings that only reorder *independent* steps (different
+//! `MVar`s, disjoint effects — see
+//! [`StepFootprint`](conch_runtime::decide::StepFootprint)), so the
+//! count in the final [`Report`] reflects distinct behaviours, not raw
+//! permutations.
+//!
+//! Every execution is summarized by a [`Schedule`] — the exact list of
+//! choices taken — which works as a *failure certificate*: it replays
+//! byte-for-byte in a new `Runtime` ([`Explorer::replay`]), serializes
+//! to a compact text form (`t1.d-.t0`), and is automatically shrunk to
+//! a minimal failing schedule when a property fails.
+//!
+//! ```
+//! use conch_explore::{Explorer, TestCase, RunOutcome};
+//! use conch_runtime::prelude::*;
+//!
+//! // Race: does the child's 'b' or the main thread's 'a' print first?
+//! let result = Explorer::new().check(|| {
+//!     TestCase::new(
+//!         Io::fork(Io::put_char('b')).then(Io::put_char('a')).then(Io::sleep(1)),
+//!         |out: &RunOutcome<()>| {
+//!             if out.output == "ba" {
+//!                 Err("child won the race".into())
+//!             } else {
+//!                 Ok(())
+//!             }
+//!         },
+//!     )
+//! });
+//! let failure = result.expect_fail();
+//! // The minimal certificate replays deterministically:
+//! let (outcome, _) = Explorer::new().replay(
+//!     TestCase::new(
+//!         Io::fork(Io::put_char('b')).then(Io::put_char('a')).then(Io::sleep(1)),
+//!         |_: &RunOutcome<()>| Ok(()),
+//!     ),
+//!     &failure.schedule,
+//! );
+//! assert_eq!(outcome.output, "ba");
+//! ```
+
+mod driver;
+pub mod explorer;
+pub mod props;
+pub mod schedule;
+
+pub use crate::explorer::{
+    CheckResult, ExploreConfig, Explorer, Failure, Report, RunOutcome, TestCase,
+};
+pub use crate::schedule::{Choice, ParseScheduleError, Schedule};

@@ -1,0 +1,141 @@
+//! Ready-made properties for [`Explorer::check`](crate::Explorer::check).
+//!
+//! A property is any `FnOnce(&RunOutcome<T>) -> Result<(), String>`;
+//! these helpers cover the recurring ones:
+//!
+//! * [`terminates`] — "terminates without deadlock": the run must not
+//!   end in [`RunError::Deadlock`].
+//! * [`no_uncaught`] — no exception escapes the main thread, i.e. every
+//!   asynchronous exception is caught somewhere ("no lost exception"
+//!   when the program under test installs handlers that account for
+//!   every `throwTo`).
+//! * [`returns`] — the main thread computes exactly the expected value.
+//! * [`releases_balanced`] — "bracket releases on every path": if the
+//!   program prints a marker on acquire and another on release, every
+//!   explored schedule must balance them.
+//! * [`output_satisfies`] — an arbitrary predicate over the console
+//!   output.
+
+use std::fmt::Debug;
+
+use conch_runtime::error::RunError;
+
+use crate::explorer::RunOutcome;
+
+/// The run must not deadlock. Uncaught exceptions and step-budget
+/// truncation are *not* failures for this property.
+pub fn terminates<T>(out: &RunOutcome<T>) -> Result<(), String> {
+    match &out.result {
+        Err(e @ RunError::Deadlock { .. }) => Err(e.to_string()),
+        _ => Ok(()),
+    }
+}
+
+/// No exception may escape the main thread.
+pub fn no_uncaught<T>(out: &RunOutcome<T>) -> Result<(), String> {
+    match &out.result {
+        Err(e @ RunError::Uncaught(_)) => Err(e.to_string()),
+        _ => Ok(()),
+    }
+}
+
+/// The main thread must return exactly `expected`.
+pub fn returns<T>(expected: T) -> impl FnOnce(&RunOutcome<T>) -> Result<(), String>
+where
+    T: PartialEq + Debug + 'static,
+{
+    move |out| match &out.result {
+        Ok(v) if *v == expected => Ok(()),
+        other => Err(format!("expected Ok({expected:?}), got {other:?}")),
+    }
+}
+
+/// Every `acquire` marker printed must be matched by a `release` marker
+/// — the observable form of "bracket releases on every path".
+pub fn releases_balanced<T>(
+    acquire: char,
+    release: char,
+) -> impl FnOnce(&RunOutcome<T>) -> Result<(), String> {
+    move |out| {
+        let a = out.output.chars().filter(|&c| c == acquire).count();
+        let r = out.output.chars().filter(|&c| c == release).count();
+        if a == r {
+            Ok(())
+        } else {
+            Err(format!(
+                "unbalanced bracket: {a} acquire ({acquire:?}) vs {r} release ({release:?}) in output {:?}",
+                out.output
+            ))
+        }
+    }
+}
+
+/// The console output must satisfy `pred`; `desc` names the property in
+/// the failure message.
+pub fn output_satisfies<T>(
+    desc: &'static str,
+    pred: impl FnOnce(&str) -> bool + 'static,
+) -> impl FnOnce(&RunOutcome<T>) -> Result<(), String> {
+    move |out| {
+        if pred(&out.output) {
+            Ok(())
+        } else {
+            Err(format!("output {:?} violates: {desc}", out.output))
+        }
+    }
+}
+
+/// Conjunction of two properties.
+pub fn all_of<T>(
+    first: impl FnOnce(&RunOutcome<T>) -> Result<(), String> + 'static,
+    second: impl FnOnce(&RunOutcome<T>) -> Result<(), String> + 'static,
+) -> impl FnOnce(&RunOutcome<T>) -> Result<(), String> {
+    move |out| {
+        first(out)?;
+        second(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{Explorer, TestCase};
+    use conch_runtime::io::Io;
+
+    #[test]
+    fn terminates_flags_deadlock() {
+        let result = Explorer::new().check(|| {
+            TestCase::new(
+                Io::new_empty_mvar::<i64>().and_then(|m| m.take()),
+                terminates,
+            )
+        });
+        let failure = result.expect_fail();
+        assert!(failure.message.contains("deadlock"), "{}", failure.message);
+    }
+
+    #[test]
+    fn returns_accepts_the_right_value() {
+        let result =
+            Explorer::new().check(|| TestCase::new(Io::pure(41i64).map(|x| x + 1), returns(42)));
+        result.expect_pass();
+    }
+
+    #[test]
+    fn releases_balanced_spots_a_leak() {
+        let result = Explorer::new().check(|| {
+            TestCase::new(
+                Io::put_char('a')
+                    .then(Io::put_char('a'))
+                    .then(Io::put_char('r')),
+                releases_balanced('a', 'r'),
+            )
+        });
+        let failure = result.expect_fail();
+        assert!(
+            failure.message.contains("unbalanced"),
+            "{}",
+            failure.message
+        );
+    }
+}

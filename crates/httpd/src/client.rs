@@ -96,9 +96,8 @@ mod tests {
         let mut rt = Runtime::new();
         let prog = Listener::bind().and_then(move |l| {
             start(l, echo_handler(), cfg).and_then(move |_server| {
-                Io::new_empty_mvar::<i64>().and_then(move |report| {
-                    Io::fork(mk(l, report)).then(report.take())
-                })
+                Io::new_empty_mvar::<i64>()
+                    .and_then(move |report| Io::fork(mk(l, report)).then(report.take()))
             })
         });
         rt.run(prog).unwrap()
@@ -151,7 +150,10 @@ mod tests {
 
     #[test]
     fn status_parser() {
-        assert_eq!(status_of("HTTP/1.0 200 OK\r\n\r\nx"), ClientOutcome::Status(200));
+        assert_eq!(
+            status_of("HTTP/1.0 200 OK\r\n\r\nx"),
+            ClientOutcome::Status(200)
+        );
         assert_eq!(status_of("garbage"), ClientOutcome::Garbled);
     }
 }

@@ -104,13 +104,17 @@ impl std::error::Error for ParseRequestError {}
 /// Returns a [`ParseRequestError`] describing the first malformed line.
 pub fn parse_request(text: &str) -> Result<Request, ParseRequestError> {
     let mut lines = text.split("\r\n");
-    let request_line = lines.next().filter(|l| !l.is_empty()).ok_or(ParseRequestError::Empty)?;
+    let request_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or(ParseRequestError::Empty)?;
     let mut parts = request_line.split_whitespace();
     let (method, path, _version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(p), Some(v), None) => (m, p, v),
         _ => return Err(ParseRequestError::BadRequestLine(request_line.to_owned())),
     };
-    let method = Method::parse(method).ok_or_else(|| ParseRequestError::BadMethod(method.to_owned()))?;
+    let method =
+        Method::parse(method).ok_or_else(|| ParseRequestError::BadMethod(method.to_owned()))?;
     let mut headers = BTreeMap::new();
     for line in lines {
         if line.is_empty() {

@@ -163,11 +163,9 @@ mod tests {
     fn concurrent_writers_all_land() {
         let mut rt = Runtime::new();
         let prog = AccessLog::start().and_then(|log| {
-            conch_runtime::io::for_each(10, move |i| {
-                Io::fork(log.record(format!("/r{i}"), 200))
-            })
-            .then(Io::sleep(1_000))
-            .then(log.lines())
+            conch_runtime::io::for_each(10, move |i| Io::fork(log.record(format!("/r{i}"), 200)))
+                .then(Io::sleep(1_000))
+                .then(log.lines())
         });
         let lines = rt.run(prog).unwrap();
         assert_eq!(lines.len(), 10);

@@ -191,8 +191,7 @@ mod tests {
         let mut rt = Runtime::new();
         // Client sends only half a request, then stalls forever.
         let prog = Connection::open().and_then(|c| {
-            Io::fork(c.send_text("GET / HT"))
-                .then(timeout(1_000, c.read_request_text()))
+            Io::fork(c.send_text("GET / HT")).then(timeout(1_000, c.read_request_text()))
         });
         assert_eq!(rt.run(prog).unwrap(), None);
     }
@@ -205,7 +204,9 @@ mod tests {
             let client = l
                 .connect()
                 .and_then(|c| c.send_text("GET /a HTTP/1.0\r\n\r\n"));
-            Io::fork(client).then(l.accept()).and_then(|c| c.read_request_text())
+            Io::fork(client)
+                .then(l.accept())
+                .and_then(|c| c.read_request_text())
         });
         assert_eq!(rt.run(prog).unwrap(), "GET /a HTTP/1.0\r\n\r\n");
     }

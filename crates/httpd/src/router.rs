@@ -34,8 +34,10 @@ fn parse_pattern(pattern: &str) -> Vec<Segment> {
         .split('/')
         .filter(|s| !s.is_empty())
         .map(|s| {
-            s.strip_prefix(':')
-                .map_or_else(|| Segment::Literal(s.to_owned()), |p| Segment::Param(p.to_owned()))
+            s.strip_prefix(':').map_or_else(
+                || Segment::Literal(s.to_owned()),
+                |p| Segment::Param(p.to_owned()),
+            )
         })
         .collect()
 }
@@ -210,7 +212,10 @@ mod tests {
         let r = Router::new()
             .fallback(|req, _| Io::pure(Response::ok(format!("nothing at {}", req.path))))
             .into_handler();
-        assert_eq!(call(&r, Request::get("/missing")).body, "nothing at /missing");
+        assert_eq!(
+            call(&r, Request::get("/missing")).body,
+            "nothing at /missing"
+        );
     }
 
     #[test]

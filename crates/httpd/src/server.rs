@@ -288,20 +288,14 @@ pub fn handle_connection(
     config: ServerConfig,
     stats: ServerStats,
 ) -> Io<()> {
-    let body = bump(stats.active).then(finally(
-        serve_one(conn, h, config, stats),
-        move || modify_mvar(stats.active, |n| Io::pure(n - 1)),
-    ));
+    let body = bump(stats.active).then(finally(serve_one(conn, h, config, stats), move || {
+        modify_mvar(stats.active, |n| Io::pure(n - 1))
+    }));
     // A worker must never crash the server: swallow anything uncaught.
     body.catch(|_| Io::unit())
 }
 
-fn serve_one(
-    conn: Connection,
-    h: Handler,
-    config: ServerConfig,
-    stats: ServerStats,
-) -> Io<()> {
+fn serve_one(conn: Connection, h: Handler, config: ServerConfig, stats: ServerStats) -> Io<()> {
     timeout(config.read_timeout, conn.read_request_text()).and_then(move |text| match text {
         None => bump(stats.read_timeouts).then(conn.send_response(Response::status(408).render())),
         Some(text) => match parse_request(&text) {
@@ -352,20 +346,24 @@ mod tests {
         handler(|req| Io::pure(Response::ok(format!("hello {}", req.path))))
     }
 
-    fn run_one_request(h: Handler, cfg: ServerConfig, request_io: impl Fn(Connection) -> Io<()> + 'static) -> (String, StatsSnapshot) {
+    fn run_one_request(
+        h: Handler,
+        cfg: ServerConfig,
+        request_io: impl Fn(Connection) -> Io<()> + 'static,
+    ) -> (String, StatsSnapshot) {
         let mut rt = Runtime::new();
         let prog = Listener::bind().and_then(move |l| {
             start(l, h, cfg).and_then(move |server| {
                 l.connect().and_then(move |conn| {
-                    Io::fork(request_io(conn)).then(conn.read_response()).and_then(
-                        move |resp| {
+                    Io::fork(request_io(conn))
+                        .then(conn.read_response())
+                        .and_then(move |resp| {
                             server
                                 .shutdown()
                                 .then(server.drain())
                                 .then(server.stats.snapshot())
                                 .map(move |snap| (resp, snap))
-                        },
-                    )
+                        })
                 })
             })
         });
@@ -415,9 +413,7 @@ mod tests {
 
     #[test]
     fn crashing_handler_gets_500() {
-        let crashing = handler(|_| {
-            Io::<Response>::throw(Exception::error_call("bug in handler"))
-        });
+        let crashing = handler(|_| Io::<Response>::throw(Exception::error_call("bug in handler")));
         let (resp, snap) = run_one_request(crashing, ServerConfig::default(), |c| {
             c.send_text(Request::get("/").render())
         });
@@ -493,9 +489,7 @@ mod tests {
                         .then(Io::sleep(1_000)) // request is now in flight
                         .then(server.shutdown())
                         .then(conn.read_response())
-                        .and_then(move |resp| {
-                            server.drain().then(Io::pure(resp))
-                        })
+                        .and_then(move |resp| server.drain().then(Io::pure(resp)))
                 })
             })
         });

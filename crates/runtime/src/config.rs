@@ -39,6 +39,15 @@ pub enum SchedulingPolicy {
         /// RNG seed.
         seed: u64,
     },
+    /// Every scheduling decision is made by an externally supplied
+    /// [`Decider`](crate::decide::Decider) (see
+    /// [`Runtime::set_decider`](crate::scheduler::Runtime::set_decider)):
+    /// the driver picks the next runnable thread at every step boundary
+    /// (the quantum is forced to 1) and chooses the step at which each
+    /// pending asynchronous exception is delivered. This is the hook the
+    /// schedule explorer drives. Without a decider installed it degrades
+    /// to round-robin with a quantum of 1.
+    External,
 }
 
 /// What happens when every thread is stuck and no sleeper can wake.
@@ -93,6 +102,12 @@ pub struct RuntimeConfig {
     /// race. Default: `true` (GHC behaviour). Set `false` for paper-exact
     /// semantics (the conformance tests do).
     pub fork_inherits_mask: bool,
+    /// Record scheduler-visible events (fork, throwTo, mask transitions,
+    /// blocking) in the I/O trace alongside the observable console/clock
+    /// events. Off by default so existing trace output is unchanged;
+    /// the schedule explorer turns it on to explain failing
+    /// interleavings.
+    pub record_sched_events: bool,
 }
 
 impl RuntimeConfig {
@@ -107,6 +122,7 @@ impl RuntimeConfig {
             max_steps: None,
             stack_limit: None,
             fork_inherits_mask: true,
+            record_sched_events: false,
         }
     }
 
@@ -160,6 +176,18 @@ impl RuntimeConfig {
     /// Convenience: seeded random scheduling.
     pub fn random_scheduling(self, seed: u64) -> Self {
         self.scheduling(SchedulingPolicy::Random { seed })
+    }
+
+    /// Convenience: externally-driven scheduling (see
+    /// [`SchedulingPolicy::External`]).
+    pub fn external_scheduling(self) -> Self {
+        self.scheduling(SchedulingPolicy::External)
+    }
+
+    /// Enables or disables scheduler-visible events in the I/O trace.
+    pub fn record_sched_events(mut self, on: bool) -> Self {
+        self.record_sched_events = on;
+        self
     }
 
     /// Sets whether `forkIO` children inherit the parent's masking state.

@@ -541,10 +541,7 @@ mod tests {
     fn for_each_counts() {
         let mut rt = Runtime::new();
         let prog = Io::new_mvar(0_i64).and_then(|m| {
-            for_each(5, move |_| {
-                m.take().and_then(move |n| m.put(n + 1))
-            })
-            .then(m.take())
+            for_each(5, move |_| m.take().and_then(move |n| m.put(n + 1))).then(m.take())
         });
         assert_eq!(rt.run(prog).unwrap(), 5);
     }

@@ -53,6 +53,7 @@
 
 pub mod config;
 pub mod console;
+pub mod decide;
 pub mod error;
 pub mod exception;
 pub mod ids;
@@ -65,6 +66,7 @@ pub mod trace;
 pub mod value;
 
 pub use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
+pub use crate::decide::{Decider, FirstRunnable, StepFootprint, ThreadView};
 pub use crate::error::RunError;
 pub use crate::exception::{ArithError, Exception, ExceptionKind};
 pub use crate::ids::{MVarId, ThreadId};
@@ -73,12 +75,13 @@ pub use crate::mvar::MVar;
 pub use crate::scheduler::Runtime;
 pub use crate::stats::Stats;
 pub use crate::thread::{MaskState, RaiseOrigin};
-pub use crate::trace::IoEvent;
+pub use crate::trace::{BlockSite, IoEvent};
 pub use crate::value::{FromValue, IntoValue, Value};
 
 /// The most commonly used names, for glob import.
 pub mod prelude {
     pub use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
+    pub use crate::decide::{Decider, StepFootprint, ThreadView};
     pub use crate::error::RunError;
     pub use crate::exception::{Exception, ExceptionKind};
     pub use crate::ids::ThreadId;

@@ -191,8 +191,10 @@ mod tests {
     #[test]
     fn try_take_on_full_takes() {
         let mut rt = Runtime::new();
-        let prog = Io::new_mvar(5_i64)
-            .and_then(|m| m.try_take().and_then(move |v| m.try_take().map(move |w| (v, w))));
+        let prog = Io::new_mvar(5_i64).and_then(|m| {
+            m.try_take()
+                .and_then(move |v| m.try_take().map(move |w| (v, w)))
+        });
         // Second try_take sees the now-empty box.
         let (first, second) = rt.run(prog).unwrap();
         assert_eq!(first, Some(5));

@@ -29,6 +29,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
 use crate::console::{BufferConsole, Console};
+use crate::decide::{Decider, StepFootprint, ThreadView};
 use crate::error::RunError;
 use crate::exception::Exception;
 use crate::ids::{MVarId, ThreadId};
@@ -36,7 +37,7 @@ use crate::io::{Action, Io};
 use crate::mvar::MVarCell;
 use crate::stats::Stats;
 use crate::thread::{Code, Frame, MaskState, PendingExc, RaiseOrigin, Status, StuckReason, Thread};
-use crate::trace::IoEvent;
+use crate::trace::{BlockSite, IoEvent};
 use crate::value::{FromValue, Value};
 
 /// The runtime: scheduler, thread table, `MVar` store, clock and console.
@@ -71,6 +72,10 @@ pub struct Runtime {
     main_tid: Option<ThreadId>,
     main_result: Option<Result<Value, Exception>>,
     yielded: bool,
+    /// External scheduling driver (only consulted under
+    /// [`SchedulingPolicy::External`]). Kept in an `Option` so it can be
+    /// temporarily moved out while the runtime is borrowed.
+    decider: Option<Box<dyn Decider>>,
 }
 
 impl std::fmt::Debug for Runtime {
@@ -99,7 +104,7 @@ impl Runtime {
     pub fn with_config(config: RuntimeConfig) -> Self {
         let rng = match config.scheduling {
             SchedulingPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
-            SchedulingPolicy::RoundRobin => None,
+            SchedulingPolicy::RoundRobin | SchedulingPolicy::External => None,
         };
         Runtime {
             config,
@@ -117,6 +122,7 @@ impl Runtime {
             main_tid: None,
             main_result: None,
             yielded: false,
+            decider: None,
         }
     }
 
@@ -175,7 +181,7 @@ impl Runtime {
                     }
                 }
             }
-            let tid = self.pick_next();
+            let tid = self.pick_next(last);
             if last != Some(tid) {
                 self.stats.context_switches += 1;
                 last = Some(tid);
@@ -254,6 +260,46 @@ impl Runtime {
     }
 
     // ------------------------------------------------------------------
+    // External scheduling
+    // ------------------------------------------------------------------
+
+    /// Installs an external scheduling driver and switches the runtime to
+    /// [`SchedulingPolicy::External`]: from the next run on, every
+    /// thread-selection and exception-delivery decision is made by
+    /// `decider`. The decider persists across runs until replaced or
+    /// removed with [`Runtime::clear_decider`].
+    pub fn set_decider(&mut self, decider: Box<dyn Decider>) {
+        self.config.scheduling = SchedulingPolicy::External;
+        self.rng = None;
+        self.decider = Some(decider);
+    }
+
+    /// Removes the external scheduling driver, if any, and returns it.
+    /// The policy stays [`SchedulingPolicy::External`] (degrading to
+    /// round-robin with quantum 1) until reconfigured.
+    pub fn clear_decider(&mut self) -> Option<Box<dyn Decider>> {
+        self.decider.take()
+    }
+
+    /// The currently-runnable threads, in run-queue order, each with the
+    /// conservative footprint of its next step. Useful to exploration
+    /// drivers and for post-mortem debugging (after a deadlock, this is
+    /// empty; see [`RunError::Deadlock`] for the stuck set).
+    pub fn runnable(&self) -> Vec<ThreadView> {
+        self.run_queue.iter().map(|&t| self.view_of(t)).collect()
+    }
+
+    fn view_of(&self, tid: ThreadId) -> ThreadView {
+        let th = self.thread(tid).expect("runnable thread exists");
+        ThreadView {
+            tid,
+            footprint: footprint_of(th),
+            pending: th.pending.len(),
+            masked: th.mask == MaskState::Blocked,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Thread table helpers
     // ------------------------------------------------------------------
 
@@ -262,7 +308,9 @@ impl Runtime {
     }
 
     fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut Thread> {
-        self.threads.get_mut(tid.0 as usize).and_then(Option::as_mut)
+        self.threads
+            .get_mut(tid.0 as usize)
+            .and_then(Option::as_mut)
     }
 
     fn spawn(&mut self, action: Action, mask: MaskState) -> ThreadId {
@@ -275,6 +323,10 @@ impl Runtime {
     }
 
     fn quantum_for(&mut self) -> u64 {
+        if self.config.scheduling == SchedulingPolicy::External {
+            // One step per decision: the driver sees every step boundary.
+            return 1;
+        }
         let q = self.config.quantum;
         match &mut self.rng {
             Some(rng) => rng.gen_range(1..=q),
@@ -282,7 +334,23 @@ impl Runtime {
         }
     }
 
-    fn pick_next(&mut self) -> ThreadId {
+    fn pick_next(&mut self, previous: Option<ThreadId>) -> ThreadId {
+        if self.config.scheduling == SchedulingPolicy::External {
+            if let Some(mut decider) = self.decider.take() {
+                let views: Vec<ThreadView> =
+                    self.run_queue.iter().map(|&t| self.view_of(t)).collect();
+                let i = decider.choose_thread(&views, previous);
+                self.decider = Some(decider);
+                assert!(
+                    i < views.len(),
+                    "Decider::choose_thread returned index {i} for {} runnable threads",
+                    views.len()
+                );
+                return self.run_queue.remove(i).expect("index in range");
+            }
+            // No decider installed: degrade to round-robin.
+            return self.run_queue.pop_front().expect("non-empty run queue");
+        }
         match &mut self.rng {
             None => self.run_queue.pop_front().expect("non-empty run queue"),
             Some(rng) => {
@@ -415,9 +483,7 @@ impl Runtime {
             let Some(p) = th.take_pending() else {
                 return;
             };
-            let Status::Stuck(reason) =
-                std::mem::replace(&mut th.status, Status::Runnable)
-            else {
+            let Status::Stuck(reason) = std::mem::replace(&mut th.status, Status::Runnable) else {
                 unreachable!("is_stuck checked above");
             };
             let notify = p.notify;
@@ -542,12 +608,32 @@ impl Runtime {
         // unblocked threads, in fully-asynchronous mode. Delivery does not
         // preempt an exception already being raised: §8 treats raising as
         // atomic (the stack is truncated to the handler in one go), so a
-        // mid-unwind thread is not a delivery point.
+        // mid-unwind thread is not a delivery point. Under external
+        // scheduling the decider picks the delivery step: deferring here
+        // leaves the exception queued and the thread takes its ordinary
+        // step, so the decider sees the same choice again at the thread's
+        // next unmasked step.
         if self.config.delivery == DeliveryMode::FullyAsync
             && th.mask == MaskState::Unblocked
             && !matches!(th.code, Code::Raise(_, _))
+            && !th.pending.is_empty()
         {
-            if let Some(p) = th.take_pending() {
+            let deliver = match self.decider.take() {
+                None => true,
+                Some(mut decider) => {
+                    let view = ThreadView {
+                        tid,
+                        footprint: footprint_of(&th),
+                        pending: th.pending.len(),
+                        masked: false,
+                    };
+                    let answer = decider.deliver_now(view);
+                    self.decider = Some(decider);
+                    answer
+                }
+            };
+            if deliver {
+                let p = th.take_pending().expect("pending checked non-empty");
                 self.record_receive(&p);
                 if let Some(n) = p.notify {
                     self.wake_sync_notifier(n);
@@ -582,7 +668,10 @@ impl Runtime {
                     th.mask = s;
                     th.code = Code::Raise(e, origin);
                 }
-                Some(Frame::Catch { handler, saved_mask }) => {
+                Some(Frame::Catch {
+                    handler,
+                    saved_mask,
+                }) => {
                     th.mask = saved_mask;
                     self.stats.catches += 1;
                     th.code = Code::Run(handler(e, origin));
@@ -608,7 +697,13 @@ impl Runtime {
             }
             Action::Catch(m, handler) => {
                 let saved_mask = th.mask;
-                if self.push_frame_checked(th, Frame::Catch { handler, saved_mask }) {
+                if self.push_frame_checked(
+                    th,
+                    Frame::Catch {
+                        handler,
+                        saved_mask,
+                    },
+                ) {
                     th.code = Code::Run(*m);
                 }
             }
@@ -621,6 +716,9 @@ impl Runtime {
                 th.code = Code::Raise(e, origin);
             }
             Action::Block(m) => {
+                if self.config.record_sched_events {
+                    self.trace.push(IoEvent::Mask(th.tid));
+                }
                 let collapsed = th.enter_block(self.config.collapse_mask_frames);
                 if collapsed {
                     self.stats.mask_frames_collapsed += 1;
@@ -634,6 +732,9 @@ impl Runtime {
                 th.code = Code::Run(*m);
             }
             Action::Unblock(m) => {
+                if self.config.record_sched_events {
+                    self.trace.push(IoEvent::Unmask(th.tid));
+                }
                 let collapsed = th.enter_unblock(self.config.collapse_mask_frames);
                 if collapsed {
                     self.stats.mask_frames_collapsed += 1;
@@ -657,6 +758,12 @@ impl Runtime {
                 };
                 let child = self.spawn(*body, mask);
                 self.stats.forks += 1;
+                if self.config.record_sched_events {
+                    self.trace.push(IoEvent::Fork {
+                        parent: th.tid,
+                        child,
+                    });
+                }
                 th.code = Code::ReturnVal(Value::ThreadId(child));
             }
             Action::MyThreadId => th.code = Code::ReturnVal(Value::ThreadId(th.tid)),
@@ -701,8 +808,10 @@ impl Runtime {
                     let wake_at = self.clock + d;
                     th.status = Status::Stuck(StuckReason::Sleep { wake_at });
                     self.sleep_seq += 1;
-                    self.sleepers.push(Reverse((wake_at, self.sleep_seq, th.tid.0)));
+                    self.sleepers
+                        .push(Reverse((wake_at, self.sleep_seq, th.tid.0)));
                     self.stats.blocks += 1;
+                    self.note_blocked(th.tid, BlockSite::Sleep);
                 }
             }
             Action::GetChar => match self.console.try_read() {
@@ -717,6 +826,7 @@ impl Runtime {
                         th.status = Status::Stuck(StuckReason::GetChar);
                         self.console_waiters.push_back(th.tid);
                         self.stats.blocks += 1;
+                        self.note_blocked(th.tid, BlockSite::GetChar);
                     }
                 }
             },
@@ -756,6 +866,12 @@ impl Runtime {
             Action::Effect(f) => th.code = Code::ReturnVal(f()),
             Action::ThrowTo(target, e) => {
                 self.stats.throwtos += 1;
+                if self.config.record_sched_events {
+                    self.trace.push(IoEvent::ThrowTo {
+                        from: th.tid,
+                        to: target,
+                    });
+                }
                 if target == th.tid {
                     // Self-throw: queue it; it is delivered at the next
                     // delivery point if unmasked, like any other pending
@@ -773,6 +889,12 @@ impl Runtime {
             }
             Action::ThrowToSync(target, e) => {
                 self.stats.throwtos += 1;
+                if self.config.record_sched_events {
+                    self.trace.push(IoEvent::ThrowTo {
+                        from: th.tid,
+                        to: target,
+                    });
+                }
                 if target == th.tid {
                     // §9: special case — a thread throwing to itself raises
                     // the exception immediately.
@@ -784,12 +906,28 @@ impl Runtime {
                     // already have a pending exception, receive it instead
                     // of starting to wait.
                     self.deliver_at_block_point(th, p);
+                } else if self.thread(target).is_some_and(Thread::is_stuck) {
+                    // A stuck target receives via (Interrupt) the moment the
+                    // exception is enqueued, so the thrower has nothing to
+                    // wait for. Waiting would in fact deadlock: the wake
+                    // happens during this very step, while the thrower is
+                    // detached from the thread table and not yet suspended.
+                    self.enqueue_exception(target, e, None);
+                    th.code = Code::ReturnVal(Value::Unit);
                 } else {
                     self.enqueue_exception(target, e, Some(th.tid));
                     th.status = Status::Stuck(StuckReason::SyncThrow { target });
                     self.stats.blocks += 1;
+                    self.note_blocked(th.tid, BlockSite::SyncThrow);
                 }
             }
+        }
+    }
+
+    /// Records a [`IoEvent::BlockedOn`] scheduler event, if enabled.
+    fn note_blocked(&mut self, tid: ThreadId, site: BlockSite) {
+        if self.config.record_sched_events {
+            self.trace.push(IoEvent::BlockedOn { tid, site });
         }
     }
 
@@ -824,6 +962,7 @@ impl Runtime {
                     th.status = Status::Stuck(StuckReason::TakeMVar(m));
                     self.mvars[m.0 as usize].take_queue.push_back(th.tid);
                     self.stats.blocks += 1;
+                    self.note_blocked(th.tid, BlockSite::TakeMVar);
                 }
             }
         }
@@ -838,6 +977,7 @@ impl Runtime {
                 th.status = Status::Stuck(StuckReason::PutMVar(m));
                 self.mvars[m.0 as usize].put_queue.push_back((th.tid, v));
                 self.stats.blocks += 1;
+                self.note_blocked(th.tid, BlockSite::PutMVar);
             }
         } else {
             self.fill_or_handoff(m, v);
@@ -854,10 +994,7 @@ impl Runtime {
             None => self.mvars[m.0 as usize].contents = Some(v),
             Some(t) => {
                 let th = self.thread_mut(t).expect("waiting taker exists");
-                debug_assert!(matches!(
-                    th.status,
-                    Status::Stuck(StuckReason::TakeMVar(_))
-                ));
+                debug_assert!(matches!(th.status, Status::Stuck(StuckReason::TakeMVar(_))));
                 th.status = Status::Runnable;
                 th.code = Code::ReturnVal(v);
                 self.run_queue.push_back(t);
@@ -872,10 +1009,7 @@ impl Runtime {
         if let Some((t, v)) = self.mvars[m.0 as usize].put_queue.pop_front() {
             self.mvars[m.0 as usize].contents = Some(v);
             let th = self.thread_mut(t).expect("waiting putter exists");
-            debug_assert!(matches!(
-                th.status,
-                Status::Stuck(StuckReason::PutMVar(_))
-            ));
+            debug_assert!(matches!(th.status, Status::Stuck(StuckReason::PutMVar(_))));
             th.status = Status::Runnable;
             th.code = Code::ReturnVal(Value::Unit);
             self.run_queue.push_back(t);
@@ -884,10 +1018,58 @@ impl Runtime {
     }
 }
 
+/// Classifies what `th`'s next step will touch (see [`StepFootprint`]).
+///
+/// Conservative in the required direction: anything not provably local to
+/// the thread maps to a variant that conflicts with more, never less.
+fn footprint_of(th: &Thread) -> StepFootprint {
+    match &th.code {
+        Code::ReturnVal(_) => {
+            if th.stack.is_empty() {
+                StepFootprint::Terminal
+            } else {
+                StepFootprint::Local
+            }
+        }
+        Code::Raise(_, _) => {
+            if th.stack.is_empty() {
+                StepFootprint::Terminal
+            } else {
+                StepFootprint::Raise
+            }
+        }
+        Code::Run(action) => match action {
+            Action::Pure(_)
+            | Action::Bind(_, _)
+            | Action::GetMaskingState
+            | Action::MyThreadId
+            | Action::Compute { .. }
+            | Action::Yield => StepFootprint::Local,
+            // Catch installs a handler: an exception delivered before vs
+            // after the push lands differently, so this is not a plain
+            // local step (it must not be fast-forwarded past a throw).
+            Action::Catch(_, _) => StepFootprint::Raise,
+            Action::Throw(_) | Action::Rethrow(_, _) => StepFootprint::Raise,
+            // Under polling delivery this is itself a delivery point.
+            Action::PollSafePoint => StepFootprint::Effect,
+            Action::Block(_) | Action::Unblock(_) => StepFootprint::Mask,
+            Action::NewMVar(_) => StepFootprint::Alloc,
+            Action::TakeMVar(m)
+            | Action::PutMVar(m, _)
+            | Action::TryTakeMVar(m)
+            | Action::TryPutMVar(m, _) => StepFootprint::MVar(*m),
+            Action::Sleep(_) | Action::Now => StepFootprint::Time,
+            Action::GetChar | Action::PutChar(_) => StepFootprint::Console,
+            Action::Fork(_) => StepFootprint::Fork,
+            Action::ThrowTo(t, _) | Action::ThrowToSync(t, _) => StepFootprint::Throw(*t),
+            Action::Effect(_) => StepFootprint::Effect,
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    
 
     #[test]
     fn pure_program_runs() {
@@ -919,8 +1101,7 @@ mod tests {
     #[test]
     fn handler_receives_the_exception() {
         let mut rt = Runtime::new();
-        let prog = Io::<String>::throw(Exception::custom("E1"))
-            .catch(|e| Io::pure(e.to_string()));
+        let prog = Io::<String>::throw(Exception::custom("E1")).catch(|e| Io::pure(e.to_string()));
         assert_eq!(rt.run(prog).unwrap(), "E1");
     }
 
@@ -928,9 +1109,7 @@ mod tests {
     fn fork_runs_concurrently() {
         let mut rt = Runtime::new();
         // Child fills the MVar; parent waits for it.
-        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
-            Io::fork(m.put(10)).then(m.take())
-        });
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| Io::fork(m.put(10)).then(m.take()));
         assert_eq!(rt.run(prog).unwrap(), 10);
     }
 
@@ -1091,9 +1270,8 @@ mod tests {
             let body = Io::compute(50)
                 .then(m.put(1)) // protected: must complete
                 .then(Io::<()>::unblock(Io::compute(1000))); // killable
-            Io::<ThreadId>::block(Io::fork(body)).and_then(move |child| {
-                Io::throw_to(child, Exception::kill_thread()).then(m.take())
-            })
+            Io::<ThreadId>::block(Io::fork(body))
+                .and_then(move |child| Io::throw_to(child, Exception::kill_thread()).then(m.take()))
         });
         // The put under the inherited mask always happens even though the
         // kill was thrown before it ran.
@@ -1104,10 +1282,12 @@ mod tests {
     fn unblock_inside_block_restores_on_exit() {
         let mut rt = Runtime::new();
         let prog = Io::<bool>::block(Io::<bool>::unblock(Io::masking_state()).and_then(
-            |inside_unblock| Io::masking_state().map(move |after| {
-                assert!(!inside_unblock, "inside unblock must be unmasked");
-                after
-            }),
+            |inside_unblock| {
+                Io::masking_state().map(move |after| {
+                    assert!(!inside_unblock, "inside unblock must be unmasked");
+                    after
+                })
+            },
         ));
         // After leaving unblock we are blocked again.
         assert!(rt.run(prog).unwrap());
@@ -1117,9 +1297,7 @@ mod tests {
     fn mask_restored_after_block_exits() {
         let mut rt = Runtime::new();
         let prog = Io::<bool>::block(Io::masking_state())
-            .and_then(|inside| {
-                Io::masking_state().map(move |outside| (inside, outside))
-            });
+            .and_then(|inside| Io::masking_state().map(move |outside| (inside, outside)));
         let (inside, outside) = rt.run(prog).unwrap();
         assert!(inside);
         assert!(!outside);
@@ -1128,13 +1306,11 @@ mod tests {
     #[test]
     fn self_throw_to_is_deferred_while_masked() {
         let mut rt = Runtime::new();
-        let prog = Io::<i64>::block(
-            Io::my_thread_id().and_then(|me| {
-                Io::throw_to(me, Exception::kill_thread())
-                    // Still alive here because we are masked.
-                    .then(Io::compute_returning(10, 42_i64))
-            }),
-        )
+        let prog = Io::<i64>::block(Io::my_thread_id().and_then(|me| {
+            Io::throw_to(me, Exception::kill_thread())
+                // Still alive here because we are masked.
+                .then(Io::compute_returning(10, 42_i64))
+        }))
         .catch(|e| {
             assert!(e.is_kill_thread());
             Io::pure(-1)
@@ -1163,8 +1339,7 @@ mod tests {
         // and unmasks; parent sync-throws. The parent can only proceed after
         // the child actually receives the exception.
         let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
-            let child_body =
-                Io::<()>::unblock(Io::compute(100_000)).catch(move |_| m.put(99));
+            let child_body = Io::<()>::unblock(Io::compute(100_000)).catch(move |_| m.put(99));
             Io::<ThreadId>::block(Io::fork(child_body)).and_then(move |child| {
                 Io::throw_to_sync(child, Exception::kill_thread()).then(m.take())
             })
@@ -1181,7 +1356,9 @@ mod tests {
         let prog = Io::new_empty_mvar::<i64>().and_then(|hole| {
             Io::new_empty_mvar::<i64>().and_then(move |report| {
                 let child = Io::<()>::block(
-                    hole.take().map(|_| ()).catch(move |_| report.put(1).map(|_| ())),
+                    hole.take()
+                        .map(|_| ())
+                        .catch(move |_| report.put(1).map(|_| ())),
                 );
                 Io::fork(child).and_then(move |c| {
                     Io::sleep(5)
@@ -1201,8 +1378,7 @@ mod tests {
         // next delivery point.
         let prog = Io::new_mvar(5_i64).and_then(|m| {
             Io::<i64>::block(Io::my_thread_id().and_then(move |me| {
-                Io::throw_to(me, Exception::kill_thread())
-                    .then(m.take()) // must succeed despite pending kill
+                Io::throw_to(me, Exception::kill_thread()).then(m.take()) // must succeed despite pending kill
             }))
             .catch(|_| Io::pure(-1))
         });
@@ -1223,9 +1399,8 @@ mod tests {
                 .then(Io::poll_safe_point()) // exception fires here
                 .then(m.take().map(|_| ()))
                 .catch(move |_| Io::unit());
-            Io::fork(child).and_then(move |c| {
-                Io::throw_to(c, Exception::kill_thread()).then(m.take())
-            })
+            Io::fork(child)
+                .and_then(move |c| Io::throw_to(c, Exception::kill_thread()).then(m.take()))
         });
         // If polling mode delivered mid-compute, the put would never happen
         // and this would deadlock.
@@ -1248,13 +1423,9 @@ mod tests {
             Io::throw_to(me, Exception::custom("first"))
                 .then(Io::throw_to(me, Exception::custom("second")))
                 .then(Io::<()>::unblock(Io::unit()))
-                .catch(move |e| {
-                    Io::effect(move || l1.borrow_mut().push(e.to_string()))
-                })
+                .catch(move |e| Io::effect(move || l1.borrow_mut().push(e.to_string())))
                 .then(Io::<()>::unblock(Io::unit()))
-                .catch(move |e| {
-                    Io::effect(move || l2.borrow_mut().push(e.to_string()))
-                })
+                .catch(move |e| Io::effect(move || l2.borrow_mut().push(e.to_string())))
         }));
         rt.run(prog).unwrap();
         assert_eq!(*log.borrow(), ["first".to_owned(), "second".to_owned()]);
@@ -1316,13 +1487,159 @@ mod tests {
     }
 
     #[test]
+    fn sync_throw_to_stuck_target_does_not_deadlock() {
+        // Regression: a sync throwTo at a *stuck* target used to suspend
+        // the thrower forever — the target's (Interrupt) wake-up fired
+        // while the thrower was mid-step and not yet suspended, so the
+        // notification was lost. Delivery to a stuck target is immediate,
+        // so the thrower must not wait at all.
+        let mut rt = Runtime::new();
+        let prog = Io::new_empty_mvar::<i64>().and_then(|hole| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                let victim = hole
+                    .take()
+                    .map(|_| ())
+                    .catch(move |_| report.put(1).map(|_| ()));
+                Io::fork(victim).and_then(move |v| {
+                    Io::sleep(5) // let the victim block on the take
+                        .then(Io::throw_to_sync(v, Exception::kill_thread()))
+                        .then(report.take())
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 1);
+    }
+
+    /// Picks the lowest or highest `ThreadId` among the runnable set.
+    struct Prefer {
+        highest: bool,
+    }
+
+    impl crate::decide::Decider for Prefer {
+        fn choose_thread(
+            &mut self,
+            runnable: &[crate::decide::ThreadView],
+            _previous: Option<ThreadId>,
+        ) -> usize {
+            let mut best = 0;
+            for (i, v) in runnable.iter().enumerate() {
+                let better = if self.highest {
+                    v.tid > runnable[best].tid
+                } else {
+                    v.tid < runnable[best].tid
+                };
+                if better {
+                    best = i;
+                }
+            }
+            best
+        }
+
+        fn deliver_now(&mut self, _view: crate::decide::ThreadView) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn external_decider_controls_interleaving() {
+        let run_with = |highest: bool| {
+            let mut rt = Runtime::with_config(RuntimeConfig::new().external_scheduling());
+            rt.set_decider(Box::new(Prefer { highest }));
+            let prog = Io::fork(Io::put_char('b'))
+                .then(Io::put_char('a'))
+                .then(Io::sleep(1));
+            rt.run(prog).unwrap();
+            rt.output().to_owned()
+        };
+        // Preferring the main thread runs it to its sleep before the
+        // child's put; preferring the child flips the order.
+        assert_eq!(run_with(false), "ab");
+        assert_eq!(run_with(true), "ba");
+    }
+
+    #[test]
+    fn external_decider_controls_delivery_point() {
+        struct Defer;
+        impl crate::decide::Decider for Defer {
+            fn choose_thread(
+                &mut self,
+                _runnable: &[crate::decide::ThreadView],
+                _previous: Option<ThreadId>,
+            ) -> usize {
+                0
+            }
+            fn deliver_now(&mut self, _view: crate::decide::ThreadView) -> bool {
+                false
+            }
+        }
+        // An unmasked self-throw is normally delivered at the very next
+        // step; a decider that keeps deferring lets the program run to
+        // completion with the exception still pending.
+        let prog = || {
+            Io::my_thread_id().and_then(|me| {
+                Io::throw_to(me, Exception::custom("later")).then(Io::compute_returning(3, 7_i64))
+            })
+        };
+        let mut plain = Runtime::new();
+        assert!(plain.run(prog()).is_err());
+
+        let mut driven = Runtime::with_config(RuntimeConfig::new().external_scheduling());
+        driven.set_decider(Box::new(Defer));
+        assert_eq!(driven.run(prog()).unwrap(), 7);
+    }
+
+    #[test]
+    fn external_without_decider_is_round_robin() {
+        let mut rt = Runtime::with_config(RuntimeConfig::new().external_scheduling());
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| Io::fork(m.put(10)).then(m.take()));
+        assert_eq!(rt.run(prog).unwrap(), 10);
+    }
+
+    #[test]
+    fn sched_events_recorded_when_enabled() {
+        let mut rt = Runtime::with_config(RuntimeConfig::new().record_sched_events(true));
+        let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+            Io::<ThreadId>::block(Io::fork(m.take().map(|_| ()))).and_then(move |child| {
+                Io::sleep(5)
+                    .then(Io::throw_to(child, Exception::kill_thread()))
+                    .then(Io::pure(0_i64))
+            })
+        });
+        rt.run(prog).unwrap();
+        let trace = rt.io_trace();
+        assert!(trace.iter().any(|e| matches!(e, IoEvent::Mask(_))));
+        assert!(trace.iter().any(|e| matches!(e, IoEvent::Fork { .. })));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            IoEvent::BlockedOn {
+                site: crate::trace::BlockSite::TakeMVar,
+                ..
+            }
+        )));
+        assert!(trace.iter().any(|e| matches!(e, IoEvent::ThrowTo { .. })));
+    }
+
+    #[test]
+    fn sched_events_absent_by_default() {
+        let mut rt = Runtime::new();
+        let prog = Io::fork(Io::unit()).then(Io::sleep(1));
+        rt.run(prog).unwrap();
+        assert!(!rt
+            .io_trace()
+            .iter()
+            .any(|e| matches!(e, IoEvent::Fork { .. } | IoEvent::BlockedOn { .. })));
+    }
+
+    #[test]
     fn mask_frames_collapse_stat() {
         // A mask-recursive loop: block(unblock(block(...))).
         fn looped(n: u64) -> Io<()> {
             if n == 0 {
                 Io::unit()
             } else {
-                Io::<()>::block(Io::<()>::unblock(Io::unit().and_then(move |_| looped(n - 1))))
+                Io::<()>::block(Io::<()>::unblock(
+                    Io::unit().and_then(move |_| looped(n - 1)),
+                ))
             }
         }
         let mut rt = Runtime::new();
@@ -1368,9 +1685,8 @@ mod origin_tests {
                     Io::effect(move || o3.borrow_mut().push(origin))
                 })
                 .then(done.put(1));
-            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
-                Io::throw_to(v, Exception::kill_thread()).then(done.take())
-            })
+            Io::<ThreadId>::block(Io::fork(victim))
+                .and_then(move |v| Io::throw_to(v, Exception::kill_thread()).then(done.take()))
         });
         rt.run(prog).unwrap();
         assert_eq!(*origins.borrow(), [RaiseOrigin::Async]);
@@ -1384,7 +1700,8 @@ mod origin_tests {
                 let victim = hole
                     .take()
                     .catch_info(move |_, origin| {
-                        report.put(i64::from(origin == RaiseOrigin::Async))
+                        report
+                            .put(i64::from(origin == RaiseOrigin::Async))
                             .then(Io::pure(0))
                     })
                     .map(|_| ());
@@ -1412,9 +1729,8 @@ mod origin_tests {
                         .put(i64::from(origin == RaiseOrigin::Async))
                         .map(|_| ())
                 });
-            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
-                Io::throw_to(v, Exception::kill_thread()).then(report.take())
-            })
+            Io::<ThreadId>::block(Io::fork(victim))
+                .and_then(move |v| Io::throw_to(v, Exception::kill_thread()).then(report.take()))
         });
         assert_eq!(rt.run(prog).unwrap(), 1);
     }
@@ -1432,9 +1748,8 @@ mod origin_tests {
                         .put(i64::from(origin == RaiseOrigin::Sync))
                         .map(|_| ())
                 });
-            Io::<ThreadId>::block(Io::fork(victim)).and_then(move |v| {
-                Io::throw_to(v, Exception::kill_thread()).then(report.take())
-            })
+            Io::<ThreadId>::block(Io::fork(victim))
+                .and_then(move |v| Io::throw_to(v, Exception::kill_thread()).then(report.take()))
         });
         assert_eq!(rt.run(prog).unwrap(), 1);
     }
@@ -1443,9 +1758,7 @@ mod origin_tests {
     fn self_sync_throwto_is_async_origin() {
         let mut rt = Runtime::new();
         let prog = Io::my_thread_id()
-            .and_then(|me| {
-                Io::throw_to_sync(me, Exception::custom("self")).then(Io::pure(0_i64))
-            })
+            .and_then(|me| Io::throw_to_sync(me, Exception::custom("self")).then(Io::pure(0_i64)))
             .catch_info(|_, origin| Io::pure(i64::from(origin == RaiseOrigin::Async)));
         assert_eq!(rt.run(prog).unwrap(), 1);
     }

@@ -218,7 +218,12 @@ impl Thread {
             return false;
         }
         self.mask = MaskState::Unblocked;
-        if collapse && matches!(self.stack.last(), Some(Frame::Restore(MaskState::Unblocked))) {
+        if collapse
+            && matches!(
+                self.stack.last(),
+                Some(Frame::Restore(MaskState::Unblocked))
+            )
+        {
             self.pop_frame();
             true
         } else {

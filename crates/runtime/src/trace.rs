@@ -5,6 +5,44 @@
 //! The runtime records the same events so that the conformance tests can
 //! check every concrete execution against the trace set admitted by the
 //! formal labelled transition system.
+//!
+//! With [`RuntimeConfig::record_sched_events`](crate::config::RuntimeConfig)
+//! enabled, the trace additionally records *scheduler-visible* events —
+//! forks, `throwTo`s, mask transitions and blocking — which the schedule
+//! explorer uses to report what a failing interleaving actually did.
+//! These are off by default, so `render_trace` output for existing
+//! programs is unchanged.
+
+use crate::ids::ThreadId;
+
+/// Which kind of resource a thread blocked on (for
+/// [`IoEvent::BlockedOn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockSite {
+    /// `takeMVar` on an empty cell.
+    TakeMVar,
+    /// `putMVar` on a full cell.
+    PutMVar,
+    /// `sleep`.
+    Sleep,
+    /// `getChar` with no input available.
+    GetChar,
+    /// Synchronous `throwTo` (§9) waiting for delivery.
+    SyncThrow,
+}
+
+impl std::fmt::Display for BlockSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BlockSite::TakeMVar => "takeMVar",
+            BlockSite::PutMVar => "putMVar",
+            BlockSite::Sleep => "sleep",
+            BlockSite::GetChar => "getChar",
+            BlockSite::SyncThrow => "syncThrowTo",
+        };
+        f.write_str(s)
+    }
+}
 
 /// One observable event of an execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -15,6 +53,31 @@ pub enum IoEvent {
     Get(char),
     /// `$d` — the virtual clock advanced by `d` microseconds.
     TimeAdvance(u64),
+    /// Scheduler event: `parent` forked `child`.
+    Fork {
+        /// The forking thread.
+        parent: ThreadId,
+        /// The new thread.
+        child: ThreadId,
+    },
+    /// Scheduler event: `from` executed a `throwTo` aimed at `to`.
+    ThrowTo {
+        /// The throwing thread.
+        from: ThreadId,
+        /// The target thread.
+        to: ThreadId,
+    },
+    /// Scheduler event: the thread entered a `block` scope.
+    Mask(ThreadId),
+    /// Scheduler event: the thread entered an `unblock` scope.
+    Unmask(ThreadId),
+    /// Scheduler event: the thread blocked on a resource.
+    BlockedOn {
+        /// The blocking thread.
+        tid: ThreadId,
+        /// What it blocked on.
+        site: BlockSite,
+    },
 }
 
 impl std::fmt::Display for IoEvent {
@@ -23,6 +86,13 @@ impl std::fmt::Display for IoEvent {
             IoEvent::Put(c) => write!(f, "!{c}"),
             IoEvent::Get(c) => write!(f, "?{c}"),
             IoEvent::TimeAdvance(d) => write!(f, "${d}"),
+            IoEvent::Fork { parent, child } => {
+                write!(f, "[t{}+t{}]", parent.index(), child.index())
+            }
+            IoEvent::ThrowTo { from, to } => write!(f, "[t{}^t{}]", from.index(), to.index()),
+            IoEvent::Mask(t) => write!(f, "[t{}#b]", t.index()),
+            IoEvent::Unmask(t) => write!(f, "[t{}#u]", t.index()),
+            IoEvent::BlockedOn { tid, site } => write!(f, "[t{}*{site}]", tid.index()),
         }
     }
 }
@@ -45,7 +115,41 @@ mod tests {
 
     #[test]
     fn render_concatenates() {
-        let t = [IoEvent::Put('h'), IoEvent::Put('i'), IoEvent::TimeAdvance(5)];
+        let t = [
+            IoEvent::Put('h'),
+            IoEvent::Put('i'),
+            IoEvent::TimeAdvance(5),
+        ];
         assert_eq!(render_trace(&t), "!h!i$5");
+    }
+
+    #[test]
+    fn scheduler_event_forms() {
+        assert_eq!(
+            IoEvent::Fork {
+                parent: ThreadId(0),
+                child: ThreadId(1)
+            }
+            .to_string(),
+            "[t0+t1]"
+        );
+        assert_eq!(
+            IoEvent::ThrowTo {
+                from: ThreadId(0),
+                to: ThreadId(2)
+            }
+            .to_string(),
+            "[t0^t2]"
+        );
+        assert_eq!(IoEvent::Mask(ThreadId(1)).to_string(), "[t1#b]");
+        assert_eq!(IoEvent::Unmask(ThreadId(1)).to_string(), "[t1#u]");
+        assert_eq!(
+            IoEvent::BlockedOn {
+                tid: ThreadId(3),
+                site: BlockSite::TakeMVar
+            }
+            .to_string(),
+            "[t3*takeMVar]"
+        );
     }
 }

@@ -28,8 +28,7 @@ use crate::ids::{MVarId, ThreadId};
 /// let v = 42_i64.into_value();
 /// assert_eq!(v.as_int(), Some(42));
 /// ```
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// The trivial value `()`.
     #[default]
@@ -136,7 +135,6 @@ impl Value {
         }
     }
 }
-
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -468,7 +466,10 @@ mod tests {
             Option::<i64>::from_value(Some(5_i64).into_value()),
             Some(Some(5))
         );
-        assert_eq!(Option::<i64>::from_value(None::<i64>.into_value()), Some(None));
+        assert_eq!(
+            Option::<i64>::from_value(None::<i64>.into_value()),
+            Some(None)
+        );
     }
 
     #[test]

@@ -40,7 +40,13 @@ struct Renaming {
 
 /// Flattens a process term into its atoms, renaming each ν-bound name to
 /// a canonical fresh name at binding time (outermost-leftmost order).
-fn flatten(p: &ProcTerm, ren: &mut Renaming, next_tid: &mut u32, next_mvar: &mut u32, out: &mut Vec<Atom>) {
+fn flatten(
+    p: &ProcTerm,
+    ren: &mut Renaming,
+    next_tid: &mut u32,
+    next_mvar: &mut u32,
+    out: &mut Vec<Atom>,
+) {
     match p {
         ProcTerm::Thread(t, m, mark) => {
             let t = ren.tids.get(t).copied().unwrap_or(*t);
@@ -118,9 +124,10 @@ fn rename_term(t: &Rc<Term>, ren: &Renaming) -> Rc<Term> {
             Term::If(c, a, b) => Rc::new(Term::If(go(c, ren), go(a, ren), go(b, ren))),
             Term::Prim(op, a, b) => Rc::new(Term::Prim(*op, go(a, ren), go(b, ren))),
             Term::Raise(e) => Rc::new(Term::Raise(go(e, ren))),
-            Term::Con(k, args) => {
-                Rc::new(Term::Con(k.clone(), args.iter().map(|a| go(a, ren)).collect()))
-            }
+            Term::Con(k, args) => Rc::new(Term::Con(
+                k.clone(),
+                args.iter().map(|a| go(a, ren)).collect(),
+            )),
             Term::Return(m) => Rc::new(Term::Return(go(m, ren))),
             Term::Bind(a, b) => Rc::new(Term::Bind(go(a, ren), go(b, ren))),
             Term::PutChar(c) => Rc::new(Term::PutChar(go(c, ren))),
@@ -183,11 +190,22 @@ fn term_names(t: &Rc<Term>, out: &mut Vec<NameRef>) {
     match &**t {
         Term::MVarRef(m) => out.push(NameRef::MVar(*m)),
         Term::TidRef(x) => out.push(NameRef::Tid(*x)),
-        Term::Lam(_, b) | Term::Raise(b) | Term::Return(b) | Term::PutChar(b)
-        | Term::TakeMVar(b) | Term::Sleep(b) | Term::Fork(b) | Term::Throw(b)
-        | Term::Block(b) | Term::Unblock(b) => term_names(b, out),
-        Term::App(a, b) | Term::Prim(_, a, b) | Term::Bind(a, b) | Term::PutMVar(a, b)
-        | Term::Catch(a, b) | Term::ThrowTo(a, b) => {
+        Term::Lam(_, b)
+        | Term::Raise(b)
+        | Term::Return(b)
+        | Term::PutChar(b)
+        | Term::TakeMVar(b)
+        | Term::Sleep(b)
+        | Term::Fork(b)
+        | Term::Throw(b)
+        | Term::Block(b)
+        | Term::Unblock(b) => term_names(b, out),
+        Term::App(a, b)
+        | Term::Prim(_, a, b)
+        | Term::Bind(a, b)
+        | Term::PutMVar(a, b)
+        | Term::Catch(a, b)
+        | Term::ThrowTo(a, b) => {
             term_names(a, out);
             term_names(b, out);
         }
@@ -201,8 +219,15 @@ fn term_names(t: &Rc<Term>, out: &mut Vec<NameRef>) {
                 term_names(a, out);
             }
         }
-        Term::Var(_) | Term::Unit | Term::Bool(_) | Term::Int(_) | Term::Char(_)
-        | Term::ExcLit(_) | Term::GetChar | Term::NewEmptyMVar | Term::MyThreadId => {}
+        Term::Var(_)
+        | Term::Unit
+        | Term::Bool(_)
+        | Term::Int(_)
+        | Term::Char(_)
+        | Term::ExcLit(_)
+        | Term::GetChar
+        | Term::NewEmptyMVar
+        | Term::MyThreadId => {}
     }
 }
 
@@ -297,9 +322,7 @@ fn canonicalize(atoms: Vec<Atom>) -> (Vec<Atom>, u32, u32) {
                 ren.mvars.get(&m).copied().unwrap_or(m),
                 rename_term(&v, &ren),
             ),
-            Atom::InFlight(t, e) => {
-                Atom::InFlight(ren.tids.get(&t).copied().unwrap_or(t), e)
-            }
+            Atom::InFlight(t, e) => Atom::InFlight(ren.tids.get(&t).copied().unwrap_or(t), e),
         })
         .collect();
     (renamed, next_tid, next_mvar)

@@ -213,7 +213,10 @@ mod tests {
 
     #[test]
     fn redex_is_never_a_context_former() {
-        let t = block(unblock(bind(catch(bind(get_char(), var("a")), var("h")), var("b"))));
+        let t = block(unblock(bind(
+            catch(bind(get_char(), var("a")), var("h")),
+            var("b"),
+        )));
         let d = decompose(&t);
         assert!(!matches!(
             &*d.redex,

@@ -129,12 +129,7 @@ pub fn derive_first(init: &State, config: &RuleConfig, max_steps: usize) -> Deri
 }
 
 /// [`derive()`] with seeded-random choices.
-pub fn derive_random(
-    init: &State,
-    config: &RuleConfig,
-    max_steps: usize,
-    seed: u64,
-) -> Derivation {
+pub fn derive_random(init: &State, config: &RuleConfig, max_steps: usize, seed: u64) -> Derivation {
     let mut rng = StdRng::seed_from_u64(seed);
     derive(init, config, max_steps, move |menu| {
         rng.gen_range(0..menu.len())
@@ -152,10 +147,7 @@ mod tests {
         let d = derive_first(&State::new(prog, ""), &RuleConfig::default(), 100);
         assert!(d.terminated);
         assert!(!d.deadlocked);
-        assert_eq!(
-            d.observables(),
-            vec![Label::Put('h'), Label::Put('i')]
-        );
+        assert_eq!(d.observables(), vec![Label::Put('h'), Label::Put('i')]);
         let rules = d.rules();
         assert_eq!(rules.first(), Some(&crate::rules::RuleName::PutChar));
         assert!(rules.contains(&crate::rules::RuleName::Bind));

@@ -358,8 +358,18 @@ mod tests {
         let prog = seq(put_char(ch('h')), put_char(ch('i')));
         let init = State::new(prog, "");
         let cfg = ExploreConfig::default();
-        assert!(admits_trace(&init, &[Obs::Put('h'), Obs::Put('i')], true, &cfg));
-        assert!(!admits_trace(&init, &[Obs::Put('i'), Obs::Put('h')], true, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('h'), Obs::Put('i')],
+            true,
+            &cfg
+        ));
+        assert!(!admits_trace(
+            &init,
+            &[Obs::Put('i'), Obs::Put('h')],
+            true,
+            &cfg
+        ));
         assert!(!admits_trace(&init, &[Obs::Put('h')], true, &cfg));
         // ...but 'h' alone is fine if termination is not required.
         assert!(admits_trace(&init, &[Obs::Put('h')], false, &cfg));
@@ -371,7 +381,12 @@ mod tests {
         let prog = bind(get_char(), lam("c", put_char(var("c"))));
         let init = State::new(prog, "z");
         let cfg = ExploreConfig::default();
-        assert!(admits_trace(&init, &[Obs::Get('z'), Obs::Put('z')], true, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Get('z'), Obs::Put('z')],
+            true,
+            &cfg
+        ));
         assert!(!admits_trace(&init, &[Obs::Put('z')], true, &cfg));
     }
 
@@ -381,9 +396,24 @@ mod tests {
         let prog = seq(fork(put_char(ch('a'))), put_char(ch('b')));
         let init = State::new(prog, "");
         let cfg = ExploreConfig::default();
-        assert!(admits_trace(&init, &[Obs::Put('a'), Obs::Put('b')], true, &cfg));
-        assert!(admits_trace(&init, &[Obs::Put('b'), Obs::Put('a')], true, &cfg));
-        assert!(!admits_trace(&init, &[Obs::Put('a'), Obs::Put('a')], true, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('a'), Obs::Put('b')],
+            true,
+            &cfg
+        ));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('b'), Obs::Put('a')],
+            true,
+            &cfg
+        ));
+        assert!(!admits_trace(
+            &init,
+            &[Obs::Put('a'), Obs::Put('a')],
+            true,
+            &cfg
+        ));
         // The child's output may be lost if main finishes first: (Proc GC).
         assert!(admits_trace(&init, &[Obs::Put('b')], true, &cfg));
     }
@@ -410,7 +440,10 @@ mod tests {
         // exception at its redex.
         let prog = bind(
             fork(seq(sleep(int(5)), put_char(ch('L')))),
-            lam("t", seq(throw_to(var("t"), exc("KillThread")), put_char(ch('M')))),
+            lam(
+                "t",
+                seq(throw_to(var("t"), exc("KillThread")), put_char(ch('M'))),
+            ),
         );
         let init = State::new(prog, "");
         let cfg = ExploreConfig::default();
@@ -419,8 +452,18 @@ mod tests {
         // killed before printing) AND !L!M, !M!L are admissible (child
         // won the race or interleaved).
         assert!(admits_trace(&init, &[Obs::Put('M')], true, &cfg));
-        assert!(admits_trace(&init, &[Obs::Put('L'), Obs::Put('M')], true, &cfg));
-        assert!(admits_trace(&init, &[Obs::Put('M'), Obs::Put('L')], true, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('L'), Obs::Put('M')],
+            true,
+            &cfg
+        ));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('M'), Obs::Put('L')],
+            true,
+            &cfg
+        ));
     }
 
     #[test]
@@ -487,7 +530,10 @@ mod tests {
         match r {
             CheckResult::Safe { complete, .. } => assert!(complete),
             CheckResult::Violation { trace, state, .. } => {
-                let rendered: Vec<_> = trace.iter().map(|s| format!("{} {}", s.rule, s.state)).collect();
+                let rendered: Vec<_> = trace
+                    .iter()
+                    .map(|s| format!("{} {}", s.rule, s.state))
+                    .collect();
                 panic!("block failed to protect the child: {rendered:#?} -> {state}");
             }
         }

@@ -146,10 +146,7 @@ mod tests {
         let f = lam("x", put_char(var("x")));
         let g = lam("_y", put_char(ch('!')));
         let lhs = bind(bind(m.clone(), f.clone()), g.clone());
-        let rhs = bind(
-            m,
-            lam("x", bind(app(f, var("x")), g)),
-        );
+        let rhs = bind(m, lam("x", bind(app(f, var("x")), g)));
         assert!(equiv(lhs, rhs));
     }
 
@@ -194,10 +191,7 @@ mod tests {
         // unmasked child can be killed between its puts, wedging main —
         // an outcome (["x"], Wedged) the masked child provably forbids.
         let victim = |protected: bool| {
-            let core = seq(
-                obs('x'),
-                seq(obs('y'), put_mvar(var("m"), unit())),
-            );
+            let core = seq(obs('x'), seq(obs('y'), put_mvar(var("m"), unit())));
             let child = if protected { block(core) } else { core };
             bind(
                 new_empty_mvar(),
@@ -205,10 +199,7 @@ mod tests {
                     "m",
                     bind(
                         fork(child),
-                        lam(
-                            "t",
-                            seq(throw_to(var("t"), exc("K")), take_mvar(var("m"))),
-                        ),
+                        lam("t", seq(throw_to(var("t"), exc("K")), take_mvar(var("m")))),
                     ),
                 ),
             )

@@ -112,7 +112,9 @@ fn subst_go(
         Term::Raise(e) => Rc::new(Term::Raise(subst_go(e, x, n, fv_n, fresh))),
         Term::Con(k, args) => Rc::new(Term::Con(
             k.clone(),
-            args.iter().map(|a| subst_go(a, x, n, fv_n, fresh)).collect(),
+            args.iter()
+                .map(|a| subst_go(a, x, n, fv_n, fresh))
+                .collect(),
         )),
         Term::Return(a) => Rc::new(Term::Return(subst_go(a, x, n, fv_n, fresh))),
         Term::Bind(a, b) => Rc::new(Term::Bind(
@@ -307,13 +309,20 @@ mod tests {
 
     #[test]
     fn conditionals() {
-        let t = ite(prim(crate::term::PrimOp::Lt, int(1), int(2)), int(10), int(20));
+        let t = ite(
+            prim(crate::term::PrimOp::Lt, int(1), int(2)),
+            int(10),
+            int(20),
+        );
         assert_eq!(ev(t), Outcome::Value(int(10)));
     }
 
     #[test]
     fn divide_by_zero_raises() {
-        assert_eq!(ev(div(int(1), int(0))), Outcome::Raised(Exc::divide_by_zero()));
+        assert_eq!(
+            ev(div(int(1), int(0))),
+            Outcome::Raised(Exc::divide_by_zero())
+        );
     }
 
     #[test]

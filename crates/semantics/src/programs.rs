@@ -29,10 +29,7 @@ pub fn naive_lock_update(m: Rc<Term>, steps: u32) -> Rc<Term> {
             bind(
                 catch(
                     compute_then_return(var("a"), steps),
-                    lam(
-                        "e",
-                        seq(put_mvar(m.clone(), var("a")), throw(var("e"))),
-                    ),
+                    lam("e", seq(put_mvar(m.clone(), var("a")), throw(var("e")))),
                 ),
                 lam("b", put_mvar(m, var("b"))),
             ),
@@ -55,10 +52,7 @@ pub fn safe_lock_update(m: Rc<Term>, steps: u32) -> Rc<Term> {
             bind(
                 catch(
                     unblock(compute_then_return(var("a"), steps)),
-                    lam(
-                        "e",
-                        seq(put_mvar(m.clone(), var("a")), throw(var("e"))),
-                    ),
+                    lam("e", seq(put_mvar(m.clone(), var("a")), throw(var("e")))),
                 ),
                 lam("b", put_mvar(m, var("b"))),
             ),
@@ -122,10 +116,7 @@ pub fn safe_point() -> Rc<Term> {
 /// A masked worker with an explicit safe point between two critical
 /// sections — the §7.4 pattern.
 pub fn masked_with_safe_point() -> Rc<Term> {
-    block(seq(
-        put_char(ch('1')),
-        seq(safe_point(), put_char(ch('2'))),
-    ))
+    block(seq(put_char(ch('1')), seq(safe_point(), put_char(ch('2')))))
 }
 
 #[cfg(test)]
@@ -137,7 +128,12 @@ mod tests {
     fn echo_echoes() {
         let init = State::new(echo(), "k");
         let cfg = ExploreConfig::default();
-        assert!(admits_trace(&init, &[Obs::Get('k'), Obs::Put('k')], true, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Get('k'), Obs::Put('k')],
+            true,
+            &cfg
+        ));
     }
 
     #[test]
@@ -177,8 +173,7 @@ mod tests {
                 assert!(complete, "exploration truncated at {states} states");
             }
             CheckResult::Violation { trace, state, .. } => {
-                let rendered: Vec<_> =
-                    trace.iter().map(|s| format!("{}", s.rule)).collect();
+                let rendered: Vec<_> = trace.iter().map(|s| format!("{}", s.rule)).collect();
                 panic!("safe locking deadlocked: {rendered:?} -> {state}");
             }
         }
@@ -205,6 +200,11 @@ mod tests {
         // both !1 (killed at safe point, then child dead) and !1!2
         // (survived) are admissible prefixes.
         assert!(admits_trace(&init, &[Obs::Put('1')], false, &cfg));
-        assert!(admits_trace(&init, &[Obs::Put('1'), Obs::Put('2')], false, &cfg));
+        assert!(admits_trace(
+            &init,
+            &[Obs::Put('1'), Obs::Put('2')],
+            false,
+            &cfg
+        ));
     }
 }

@@ -343,20 +343,60 @@ fn thread_transitions(
                 Some(CtxFrame::BindK(k)) => {
                     // (Bind): E[return N >>= M] → E[M N].
                     let new = d.pop_plug(Rc::new(Term::App(Rc::clone(k), Rc::clone(n))));
-                    push(out, soup, tid, RuleName::Bind, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::Bind,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::CatchH(_)) => {
                     // (Handle): E[catch (return M) H] → E[return M].
                     let new = d.pop_plug(Rc::new(Term::Return(Rc::clone(n))));
-                    push(out, soup, tid, RuleName::Handle, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::Handle,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::Block) => {
                     let new = d.pop_plug(Rc::new(Term::Return(Rc::clone(n))));
-                    push(out, soup, tid, RuleName::BlockReturn, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::BlockReturn,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::Unblock) => {
                     let new = d.pop_plug(Rc::new(Term::Return(Rc::clone(n))));
-                    push(out, soup, tid, RuleName::UnblockReturn, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::UnblockReturn,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
             }
         }
@@ -384,20 +424,60 @@ fn thread_transitions(
                 Some(CtxFrame::BindK(_)) => {
                     // (Propagate): E[throw e >>= M] → E[throw e].
                     let new = d.pop_plug(Rc::new(Term::Throw(Rc::clone(e))));
-                    push(out, soup, tid, RuleName::Propagate, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::Propagate,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::CatchH(h)) => {
                     // (Catch): E[catch (throw e) H] → E[H e].
                     let new = d.pop_plug(Rc::new(Term::App(Rc::clone(h), Rc::clone(e))));
-                    push(out, soup, tid, RuleName::Catch, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::Catch,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::Block) => {
                     let new = d.pop_plug(Rc::new(Term::Throw(Rc::clone(e))));
-                    push(out, soup, tid, RuleName::BlockThrow, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::BlockThrow,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
                 Some(CtxFrame::Unblock) => {
                     let new = d.pop_plug(Rc::new(Term::Throw(Rc::clone(e))));
-                    push(out, soup, tid, RuleName::UnblockThrow, Label::Tau, new, Mark::Runnable, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::UnblockThrow,
+                        Label::Tau,
+                        new,
+                        Mark::Runnable,
+                        false,
+                        |_| {},
+                    );
                 }
             }
         }
@@ -448,11 +528,31 @@ fn thread_transitions(
                     |_| {},
                 );
                 if runnable && config.device_stuckness {
-                    push(out, soup, tid, RuleName::StuckGetChar, Label::Tau, Rc::clone(&st.term), Mark::Stuck, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::StuckGetChar,
+                        Label::Tau,
+                        Rc::clone(&st.term),
+                        Mark::Stuck,
+                        false,
+                        |_| {},
+                    );
                 }
             } else if runnable {
                 // No input: the reader can only become stuck.
-                push(out, soup, tid, RuleName::StuckGetChar, Label::Tau, Rc::clone(&st.term), Mark::Stuck, false, |_| {});
+                push(
+                    out,
+                    soup,
+                    tid,
+                    RuleName::StuckGetChar,
+                    Label::Tau,
+                    Rc::clone(&st.term),
+                    Mark::Stuck,
+                    false,
+                    |_| {},
+                );
             }
         }
 
@@ -472,7 +572,17 @@ fn thread_transitions(
                     |_| {},
                 );
                 if runnable {
-                    push(out, soup, tid, RuleName::StuckSleep, Label::Tau, Rc::clone(&st.term), Mark::Stuck, false, |_| {});
+                    push(
+                        out,
+                        soup,
+                        tid,
+                        RuleName::StuckSleep,
+                        Label::Tau,
+                        Rc::clone(&st.term),
+                        Mark::Stuck,
+                        false,
+                        |_| {},
+                    );
                 }
             }
         }
@@ -500,7 +610,17 @@ fn thread_transitions(
                     }
                     Some(Some(_)) => {
                         if runnable {
-                            push(out, soup, tid, RuleName::StuckPutMVar, Label::Tau, Rc::clone(&st.term), Mark::Stuck, false, |_| {});
+                            push(
+                                out,
+                                soup,
+                                tid,
+                                RuleName::StuckPutMVar,
+                                Label::Tau,
+                                Rc::clone(&st.term),
+                                Mark::Stuck,
+                                false,
+                                |_| {},
+                            );
                         }
                     }
                     None => {} // unknown MVar: wedged
@@ -531,7 +651,17 @@ fn thread_transitions(
                     }
                     Some(None) => {
                         if runnable {
-                            push(out, soup, tid, RuleName::StuckTakeMVar, Label::Tau, Rc::clone(&st.term), Mark::Stuck, false, |_| {});
+                            push(
+                                out,
+                                soup,
+                                tid,
+                                RuleName::StuckTakeMVar,
+                                Label::Tau,
+                                Rc::clone(&st.term),
+                                Mark::Stuck,
+                                false,
+                                |_| {},
+                            );
                         }
                     }
                     None => {}
@@ -767,10 +897,7 @@ mod tests {
             new_empty_mvar(),
             lam(
                 "m",
-                bind(
-                    put_mvar(var("m"), int(5)),
-                    lam("_", take_mvar(var("m"))),
-                ),
+                bind(put_mvar(var("m"), int(5)), lam("_", take_mvar(var("m")))),
             ),
         );
         let s = singleton(prog);
@@ -831,10 +958,7 @@ mod tests {
         let ts = enabled_transitions(&s, &[], &RuleConfig::default());
         let rcv: Vec<_> = ts.iter().filter(|t| t.rule == RuleName::Receive).collect();
         assert_eq!(rcv.len(), 1);
-        assert_eq!(
-            rcv[0].soup.threads[&s.main].term.to_string(),
-            "(throw E)"
-        );
+        assert_eq!(rcv[0].soup.threads[&s.main].term.to_string(), "(throw E)");
         assert!(rcv[0].soup.inflight.is_empty());
     }
 
@@ -882,10 +1006,7 @@ mod tests {
     fn inflight_to_dead_thread_is_dropped() {
         // Fork a child that dies; then throw to it: the in-flight entry
         // normalizes away (throwTo to a dead thread trivially succeeds).
-        let prog = bind(
-            fork(ret(unit())),
-            lam("t", throw_to(var("t"), exc("E"))),
-        );
+        let prog = bind(fork(ret(unit())), lam("t", throw_to(var("t"), exc("E"))));
         let s = singleton(prog);
         let s = step_one(&s, &[], RuleName::Fork);
         let s = step_one(&s, &[], RuleName::Bind);

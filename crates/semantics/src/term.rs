@@ -196,13 +196,8 @@ impl Term {
             Term::TakeMVar(m) => matches!(**m, Term::MVarRef(_)),
             Term::Sleep(d) => matches!(**d, Term::Int(_)),
             Term::Throw(e) => matches!(**e, Term::ExcLit(_)),
-            Term::ThrowTo(t, e) => {
-                matches!(**t, Term::TidRef(_)) && matches!(**e, Term::ExcLit(_))
-            }
-            Term::App(_, _)
-            | Term::If(_, _, _)
-            | Term::Prim(_, _, _)
-            | Term::Raise(_) => false,
+            Term::ThrowTo(t, e) => matches!(**t, Term::TidRef(_)) && matches!(**e, Term::ExcLit(_)),
+            Term::App(_, _) | Term::If(_, _, _) | Term::Prim(_, _, _) | Term::Raise(_) => false,
         }
     }
 
@@ -220,8 +215,12 @@ impl Term {
                     go(b, bound, out);
                     bound.pop();
                 }
-                Term::App(a, b) | Term::Prim(_, a, b) | Term::Bind(a, b)
-                | Term::PutMVar(a, b) | Term::Catch(a, b) | Term::ThrowTo(a, b) => {
+                Term::App(a, b)
+                | Term::Prim(_, a, b)
+                | Term::Bind(a, b)
+                | Term::PutMVar(a, b)
+                | Term::Catch(a, b)
+                | Term::ThrowTo(a, b) => {
                     go(a, bound, out);
                     go(b, bound, out);
                 }

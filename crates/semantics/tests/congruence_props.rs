@@ -35,7 +35,11 @@ fn term_strategy() -> impl Strategy<Value = Rc<Term>> {
 fn atom(idx: u32) -> impl Strategy<Value = ProcTerm> {
     term_strategy().prop_flat_map(move |t| {
         prop_oneof![
-            Just(ProcTerm::Thread(TidName(idx), Rc::clone(&t), Mark::Runnable)),
+            Just(ProcTerm::Thread(
+                TidName(idx),
+                Rc::clone(&t),
+                Mark::Runnable
+            )),
             Just(ProcTerm::Thread(TidName(idx), Rc::clone(&t), Mark::Stuck)),
             Just(ProcTerm::Dead(TidName(idx))),
             Just(ProcTerm::EmptyMVar(MVarName(idx))),
@@ -158,12 +162,14 @@ fn program_strategy() -> impl Strategy<Value = Rc<Term>> {
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| tb::seq(a, b)),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| tb::catch(a, tb::lam("_e", b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| tb::catch(a, tb::lam("_e", b))),
             inner.clone().prop_map(tb::block),
             inner.clone().prop_map(tb::unblock),
             inner.clone().prop_map(|a| tb::seq(
-                tb::bind(tb::fork(a), tb::lam("t", tb::throw_to(tb::var("t"), tb::exc("K")))),
+                tb::bind(
+                    tb::fork(a),
+                    tb::lam("t", tb::throw_to(tb::var("t"), tb::exc("K")))
+                ),
                 tb::ret(tb::unit())
             )),
         ]

@@ -47,19 +47,15 @@ fn thunks_survive_interruption() {
 fn alerts_vs_exceptions() {
     let mut rt = Runtime::new();
     let prog = Io::new_empty_mvar::<String>().and_then(|out| {
-        let worker = catch_sync(
-            Io::<()>::unblock(Io::compute(1_000_000)),
-            |e| {
-                println!("[alerts] sync handler saw: {e} (never printed)");
-                Io::unit()
-            },
-        )
+        let worker = catch_sync(Io::<()>::unblock(Io::compute(1_000_000)), |e| {
+            println!("[alerts] sync handler saw: {e} (never printed)");
+            Io::unit()
+        })
         .map(|_| "finished".to_owned())
         .catch(|e| Io::pure(format!("stopped by {e}")))
         .and_then(move |s| out.put(s));
-        Io::<ThreadId>::block(Io::fork(worker)).and_then(move |w| {
-            Io::throw_to(w, Exception::custom("Shutdown")).then(out.take())
-        })
+        Io::<ThreadId>::block(Io::fork(worker))
+            .and_then(move |w| Io::throw_to(w, Exception::custom("Shutdown")).then(out.take()))
     });
     let fate = rt.run(prog).unwrap();
     println!("[alerts] worker with universal catch_sync: {fate}");
@@ -84,14 +80,12 @@ fn semaphore_pool() {
                                     .then(Io::pure(n))
                                 }))
                                 .then(Io::sleep(50 + i * 3))
-                                .then(conch_combinators::modify_mvar(inside, |n| {
-                                    Io::pure(n - 1)
-                                }))
+                                .then(conch_combinators::modify_mvar(inside, |n| Io::pure(n - 1)))
                                 .then(Io::pure(0_i64))
                         });
-                        Io::fork(job.then(conch_combinators::modify_mvar(done, |d| {
-                            Io::pure(d + 1)
-                        })))
+                        Io::fork(
+                            job.then(conch_combinators::modify_mvar(done, |d| Io::pure(d + 1))),
+                        )
                     })
                     .then(wait_for(done, 10))
                     .then(peak.take())
@@ -101,7 +95,9 @@ fn semaphore_pool() {
         })
     });
     let (peak, available) = rt.run(prog).unwrap();
-    println!("[sem]   10 jobs through a 3-unit pool: peak concurrency {peak}, units back: {available}");
+    println!(
+        "[sem]   10 jobs through a 3-unit pool: peak concurrency {peak}, units back: {available}"
+    );
     assert!(peak <= 3);
     assert_eq!(available, 3);
 }
@@ -122,14 +118,15 @@ fn supervised_service() {
     let mut rt = Runtime::new();
     let prog = Io::new_mvar(0_i64).and_then(|attempts| {
         supervise(10, move || {
-            conch_combinators::modify_mvar_with(attempts, |n| Io::pure((n + 1, n + 1)))
-                .and_then(|n| {
+            conch_combinators::modify_mvar_with(attempts, |n| Io::pure((n + 1, n + 1))).and_then(
+                |n| {
                     if n < 4 {
                         Io::throw(Exception::error_call(format!("crash #{n}")))
                     } else {
                         Io::pure(n)
                     }
-                })
+                },
+            )
         })
         .and_then(move |outcome| attempts.take().map(move |a| (outcome, a)))
     });

@@ -22,8 +22,7 @@ fn main() {
 fn forking_and_mvars() {
     let mut rt = Runtime::new();
     let prog = Io::new_empty_mvar::<String>().and_then(|inbox| {
-        Io::fork(Io::sleep(100).then(inbox.put("hello from the child".into())))
-            .then(inbox.take())
+        Io::fork(Io::sleep(100).then(inbox.put("hello from the child".into()))).then(inbox.take())
     });
     let msg = rt.run(prog).unwrap();
     println!("[forking]   child said: {msg}");
@@ -39,11 +38,8 @@ fn killing_a_thread() {
                 .map(|_| "got a value?!".to_owned())
                 .catch(|e| Io::pure(format!("killed by {e}")))
                 .and_then(move |s| report.put(s));
-            Io::fork(child).and_then(move |tid| {
-                Io::sleep(50)
-                    .then(kill_thread(tid))
-                    .then(report.take())
-            })
+            Io::fork(child)
+                .and_then(move |tid| Io::sleep(50).then(kill_thread(tid)).then(report.take()))
         })
     });
     let fate = rt.run(prog).unwrap();
@@ -80,10 +76,7 @@ fn finally_always_runs() {
     let mut rt = Runtime::new();
     let prog = Io::new_mvar(0_i64).and_then(|cleanups| {
         let failing = Io::<i64>::throw(Exception::error_call("disk on fire"));
-        finally(failing, move || {
-            modify_mvar(cleanups, |n| Io::pure(n + 1))
-        })
-        .catch(move |e| {
+        finally(failing, move || modify_mvar(cleanups, |n| Io::pure(n + 1))).catch(move |e| {
             Io::effect(move || println!("[finally]   caught: {e}")).then(cleanups.take())
         })
     });

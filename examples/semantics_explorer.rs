@@ -20,14 +20,15 @@ fn main() {
     let init = State::new(naive, "");
     println!("initial state:\n  {}\n", init.soup.render());
     match check_safety(&init, &cfg, |s| s.is_deadlocked(&cfg.rules)) {
-        CheckResult::Violation { trace, state, states } => {
+        CheckResult::Violation {
+            trace,
+            state,
+            states,
+        } => {
             println!("RACE FOUND after exploring {states} states.");
             println!("counterexample derivation ({} steps):", trace.len());
             for (i, step) in trace.iter().enumerate() {
-                let tid = step
-                    .tid
-                    .map(|t| format!(" in {t}"))
-                    .unwrap_or_default();
+                let tid = step.tid.map(|t| format!(" in {t}")).unwrap_or_default();
                 println!("  {:>3}. {}{}", i + 1, step.rule, tid);
             }
             println!("final (wedged) state:\n  {state}");
@@ -44,9 +45,7 @@ fn main() {
     match check_safety(&init, &cfg, |s| s.is_deadlocked(&cfg.rules)) {
         CheckResult::Safe { states, complete } => {
             assert!(complete);
-            println!(
-                "exhaustively explored {states} states: no interleaving loses the lock."
-            );
+            println!("exhaustively explored {states} states: no interleaving loses the lock.");
             println!("block/unblock + interruptible takeMVar close every race window.");
         }
         CheckResult::Violation { trace, state, .. } => {

@@ -46,7 +46,10 @@ fn main() {
         Either::Left(msg) => println!("[race]  winner: {msg}"),
         Either::Right(msg) => println!("[race]  winner: {msg}"),
     }
-    assert!(winner.is_left(), "breadth-first does less work and must win");
+    assert!(
+        winner.is_left(),
+        "breadth-first does less work and must win"
+    );
     assert_eq!(
         at_finish, later,
         "the loser kept computing after it was killed!"
@@ -54,11 +57,13 @@ fn main() {
     println!("[race]  loser stopped promptly: progress frozen at {later} chunks");
 
     // --- Scenario 2: the answer arrives before the deadline.
-    let prog = Io::new_mvar(0_i64).and_then(|p| {
-        timeout(10_000_000, race(search("a", 5, p), search("b", 9, p)))
-    });
+    let prog = Io::new_mvar(0_i64)
+        .and_then(|p| timeout(10_000_000, race(search("a", 5, p), search("b", 9, p))));
     let within = rt.run(prog).unwrap();
-    println!("[budget] within deadline: {:?}", within.map(|w| w.fold(|a| a, |b| b)));
+    println!(
+        "[budget] within deadline: {:?}",
+        within.map(|w| w.fold(|a| a, |b| b))
+    );
 
     // --- Scenario 3: the deadline kills the whole race.
     // Searches blocked on an MVar that is never filled: both stuck, the
@@ -77,12 +82,8 @@ fn main() {
     assert!(expired.is_none());
 
     // --- Scenario 4: `both` gathers two halves of a task.
-    let prog = Io::new_mvar(0_i64).and_then(|p| {
-        both(
-            search("left half", 4, p),
-            search("right half", 6, p),
-        )
-    });
+    let prog = Io::new_mvar(0_i64)
+        .and_then(|p| both(search("left half", 4, p), search("right half", 6, p)));
     let (l, r) = rt.run(prog).unwrap();
     println!("[both]  gathered: {l:?} + {r:?}");
 

@@ -41,7 +41,11 @@ fn main() {
                 // (one within budget, one beyond), 1 garbage, 2 crashing,
                 // 1 slow-handler, 1 not-found.
                 let spawn_all = for_each(6, move |i| {
-                    Io::fork(good_client(listener, format!("/{}", if i % 2 == 0 { "" } else { "compute" }), codes))
+                    Io::fork(good_client(
+                        listener,
+                        format!("/{}", if i % 2 == 0 { "" } else { "compute" }),
+                        codes,
+                    ))
                 })
                 .then(Io::fork(stalling_client(listener, codes)).map(|_| ()))
                 .then(Io::fork(stalling_client(listener, codes)).map(|_| ()))
@@ -74,8 +78,13 @@ fn main() {
 
     println!("client-observed status codes: {statuses:?}");
     print_stats(&snap);
-    println!("virtual time: {}µs, scheduler steps: {}", rt.clock(), rt.stats().steps);
-    println!("threads forked: {}, exceptions delivered: {}",
+    println!(
+        "virtual time: {}µs, scheduler steps: {}",
+        rt.clock(),
+        rt.stats().steps
+    );
+    println!(
+        "threads forked: {}, exceptions delivered: {}",
         rt.stats().forks,
         rt.stats().total_deliveries(),
     );

@@ -1,0 +1,218 @@
+//! Deterministic case scheduling and failure persistence.
+
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The generation RNG handed to strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator for the given case seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x6a09_e667_f3bc_c909,
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` of zero yields zero).
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+/// Drives one `proptest!` test: regression seeds first, then `cases`
+/// fresh deterministic seeds derived from the test's name.
+pub struct TestRunner {
+    seeds: Vec<u64>,
+    next: usize,
+    current: u64,
+    name: &'static str,
+    persistence: Option<PathBuf>,
+}
+
+impl TestRunner {
+    /// Builds the case schedule for `name` (a `module::function` path).
+    ///
+    /// `src_file` and `manifest_dir` locate the sibling
+    /// `.proptest-regressions` file; seeds recorded there as
+    /// `ccs <seed>` lines replay before any fresh cases. Set
+    /// `PROPTEST_SEED` to perturb the fresh-case stream.
+    pub fn new(
+        config: crate::ProptestConfig,
+        name: &'static str,
+        src_file: &str,
+        manifest_dir: &str,
+    ) -> Self {
+        let persistence = regressions_path(src_file, manifest_dir);
+        let mut seeds = Vec::new();
+        if let Some(p) = &persistence {
+            seeds.extend(load_regression_seeds(p));
+        }
+        let master = fnv1a(name.as_bytes())
+            ^ std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+        let mut mix = TestRng::from_seed(master);
+        seeds.extend((0..config.cases).map(|_| mix.next_u64()));
+        TestRunner {
+            seeds,
+            next: 0,
+            current: 0,
+            name,
+            persistence,
+        }
+    }
+
+    /// The RNG for the next case, or `None` when the schedule is done.
+    pub fn next_case(&mut self) -> Option<TestRng> {
+        let seed = *self.seeds.get(self.next)?;
+        self.next += 1;
+        self.current = seed;
+        Some(TestRng::from_seed(seed))
+    }
+
+    /// A guard that records the current case's seed if the test body
+    /// panics while it is live. Forget it on success.
+    pub fn case_guard(&self) -> CaseGuard {
+        CaseGuard {
+            name: self.name,
+            seed: self.current,
+            case_index: self.next,
+            persistence: self.persistence.clone(),
+        }
+    }
+}
+
+/// See [`TestRunner::case_guard`].
+pub struct CaseGuard {
+    name: &'static str,
+    seed: u64,
+    case_index: usize,
+    persistence: Option<PathBuf>,
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        eprintln!(
+            "proptest(shim): {} failed at case {} (seed {}); the seed replays first on the next run",
+            self.name, self.case_index, self.seed
+        );
+        if let Some(path) = &self.persistence {
+            if !load_regression_seeds(path).contains(&self.seed) {
+                let mut opts = OpenOptions::new();
+                if let Ok(mut f) = opts.create(true).append(true).open(path) {
+                    let _ = writeln!(f, "ccs {} # seed for {}", self.seed, self.name);
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over `bytes`, for stable per-test master seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Locates the `.proptest-regressions` sibling of `src_file`.
+///
+/// `file!()` paths are relative to the workspace root while tests run
+/// with the package's manifest dir as cwd, so try the path as-is, then
+/// every suffix of it under `manifest_dir`.
+fn regressions_path(src_file: &str, manifest_dir: &str) -> Option<PathBuf> {
+    let rel = Path::new(src_file).with_extension("proptest-regressions");
+    if rel.parent().is_some_and(Path::exists) || rel.exists() {
+        return Some(rel);
+    }
+    let components: Vec<_> = rel.components().collect();
+    for skip in 1..components.len() {
+        let suffix: PathBuf = components[skip..].iter().collect();
+        let candidate = Path::new(manifest_dir).join(&suffix);
+        if candidate.exists() || candidate.parent().is_some_and(Path::exists) {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Parses `ccs <seed>` lines; upstream `cc <hex>` entries are ignored.
+fn load_regression_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let rest = line.strip_prefix("ccs ")?;
+            let num = rest.split_whitespace().next()?;
+            num.parse::<u64>().ok()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let mk = || {
+            TestRunner::new(
+                crate::ProptestConfig {
+                    cases: 5,
+                    ..Default::default()
+                },
+                "some::test",
+                "tests/nonexistent.rs",
+                "/nonexistent",
+            )
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..5 {
+            let (x, y) = (a.next_case(), b.next_case());
+            assert_eq!(x.is_some(), y.is_some());
+            if let (Some(mut x), Some(mut y)) = (x, y) {
+                assert_eq!(x.next_u64(), y.next_u64());
+            }
+        }
+        assert!(a.next_case().is_none());
+    }
+
+    #[test]
+    fn regression_seeds_parse_and_upstream_lines_skip() {
+        let dir = std::env::temp_dir().join("proptest_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.proptest-regressions");
+        std::fs::write(
+            &path,
+            "# comment\ncc deadbeefdeadbeef # upstream blob\nccs 42 # ours\nccs 7\n",
+        )
+        .unwrap();
+        assert_eq!(load_regression_seeds(&path), vec![42, 7]);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -12,6 +12,9 @@
 //!   composable `timeout`, safe `MVar` locking, and `Chan` (§7).
 //! * [`semantics`] — the executable operational semantics: Figures 1–5
 //!   as data types and transition rules, plus a model checker (§6).
+//! * [`explore`] — bounded schedule exploration over the runtime:
+//!   exhaustively drive every interleaving and delivery point of a small
+//!   program, with replayable, shrinkable failure certificates.
 //! * [`httpd`] — the fault-tolerant HTTP-server case study (§11).
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the reproduction map, and
@@ -30,6 +33,7 @@
 //! ```
 
 pub use conch_combinators as combinators;
+pub use conch_explore as explore;
 pub use conch_httpd as httpd;
 pub use conch_runtime as runtime;
 pub use conch_semantics as semantics;

@@ -1,0 +1,302 @@
+//! Exhaustive small-bound verification of the paper's claims with the
+//! schedule explorer (`conch-explore`).
+//!
+//! Where `tests/conformance.rs` checks single schedules and
+//! `tests/chaos.rs` samples random ones, these tests *enumerate* every
+//! schedule (thread interleaving × asynchronous-delivery point) of small
+//! programs and assert properties over all of them:
+//!
+//! * §5.3 — `block (takeMVar m)` on a **full** `MVar` is atomic: there
+//!   is no delivery point between committing to the take and completing
+//!   it, on any schedule.
+//! * §7.1 — `bracket` releases on every path; a deliberately broken
+//!   variant (acquire outside `block`) is caught, its failing schedule
+//!   shrunk to a minimal certificate and replayed deterministically in a
+//!   second `Runtime`.
+//! * §7.2 — `both` and `either`/`race` behave correctly under every
+//!   interleaving at small sizes.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+use conch_combinators::{both, bracket, race, Either};
+use conch_explore::{props, ExploreConfig, Explorer, RunOutcome, Schedule, TestCase};
+use conch_runtime::prelude::*;
+
+// ---------------------------------------------------------------------
+// §5.3: block (takeMVar m) on a full MVar admits no interruption.
+// ---------------------------------------------------------------------
+
+/// A sibling sprays a kill at the main thread while it performs
+/// `block (takeMVar m >> putChar 't')` on a *full* `MVar`. Returns the
+/// guarded result (`-1` if the kill was caught) and whether the value is
+/// still in the `MVar` afterwards.
+fn block_take_program() -> Io<(i64, bool)> {
+    Io::new_mvar(7_i64).and_then(|m| {
+        Io::my_thread_id().and_then(move |me| {
+            Io::fork(Io::throw_to(me, Exception::kill_thread()))
+                .then(Io::block(
+                    m.take().and_then(|v| Io::put_char('t').map(move |_| v)),
+                ))
+                .catch(|_| Io::pure(-1))
+                .and_then(move |r| m.try_take().map(move |left| (r, left.is_some())))
+        })
+    })
+}
+
+#[test]
+fn block_take_on_full_mvar_is_atomic_on_every_schedule() {
+    let outputs = Rc::new(RefCell::new(BTreeSet::new()));
+    let result = Explorer::new().check(|| {
+        let outputs = Rc::clone(&outputs);
+        TestCase::new(
+            block_take_program(),
+            move |out: &RunOutcome<(i64, bool)>| {
+                outputs.borrow_mut().insert(out.output.clone());
+                match &out.result {
+                    Ok((_, still_full)) => {
+                        let took = out.output.contains('t');
+                        if took && *still_full {
+                            Err("'t' printed but the MVar still holds a value".into())
+                        } else if !took && !*still_full {
+                            // The §5.3 violation: the value was consumed but the
+                            // take's continuation never ran — the exception landed
+                            // *inside* the supposedly atomic block(takeMVar).
+                            Err("MVar drained without completing block(takeMVar)".into())
+                        } else {
+                            Ok(())
+                        }
+                    }
+                    // The kill may land after the guarded region (past the catch);
+                    // that is outside this property's scope.
+                    Err(RunError::Uncaught(_)) => Ok(()),
+                    Err(e) => Err(e.to_string()),
+                }
+            },
+        )
+    });
+    let report = result.expect_pass();
+    assert!(
+        report.complete,
+        "the §5.3 check must be exhaustive, got {report}"
+    );
+    // Coverage sanity: we really did see both the kill-before-take and the
+    // take-completed classes of schedule.
+    let outputs = outputs.borrow();
+    assert!(
+        outputs.contains("") && outputs.contains("t"),
+        "expected both outcome classes, saw {outputs:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// §7.1: bracket releases on every path; a broken variant is caught,
+// shrunk and replayed.
+// ---------------------------------------------------------------------
+
+/// A correct bracket: acquire ('a') inside `block`, release ('r') on
+/// both the normal and the exceptional path.
+fn good_bracket() -> Io<i64> {
+    bracket(
+        Io::put_char('a').map(|_| 0_i64),
+        |_| Io::put_char('r'),
+        |_| Io::pure(1_i64),
+    )
+}
+
+/// The seeded bug: the acquire runs *outside* `block`, so an exception
+/// landing between the acquire and the block leaks the resource — the
+/// exact mistake §7.1's `bracket` exists to prevent.
+fn broken_bracket() -> Io<i64> {
+    Io::put_char('a').map(|_| 0_i64).and_then(|_| {
+        Io::block(
+            Io::unblock(Io::pure(1_i64))
+                .catch(|e| Io::put_char('r').then(Io::throw(e)))
+                .and_then(|r| Io::put_char('r').map(move |_| r)),
+        )
+    })
+}
+
+/// Fork a worker running `body` and immediately aim a kill at it; the
+/// settling sleep returns only once the worker has finished or died.
+fn killed_worker(body: Io<i64>) -> Io<()> {
+    Io::fork(body.map(|_| ()).catch(|_| Io::unit()))
+        .and_then(|w| Io::throw_to(w, Exception::kill_thread()))
+        .then(Io::sleep(1))
+}
+
+#[test]
+fn bracket_releases_on_every_schedule() {
+    let result = Explorer::new().check(|| {
+        TestCase::new(
+            killed_worker(good_bracket()),
+            props::releases_balanced('a', 'r'),
+        )
+    });
+    let report = result.expect_pass();
+    assert!(
+        report.complete,
+        "bracket check must be exhaustive: {report}"
+    );
+}
+
+#[test]
+fn broken_bracket_race_is_found_shrunk_and_replayed() {
+    let explorer = Explorer::new();
+    let result = explorer.check(|| {
+        TestCase::new(
+            killed_worker(broken_bracket()),
+            props::releases_balanced('a', 'r'),
+        )
+    });
+    let failure = result.expect_fail();
+    assert!(
+        failure.message.contains("unbalanced"),
+        "{}",
+        failure.message
+    );
+    assert!(
+        failure.schedule.len() <= failure.original.len(),
+        "shrinking must not grow the certificate"
+    );
+
+    // The certificate survives serialization…
+    let text = failure.schedule.to_string();
+    let parsed: Schedule = text.parse().expect("certificate text parses");
+    assert_eq!(parsed, failure.schedule);
+
+    // …and replays deterministically in a *second* Runtime: same leak,
+    // twice in a row, from nothing but the choice list.
+    let replayer = Explorer::new();
+    let mut outputs = Vec::new();
+    for _ in 0..2 {
+        let (outcome, check) = replayer.replay(
+            TestCase::new(
+                killed_worker(broken_bracket()),
+                props::releases_balanced('a', 'r'),
+            ),
+            &parsed,
+        );
+        assert!(check.is_err(), "replay must reproduce the violation");
+        outputs.push(outcome.output);
+    }
+    assert_eq!(outputs[0], outputs[1], "replay must be deterministic");
+    assert_eq!(
+        outputs[0].matches('a').count(),
+        outputs[0].matches('r').count() + 1,
+        "the minimal schedule exhibits exactly the leaked acquire"
+    );
+
+    // Minimality: deleting any single choice from the shrunk schedule
+    // makes the failure disappear.
+    for i in 0..failure.schedule.len() {
+        let mut candidate = failure.schedule.clone();
+        candidate.choices.remove(i);
+        let (_, check) = replayer.replay(
+            TestCase::new(
+                killed_worker(broken_bracket()),
+                props::releases_balanced('a', 'r'),
+            ),
+            &candidate,
+        );
+        assert!(
+            check.is_ok(),
+            "choice {i} of certificate {} is redundant",
+            failure.schedule
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// §7.2: both / either, exhaustively at small sizes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn both_returns_the_pair_on_every_schedule() {
+    let outputs = Rc::new(RefCell::new(BTreeSet::new()));
+    let result = Explorer::new().check(|| {
+        let outputs = Rc::clone(&outputs);
+        TestCase::new(
+            both(
+                Io::put_char('x').map(|_| 1_i64),
+                Io::put_char('y').map(|_| 2_i64),
+            ),
+            move |out: &RunOutcome<(i64, i64)>| {
+                outputs.borrow_mut().insert(out.output.clone());
+                match &out.result {
+                    Ok((1, 2)) => Ok(()),
+                    other => Err(format!("expected Ok((1, 2)), got {other:?}")),
+                }
+            },
+        )
+    });
+    let report = result.expect_pass();
+    assert!(report.complete, "both() check must be exhaustive: {report}");
+    let outputs = outputs.borrow();
+    assert!(
+        outputs.contains("xy") && outputs.contains("yx"),
+        "both child orders must be reachable, saw {outputs:?}"
+    );
+}
+
+#[test]
+fn either_always_commits_to_one_winner() {
+    let winners = Rc::new(RefCell::new(BTreeSet::new()));
+    // race() is the biggest small program here (two children, a result
+    // MVar, kills for both losers): its full space is ~10k schedules,
+    // just over the default cap.
+    let cfg = ExploreConfig {
+        max_schedules: 50_000,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg).check(|| {
+        let winners = Rc::clone(&winners);
+        TestCase::new(
+            race(Io::pure('l'), Io::pure('r')),
+            move |out: &RunOutcome<Either<char, char>>| match &out.result {
+                Ok(Either::Left('l')) => {
+                    winners.borrow_mut().insert('l');
+                    Ok(())
+                }
+                Ok(Either::Right('r')) => {
+                    winners.borrow_mut().insert('r');
+                    Ok(())
+                }
+                other => Err(format!("race produced {other:?}")),
+            },
+        )
+    });
+    let report = result.expect_pass();
+    assert!(report.complete, "race() check must be exhaustive: {report}");
+    let winners = winners.borrow();
+    assert!(
+        winners.contains(&'l') && winners.contains(&'r'),
+        "both winners must be reachable, saw {winners:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Bounds behave as documented.
+// ---------------------------------------------------------------------
+
+#[test]
+fn preemption_bound_trades_coverage_for_speed() {
+    let run = |bound: Option<usize>| {
+        let cfg = ExploreConfig {
+            preemption_bound: bound,
+            ..ExploreConfig::default()
+        };
+        let result = Explorer::with_config(cfg)
+            .check(|| TestCase::new(killed_worker(good_bracket()), props::terminates));
+        result.report().clone()
+    };
+    let unbounded = run(None);
+    let bounded = run(Some(0));
+    assert!(
+        bounded.explored <= unbounded.explored,
+        "preemption bound must not enlarge the schedule space: {} vs {}",
+        bounded.explored,
+        unbounded.explored
+    );
+}

@@ -133,8 +133,8 @@ proptest! {
 fn large_storm_deterministic() {
     use ClientKind::*;
     let kinds = vec![
-        Good, Crash, Stall, Trickle, Garbage, Work, Slow, Good, Good, Crash, Stall, Work,
-        Trickle, Garbage, Good, Work, Good, Crash, Stall, Good,
+        Good, Crash, Stall, Trickle, Garbage, Work, Slow, Good, Good, Crash, Stall, Work, Trickle,
+        Garbage, Good, Work, Good, Crash, Stall, Good,
     ];
     let (mut codes, mut expect, snap) = run_storm(kinds, 42);
     codes.sort_unstable();

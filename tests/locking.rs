@@ -30,8 +30,14 @@ fn model_checker_finds_the_naive_race() {
                 rules.contains(&RuleName::Receive) || rules.contains(&RuleName::Interrupt),
                 "counterexample without asynchronous delivery: {rules:?}"
             );
-            assert!(state.contains("⟨⟩m"), "final state should have an empty MVar: {state}");
-            assert!(state.contains('⊛'), "final state should have a stuck thread: {state}");
+            assert!(
+                state.contains("⟨⟩m"),
+                "final state should have an empty MVar: {state}"
+            );
+            assert!(
+                state.contains('⊛'),
+                "final state should have a stuck thread: {state}"
+            );
         }
         CheckResult::Safe { .. } => panic!("naive locking must be racy"),
     }
@@ -107,7 +113,9 @@ fn runtime_trial(seed: u64, safe: bool, work: u64) -> bool {
 
 #[test]
 fn runtime_reproduces_the_naive_race() {
-    let lost = (0..300).filter(|&seed| !runtime_trial(seed, false, 20)).count();
+    let lost = (0..300)
+        .filter(|&seed| !runtime_trial(seed, false, 20))
+        .count();
     assert!(
         lost > 0,
         "expected at least one schedule to lose the lock with the naive pattern"
@@ -134,8 +142,8 @@ fn contended_safe_locking_is_exception_safe() {
         let mut rt = Runtime::with_config(cfg);
         let prog = Io::new_mvar(0_i64).and_then(move |m| {
             let spawn_worker = move || {
-                let w = modify_mvar(m, |n| Io::compute(30).then(Io::pure(n + 1)))
-                    .catch(|_| Io::unit());
+                let w =
+                    modify_mvar(m, |n| Io::compute(30).then(Io::pure(n + 1))).catch(|_| Io::unit());
                 Io::fork(w)
             };
             spawn_worker().and_then(move |w1| {

@@ -178,14 +178,15 @@ fn multiple_sync_throwers_all_complete() {
             if n == 0 {
                 Io::unit()
             } else {
-                Io::<()>::unblock(Io::compute(10_000))
-                    .catch(move |_| resilient(n - 1))
+                Io::<()>::unblock(Io::compute(10_000)).catch(move |_| resilient(n - 1))
             }
         }
         Io::<ThreadId>::block(Io::fork(resilient(5))).and_then(move |v| {
             let thrower = move || {
                 Io::throw_to_sync(v, Exception::custom("S"))
-                    .then(conch_combinators::modify_mvar(completions, |n| Io::pure(n + 1)))
+                    .then(conch_combinators::modify_mvar(completions, |n| {
+                        Io::pure(n + 1)
+                    }))
             };
             Io::fork(thrower())
                 .then(Io::fork(thrower()))
