@@ -1,0 +1,152 @@
+//! B10 — interpreter/scheduler hot-path throughput (`conch-runtime`).
+//!
+//! Four workloads, one per optimization shipped with the slot-reclaiming
+//! scheduler:
+//!
+//! * `interpreter_steps` — a long pure computation: raw small-steps per
+//!   second through the interpreter loop.
+//! * `fork_join_churn` — sequential fork of many short-lived threads:
+//!   spawn/retire cost with buffer recycling, plus the thread-table
+//!   high-water mark showing slot reclamation keeps memory bounded.
+//! * `httpd_requests` — the §11 server answering well-behaved requests:
+//!   requests per (wall and virtual) second, fork-per-connection.
+//! * `schedule_exploration` — the B9 three-thread workload explored to
+//!   completion: schedules per second through the reset-and-reuse
+//!   explorer runtime.
+//!
+//! Besides the timing output, writes `BENCH_runtime.json` at the
+//! workspace root with the headline numbers, for EXPERIMENTS.md.
+//!
+//! With `BENCH_SMOKE` set in the environment, the Criterion timing
+//! loops are skipped and each workload runs exactly once to produce the
+//! JSON — CI uses this to assert the deterministic counters (steps,
+//! forks, thread-slot high-water, explored/complete) without depending
+//! on machine speed.
+
+use std::time::Instant;
+
+use conch_bench::{explore_once, serve_n_good};
+use conch_runtime::io::for_each;
+use conch_runtime::prelude::*;
+use criterion::Criterion;
+
+const COMPUTE_STEPS: u64 = 1_000_000;
+const CHURN_FORKS: u64 = 10_000;
+const HTTPD_REQUESTS: u64 = 50;
+
+/// Forks `n` trivial children one after another, yielding after each so
+/// the child runs to completion before the next fork: sustained
+/// spawn/retire churn with only a handful of threads alive at once.
+fn fork_churn(n: u64) -> Io<()> {
+    for_each(n, |_| Io::fork(Io::unit()).then(Io::yield_now()))
+}
+
+fn bench_hot_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime_hot_paths");
+    group.bench_function("interpreter_steps_1m", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new();
+            rt.run(Io::compute(COMPUTE_STEPS)).expect("compute");
+        })
+    });
+    group.bench_function("fork_join_churn_10k", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new();
+            rt.run(fork_churn(CHURN_FORKS)).expect("churn");
+        })
+    });
+    group.bench_function("httpd_50_requests", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new();
+            rt.run(serve_n_good(HTTPD_REQUESTS)).expect("server run");
+        })
+    });
+    group.bench_function("explore_unbounded", |b| b.iter(|| explore_once(None)));
+    group.finish();
+}
+
+/// One measured run per workload, written as a small JSON report next
+/// to the workspace `Cargo.toml`.
+fn emit_json() {
+    let mut rows = Vec::new();
+
+    let mut rt = Runtime::new();
+    let start = Instant::now();
+    rt.run(Io::compute(COMPUTE_STEPS)).expect("compute");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let steps = rt.stats().steps;
+    rows.push(format!(
+        "    {{\"workload\": \"interpreter_steps\", \"steps\": {}, \
+         \"seconds\": {:.6}, \"steps_per_sec\": {:.1}}}",
+        steps,
+        secs,
+        steps as f64 / secs,
+    ));
+
+    let mut rt = Runtime::new();
+    let start = Instant::now();
+    rt.run(fork_churn(CHURN_FORKS)).expect("churn");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    rows.push(format!(
+        "    {{\"workload\": \"fork_join_churn\", \"forks\": {}, \
+         \"max_thread_slots\": {}, \"seconds\": {:.6}, \"forks_per_sec\": {:.1}}}",
+        rt.stats().forks,
+        rt.stats().max_thread_slots,
+        secs,
+        rt.stats().forks as f64 / secs,
+    ));
+
+    let mut rt = Runtime::new();
+    let start = Instant::now();
+    rt.run(serve_n_good(HTTPD_REQUESTS)).expect("server run");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let virtual_us = rt.clock();
+    let per_virtual_sec = if virtual_us == 0 {
+        0.0
+    } else {
+        HTTPD_REQUESTS as f64 / (virtual_us as f64 / 1e6)
+    };
+    rows.push(format!(
+        "    {{\"workload\": \"httpd_requests\", \"requests\": {}, \
+         \"max_thread_slots\": {}, \"virtual_us\": {}, \"seconds\": {:.6}, \
+         \"requests_per_sec\": {:.1}, \"requests_per_virtual_sec\": {:.1}}}",
+        HTTPD_REQUESTS,
+        rt.stats().max_thread_slots,
+        virtual_us,
+        secs,
+        HTTPD_REQUESTS as f64 / secs,
+        per_virtual_sec,
+    ));
+
+    let start = Instant::now();
+    let report = explore_once(None);
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    rows.push(format!(
+        "    {{\"workload\": \"schedule_exploration\", \"explored\": {}, \
+         \"pruned\": {}, \"complete\": {}, \"seconds\": {:.6}, \
+         \"schedules_per_sec\": {:.1}}}",
+        report.explored,
+        report.pruned,
+        report.complete,
+        secs,
+        report.explored as f64 / secs,
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_hot_paths\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    if std::env::var_os("BENCH_SMOKE").is_none() {
+        let mut criterion = Criterion::default();
+        bench_hot_paths(&mut criterion);
+    }
+    emit_json();
+}

@@ -7,7 +7,12 @@
 //! code paths.
 
 use conch_combinators::{modify_mvar, modify_mvar_naive, timeout};
-use conch_runtime::io::Io;
+use conch_explore::{ExploreConfig, Explorer, Report, RunOutcome, TestCase};
+use conch_httpd::client::good_client;
+use conch_httpd::http::Response;
+use conch_httpd::net::Listener;
+use conch_httpd::server::{handler, start, Handler, ServerConfig};
+use conch_runtime::io::{for_each, sequence, Io};
 use conch_runtime::prelude::*;
 
 /// B1: a mask-recursive loop — `block (…; unblock (…; block …))` — of
@@ -176,6 +181,65 @@ pub fn fork_join(n: u64) -> Io<i64> {
         conch_runtime::io::replicate(n, move || Io::fork(modify_mvar(count, |c| Io::pure(c + 1))))
             .then(wait_until(count, n as i64))
             .then(count.take())
+    })
+}
+
+/// B9: the schedule-exploration workload — three threads, one `MVar`,
+/// one `throwTo`: worker 1 increments, worker 2 adds ten, the main
+/// thread kills worker 1 somewhere in between and reads the survivor's
+/// arithmetic.
+pub fn explore_workload() -> Io<i64> {
+    Io::new_mvar(0_i64).and_then(|m| {
+        Io::fork(
+            m.take()
+                .and_then(move |n| m.put(n + 1))
+                .catch(|_| Io::unit()),
+        )
+        .and_then(move |w1| {
+            Io::fork(
+                m.take()
+                    .and_then(move |n| m.put(n + 10))
+                    .catch(|_| Io::unit()),
+            )
+            .then(Io::throw_to(w1, Exception::kill_thread()))
+            .then(Io::sleep(5))
+            .then(m.take())
+        })
+    })
+}
+
+/// B9: one full exploration of [`explore_workload`] at the given
+/// preemption bound, returning the coverage report.
+pub fn explore_once(preemption_bound: Option<usize>) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        preemption_bound,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg)
+        .check(|| TestCase::new(explore_workload(), |_: &RunOutcome<i64>| Ok(())));
+    result.report().clone()
+}
+
+/// S1: the §11 server answering `n` well-behaved requests, one forked
+/// client (and one forked per-connection server thread) per request.
+pub fn serve_n_good(n: u64) -> Io<()> {
+    fn routes() -> Handler {
+        handler(|_| Io::pure(Response::ok("ok")))
+    }
+    Listener::bind().and_then(move |l| {
+        start(l, routes(), ServerConfig::default()).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                for_each(n, move |i| {
+                    Io::fork(good_client(l, format!("/{i}"), report))
+                })
+                .then(sequence((0..n).map(|_| report.take()).collect()))
+                .and_then(move |codes| {
+                    assert!(codes.iter().all(|c| *c == 200));
+                    server.shutdown().then(server.drain())
+                })
+            })
+        })
     })
 }
 

@@ -41,13 +41,64 @@ use crate::schedule::Choice;
 /// to sleep with.
 pub(crate) type SleepEntry = (u64, StepFootprint);
 
+/// Inline capacity of [`Alts`]: candidate lists of up to this many
+/// threads (the overwhelmingly common case) need no heap allocation.
+const ALTS_INLINE: usize = 4;
+
+/// The candidate list of a branch point. A run records one of these per
+/// scheduling point, so a heap `Vec` here is the hottest allocation in
+/// the whole exploration loop; small lists are stored inline instead.
+#[derive(Debug, Clone)]
+pub(crate) enum Alts {
+    Inline {
+        len: u8,
+        buf: [SleepEntry; ALTS_INLINE],
+    },
+    Heap(Vec<SleepEntry>),
+}
+
+impl Alts {
+    pub fn new() -> Self {
+        Alts::Inline {
+            len: 0,
+            buf: [(0, StepFootprint::Local); ALTS_INLINE],
+        }
+    }
+
+    pub fn push(&mut self, entry: SleepEntry) {
+        match self {
+            Alts::Inline { len, buf } => {
+                if (*len as usize) < ALTS_INLINE {
+                    buf[*len as usize] = entry;
+                    *len += 1;
+                } else {
+                    let mut v: Vec<SleepEntry> = buf.to_vec();
+                    v.push(entry);
+                    *self = Alts::Heap(v);
+                }
+            }
+            Alts::Heap(v) => v.push(entry),
+        }
+    }
+}
+
+impl std::ops::Deref for Alts {
+    type Target = [SleepEntry];
+    fn deref(&self) -> &[SleepEntry] {
+        match self {
+            Alts::Inline { len, buf } => &buf[..*len as usize],
+            Alts::Heap(v) => v,
+        }
+    }
+}
+
 /// A branch point recorded during a run.
 #[derive(Debug, Clone)]
 pub(crate) struct Point {
     /// For scheduling points: the full candidate list (thread id and
     /// next-step footprint, in run-queue order). Empty for delivery
     /// points.
-    pub alts: Vec<(u64, StepFootprint)>,
+    pub alts: Alts,
     /// Thread ids among `alts` that were asleep when this point was
     /// first created (candidates the DFS will skip).
     pub sleeping: Vec<u64>,
@@ -64,13 +115,21 @@ impl Point {
 
 /// Mutable driver state for one run, shared between the [`Decider`]
 /// installed in the runtime and the explorer that owns the run.
+///
+/// The explorer keeps one `DriverState` alive for a whole exploration
+/// and [`reset`](DriverState::reset)s it between runs, so the `script`,
+/// `extra_sleep`, `record` and `sleep` buffers keep their capacity
+/// instead of being reallocated tens of thousands of times.
 pub(crate) struct DriverState {
     /// Choices to replay, one per branch point, in order.
-    script: Vec<Choice>,
-    /// Per scripted point: sibling alternatives already explored at that
-    /// point, to be added to the sleep set there. Parallel to `script`
-    /// (missing entries mean "none").
-    extra_sleep: Vec<Vec<SleepEntry>>,
+    pub script: Vec<Choice>,
+    /// Sibling alternatives already explored at scripted points, to be
+    /// added to the sleep set there: `(script position, entry)` pairs in
+    /// ascending position order (a flat list, not one `Vec` per point,
+    /// so refilling it between runs allocates nothing once warm).
+    pub extra_sleep: Vec<(usize, SleepEntry)>,
+    /// Cursor into `extra_sleep`.
+    extra_pos: usize,
     /// Next script position.
     pos: usize,
     /// Every branch point passed this run (scripted and frontier).
@@ -90,13 +149,14 @@ pub(crate) struct DriverState {
 impl DriverState {
     pub fn new(
         script: Vec<Choice>,
-        extra_sleep: Vec<Vec<SleepEntry>>,
+        extra_sleep: Vec<(usize, SleepEntry)>,
         preemption_bound: Option<usize>,
         max_points: usize,
     ) -> Self {
         DriverState {
             script,
             extra_sleep,
+            extra_pos: 0,
             pos: 0,
             record: Vec::new(),
             sleep: Vec::new(),
@@ -107,10 +167,27 @@ impl DriverState {
         }
     }
 
+    /// Clears all per-run state (keeping buffer capacity) so the same
+    /// `DriverState` can drive the next run. The caller refills `script`
+    /// and `extra_sleep` afterwards.
+    pub fn reset(&mut self) {
+        self.script.clear();
+        self.extra_sleep.clear();
+        self.extra_pos = 0;
+        self.pos = 0;
+        self.record.clear();
+        self.sleep.clear();
+        self.preemptions = 0;
+        self.depth_hit = false;
+    }
+
     /// A step by `tid` with footprint `fp` is about to execute: wake
     /// every sleep entry that is dependent on it (and the thread itself,
     /// should it somehow be asleep).
     fn note_exec(&mut self, tid: u64, fp: StepFootprint) {
+        if self.sleep.is_empty() {
+            return;
+        }
         self.sleep
             .retain(|&(q, qfp)| q != tid && fp.independent(qfp));
     }
@@ -122,10 +199,10 @@ impl DriverState {
     /// The scheduling decision for a branch point with candidates
     /// `runnable`. Returns the index to run.
     fn sched_point(&mut self, runnable: &[ThreadView], previous: Option<ThreadId>) -> usize {
-        let alts: Vec<(u64, StepFootprint)> = runnable
-            .iter()
-            .map(|v| (v.tid.index(), v.footprint))
-            .collect();
+        let mut alts = Alts::new();
+        for v in runnable {
+            alts.push((v.tid.index(), v.footprint));
+        }
 
         // Preemption bounding: out of budget and the previous thread can
         // continue => force it (deterministically, so this is not a
@@ -148,11 +225,17 @@ impl DriverState {
 
         // Scripted or frontier choice.
         let scripted = if self.pos < self.script.len() {
-            if let Some(extra) = self.extra_sleep.get(self.pos) {
-                for &entry in extra {
-                    if !self.is_asleep(entry.0) {
-                        self.sleep.push(entry);
-                    }
+            while let Some(&(p, entry)) = self.extra_sleep.get(self.extra_pos) {
+                if p > self.pos {
+                    break;
+                }
+                self.extra_pos += 1;
+                // Entries whose position was consumed by a delivery
+                // point (possible only when replaying a spliced
+                // schedule) are skipped, exactly as the old
+                // position-indexed lookup never applied them.
+                if p == self.pos && !self.is_asleep(entry.0) {
+                    self.sleep.push(entry);
                 }
             }
             let c = self.script[self.pos];
@@ -188,12 +271,13 @@ impl DriverState {
                 self.preemptions += 1;
             }
         }
+        let (chosen_tid, chosen_fp) = alts[index];
         self.record.push(Point {
-            alts: alts.clone(),
+            alts,
             sleeping,
-            chosen: Choice::Thread(alts[index].0),
+            chosen: Choice::Thread(chosen_tid),
         });
-        self.note_exec(alts[index].0, alts[index].1);
+        self.note_exec(chosen_tid, chosen_fp);
         index
     }
 
@@ -221,7 +305,7 @@ impl DriverState {
             self.note_exec(view.tid.index(), StepFootprint::Effect);
         }
         self.record.push(Point {
-            alts: Vec::new(),
+            alts: Alts::new(),
             sleeping: Vec::new(),
             chosen: Choice::Deliver(deliver),
         });

@@ -218,11 +218,11 @@ impl Node {
 
     /// Alternatives already explored at this node (to be slept in
     /// sibling subtrees).
-    fn explored_alts(&self) -> Vec<SleepEntry> {
+    fn explored_alts(&self) -> &[SleepEntry] {
         if self.point.is_delivery() {
-            Vec::new()
+            &[]
         } else {
-            self.point.alts[..self.chosen_idx].to_vec()
+            &self.point.alts[..self.chosen_idx]
         }
     }
 
@@ -258,7 +258,6 @@ pub struct Explorer {
 }
 
 struct RunRecord {
-    record: Vec<Point>,
     depth_hit: bool,
     check_result: Result<(), String>,
 }
@@ -287,20 +286,45 @@ impl Explorer {
         T: FromValue,
         F: FnMut() -> TestCase<T>,
     {
+        // One runtime and one driver state for the whole exploration,
+        // reset between schedules: the thread table, run queue, scratch
+        // buffers, recycled frame stacks and script/sleep-set buffers
+        // keep their capacity, so the per-schedule cost is
+        // interpretation, not allocation.
+        let mut rt = self.make_runtime();
+        let state = Rc::new(RefCell::new(DriverState::new(
+            Vec::new(),
+            Vec::new(),
+            self.config.preemption_bound,
+            self.config.max_depth,
+        )));
         let mut stack: Vec<Node> = Vec::new();
         let mut report = Report::default();
         loop {
-            let script: Vec<Choice> = stack.iter().map(Node::choice).collect();
-            let extra: Vec<Vec<SleepEntry>> = stack.iter().map(Node::explored_alts).collect();
-            let (run, outcome_schedule) = self.run_once(factory(), script, extra);
+            {
+                let mut st = state.borrow_mut();
+                st.reset();
+                for (i, node) in stack.iter().enumerate() {
+                    st.script.push(node.choice());
+                    for &entry in node.explored_alts() {
+                        st.extra_sleep.push((i, entry));
+                    }
+                }
+            }
+            let (run, outcome_schedule) = self.run_once(&mut rt, factory(), &state);
             report.explored += 1;
             if run.depth_hit {
                 report.truncated += 1;
             }
             if let Err(message) = run.check_result {
                 let original = outcome_schedule;
-                let (schedule, message) =
-                    self.shrink(&mut factory, original.clone(), message, &mut report);
+                let (schedule, message) = self.shrink(
+                    &mut rt,
+                    &mut factory,
+                    original.clone(),
+                    message,
+                    &mut report,
+                );
                 return CheckResult::Failed(Box::new(Failure {
                     message,
                     schedule,
@@ -309,10 +333,14 @@ impl Explorer {
                 }));
             }
             // Newly discovered branch points below the scripted prefix
-            // become fresh DFS nodes.
-            for point in run.record.into_iter().skip(stack.len()) {
-                report.pruned += point.sleeping.len();
-                stack.push(Node::from_point(point));
+            // become fresh DFS nodes. Draining (rather than taking) the
+            // record keeps its buffer capacity for the next run.
+            {
+                let mut st = state.borrow_mut();
+                for point in st.record.drain(stack.len()..) {
+                    report.pruned += point.sleeping.len();
+                    stack.push(Node::from_point(point));
+                }
             }
             // Backtrack: advance the deepest advanceable node.
             loop {
@@ -345,63 +373,73 @@ impl Explorer {
         case: TestCase<T>,
         schedule: &Schedule,
     ) -> (RunOutcome<T>, Result<(), String>) {
+        let mut rt = self.make_runtime();
+        self.replay_in(&mut rt, case, schedule)
+    }
+
+    /// [`Explorer::replay`] against a caller-provided (reused) runtime.
+    fn replay_in<T: FromValue>(
+        &self,
+        rt: &mut Runtime,
+        case: TestCase<T>,
+        schedule: &Schedule,
+    ) -> (RunOutcome<T>, Result<(), String>) {
         let state = Rc::new(RefCell::new(DriverState::new(
             schedule.choices.clone(),
             Vec::new(),
             self.config.preemption_bound,
             self.config.max_depth,
         )));
-        let outcome = self.drive(case.program, &state);
+        let outcome = self.drive(rt, case.program, &state);
         let check_result = (case.check)(&outcome);
         (outcome, check_result)
     }
 
-    /// One driven execution with the given script.
+    /// One driven execution with the script already loaded into `state`.
     fn run_once<T: FromValue>(
         &self,
+        rt: &mut Runtime,
         case: TestCase<T>,
-        script: Vec<Choice>,
-        extra: Vec<Vec<SleepEntry>>,
+        state: &Rc<RefCell<DriverState>>,
     ) -> (RunRecord, Schedule) {
-        let state = Rc::new(RefCell::new(DriverState::new(
-            script,
-            extra,
-            self.config.preemption_bound,
-            self.config.max_depth,
-        )));
-        let outcome = self.drive(case.program, &state);
-        let schedule = outcome.schedule.clone();
+        let outcome = self.drive(rt, case.program, state);
         let check_result = (case.check)(&outcome);
         let truncated_by_steps = matches!(outcome.result, Err(RunError::StepLimitExceeded { .. }));
-        let state = Rc::try_unwrap(state)
-            .ok()
-            .expect("runtime (and its decider) was dropped")
-            .into_inner();
+        let schedule = outcome.schedule;
+        let depth_hit = state.borrow().depth_hit || truncated_by_steps;
         (
             RunRecord {
-                depth_hit: state.depth_hit || truncated_by_steps,
-                record: state.record,
+                depth_hit,
                 check_result,
             },
             schedule,
         )
     }
 
-    /// Run `program` in a fresh `Runtime` under the scripted decider.
-    fn drive<T: FromValue>(
-        &self,
-        program: Io<T>,
-        state: &Rc<RefCell<DriverState>>,
-    ) -> RunOutcome<T> {
+    /// A runtime configured for driven exploration.
+    fn make_runtime(&self) -> Runtime {
         let config = self
             .config
             .runtime
             .clone()
             .external_scheduling()
             .max_steps(self.config.step_budget);
-        let mut rt = Runtime::with_config(config);
+        Runtime::with_config(config)
+    }
+
+    /// Run `program` on `rt` (reset to pristine) under the scripted
+    /// decider. The decider is removed again before returning, so the
+    /// caller holds the only strong reference to `state` afterwards.
+    fn drive<T: FromValue>(
+        &self,
+        rt: &mut Runtime,
+        program: Io<T>,
+        state: &Rc<RefCell<DriverState>>,
+    ) -> RunOutcome<T> {
+        rt.reset();
         rt.set_decider(Box::new(ScriptedDecider(Rc::clone(state))));
         let result = rt.run(program);
+        rt.clear_decider();
         let schedule = Schedule::from(
             state
                 .borrow()
@@ -424,6 +462,7 @@ impl Explorer {
     /// validated by a full replay.
     fn shrink<T, F>(
         &self,
+        rt: &mut Runtime,
         factory: &mut F,
         original: Schedule,
         original_message: String,
@@ -437,11 +476,12 @@ impl Explorer {
         let mut best_message = original_message;
         let budget = self.config.max_shrink_runs;
 
-        let mut fails = |sched: &Schedule, report: &mut Report| -> Option<String> {
-            report.shrink_runs += 1;
-            let (_, check) = self.replay(factory(), sched);
-            check.err()
-        };
+        let mut fails =
+            |rt: &mut Runtime, sched: &Schedule, report: &mut Report| -> Option<String> {
+                report.shrink_runs += 1;
+                let (_, check) = self.replay_in(rt, factory(), sched);
+                check.err()
+            };
 
         // Phase 1: shortest failing prefix.
         for len in 0..best.len() {
@@ -449,7 +489,7 @@ impl Explorer {
                 return (best, best_message);
             }
             let prefix = Schedule::from(best.choices[..len].to_vec());
-            if let Some(msg) = fails(&prefix, report) {
+            if let Some(msg) = fails(rt, &prefix, report) {
                 best = prefix;
                 best_message = msg;
                 break;
@@ -466,7 +506,7 @@ impl Explorer {
                 }
                 let mut candidate = best.clone();
                 candidate.choices.remove(i);
-                match fails(&candidate, report) {
+                match fails(rt, &candidate, report) {
                     Some(msg) => {
                         best = candidate;
                         best_message = msg;

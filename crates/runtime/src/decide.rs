@@ -175,6 +175,7 @@ impl Decider for FirstRunnable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::tid;
 
     #[test]
     fn locals_are_independent_of_non_exception_steps() {
@@ -194,7 +195,7 @@ mod tests {
         }
         // But a throw conflicts even with local steps: it opens a
         // delivery point at its target.
-        let throw = StepFootprint::Throw(ThreadId(2));
+        let throw = StepFootprint::Throw(tid(2));
         for f in [
             StepFootprint::Local,
             StepFootprint::Mask,

@@ -51,6 +51,7 @@ impl Error for RunError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::tid;
 
     #[test]
     fn display_uncaught() {
@@ -61,7 +62,7 @@ mod tests {
     #[test]
     fn display_deadlock_lists_threads() {
         let e = RunError::Deadlock {
-            stuck: vec![(ThreadId(0), "waiting on mvar#1".into())],
+            stuck: vec![(tid(0), "waiting on mvar#1".into())],
         };
         let s = e.to_string();
         assert!(s.contains("deadlock"));

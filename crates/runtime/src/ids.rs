@@ -10,6 +10,16 @@ use std::fmt;
 ///
 /// `ThreadId`s support equality and ordering, as in Concurrent Haskell.
 ///
+/// The *identity* of a thread is its spawn sequence number (`seq`):
+/// monotonically increasing within a run, never reused, and the number
+/// rendered by `Display`/[`ThreadId::index`] — so traces and schedule
+/// certificates name threads in spawn order regardless of how the
+/// runtime stores them. The `slot`/`generation` pair is a private
+/// addressing hint: finished threads vacate their slot in the thread
+/// table for reuse, and the generation tag makes a stale handle (e.g. a
+/// `throwTo` aimed at a thread that finished and whose slot was
+/// recycled) miss cleanly instead of hitting the new occupant.
+///
 /// # Examples
 ///
 /// ```
@@ -20,20 +30,74 @@ use std::fmt;
 /// let main = rt.main_thread_id();
 /// assert_ne!(tid, main);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ThreadId(pub(crate) u64);
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadId {
+    /// Spawn sequence number — the observable identity.
+    pub(crate) seq: u32,
+    /// Thread-table slot this thread occupies (may be recycled later).
+    pub(crate) slot: u16,
+    /// Generation of the slot at spawn time; a lookup with a stale
+    /// generation misses.
+    pub(crate) generation: u16,
+}
 
 impl ThreadId {
-    /// The raw index of this thread. Useful for logging and for the
-    /// semantics bridge, which names threads `t0`, `t1`, ….
+    /// A handle addressing slot `seq` at generation 0 — the layout every
+    /// thread has while no slot has been recycled.
+    ///
+    /// The packing keeps a `ThreadId` at 8 bytes — the same as the plain
+    /// index it replaced — because handles are copied into every trace
+    /// event, schedule choice and sleep-set entry of the explorer's hot
+    /// loop. `u32` bounds spawns per run at ~4 billion and `u16` bounds
+    /// *concurrent* threads at 65 535; both are enforced with explicit
+    /// panics in the scheduler rather than silent wraparound.
+    pub(crate) fn fresh(seq: u32, slot: u16, generation: u16) -> ThreadId {
+        ThreadId {
+            seq,
+            slot,
+            generation,
+        }
+    }
+
+    /// The raw spawn sequence number of this thread. Useful for logging
+    /// and for the semantics bridge, which names threads `t0`, `t1`, ….
     pub fn index(self) -> u64 {
-        self.0
+        self.seq as u64
+    }
+}
+
+// Identity is the spawn sequence number alone: two handles with the
+// same `seq` always carry the same slot/generation, and hashing or
+// comparing the addressing hint would be redundant.
+impl PartialEq for ThreadId {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for ThreadId {}
+
+impl PartialOrd for ThreadId {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ThreadId {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.seq.cmp(&other.seq)
+    }
+}
+
+impl std::hash::Hash for ThreadId {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.seq.hash(state);
     }
 }
 
 impl fmt::Display for ThreadId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "thread#{}", self.0)
+        write!(f, "thread#{}", self.seq)
     }
 }
 
@@ -58,24 +122,41 @@ impl fmt::Display for MVarId {
 }
 
 #[cfg(test)]
+pub(crate) fn tid(seq: u64) -> ThreadId {
+    ThreadId::fresh(seq as u32, seq as u16, 0)
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn thread_ids_are_ordered() {
-        assert!(ThreadId(0) < ThreadId(1));
-        assert_eq!(ThreadId(3), ThreadId(3));
+        assert!(tid(0) < tid(1));
+        assert_eq!(tid(3), tid(3));
     }
 
     #[test]
     fn display_is_readable() {
-        assert_eq!(ThreadId(2).to_string(), "thread#2");
+        assert_eq!(tid(2).to_string(), "thread#2");
         assert_eq!(MVarId(5).to_string(), "mvar#5");
     }
 
     #[test]
     fn index_round_trip() {
-        assert_eq!(ThreadId(9).index(), 9);
+        assert_eq!(tid(9).index(), 9);
         assert_eq!(MVarId(4).index(), 4);
+    }
+
+    #[test]
+    fn identity_ignores_the_addressing_hint() {
+        // A recycled slot gives a later thread a different (slot, gen)
+        // pair; equality, ordering and hashing see only the seq.
+        let a = ThreadId::fresh(5, 1, 0);
+        let b = ThreadId::fresh(5, 3, 2);
+        assert_eq!(a, b);
+        assert!(ThreadId::fresh(4, 9, 9) < a);
+        assert_eq!(a.to_string(), "thread#5");
+        assert_eq!(a.index(), 5);
     }
 }

@@ -59,6 +59,7 @@ pub mod exception;
 pub mod ids;
 pub mod io;
 pub mod mvar;
+mod runq;
 pub mod scheduler;
 pub mod stats;
 pub mod thread;

@@ -163,6 +163,7 @@ impl MVarCell {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::tid;
     use crate::prelude::*;
 
     #[test]
@@ -214,11 +215,11 @@ mod tests {
     #[test]
     fn forget_waiter_clears_queues() {
         let mut cell = MVarCell::empty();
-        cell.take_queue.push_back(ThreadId(1));
-        cell.take_queue.push_back(ThreadId(2));
-        cell.put_queue.push_back((ThreadId(1), Value::Unit));
-        cell.forget_waiter(ThreadId(1));
-        assert_eq!(cell.take_queue, [ThreadId(2)]);
+        cell.take_queue.push_back(tid(1));
+        cell.take_queue.push_back(tid(2));
+        cell.put_queue.push_back((tid(1), Value::Unit));
+        cell.forget_waiter(tid(1));
+        assert_eq!(cell.take_queue, [tid(2)]);
         assert!(cell.put_queue.is_empty());
     }
 

@@ -35,6 +35,7 @@ use crate::exception::Exception;
 use crate::ids::{MVarId, ThreadId};
 use crate::io::{Action, Io};
 use crate::mvar::MVarCell;
+use crate::runq::RunQueue;
 use crate::stats::Stats;
 use crate::thread::{Code, Frame, MaskState, PendingExc, RaiseOrigin, Status, StuckReason, Thread};
 use crate::trace::{BlockSite, IoEvent};
@@ -57,13 +58,20 @@ use crate::value::{FromValue, Value};
 /// ```
 pub struct Runtime {
     config: RuntimeConfig,
-    threads: Vec<Option<Thread>>,
-    run_queue: VecDeque<ThreadId>,
+    threads: Vec<Slot>,
+    /// Vacated thread-table slots available for reuse (LIFO).
+    free_slots: Vec<u16>,
+    /// Spawn sequence counter: the next thread's observable identity.
+    next_seq: u32,
+    run_queue: RunQueue,
     mvars: Vec<MVarCell>,
     clock: u64,
     sleep_seq: u64,
-    /// Min-heap of `(wake_at, seq, thread index)`.
-    sleepers: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    /// Min-heap of `(wake_at, seq, thread)`.
+    sleepers: BinaryHeap<Reverse<(u64, u64, ThreadId)>>,
+    /// Heap entries whose sleeper was interrupted (or died) and which
+    /// therefore will never wake anyone. Drives eager compaction.
+    stale_sleepers: usize,
     console_waiters: VecDeque<ThreadId>,
     console: BufferConsole,
     stats: Stats,
@@ -76,12 +84,46 @@ pub struct Runtime {
     /// [`SchedulingPolicy::External`]). Kept in an `Option` so it can be
     /// temporarily moved out while the runtime is borrowed.
     decider: Option<Box<dyn Decider>>,
+    /// Reusable buffer for the per-decision `ThreadView` list handed to
+    /// the decider (External policy runs quantum=1, so without this the
+    /// scheduler would allocate a fresh `Vec` on *every* step).
+    view_scratch: Vec<ThreadView>,
+    /// Run-queue positions matching `view_scratch`, for O(1) unlinking
+    /// of the chosen thread.
+    pos_scratch: Vec<usize>,
+    /// Recycled thread boxes from finished threads (stacks and pending
+    /// queues emptied, capacity kept), reused by later spawns so
+    /// fork-heavy workloads stop allocating per thread. The boxes are
+    /// the pooled resource — they move straight back into a `Slot` —
+    /// so `Vec<Box<_>>` is exactly right here, not an accident.
+    #[allow(clippy::vec_box)]
+    thread_pool: Vec<Box<Thread>>,
 }
+
+/// One thread-table entry: the occupant (if any) plus the slot's
+/// generation, bumped each time an occupant is retired so stale
+/// [`ThreadId`] handles miss instead of hitting the slot's next tenant.
+#[derive(Debug, Default)]
+struct Slot {
+    generation: u16,
+    /// Boxed so scheduling a thread moves 8 bytes, not the whole
+    /// 160-byte `Thread`: [`Runtime::step`] takes the thread out of the
+    /// table for the duration of the step (so helpers may touch other
+    /// threads) and puts it back — twice per interpreter step on the
+    /// hot path.
+    thread: Option<Box<Thread>>,
+}
+
+/// Cap on recycled thread boxes kept for reuse.
+const THREAD_POOL_MAX: usize = 256;
 
 impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
-            .field("live_threads", &self.threads.iter().flatten().count())
+            .field(
+                "live_threads",
+                &self.threads.iter().filter(|s| s.thread.is_some()).count(),
+            )
             .field("clock", &self.clock)
             .field("steps", &self.stats.steps)
             .finish()
@@ -101,7 +143,21 @@ impl Runtime {
     }
 
     /// A runtime with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.quantum` is 0. The [`RuntimeConfig::quantum`]
+    /// builder rejects 0 up front, but the field is `pub`, so a struct
+    /// literal could otherwise smuggle in a quantum that would make the
+    /// scheduler spin forever (round-robin) or panic deep inside the
+    /// RNG (`gen_range(1..=0)`, random policy). Validating here covers
+    /// both construction paths.
     pub fn with_config(config: RuntimeConfig) -> Self {
+        assert!(
+            config.quantum >= 1,
+            "RuntimeConfig.quantum must be at least 1 interpreter step, got 0 \
+             (a zero quantum would never execute any thread)"
+        );
         let rng = match config.scheduling {
             SchedulingPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
             SchedulingPolicy::RoundRobin | SchedulingPolicy::External => None,
@@ -109,11 +165,14 @@ impl Runtime {
         Runtime {
             config,
             threads: Vec::new(),
-            run_queue: VecDeque::new(),
+            free_slots: Vec::new(),
+            next_seq: 0,
+            run_queue: RunQueue::new(),
             mvars: Vec::new(),
             clock: 0,
             sleep_seq: 0,
             sleepers: BinaryHeap::new(),
+            stale_sleepers: 0,
             console_waiters: VecDeque::new(),
             console: BufferConsole::new(),
             stats: Stats::default(),
@@ -123,7 +182,40 @@ impl Runtime {
             main_result: None,
             yielded: false,
             decider: None,
+            view_scratch: Vec::new(),
+            pos_scratch: Vec::new(),
+            thread_pool: Vec::new(),
         }
+    }
+
+    /// Restores the runtime to its just-constructed state — fresh `MVar`
+    /// store, console, clock and statistics — while keeping allocated
+    /// capacity (thread table, run queue, scratch buffers, recycled
+    /// stacks) and any installed decider. This is the cheap way to run
+    /// many independent programs on one runtime: the schedule explorer
+    /// calls it between schedules instead of building a new `Runtime`
+    /// per run.
+    pub fn reset(&mut self) {
+        self.recycle_all_threads();
+        self.free_slots.clear();
+        self.next_seq = 0;
+        self.run_queue.clear();
+        self.mvars.clear();
+        self.clock = 0;
+        self.sleep_seq = 0;
+        self.sleepers.clear();
+        self.stale_sleepers = 0;
+        self.console_waiters.clear();
+        self.console = BufferConsole::new();
+        self.stats = Stats::default();
+        self.rng = match self.config.scheduling {
+            SchedulingPolicy::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            SchedulingPolicy::RoundRobin | SchedulingPolicy::External => None,
+        };
+        self.trace.clear();
+        self.main_tid = None;
+        self.main_result = None;
+        self.yielded = false;
     }
 
     /// Runs `io` to completion as the main thread.
@@ -140,9 +232,12 @@ impl Runtime {
 
     pub(crate) fn run_value(&mut self, action: Action) -> Result<Value, RunError> {
         // Reset per-run state; keep mvars, console, clock.
-        self.threads.clear();
+        self.recycle_all_threads();
+        self.free_slots.clear();
+        self.next_seq = 0;
         self.run_queue.clear();
         self.sleepers.clear();
+        self.stale_sleepers = 0;
         self.console_waiters.clear();
         self.stats = Stats::default();
         self.trace.clear();
@@ -156,9 +251,11 @@ impl Runtime {
             if let Some(res) = self.main_result.take() {
                 // (Proc GC): once the main thread is finished, all other
                 // threads die.
-                self.threads.clear();
+                self.recycle_all_threads();
+                self.free_slots.clear();
                 self.run_queue.clear();
                 self.sleepers.clear();
+                self.stale_sleepers = 0;
                 self.console_waiters.clear();
                 return res.map_err(RunError::Uncaught);
             }
@@ -188,6 +285,7 @@ impl Runtime {
             }
             let quantum = self.quantum_for();
             self.yielded = false;
+            let mut requeue = false;
             for _ in 0..quantum {
                 if self.main_result.is_some() {
                     break;
@@ -198,20 +296,16 @@ impl Runtime {
                     }
                 }
                 self.step(tid);
-                let still_runnable = self
+                requeue = self
                     .thread(tid)
                     .map(|t| t.status == Status::Runnable)
                     .unwrap_or(false);
-                if !still_runnable || self.yielded {
+                if !requeue || self.yielded {
                     break;
                 }
             }
-            let requeue = self
-                .thread(tid)
-                .map(|t| t.status == Status::Runnable)
-                .unwrap_or(false);
             if requeue {
-                self.run_queue.push_back(tid);
+                self.enqueue_runnable(tid);
             }
         }
     }
@@ -286,14 +380,19 @@ impl Runtime {
     /// drivers and for post-mortem debugging (after a deadlock, this is
     /// empty; see [`RunError::Deadlock`] for the stuck set).
     pub fn runnable(&self) -> Vec<ThreadView> {
-        self.run_queue.iter().map(|&t| self.view_of(t)).collect()
+        self.run_queue.iter().map(|t| self.view_of(t)).collect()
     }
 
     fn view_of(&self, tid: ThreadId) -> ThreadView {
         let th = self.thread(tid).expect("runnable thread exists");
+        debug_assert_eq!(
+            th.footprint,
+            footprint_of(th),
+            "cached footprint went stale for {tid}"
+        );
         ThreadView {
             tid,
-            footprint: footprint_of(th),
+            footprint: th.footprint,
             pending: th.pending.len(),
             masked: th.mask == MaskState::Blocked,
         }
@@ -304,22 +403,69 @@ impl Runtime {
     // ------------------------------------------------------------------
 
     fn thread(&self, tid: ThreadId) -> Option<&Thread> {
-        self.threads.get(tid.0 as usize).and_then(Option::as_ref)
+        match self.threads.get(tid.slot as usize) {
+            Some(s) if s.generation == tid.generation => s.thread.as_deref(),
+            _ => None,
+        }
     }
 
     fn thread_mut(&mut self, tid: ThreadId) -> Option<&mut Thread> {
-        self.threads
-            .get_mut(tid.0 as usize)
-            .and_then(Option::as_mut)
+        match self.threads.get_mut(tid.slot as usize) {
+            Some(s) if s.generation == tid.generation => s.thread.as_deref_mut(),
+            _ => None,
+        }
     }
 
     fn spawn(&mut self, action: Action, mask: MaskState) -> ThreadId {
-        let tid = ThreadId(self.threads.len() as u64);
-        let mut th = Thread::new(tid, action);
+        let seq = self.next_seq;
+        self.next_seq = self
+            .next_seq
+            .checked_add(1)
+            .expect("more than u32::MAX threads spawned in one run");
+        let (slot, generation) = match self.free_slots.pop() {
+            Some(slot) => (slot, self.threads[slot as usize].generation),
+            None => {
+                assert!(
+                    self.threads.len() <= u16::MAX as usize,
+                    "more than {} concurrent threads",
+                    u16::MAX
+                );
+                self.threads.push(Slot::default());
+                ((self.threads.len() - 1) as u16, 0)
+            }
+        };
+        let tid = ThreadId::fresh(seq, slot, generation);
+        let mut th = match self.thread_pool.pop() {
+            Some(mut b) => {
+                b.reinit(tid, action);
+                b
+            }
+            None => Box::new(Thread::with_buffers(
+                tid,
+                action,
+                Vec::new(),
+                VecDeque::new(),
+            )),
+        };
         th.mask = mask;
-        self.threads.push(Some(th));
-        self.run_queue.push_back(tid);
+        debug_assert!(self.threads[slot as usize].thread.is_none());
+        self.threads[slot as usize].thread = Some(th);
+        if self.threads.len() > self.stats.max_thread_slots {
+            self.stats.max_thread_slots = self.threads.len();
+        }
+        self.enqueue_runnable(tid);
         tid
+    }
+
+    /// Enqueues a runnable thread, refreshing its cached next-step
+    /// footprint — the single choke point every path to the run queue
+    /// goes through, so a queued thread's `footprint` field is always
+    /// current (nothing mutates a thread while it waits in the queue).
+    fn enqueue_runnable(&mut self, tid: ThreadId) {
+        let th = self.thread_mut(tid).expect("enqueued thread exists");
+        debug_assert_eq!(th.status, Status::Runnable);
+        th.footprint = footprint_of(th);
+        self.run_queue.push_back(tid);
     }
 
     fn quantum_for(&mut self) -> u64 {
@@ -337,8 +483,32 @@ impl Runtime {
     fn pick_next(&mut self, previous: Option<ThreadId>) -> ThreadId {
         if self.config.scheduling == SchedulingPolicy::External {
             if let Some(mut decider) = self.decider.take() {
-                let views: Vec<ThreadView> =
-                    self.run_queue.iter().map(|&t| self.view_of(t)).collect();
+                // Forced move: one runnable thread. The decider is still
+                // consulted (it keeps sleep-set bookkeeping per step),
+                // but the scratch buffers and position list are skipped.
+                if self.run_queue.len() == 1 {
+                    let tid = self.run_queue.pop_front().expect("non-empty run queue");
+                    let view = self.view_of(tid);
+                    let i = decider.choose_thread(std::slice::from_ref(&view), previous);
+                    self.decider = Some(decider);
+                    assert!(
+                        i == 0,
+                        "Decider::choose_thread returned index {i} for 1 runnable thread"
+                    );
+                    return tid;
+                }
+                // Build the decision's view list into the reusable
+                // scratch buffers: no allocation after warm-up, and the
+                // footprints come from the per-thread cache instead of
+                // being recomputed for every queued thread.
+                let mut views = std::mem::take(&mut self.view_scratch);
+                let mut positions = std::mem::take(&mut self.pos_scratch);
+                views.clear();
+                positions.clear();
+                for (pos, tid) in self.run_queue.iter_with_pos() {
+                    views.push(self.view_of(tid));
+                    positions.push(pos);
+                }
                 let i = decider.choose_thread(&views, previous);
                 self.decider = Some(decider);
                 assert!(
@@ -346,7 +516,10 @@ impl Runtime {
                     "Decider::choose_thread returned index {i} for {} runnable threads",
                     views.len()
                 );
-                return self.run_queue.remove(i).expect("index in range");
+                let tid = self.run_queue.take_at(positions[i]);
+                self.view_scratch = views;
+                self.pos_scratch = positions;
+                return tid;
             }
             // No decider installed: degrade to round-robin.
             return self.run_queue.pop_front().expect("non-empty run queue");
@@ -355,7 +528,7 @@ impl Runtime {
             None => self.run_queue.pop_front().expect("non-empty run queue"),
             Some(rng) => {
                 let i = rng.gen_range(0..self.run_queue.len());
-                self.run_queue.remove(i).expect("index in range")
+                self.run_queue.remove_live(i)
             }
         }
     }
@@ -366,11 +539,12 @@ impl Runtime {
         let earliest = loop {
             match self.sleepers.peek().copied() {
                 None => return false,
-                Some(Reverse((wake_at, _, tidx))) => {
-                    if self.sleeper_is_valid(ThreadId(tidx), wake_at) {
+                Some(Reverse((wake_at, _, tid))) => {
+                    if self.sleeper_is_valid(tid, wake_at) {
                         break wake_at;
                     }
                     self.sleepers.pop(); // stale entry
+                    self.stale_sleepers = self.stale_sleepers.saturating_sub(1);
                 }
             }
         };
@@ -378,20 +552,43 @@ impl Runtime {
             self.trace.push(IoEvent::TimeAdvance(earliest - self.clock));
             self.clock = earliest;
         }
-        while let Some(Reverse((wake_at, _, tidx))) = self.sleepers.peek().copied() {
+        while let Some(Reverse((wake_at, _, tid))) = self.sleepers.peek().copied() {
             if wake_at > self.clock {
                 break;
             }
             self.sleepers.pop();
-            let tid = ThreadId(tidx);
             if self.sleeper_is_valid(tid, wake_at) {
                 let th = self.thread_mut(tid).expect("sleeper exists");
                 th.status = Status::Runnable;
                 th.code = Code::ReturnVal(Value::Unit);
-                self.run_queue.push_back(tid);
+                self.enqueue_runnable(tid);
+            } else {
+                self.stale_sleepers = self.stale_sleepers.saturating_sub(1);
             }
         }
         true
+    }
+
+    /// Rebuilds the sleeper heap without its stale entries once they
+    /// outnumber the live ones. Interrupted sleepers invalidate their
+    /// heap entry in place (the status check in
+    /// [`Runtime::sleeper_is_valid`] fails), which is O(1) — but under
+    /// sustained `timeout`-and-kill churn the dead entries would pile up
+    /// until their original `wake_at`. Compacting at the >half-stale
+    /// threshold keeps the heap proportional to the number of *live*
+    /// sleepers at amortized O(1) per interruption, and cannot change
+    /// wake order: surviving entries keep their `(wake_at, seq)` keys.
+    fn maybe_compact_sleepers(&mut self) {
+        if self.stale_sleepers * 2 <= self.sleepers.len() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.sleepers).into_vec();
+        let kept: BinaryHeap<_> = entries
+            .into_iter()
+            .filter(|Reverse((wake_at, _, tid))| self.sleeper_is_valid(*tid, *wake_at))
+            .collect();
+        self.sleepers = kept;
+        self.stale_sleepers = 0;
     }
 
     /// Is `tid` still genuinely asleep until exactly `wake_at`?
@@ -409,28 +606,34 @@ impl Runtime {
     }
 
     fn deadlock_error(&self) -> RunError {
-        let stuck = self
+        // Slot order is storage order; report in spawn order, which is
+        // what the table order used to be before slot reclamation.
+        let mut stuck: Vec<_> = self
             .threads
             .iter()
-            .flatten()
+            .filter_map(|s| s.thread.as_ref())
             .filter_map(|t| match &t.status {
                 Status::Stuck(r) => Some((t.tid, r.describe())),
                 Status::Runnable => None,
             })
             .collect();
+        stuck.sort_by_key(|(tid, _)| *tid);
         RunError::Deadlock { stuck }
     }
 
     /// GHC-style deadlock recovery: throw `BlockedIndefinitely` to every
     /// stuck thread. Returns `true` if any thread was interrupted.
     fn interrupt_all_stuck(&mut self) -> bool {
-        let stuck: Vec<ThreadId> = self
+        let mut stuck: Vec<ThreadId> = self
             .threads
             .iter()
-            .flatten()
+            .filter_map(|s| s.thread.as_ref())
             .filter(|t| t.is_stuck())
             .map(|t| t.tid)
             .collect();
+        // Interrupt in spawn order (the pre-reclamation table order), so
+        // the wake-up sequence is independent of slot reuse.
+        stuck.sort_unstable();
         let any = !stuck.is_empty();
         for tid in stuck {
             self.enqueue_exception(tid, Exception::blocked_indefinitely(), None);
@@ -497,8 +700,11 @@ impl Runtime {
                 self.mvars[m.0 as usize].forget_waiter(tid);
             }
             StuckReason::Sleep { .. } => {
-                // Lazy removal: the heap entry is invalidated by the status
-                // change and skipped when popped.
+                // The heap entry is invalidated by the status change and
+                // skipped when popped; count it so compaction can evict
+                // piles of dead entries before their wake_at arrives.
+                self.stale_sleepers += 1;
+                self.maybe_compact_sleepers();
             }
             StuckReason::GetChar => {
                 self.console_waiters.retain(|&t| t != tid);
@@ -508,7 +714,7 @@ impl Runtime {
                 // paper notes this wart of the synchronous design (§9).
             }
         }
-        self.run_queue.push_back(tid);
+        self.enqueue_runnable(tid);
         self.stats.interrupted_blocked += 1;
         self.stats.delivery_latency_total += self.stats.steps - enqueued_step;
         self.stats.delivery_latency_samples += 1;
@@ -525,7 +731,7 @@ impl Runtime {
         if matches!(th.status, Status::Stuck(StuckReason::SyncThrow { .. })) {
             th.status = Status::Runnable;
             th.code = Code::ReturnVal(Value::Unit);
-            self.run_queue.push_back(tid);
+            self.enqueue_runnable(tid);
         }
     }
 
@@ -542,7 +748,7 @@ impl Runtime {
 
     /// Wakes sync-throw waiters whose exceptions will now never be
     /// received: delivery to a dead thread trivially succeeds.
-    fn drain_pending_notifiers(&mut self, mut th: Thread) {
+    fn drain_pending_notifiers(&mut self, th: &mut Thread) {
         while let Some(p) = th.take_pending() {
             if let Some(n) = p.notify {
                 self.wake_sync_notifier(n);
@@ -550,24 +756,57 @@ impl Runtime {
         }
     }
 
-    fn finish_thread(&mut self, th: Thread, value: Value) {
+    fn finish_thread(&mut self, th: Box<Thread>, value: Value) {
         let tid = th.tid;
         if Some(tid) == self.main_tid {
             self.main_result = Some(Ok(value));
         }
         self.stats.finished_threads += 1;
-        self.threads[tid.0 as usize] = None;
-        self.drain_pending_notifiers(th);
+        self.retire_thread(th);
     }
 
-    fn die_thread(&mut self, th: Thread, exc: Exception) {
+    fn die_thread(&mut self, th: Box<Thread>, exc: Exception) {
         let tid = th.tid;
         if Some(tid) == self.main_tid {
             self.main_result = Some(Err(exc));
         }
         self.stats.died_threads += 1;
-        self.threads[tid.0 as usize] = None;
-        self.drain_pending_notifiers(th);
+        self.retire_thread(th);
+    }
+
+    /// Returns a finished/dead thread's slot to the free list and its
+    /// buffers to the allocation pool. Bumping the slot's generation makes
+    /// every outstanding `ThreadId` for the old occupant a stale handle:
+    /// `thread()`/`thread_mut()` miss, so a late `throwTo` at the reused
+    /// slot stays a no-op instead of killing the new occupant.
+    fn retire_thread(&mut self, mut th: Box<Thread>) {
+        let slot = th.tid.slot as usize;
+        debug_assert!(self.threads[slot].thread.is_none(), "thread was taken");
+        self.threads[slot].generation = self.threads[slot].generation.wrapping_add(1);
+        self.free_slots.push(th.tid.slot);
+        self.drain_pending_notifiers(&mut th);
+        self.recycle(th);
+    }
+
+    /// Returns a dead thread's box (buffers emptied, capacity kept) to
+    /// the spawn pool.
+    fn recycle(&mut self, mut th: Box<Thread>) {
+        if self.thread_pool.len() < THREAD_POOL_MAX {
+            th.stack.clear();
+            th.pending.clear();
+            self.thread_pool.push(th);
+        }
+    }
+
+    /// Empties the thread table, recycling every remaining occupant —
+    /// the (Proc GC) rule and the per-run reset both end this way.
+    fn recycle_all_threads(&mut self) {
+        for i in 0..self.threads.len() {
+            if let Some(th) = self.threads[i].thread.take() {
+                self.recycle(th);
+            }
+        }
+        self.threads.clear();
     }
 
     // ------------------------------------------------------------------
@@ -598,7 +837,8 @@ impl Runtime {
 
     /// Executes one small step of thread `tid`.
     fn step(&mut self, tid: ThreadId) {
-        let mut th = self.threads[tid.0 as usize]
+        let mut th = self.threads[tid.slot as usize]
+            .thread
             .take()
             .expect("scheduled thread exists");
         debug_assert_eq!(th.status, Status::Runnable);
@@ -639,7 +879,7 @@ impl Runtime {
                     self.wake_sync_notifier(n);
                 }
                 th.code = Code::Raise(p.exc, RaiseOrigin::Async);
-                self.threads[tid.0 as usize] = Some(th);
+                self.threads[tid.slot as usize].thread = Some(th);
                 return;
             }
         }
@@ -680,7 +920,7 @@ impl Runtime {
             Code::Run(action) => self.run_action(&mut th, action),
         }
 
-        self.threads[tid.0 as usize] = Some(th);
+        self.threads[tid.slot as usize].thread = Some(th);
     }
 
     /// Interprets one action node in thread `th`.
@@ -809,7 +1049,10 @@ impl Runtime {
                     th.status = Status::Stuck(StuckReason::Sleep { wake_at });
                     self.sleep_seq += 1;
                     self.sleepers
-                        .push(Reverse((wake_at, self.sleep_seq, th.tid.0)));
+                        .push(Reverse((wake_at, self.sleep_seq, th.tid)));
+                    if self.sleepers.len() > self.stats.max_sleeper_heap {
+                        self.stats.max_sleeper_heap = self.sleepers.len();
+                    }
                     self.stats.blocks += 1;
                     self.note_blocked(th.tid, BlockSite::Sleep);
                 }
@@ -997,7 +1240,7 @@ impl Runtime {
                 debug_assert!(matches!(th.status, Status::Stuck(StuckReason::TakeMVar(_))));
                 th.status = Status::Runnable;
                 th.code = Code::ReturnVal(v);
-                self.run_queue.push_back(t);
+                self.enqueue_runnable(t);
                 self.stats.mvar_ops += 1;
             }
         }
@@ -1012,7 +1255,7 @@ impl Runtime {
             debug_assert!(matches!(th.status, Status::Stuck(StuckReason::PutMVar(_))));
             th.status = Status::Runnable;
             th.code = Code::ReturnVal(Value::Unit);
-            self.run_queue.push_back(t);
+            self.enqueue_runnable(t);
             self.stats.mvar_ops += 1;
         }
     }

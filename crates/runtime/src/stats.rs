@@ -57,6 +57,15 @@ pub struct Stats {
     pub delivery_latency_total: u64,
     /// Number of latency samples in `delivery_latency_total`.
     pub delivery_latency_samples: u64,
+    /// High-water mark of the thread-table slot count. With slot
+    /// reclamation this tracks the peak number of *concurrent* threads,
+    /// not the total number ever forked — the bound that keeps a
+    /// long-running fork-per-connection server at constant memory.
+    pub max_thread_slots: usize,
+    /// High-water mark of the sleeper heap length. Eager compaction of
+    /// interrupted sleepers keeps this proportional to the number of
+    /// *live* sleepers, not the total number of timeouts ever started.
+    pub max_sleeper_heap: usize,
 }
 
 impl Stats {

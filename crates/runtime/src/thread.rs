@@ -18,6 +18,7 @@
 
 use std::collections::VecDeque;
 
+use crate::decide::StepFootprint;
 use crate::exception::Exception;
 use crate::ids::{MVarId, ThreadId};
 use crate::io::{Action, Handler, Kont};
@@ -157,20 +158,55 @@ pub(crate) struct Thread {
     /// Count of `Restore` frames currently on the stack (for the §8.1
     /// max-mask-frames statistic).
     pub mask_frames: usize,
+    /// Cached [`StepFootprint`] of the next step. Maintained by the
+    /// scheduler: refreshed whenever the thread is (re-)enqueued on the
+    /// run queue, and guaranteed fresh only while the thread sits there
+    /// (nothing mutates a queued thread's code or stack).
+    pub footprint: StepFootprint,
 }
 
 impl Thread {
     /// A fresh thread about to run `action`, unblocked and runnable.
+    #[cfg(test)]
     pub fn new(tid: ThreadId, action: Action) -> Self {
+        Thread::with_buffers(tid, action, Vec::new(), VecDeque::new())
+    }
+
+    /// Like [`Thread::new`], but reusing recycled stack/pending buffers
+    /// (emptied, capacity retained) from previously finished threads, so
+    /// fork-heavy workloads stop paying one heap allocation per frame
+    /// stack per thread.
+    pub fn with_buffers(
+        tid: ThreadId,
+        action: Action,
+        stack: Vec<Frame>,
+        pending: VecDeque<PendingExc>,
+    ) -> Self {
+        debug_assert!(stack.is_empty() && pending.is_empty());
         Thread {
             tid,
             code: Code::Run(action),
-            stack: Vec::new(),
+            stack,
             mask: MaskState::Unblocked,
-            pending: VecDeque::new(),
+            pending,
             status: Status::Runnable,
             mask_frames: 0,
+            footprint: StepFootprint::Local,
         }
+    }
+
+    /// Reinitializes a recycled thread in place for a new spawn: same
+    /// effect as [`Thread::with_buffers`] on the thread's own buffers,
+    /// without moving the (boxed) thread. The stack and pending queue
+    /// must already be empty — retirement clears them, keeping capacity.
+    pub fn reinit(&mut self, tid: ThreadId, action: Action) {
+        debug_assert!(self.stack.is_empty() && self.pending.is_empty());
+        self.tid = tid;
+        self.code = Code::Run(action);
+        self.mask = MaskState::Unblocked;
+        self.status = Status::Runnable;
+        self.mask_frames = 0;
+        self.footprint = StepFootprint::Local;
     }
 
     /// Pushes a frame, maintaining the mask-frame count.
@@ -260,7 +296,7 @@ mod tests {
     use super::*;
 
     fn fresh() -> Thread {
-        Thread::new(ThreadId(0), Action::Pure(Value::Unit))
+        Thread::new(crate::ids::tid(0), Action::Pure(Value::Unit))
     }
 
     #[test]

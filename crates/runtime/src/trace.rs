@@ -105,6 +105,7 @@ pub fn render_trace(events: &[IoEvent]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::tid;
 
     #[test]
     fn display_forms() {
@@ -127,25 +128,25 @@ mod tests {
     fn scheduler_event_forms() {
         assert_eq!(
             IoEvent::Fork {
-                parent: ThreadId(0),
-                child: ThreadId(1)
+                parent: tid(0),
+                child: tid(1)
             }
             .to_string(),
             "[t0+t1]"
         );
         assert_eq!(
             IoEvent::ThrowTo {
-                from: ThreadId(0),
-                to: ThreadId(2)
+                from: tid(0),
+                to: tid(2)
             }
             .to_string(),
             "[t0^t2]"
         );
-        assert_eq!(IoEvent::Mask(ThreadId(1)).to_string(), "[t1#b]");
-        assert_eq!(IoEvent::Unmask(ThreadId(1)).to_string(), "[t1#u]");
+        assert_eq!(IoEvent::Mask(tid(1)).to_string(), "[t1#b]");
+        assert_eq!(IoEvent::Unmask(tid(1)).to_string(), "[t1#u]");
         assert_eq!(
             IoEvent::BlockedOn {
-                tid: ThreadId(3),
+                tid: tid(3),
                 site: BlockSite::TakeMVar
             }
             .to_string(),

@@ -1,0 +1,206 @@
+//! Regression tests pinning runtime edge cases that the slot-reclaiming,
+//! footprint-caching scheduler must preserve:
+//!
+//! * `RuntimeConfig.quantum == 0` is rejected on **both** construction
+//!   paths (the builder method and a raw struct literal handed to
+//!   `Runtime::with_config`) — a zero quantum would never execute any
+//!   thread.
+//! * The sleeper `BinaryHeap` is purged of stale entries, so a server
+//!   pattern of repeated timeout-then-kill cycles runs in bounded
+//!   memory instead of accumulating one dead entry per cycle.
+//! * §5/§9 semantics of throwing at dead threads: an asynchronous
+//!   `throwTo` aimed at a finished thread is a no-op — including when
+//!   the finished thread's table slot has been reclaimed and reused by
+//!   a live thread (generation-tagged `ThreadId`s must not let the old
+//!   id alias the new occupant). The synchronous variant returns `()`
+//!   without blocking in the same situations.
+//! * §9's special case: a thread throwing *synchronously to itself*
+//!   raises immediately, even inside `block`, and the raise carries the
+//!   asynchronous origin.
+
+use conch_runtime::io::for_each;
+use conch_runtime::prelude::*;
+
+// ---------------------------------------------------------------------
+// Quantum validation (both construction paths)
+// ---------------------------------------------------------------------
+
+#[test]
+#[should_panic(expected = "quantum must be at least 1")]
+fn quantum_zero_is_rejected_by_the_builder() {
+    let _ = RuntimeConfig::new().quantum(0);
+}
+
+#[test]
+#[should_panic(expected = "quantum must be at least 1")]
+fn quantum_zero_in_a_raw_struct_literal_is_rejected_by_with_config() {
+    // The fields are public, so a struct literal can bypass the builder;
+    // `Runtime::with_config` must catch it anyway.
+    let config = RuntimeConfig {
+        quantum: 0,
+        ..RuntimeConfig::new()
+    };
+    let _ = Runtime::with_config(config);
+}
+
+#[test]
+fn quantum_one_is_accepted() {
+    let mut rt = Runtime::with_config(RuntimeConfig::new().quantum(1));
+    assert_eq!(rt.run(Io::pure(5_i64)).unwrap(), 5);
+}
+
+// ---------------------------------------------------------------------
+// Sleeper-heap compaction
+// ---------------------------------------------------------------------
+
+/// 10k cycles of "fork a sleeper, kill it". Every kill interrupts the
+/// sleep and strands a stale entry in the sleeper heap; without purging,
+/// the heap (and the thread table) would grow by one entry per cycle.
+#[test]
+fn sleeper_heap_stays_bounded_across_timeout_kill_cycles() {
+    const CYCLES: u64 = 10_000;
+    let mut rt = Runtime::new();
+    let prog = for_each(CYCLES, |_| {
+        Io::fork(Io::sleep(1_000_000).catch(|_| Io::unit())).and_then(|child| {
+            // Let the child reach its sleep, then interrupt it.
+            Io::yield_now().then(Io::throw_to(child, Exception::kill_thread()))
+        })
+    });
+    rt.run(prog).unwrap();
+    let stats = rt.stats();
+    assert!(
+        stats.interrupted_blocked >= CYCLES / 2,
+        "the cycles did not actually interrupt sleeping threads \
+         (interrupted_blocked = {})",
+        stats.interrupted_blocked
+    );
+    assert!(
+        stats.max_sleeper_heap < 64,
+        "sleeper heap grew without bound: high-water {} after {} cycles",
+        stats.max_sleeper_heap,
+        CYCLES
+    );
+    assert!(
+        stats.max_thread_slots < 64,
+        "thread table grew without bound: high-water {} slots after {} cycles",
+        stats.max_thread_slots,
+        CYCLES
+    );
+}
+
+// ---------------------------------------------------------------------
+// Throwing at dead (and reclaimed) threads
+// ---------------------------------------------------------------------
+
+/// §5: an asynchronous `throwTo` at a thread that already finished is a
+/// no-op; nothing is delivered anywhere.
+#[test]
+fn async_throw_to_a_finished_thread_is_a_no_op() {
+    let mut rt = Runtime::new();
+    let prog = Io::fork(Io::unit()).and_then(|child| {
+        Io::sleep(1) // the child finishes during the sleep
+            .then(Io::throw_to(child, Exception::kill_thread()))
+            .then(Io::pure(7_i64))
+    });
+    assert_eq!(rt.run(prog).unwrap(), 7);
+    let stats = rt.stats();
+    assert_eq!(stats.finished_threads, 2, "main + child finish normally");
+    assert_eq!(
+        stats.async_deliveries + stats.interrupted_blocked,
+        0,
+        "the exception aimed at the dead thread must not land anywhere"
+    );
+}
+
+/// The finished thread's slot is reclaimed and reused by a live thread;
+/// the old `ThreadId` must *not* alias the new occupant (its generation
+/// differs), so the kill is still a no-op and the new thread survives.
+#[test]
+fn async_throw_to_a_dead_and_reused_slot_spares_the_new_occupant() {
+    let mut rt = Runtime::new();
+    let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+        Io::new_empty_mvar::<i64>().and_then(move |done| {
+            Io::fork(Io::unit()).and_then(move |ghost| {
+                Io::sleep(1) // the ghost finishes; its slot is freed
+                    .then(Io::fork(m.take().and_then(move |v| done.put(v))))
+                    .then(Io::throw_to(ghost, Exception::kill_thread()))
+                    .then(m.put(42))
+                    .then(done.take())
+            })
+        })
+    });
+    assert_eq!(rt.run(prog).unwrap(), 42);
+    // Exactly two slots ever existed concurrently (main + one child), so
+    // the second child really did reuse the ghost's slot: the test
+    // genuinely exercises the generation check, not just a missing slot.
+    assert_eq!(rt.stats().max_thread_slots, 2);
+}
+
+/// §9: the synchronous variant returns `()` without blocking when the
+/// target is dead — again including a dead-and-reused slot.
+#[test]
+fn sync_throw_to_a_dead_or_reused_slot_returns_unit_without_blocking() {
+    let mut rt = Runtime::new();
+    let prog = Io::new_empty_mvar::<i64>().and_then(|m| {
+        Io::new_empty_mvar::<i64>().and_then(move |done| {
+            Io::fork(Io::unit()).and_then(move |ghost| {
+                Io::sleep(1)
+                    .then(Io::fork(m.take().and_then(move |v| done.put(v))))
+                    // If this blocked (waiting for a "receipt" from a thread
+                    // that will never exist again), the run would deadlock.
+                    .then(Io::throw_to_sync(ghost, Exception::kill_thread()))
+                    .then(m.put(8))
+                    .then(done.take())
+            })
+        })
+    });
+    assert_eq!(rt.run(prog).unwrap(), 8);
+    assert_eq!(rt.stats().max_thread_slots, 2);
+}
+
+// ---------------------------------------------------------------------
+// Masked synchronous self-throw
+// ---------------------------------------------------------------------
+
+/// §9's special case: `throwTo` (sync) to oneself raises *immediately*,
+/// even under `block` — the mask defers delivery of queued asynchronous
+/// exceptions, but a self-throw never queues. The raise must carry the
+/// asynchronous origin, since it arrived via `throwTo`.
+#[test]
+fn masked_self_sync_throw_raises_immediately_with_async_origin() {
+    let mut rt = Runtime::new();
+    let prog = Io::<i64>::block(
+        Io::my_thread_id()
+            .and_then(|me| Io::throw_to_sync(me, Exception::kill_thread()))
+            // Unreachable: the self-throw raises before this runs.
+            .then(Io::pure(0_i64)),
+    )
+    .catch_info(|e, origin| {
+        assert_eq!(origin, RaiseOrigin::Async, "self-throw must look async");
+        assert_eq!(e.to_string(), "KillThread");
+        Io::pure(1_i64)
+    });
+    assert_eq!(rt.run(prog).unwrap(), 1);
+    assert_eq!(rt.stats().catches, 1);
+}
+
+/// Contrast: an *asynchronous* self-throw under `block` is queued, not
+/// raised — the thread keeps running until it unmasks.
+#[test]
+fn masked_self_async_throw_is_deferred_until_unmask() {
+    let mut rt = Runtime::new();
+    let prog = Io::<i64>::block(
+        Io::my_thread_id()
+            .and_then(|me| Io::throw_to(me, Exception::kill_thread()))
+            // Still reachable: the async self-throw only queued the
+            // exception and the mask holds it back.
+            .then(Io::pure(10_i64)),
+    )
+    .catch_info(|_, origin| {
+        assert_eq!(origin, RaiseOrigin::Async);
+        Io::pure(-1_i64)
+    });
+    // After `block` exits, the pending kill lands before the catch frame
+    // is popped, so the handler runs.
+    assert_eq!(rt.run(prog).unwrap(), -1);
+}
