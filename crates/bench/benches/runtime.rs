@@ -25,7 +25,7 @@
 
 use std::time::Instant;
 
-use conch_bench::{explore_once, serve_n_good};
+use conch_bench::{explore_once, serve_n_good, serve_n_good_paced};
 use conch_runtime::io::for_each;
 use conch_runtime::prelude::*;
 use criterion::Criterion;
@@ -33,6 +33,11 @@ use criterion::Criterion;
 const COMPUTE_STEPS: u64 = 1_000_000;
 const CHURN_FORKS: u64 = 10_000;
 const HTTPD_REQUESTS: u64 = 50;
+/// Virtual microseconds between client arrivals in the JSON row: paced
+/// arrivals keep the virtual clock moving (see
+/// [`conch_bench::serve_n_good_paced`]), making "requests per virtual
+/// second" well-defined and deterministic.
+const HTTPD_ARRIVAL_GAP_US: u64 = 100;
 
 /// Forks `n` trivial children one after another, yielding after each so
 /// the child runs to completion before the next fork: sustained
@@ -98,9 +103,12 @@ fn emit_json() {
 
     let mut rt = Runtime::new();
     let start = Instant::now();
-    rt.run(serve_n_good(HTTPD_REQUESTS)).expect("server run");
+    rt.run(serve_n_good_paced(HTTPD_REQUESTS, HTTPD_ARRIVAL_GAP_US))
+        .expect("server run");
     let secs = start.elapsed().as_secs_f64().max(1e-9);
     let virtual_us = rt.clock();
+    // Guarded: virtual_us is nonzero with paced arrivals, but a zero
+    // clock must degrade to 0.0, not to a NaN/inf in the JSON.
     let per_virtual_sec = if virtual_us == 0 {
         0.0
     } else {

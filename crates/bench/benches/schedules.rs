@@ -3,10 +3,16 @@
 //! Measures how fast the explorer enumerates the schedule space of a
 //! three-thread workload (two workers contending on one `MVar`, plus a
 //! `throwTo` aimed at one of them): explored schedules per second and
-//! the sleep-set pruning ratio, with and without a preemption bound.
+//! the sleep-set pruning ratio, with and without a preemption bound,
+//! sequentially and across worker threads (the prefix-splitting
+//! work-stealing engine — see DESIGN.md).
 //!
 //! Besides the timing output, writes `BENCH_explore.json` at the
 //! workspace root with the headline numbers, for EXPERIMENTS.md.
+//! Sequential rows carry `workers: 1`; parallel rows add a `speedup`
+//! field (sequential unbounded seconds / this row's seconds). The
+//! coverage counters are identical in every row of a config — that is
+//! the parallel engine's determinism contract, and CI asserts it.
 //!
 //! With `BENCH_SMOKE` set in the environment, the Criterion timing
 //! loops are skipped and each configuration is explored exactly once to
@@ -15,8 +21,13 @@
 
 use std::time::Instant;
 
-use conch_bench::explore_once;
+use conch_bench::{explore_once, explore_once_parallel};
 use criterion::Criterion;
+
+/// Worker counts for the parallel rows. 1 is included deliberately: it
+/// runs the same work-stealing engine and must reproduce the
+/// sequential row's counters and (near enough) its time.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn bench_exploration(c: &mut Criterion) {
     let mut group = c.benchmark_group("schedule_exploration");
@@ -26,6 +37,9 @@ fn bench_exploration(c: &mut Criterion) {
     group.bench_function("three_thread_mvar_throwto_pb2", |b| {
         b.iter(|| explore_once(Some(2)))
     });
+    group.bench_function("three_thread_mvar_throwto_workers4", |b| {
+        b.iter(|| explore_once_parallel(None, 4))
+    });
     group.finish();
 }
 
@@ -33,6 +47,7 @@ fn bench_exploration(c: &mut Criterion) {
 /// report next to the workspace `Cargo.toml`.
 fn emit_json() {
     let mut rows = Vec::new();
+    let mut sequential_unbounded_secs = None;
     for (name, bound) in [
         ("unbounded", None),
         ("preemption_bound_2", Some(2)),
@@ -41,14 +56,18 @@ fn emit_json() {
         let start = Instant::now();
         let report = explore_once(bound);
         let secs = start.elapsed().as_secs_f64();
+        if bound.is_none() {
+            sequential_unbounded_secs = Some(secs);
+        }
         let per_sec = report.explored as f64 / secs.max(1e-9);
         let denominator = (report.explored + report.pruned).max(1);
         let pruning_ratio = report.pruned as f64 / denominator as f64;
         rows.push(format!(
             concat!(
-                "    {{\"config\": \"{}\", \"explored\": {}, \"pruned\": {}, ",
-                "\"truncated\": {}, \"complete\": {}, \"seconds\": {:.6}, ",
-                "\"schedules_per_sec\": {:.1}, \"pruning_ratio\": {:.4}}}"
+                "    {{\"config\": \"{}\", \"workers\": 1, \"explored\": {}, ",
+                "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
+                "\"seconds\": {:.6}, \"schedules_per_sec\": {:.1}, ",
+                "\"pruning_ratio\": {:.4}}}"
             ),
             name,
             report.explored,
@@ -58,6 +77,32 @@ fn emit_json() {
             secs,
             per_sec,
             pruning_ratio,
+        ));
+    }
+    // Parallel rows: same unbounded config through the work-stealing
+    // engine at several worker counts. Counters must match the
+    // sequential row exactly; `speedup` is relative to it.
+    let base_secs = sequential_unbounded_secs.expect("unbounded row ran");
+    for workers in WORKER_COUNTS {
+        let start = Instant::now();
+        let report = explore_once_parallel(None, workers);
+        let secs = start.elapsed().as_secs_f64();
+        let per_sec = report.explored as f64 / secs.max(1e-9);
+        rows.push(format!(
+            concat!(
+                "    {{\"config\": \"unbounded_parallel\", \"workers\": {}, ",
+                "\"explored\": {}, \"pruned\": {}, \"truncated\": {}, ",
+                "\"complete\": {}, \"seconds\": {:.6}, ",
+                "\"schedules_per_sec\": {:.1}, \"speedup\": {:.2}}}"
+            ),
+            workers,
+            report.explored,
+            report.pruned,
+            report.truncated,
+            report.complete,
+            secs,
+            per_sec,
+            base_secs / secs.max(1e-9),
         ));
     }
     let json = format!(

@@ -221,6 +221,22 @@ pub fn explore_once(preemption_bound: Option<usize>) -> Report {
     result.report().clone()
 }
 
+/// B9 explored with the work-stealing parallel engine at the given
+/// worker count. Coverage counters are bit-identical to
+/// [`explore_once`] for any `workers` (the determinism contract of
+/// [`Explorer::check_parallel`]); only wall-clock time changes.
+pub fn explore_once_parallel(preemption_bound: Option<usize>, workers: usize) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        preemption_bound,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg).check_parallel(workers, || {
+        TestCase::new(explore_workload(), |_: &RunOutcome<i64>| Ok(()))
+    });
+    result.report().clone()
+}
+
 /// S1: the §11 server answering `n` well-behaved requests, one forked
 /// client (and one forked per-connection server thread) per request.
 pub fn serve_n_good(n: u64) -> Io<()> {
@@ -232,6 +248,35 @@ pub fn serve_n_good(n: u64) -> Io<()> {
             Io::new_empty_mvar::<i64>().and_then(move |report| {
                 for_each(n, move |i| {
                     Io::fork(good_client(l, format!("/{i}"), report))
+                })
+                .then(sequence((0..n).map(|_| report.take()).collect()))
+                .and_then(move |codes| {
+                    assert!(codes.iter().all(|c| *c == 200));
+                    server.shutdown().then(server.drain())
+                })
+            })
+        })
+    })
+}
+
+/// S1 with a realistic arrival process: client `i` connects at virtual
+/// time `i * gap_us` instead of everyone piling in at t = 0.
+///
+/// With simultaneous arrivals the run queue never goes empty, so the
+/// virtual clock — which only advances when every thread is waiting on
+/// time — stays at 0 for the whole run and "requests per virtual
+/// second" is undefined. Paced arrivals give the clock real work to do:
+/// the run's virtual duration is deterministic under round-robin
+/// scheduling, so the derived throughput is a pinnable number.
+pub fn serve_n_good_paced(n: u64, gap_us: u64) -> Io<()> {
+    fn routes() -> Handler {
+        handler(|_| Io::pure(Response::ok("ok")))
+    }
+    Listener::bind().and_then(move |l| {
+        start(l, routes(), ServerConfig::default()).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                for_each(n, move |i| {
+                    Io::fork(Io::sleep(i * gap_us).then(good_client(l, format!("/{i}"), report)))
                 })
                 .then(sequence((0..n).map(|_| report.take()).collect()))
                 .and_then(move |codes| {

@@ -13,8 +13,10 @@ use conch_runtime::stats::Stats;
 use conch_runtime::trace::IoEvent;
 use conch_runtime::value::FromValue;
 
-use crate::driver::{DriverState, Point, ScriptedDecider, SleepEntry};
-use crate::schedule::{Choice, Schedule};
+use crate::driver::{DriverState, ScriptedDecider};
+use crate::frontier::Frontier;
+use crate::pool::worker_loop;
+use crate::schedule::Schedule;
 
 /// Everything observable about one driven execution.
 #[derive(Debug)]
@@ -81,6 +83,12 @@ pub struct ExploreConfig {
     pub runtime: RuntimeConfig,
     /// Cap on extra runs spent shrinking a failing schedule.
     pub max_shrink_runs: usize,
+    /// Deterministic deadline: stop exploring (reporting
+    /// `complete = false`) once the *total* interpreter steps across
+    /// all explored schedules reach this budget. Unlike a wall-clock
+    /// deadline, the same budget truncates at the same schedule on
+    /// every machine. `None` = unbounded.
+    pub max_total_steps: Option<u64>,
 }
 
 impl Default for ExploreConfig {
@@ -92,6 +100,7 @@ impl Default for ExploreConfig {
             step_budget: 20_000,
             runtime: RuntimeConfig::new(),
             max_shrink_runs: 512,
+            max_total_steps: None,
         }
     }
 }
@@ -108,6 +117,14 @@ pub struct Report {
     pub truncated: usize,
     /// Extra runs spent validating shrink candidates.
     pub shrink_runs: usize,
+    /// Total interpreter steps across all explored schedules — the
+    /// deterministic cost measure `max_total_steps` budgets against.
+    pub steps: u64,
+    /// Runtime statistics merged (via
+    /// [`Stats::merge`](conch_runtime::stats::Stats::merge)) over every
+    /// explored schedule: counters add, high-water marks take the max.
+    /// Covers exploration runs only, not shrink replays.
+    pub stats: Stats,
     /// `true` iff the DFS exhausted the (bounded) schedule space with no
     /// run truncated — i.e. the verification is complete at this bound.
     pub complete: bool,
@@ -185,81 +202,16 @@ impl CheckResult {
     }
 }
 
-/// One node of the DFS stack: a branch point and the index of the
-/// alternative currently being explored below it.
-#[derive(Debug, Clone)]
-struct Node {
-    point: Point,
-    /// For scheduling nodes: index into `point.alts` of the current
-    /// choice. Unused for delivery nodes.
-    chosen_idx: usize,
-}
-
-impl Node {
-    fn from_point(point: Point) -> Self {
-        let chosen_idx = match point.chosen {
-            Choice::Thread(t) => point
-                .alts
-                .iter()
-                .position(|&(a, _)| a == t)
-                .expect("recorded choice must be among its alternatives"),
-            Choice::Deliver(_) => 0,
-        };
-        Node { point, chosen_idx }
-    }
-
-    fn choice(&self) -> Choice {
-        if self.point.is_delivery() {
-            self.point.chosen
-        } else {
-            Choice::Thread(self.point.alts[self.chosen_idx].0)
-        }
-    }
-
-    /// Alternatives already explored at this node (to be slept in
-    /// sibling subtrees).
-    fn explored_alts(&self) -> &[SleepEntry] {
-        if self.point.is_delivery() {
-            &[]
-        } else {
-            &self.point.alts[..self.chosen_idx]
-        }
-    }
-
-    /// Move to the next unexplored alternative. Returns `false` when the
-    /// node is exhausted.
-    fn advance(&mut self) -> bool {
-        if self.point.is_delivery() {
-            // Deliver-now is explored first; defer second; then done.
-            if self.point.chosen == Choice::Deliver(true) {
-                self.point.chosen = Choice::Deliver(false);
-                true
-            } else {
-                false
-            }
-        } else {
-            match (self.chosen_idx + 1..self.point.alts.len())
-                .find(|&i| !self.point.sleeping.contains(&self.point.alts[i].0))
-            {
-                Some(i) => {
-                    self.chosen_idx = i;
-                    true
-                }
-                None => false,
-            }
-        }
-    }
-}
-
 /// The exploration engine. See the crate docs for the model.
 #[derive(Debug, Clone, Default)]
 pub struct Explorer {
     config: ExploreConfig,
 }
 
-struct RunRecord {
-    depth_hit: bool,
-    check_result: Result<(), String>,
+pub(crate) struct RunRecord {
+    pub(crate) depth_hit: bool,
+    pub(crate) check_result: Result<(), String>,
+    pub(crate) stats: Stats,
 }
 
 impl Explorer {
@@ -286,82 +238,101 @@ impl Explorer {
         T: FromValue,
         F: FnMut() -> TestCase<T>,
     {
-        // One runtime and one driver state for the whole exploration,
-        // reset between schedules: the thread table, run queue, scratch
-        // buffers, recycled frame stacks and script/sleep-set buffers
-        // keep their capacity, so the per-schedule cost is
-        // interpretation, not allocation.
-        let mut rt = self.make_runtime();
-        let state = Rc::new(RefCell::new(DriverState::new(
-            Vec::new(),
-            Vec::new(),
-            self.config.preemption_bound,
-            self.config.max_depth,
-        )));
-        let mut stack: Vec<Node> = Vec::new();
-        let mut report = Report::default();
-        loop {
-            {
-                let mut st = state.borrow_mut();
-                st.reset();
-                for (i, node) in stack.iter().enumerate() {
-                    st.script.push(node.choice());
-                    for &entry in node.explored_alts() {
-                        st.extra_sleep.push((i, entry));
-                    }
-                }
-            }
-            let (run, outcome_schedule) = self.run_once(&mut rt, factory(), &state);
-            report.explored += 1;
-            if run.depth_hit {
-                report.truncated += 1;
-            }
-            if let Err(message) = run.check_result {
-                let original = outcome_schedule;
-                let (schedule, message) = self.shrink(
-                    &mut rt,
-                    &mut factory,
-                    original.clone(),
-                    message,
-                    &mut report,
-                );
-                return CheckResult::Failed(Box::new(Failure {
-                    message,
-                    schedule,
-                    original,
-                    report,
-                }));
-            }
-            // Newly discovered branch points below the scripted prefix
-            // become fresh DFS nodes. Draining (rather than taking) the
-            // record keeps its buffer capacity for the next run.
-            {
-                let mut st = state.borrow_mut();
-                for point in st.record.drain(stack.len()..) {
-                    report.pruned += point.sleeping.len();
-                    stack.push(Node::from_point(point));
-                }
-            }
-            // Backtrack: advance the deepest advanceable node.
-            loop {
-                match stack.last_mut() {
-                    None => {
-                        report.complete = report.truncated == 0;
-                        return CheckResult::Passed(report);
-                    }
-                    Some(node) => {
-                        if node.advance() {
-                            break;
-                        }
-                        stack.pop();
-                    }
-                }
-            }
-            if report.explored >= self.config.max_schedules {
-                report.complete = false;
-                return CheckResult::Passed(report);
-            }
+        // The single-worker instance of the shared DFS engine: with one
+        // worker the frontier never requests work splitting, so this is
+        // the plain sequential DFS (same runs, in the same order, with
+        // the same counters and certificates as ever).
+        let frontier = Frontier::new(1);
+        worker_loop(self, &frontier, &mut factory);
+        self.finalize(&frontier, &mut factory)
+    }
+
+    /// [`Explorer::check`] fanned out over `workers` OS threads with
+    /// prefix-based work stealing (see `DESIGN.md`). `workers = 0`
+    /// means [`std::thread::available_parallelism`]; `workers = 1` is
+    /// exactly [`Explorer::check`].
+    ///
+    /// Each worker owns its own [`Runtime`] and driver and builds fresh
+    /// `TestCase`s from `factory` (which is why, unlike `check`, the
+    /// factory must be `Fn + Sync`) — programs and runtimes never cross
+    /// threads; only plain-data schedule prefixes, counters and failure
+    /// certificates do.
+    ///
+    /// # Determinism
+    ///
+    /// On a pass, `explored`/`pruned`/`truncated`/`steps`/`complete`
+    /// are bit-identical for every worker count, because the work items
+    /// partition the schedule space and the branch points of a run
+    /// depend only on its own path. On a failure, the shrunk and
+    /// original certificates and the message are bit-identical too (the
+    /// DFS-earliest failing run wins, which is the run sequential
+    /// search fails on); only the coverage counters in the failure's
+    /// `report` may exceed the sequential ones, since other workers
+    /// keep exploring DFS-earlier subtrees while the candidate stands.
+    /// Likewise, when a global cap (`max_schedules`/`max_total_steps`)
+    /// binds mid-search, in-flight runs may overshoot it; whenever the
+    /// search completes within its caps the counts are exact.
+    pub fn check_parallel<T, F>(&self, workers: usize, factory: F) -> CheckResult
+    where
+        T: FromValue,
+        F: Fn() -> TestCase<T> + Sync,
+    {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        if workers == 1 {
+            return self.check(&factory);
         }
+        let frontier = Frontier::new(workers);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let frontier = &frontier;
+                let factory = &factory;
+                s.spawn(move || worker_loop(self, frontier, factory));
+            }
+        });
+        self.finalize(&frontier, &mut || factory())
+    }
+
+    /// Turn a finished frontier into a [`CheckResult`], shrinking the
+    /// surviving failure candidate if there is one.
+    fn finalize<T, F>(&self, frontier: &Frontier, factory: &mut F) -> CheckResult
+    where
+        T: FromValue,
+        F: FnMut() -> TestCase<T>,
+    {
+        let mut report = Report {
+            explored: frontier.explored(),
+            pruned: frontier.pruned(),
+            truncated: frontier.truncated(),
+            shrink_runs: 0,
+            steps: frontier.steps(),
+            stats: frontier.total_stats(),
+            complete: false,
+        };
+        if let Some(candidate) = frontier.take_failure() {
+            let mut rt = self.make_runtime();
+            let original = candidate.schedule;
+            let (schedule, message) = self.shrink(
+                &mut rt,
+                factory,
+                original.clone(),
+                candidate.message,
+                &mut report,
+            );
+            return CheckResult::Failed(Box::new(Failure {
+                message,
+                schedule,
+                original,
+                report,
+            }));
+        }
+        report.complete = !frontier.is_stopped() && report.truncated == 0;
+        CheckResult::Passed(report)
     }
 
     /// Replay a schedule byte-for-byte in a fresh `Runtime` and apply the
@@ -396,7 +367,7 @@ impl Explorer {
     }
 
     /// One driven execution with the script already loaded into `state`.
-    fn run_once<T: FromValue>(
+    pub(crate) fn run_once<T: FromValue>(
         &self,
         rt: &mut Runtime,
         case: TestCase<T>,
@@ -411,13 +382,14 @@ impl Explorer {
             RunRecord {
                 depth_hit,
                 check_result,
+                stats: outcome.stats,
             },
             schedule,
         )
     }
 
     /// A runtime configured for driven exploration.
-    fn make_runtime(&self) -> Runtime {
+    pub(crate) fn make_runtime(&self) -> Runtime {
         let config = self
             .config
             .runtime

@@ -1,0 +1,461 @@
+//! Work distribution for parallel schedule exploration.
+//!
+//! A [`WorkItem`] is a frozen, replayable description of an unexplored
+//! region of the schedule tree: a choice prefix (plain `Send` data), the
+//! sleep-set entries accumulated along it, the prefix's DFS key, and
+//! optionally the branch point whose remaining alternatives the item
+//! covers. Items partition the schedule space — every schedule belongs
+//! to exactly one item's subtree — so per-run counters aggregated
+//! across workers are independent of how items are distributed, and the
+//! `Io`/`Value` `Rc` graphs never have to cross a thread: each worker
+//! rebuilds its program from the factory and replays the prefix.
+//!
+//! The [`Frontier`] is the shared pool: a LIFO stack of items behind a
+//! mutex/condvar (LIFO keeps freshly split subtrees — the deepest,
+//! chunkiest work — at the top), the atomic run counters, the
+//! DFS-earliest failure candidate, and the merged runtime statistics.
+//!
+//! # Determinism
+//!
+//! Which step boundaries become branch points is a function of the
+//! executed path alone (see [`crate::driver`]), so the set of runs, the
+//! per-point `sleeping` lists, and each run's step count are all
+//! independent of how the tree is carved into items. Counters are sums
+//! over that fixed set, hence bit-identical for any worker count. For
+//! failures, every run is ranked by its [DFS key](dfs_key); workers keep
+//! only the lexicographically smallest failing run and prune subtrees
+//! that are strictly later, so the surviving candidate is exactly the
+//! run the sequential DFS would have failed on first.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use conch_runtime::stats::Stats;
+
+use crate::driver::{Point, SleepEntry};
+use crate::schedule::{Choice, Schedule};
+
+/// Poison-tolerant lock: a worker that panicked mid-item has already
+/// flagged the search as stopped (see [`Frontier::request_stop`]), and
+/// the data under each mutex stays structurally sound, so survivors
+/// take the lock anyway, observe the stop flag, and drain out.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One node of a DFS stack: a branch point plus the index of the
+/// alternative currently being explored below it.
+#[derive(Debug, Clone)]
+pub(crate) struct Node {
+    pub point: Point,
+    /// For scheduling nodes: index into `point.alts` of the current
+    /// choice. Unused for delivery nodes.
+    chosen_idx: usize,
+    /// The node's remaining alternatives were donated to another worker
+    /// as a [`WorkItem`]; locally it is exhausted.
+    pub sealed: bool,
+}
+
+impl Node {
+    pub fn from_point(point: Point) -> Self {
+        let chosen_idx = match point.chosen {
+            Choice::Thread(t) => point
+                .alts
+                .iter()
+                .position(|&(a, _)| a == t)
+                .expect("recorded choice must be among its alternatives"),
+            Choice::Deliver(_) => 0,
+        };
+        Node {
+            point,
+            chosen_idx,
+            sealed: false,
+        }
+    }
+
+    pub fn choice(&self) -> Choice {
+        if self.point.is_delivery() {
+            self.point.chosen
+        } else {
+            Choice::Thread(self.point.alts[self.chosen_idx].0)
+        }
+    }
+
+    /// Alternatives already explored at this node (to be slept in
+    /// sibling subtrees).
+    pub fn explored_alts(&self) -> &[SleepEntry] {
+        if self.point.is_delivery() {
+            &[]
+        } else {
+            &self.point.alts[..self.chosen_idx]
+        }
+    }
+
+    /// Position of the current alternative in this node's exploration
+    /// order: the DFS visits smaller key indices first, so
+    /// concatenating them along a path yields a key that orders whole
+    /// runs by sequential visit order (see [`dfs_key`]).
+    pub fn key_index(&self) -> u32 {
+        if self.point.is_delivery() {
+            match self.point.chosen {
+                Choice::Deliver(true) => 0,
+                _ => 1,
+            }
+        } else {
+            self.chosen_idx as u32
+        }
+    }
+
+    /// Move to the next unexplored alternative. Returns `false` when the
+    /// node is exhausted (or its remainder was donated away).
+    pub fn advance(&mut self) -> bool {
+        if self.sealed {
+            return false;
+        }
+        if self.point.is_delivery() {
+            // Deliver-now is explored first; defer second; then done.
+            if self.point.chosen == Choice::Deliver(true) {
+                self.point.chosen = Choice::Deliver(false);
+                true
+            } else {
+                false
+            }
+        } else {
+            match (self.chosen_idx + 1..self.point.alts.len())
+                .find(|&i| !self.point.sleeping.contains(&self.point.alts[i].0))
+            {
+                Some(i) => {
+                    self.chosen_idx = i;
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+}
+
+/// The DFS key of a recorded path: one entry per branch point — the
+/// position of the taken alternative in that point's exploration order.
+/// The sequential DFS visits runs in lexicographic key order, so
+/// "found earlier sequentially" is exactly "lexicographically smaller".
+pub(crate) fn dfs_key(record: &[Point]) -> Vec<u32> {
+    record.iter().map(point_key).collect()
+}
+
+fn point_key(p: &Point) -> u32 {
+    match p.chosen {
+        Choice::Deliver(now) => {
+            if now {
+                0
+            } else {
+                1
+            }
+        }
+        Choice::Thread(t) => {
+            p.alts
+                .iter()
+                .position(|&(a, _)| a == t)
+                .expect("recorded choice must be among its alternatives") as u32
+        }
+    }
+}
+
+/// A replayable region of the schedule tree, handed between workers.
+/// Only plain data — no `Rc`, no program values.
+pub(crate) struct WorkItem {
+    /// Choices leading to the region's root, replayed verbatim.
+    pub prefix: Vec<Choice>,
+    /// Sleep-set entries accumulated along the prefix
+    /// (`(script position, entry)` pairs, ascending).
+    pub base_sleep: Vec<(usize, SleepEntry)>,
+    /// DFS key of the prefix (one entry per prefix choice).
+    pub base_key: Vec<u32>,
+    /// The branch point whose remaining alternatives this item covers;
+    /// `None` for the root item (the whole tree).
+    pub node: Option<Node>,
+}
+
+impl WorkItem {
+    pub fn root() -> Self {
+        WorkItem {
+            prefix: Vec::new(),
+            base_sleep: Vec::new(),
+            base_key: Vec::new(),
+            node: None,
+        }
+    }
+}
+
+/// The DFS-earliest property failure seen so far.
+pub(crate) struct FailureCandidate {
+    pub key: Vec<u32>,
+    /// The full (unshrunk) schedule of the failing run.
+    pub schedule: Schedule,
+    /// The property's message on that run.
+    pub message: String,
+}
+
+struct QueueState {
+    items: Vec<WorkItem>,
+    /// Workers currently processing an item. The search is over when
+    /// the queue is empty *and* nobody is busy (a busy worker may still
+    /// donate new items).
+    busy: usize,
+}
+
+/// Shared state of one (possibly parallel) exploration.
+pub(crate) struct Frontier {
+    workers: usize,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    /// Workers currently blocked waiting for an item — the signal that
+    /// busy workers should split their subtrees.
+    starving: AtomicUsize,
+    stopped: AtomicBool,
+    has_failure: AtomicBool,
+    explored: AtomicUsize,
+    pruned: AtomicUsize,
+    truncated: AtomicUsize,
+    steps: AtomicU64,
+    failure: Mutex<Option<FailureCandidate>>,
+    stats: Mutex<Stats>,
+}
+
+impl Frontier {
+    /// A frontier holding just the root item.
+    pub fn new(workers: usize) -> Self {
+        Frontier {
+            workers,
+            queue: Mutex::new(QueueState {
+                items: vec![WorkItem::root()],
+                busy: 0,
+            }),
+            available: Condvar::new(),
+            starving: AtomicUsize::new(0),
+            stopped: AtomicBool::new(false),
+            has_failure: AtomicBool::new(false),
+            explored: AtomicUsize::new(0),
+            pruned: AtomicUsize::new(0),
+            truncated: AtomicUsize::new(0),
+            steps: AtomicU64::new(0),
+            failure: Mutex::new(None),
+            stats: Mutex::new(Stats::default()),
+        }
+    }
+
+    /// Pop an item, or block until one is donated. Returns `None` when
+    /// the search is over: stop requested, or queue empty with no busy
+    /// worker left to donate. A returned item MUST be paired with a
+    /// later [`finish_item`](Frontier::finish_item).
+    pub fn next_item(&self) -> Option<WorkItem> {
+        let mut q = lock(&self.queue);
+        loop {
+            if self.stopped.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(item) = q.items.pop() {
+                q.busy += 1;
+                return Some(item);
+            }
+            if q.busy == 0 {
+                return None;
+            }
+            self.starving.fetch_add(1, Ordering::Relaxed);
+            q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            self.starving.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Declare the item from the matching [`next_item`](Frontier::next_item)
+    /// done (fully explored, donated away, or abandoned on stop).
+    pub fn finish_item(&self) {
+        let mut q = lock(&self.queue);
+        q.busy -= 1;
+        if q.busy == 0 {
+            // Wake starving workers so they can observe termination.
+            self.available.notify_all();
+        }
+    }
+
+    /// Donate an item to the pool.
+    pub fn push(&self, item: WorkItem) {
+        let mut q = lock(&self.queue);
+        q.items.push(item);
+        drop(q);
+        self.available.notify_one();
+    }
+
+    /// Should busy workers split their subtrees? True when some worker
+    /// is starving; always false for a single-worker search, so the
+    /// `workers = 1` engine is the sequential DFS, bit for bit.
+    pub fn hungry(&self) -> bool {
+        self.workers > 1 && self.starving.load(Ordering::Relaxed) > 0
+    }
+
+    /// Abort the search (a global cap was hit, or a worker panicked).
+    pub fn request_stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        drop(lock(&self.queue));
+        self.available.notify_all();
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+
+    /// Record one executed run.
+    pub fn note_run(&self, depth_hit: bool, run_steps: u64) {
+        self.explored.fetch_add(1, Ordering::Relaxed);
+        if depth_hit {
+            self.truncated.fetch_add(1, Ordering::Relaxed);
+        }
+        self.steps.fetch_add(run_steps, Ordering::Relaxed);
+    }
+
+    pub fn add_pruned(&self, n: usize) {
+        if n > 0 {
+            self.pruned.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn explored(&self) -> usize {
+        self.explored.load(Ordering::Relaxed)
+    }
+
+    pub fn pruned(&self) -> usize {
+        self.pruned.load(Ordering::Relaxed)
+    }
+
+    pub fn truncated(&self) -> usize {
+        self.truncated.load(Ordering::Relaxed)
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
+    /// Offer a failing run; kept only if DFS-earlier than the current
+    /// candidate.
+    pub fn offer_failure(&self, key: Vec<u32>, schedule: Schedule, message: String) {
+        let mut slot = lock(&self.failure);
+        let earlier = match slot.as_ref() {
+            None => true,
+            Some(best) => key < best.key,
+        };
+        if earlier {
+            *slot = Some(FailureCandidate {
+                key,
+                schedule,
+                message,
+            });
+            self.has_failure.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn has_failure(&self) -> bool {
+        self.has_failure.load(Ordering::Acquire)
+    }
+
+    /// `true` iff a failure candidate exists and `prefix_key` is
+    /// strictly DFS-later — no run under that prefix can precede the
+    /// candidate, so its whole subtree may be skipped. (A prefix *of*
+    /// the candidate's key compares smaller, so the path to the
+    /// candidate itself is never pruned and DFS-earlier failures can
+    /// still be found and take over.)
+    pub fn prune_later(&self, prefix_key: &[u32]) -> bool {
+        match lock(&self.failure).as_ref() {
+            Some(best) => prefix_key > best.key.as_slice(),
+            None => false,
+        }
+    }
+
+    pub fn take_failure(&self) -> Option<FailureCandidate> {
+        lock(&self.failure).take()
+    }
+
+    /// Fold a worker's accumulated runtime statistics into the total.
+    pub fn merge_stats(&self, local: &Stats) {
+        lock(&self.stats).merge(local);
+    }
+
+    pub fn total_stats(&self) -> Stats {
+        lock(&self.stats).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(s: &str) -> Schedule {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn offer_failure_keeps_dfs_earliest() {
+        let f = Frontier::new(4);
+        f.offer_failure(vec![1, 0], sched("t1.t0"), "later".into());
+        f.offer_failure(vec![0, 2], sched("t0.t2"), "earlier".into());
+        f.offer_failure(vec![0, 3], sched("t0.t3"), "in between".into());
+        let best = f.take_failure().unwrap();
+        assert_eq!(best.key, vec![0, 2]);
+        assert_eq!(best.message, "earlier");
+    }
+
+    #[test]
+    fn prune_later_is_strict_and_prefix_safe() {
+        let f = Frontier::new(4);
+        assert!(!f.prune_later(&[5, 5]), "no candidate, nothing to prune");
+        f.offer_failure(vec![1, 1, 0], sched("t1.t1.t0"), "x".into());
+        // Strictly later prefixes are pruned.
+        assert!(f.prune_later(&[1, 2]));
+        assert!(f.prune_later(&[2]));
+        // Extensions of the candidate's key are later too.
+        assert!(f.prune_later(&[1, 1, 0, 0]));
+        // Prefixes of (and paths before) the candidate are kept: a
+        // DFS-earlier failure may still hide there.
+        assert!(!f.prune_later(&[1, 1]));
+        assert!(!f.prune_later(&[1, 0, 7]));
+        assert!(!f.prune_later(&[0]));
+    }
+
+    #[test]
+    fn queue_counts_busy_and_terminates_when_drained() {
+        let f = Frontier::new(1);
+        let item = f.next_item().expect("root item");
+        assert!(item.node.is_none() && item.prefix.is_empty());
+        // Donate one child, finish the root: child still pending.
+        f.push(WorkItem::root());
+        f.finish_item();
+        assert!(f.next_item().is_some());
+        f.finish_item();
+        // Queue empty, nobody busy: the search is over.
+        assert!(f.next_item().is_none());
+    }
+
+    #[test]
+    fn stop_drains_immediately() {
+        let f = Frontier::new(2);
+        f.request_stop();
+        assert!(f.next_item().is_none());
+        assert!(f.is_stopped());
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let f = Frontier::new(1);
+        f.note_run(false, 10);
+        f.note_run(true, 32);
+        f.add_pruned(3);
+        assert_eq!(f.explored(), 2);
+        assert_eq!(f.truncated(), 1);
+        assert_eq!(f.steps(), 42);
+        assert_eq!(f.pruned(), 3);
+    }
+
+    #[test]
+    fn single_worker_is_never_hungry() {
+        let f = Frontier::new(1);
+        assert!(!f.hungry());
+    }
+}

@@ -31,6 +31,12 @@
 //! to a compact text form (`t1.d-.t0`), and is automatically shrunk to
 //! a minimal failing schedule when a property fails.
 //!
+//! Because an execution is a pure function of its schedule, the search
+//! is embarrassingly parallel: [`Explorer::check_parallel`] fans the
+//! same DFS out over OS threads with prefix-based work stealing, with
+//! coverage counts and certificates bit-identical to the sequential
+//! search for any worker count (see `DESIGN.md` for the argument).
+//!
 //! ```
 //! use conch_explore::{Explorer, TestCase, RunOutcome};
 //! use conch_runtime::prelude::*;
@@ -62,6 +68,8 @@
 
 mod driver;
 pub mod explorer;
+mod frontier;
+mod pool;
 pub mod props;
 pub mod schedule;
 

@@ -203,6 +203,14 @@ impl Default for RuntimeConfig {
     }
 }
 
+// The parallel schedule explorer builds one runtime per worker thread
+// from a shared `&RuntimeConfig`; this compile-time assertion keeps the
+// config plain `Send + Sync` data so that stays possible.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RuntimeConfig>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,6 +69,34 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Folds `other` into `self`: counters add, high-water marks take the
+    /// maximum. This is the aggregation the parallel schedule explorer
+    /// uses to combine per-run statistics from many worker-owned
+    /// runtimes into one deterministic total — addition and `max` are
+    /// commutative and associative, so the merged result is independent
+    /// of the order workers finish in.
+    pub fn merge(&mut self, other: &Stats) {
+        self.steps += other.steps;
+        self.context_switches += other.context_switches;
+        self.forks += other.forks;
+        self.finished_threads += other.finished_threads;
+        self.died_threads += other.died_threads;
+        self.async_deliveries += other.async_deliveries;
+        self.interrupted_blocked += other.interrupted_blocked;
+        self.sync_throws += other.sync_throws;
+        self.catches += other.catches;
+        self.throwtos += other.throwtos;
+        self.mvar_ops += other.mvar_ops;
+        self.blocks += other.blocks;
+        self.max_stack_depth = self.max_stack_depth.max(other.max_stack_depth);
+        self.max_mask_frames = self.max_mask_frames.max(other.max_mask_frames);
+        self.mask_frames_collapsed += other.mask_frames_collapsed;
+        self.delivery_latency_total += other.delivery_latency_total;
+        self.delivery_latency_samples += other.delivery_latency_samples;
+        self.max_thread_slots = self.max_thread_slots.max(other.max_thread_slots);
+        self.max_sleeper_heap = self.max_sleeper_heap.max(other.max_sleeper_heap);
+    }
+
     /// Mean steps between `throwTo` and delivery, if any were delivered.
     pub fn mean_delivery_latency(&self) -> Option<f64> {
         if self.delivery_latency_samples == 0 {
@@ -101,6 +129,47 @@ mod tests {
             ..Stats::default()
         };
         assert_eq!(s.mean_delivery_latency(), Some(10.0));
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_high_water_marks() {
+        let mut a = Stats {
+            steps: 10,
+            forks: 1,
+            mvar_ops: 4,
+            max_stack_depth: 7,
+            max_thread_slots: 3,
+            delivery_latency_total: 5,
+            delivery_latency_samples: 1,
+            ..Stats::default()
+        };
+        let b = Stats {
+            steps: 32,
+            forks: 2,
+            mvar_ops: 1,
+            max_stack_depth: 4,
+            max_thread_slots: 9,
+            delivery_latency_total: 15,
+            delivery_latency_samples: 2,
+            ..Stats::default()
+        };
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.steps, 42);
+        assert_eq!(ab.forks, 3);
+        assert_eq!(ab.mvar_ops, 5);
+        assert_eq!(ab.max_stack_depth, 7);
+        assert_eq!(ab.max_thread_slots, 9);
+        assert_eq!(ab.mean_delivery_latency(), Some(20.0 / 3.0));
+
+        // Order-independent: b.merge(a) == a.merge(b).
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Identity: merging the default is a no-op.
+        a.merge(&Stats::default());
+        assert_eq!(a.steps, 10);
     }
 
     #[test]

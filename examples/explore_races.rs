@@ -1,7 +1,10 @@
 //! Finding, shrinking and replaying a masking bug by exhaustive
 //! schedule exploration.
 //!
-//! Run with `cargo run --example explore_races`.
+//! Run with `cargo run --example explore_races`. Pass `--workers N` to
+//! spread the exploration over `N` OS threads (default: available
+//! parallelism) — the counts and the certificate below come out
+//! identical for every `N`; only the wall-clock time changes.
 //!
 //! The victim is a hand-rolled resource guard with the classic mistake
 //! §7.1 warns about: the **acquire runs outside `block`**, so an
@@ -44,12 +47,32 @@ fn under_fire(body: Io<i64>) -> Io<()> {
         .then(Io::sleep(1))
 }
 
+/// `--workers N` from the command line; 0 (the default) lets
+/// `check_parallel` pick the machine's available parallelism.
+fn workers_arg() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--workers needs a number");
+                std::process::exit(2);
+            });
+            return value.parse().unwrap_or_else(|_| {
+                eprintln!("--workers needs a number, got {value:?}");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}
+
 fn main() {
     let explorer = Explorer::new();
+    let workers = workers_arg();
 
     // The correct bracket survives every schedule.
     println!("== proper bracket ==");
-    let ok = explorer.check(|| {
+    let ok = explorer.check_parallel(workers, || {
         TestCase::new(
             under_fire(proper_bracket()),
             props::releases_balanced('a', 'r'),
@@ -64,7 +87,7 @@ fn main() {
 
     // The buggy guard does not.
     println!("\n== unmasked-acquire guard ==");
-    let bad = explorer.check(|| {
+    let bad = explorer.check_parallel(workers, || {
         TestCase::new(
             under_fire(unmasked_acquire_guard()),
             props::releases_balanced('a', 'r'),

@@ -1,0 +1,208 @@
+//! Determinism of parallel schedule exploration.
+//!
+//! The work-stealing explorer promises (see DESIGN.md) that its results
+//! are a function of the schedule space alone, not of how the tree is
+//! carved across OS threads: passing reports are bit-identical for any
+//! worker count, and failing runs shrink to the byte-identical
+//! certificate the sequential DFS would have produced.
+
+use conch_explore::{ExploreConfig, Explorer, Report, RunOutcome, Schedule, TestCase};
+use conch_runtime::exception::Exception;
+use conch_runtime::io::Io;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The G5 golden workload (see `tests/golden_traces.rs`): two MVar
+/// writers racing a reader, plus an async kill — 448 schedules.
+fn three_way_race() -> Io<i64> {
+    Io::new_empty_mvar::<i64>().and_then(|m| {
+        Io::fork(m.put(1))
+            .then(Io::fork(m.put(2)))
+            .and_then(move |t2| {
+                Io::throw_to(t2, Exception::kill_thread())
+                    .then(m.take())
+                    .catch(|_| Io::pure(-1))
+            })
+    })
+}
+
+/// Two independent MVar pairs — exercises sleep-set pruning, so the
+/// `pruned` counter is non-trivial.
+fn independent_pairs() -> Io<i64> {
+    Io::new_empty_mvar::<i64>().and_then(|a| {
+        Io::new_empty_mvar::<i64>().and_then(move |b| {
+            Io::fork(a.put(1))
+                .then(Io::fork(b.put(2)))
+                .then(a.take())
+                .and_then(move |x| b.take().map(move |y| x + y))
+        })
+    })
+}
+
+/// The classic two-way output race used by the G4 goldens.
+fn output_race() -> Io<()> {
+    Io::fork(Io::put_char('b'))
+        .then(Io::put_char('a'))
+        .then(Io::sleep(1))
+}
+
+fn explorer() -> Explorer {
+    Explorer::with_config(ExploreConfig {
+        max_schedules: 100_000,
+        ..ExploreConfig::default()
+    })
+}
+
+fn passing_report(workers: usize, program: fn() -> Io<i64>) -> Report {
+    explorer()
+        .check_parallel(workers, || {
+            TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
+                Ok(_) => Ok(()),
+                Err(ref e) => Err(e.to_string()),
+            })
+        })
+        .expect_pass()
+        .clone()
+}
+
+#[test]
+fn passing_counts_identical_for_every_worker_count() {
+    for program in [three_way_race as fn() -> Io<i64>, independent_pairs] {
+        // The sequential engine is the reference...
+        let sequential = explorer()
+            .check(|| {
+                TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
+                    Ok(_) => Ok(()),
+                    Err(ref e) => Err(e.to_string()),
+                })
+            })
+            .expect_pass()
+            .clone();
+        assert!(sequential.complete);
+        // ...and every worker count reproduces it bit for bit,
+        // including merged runtime stats (`Report` is `Eq`).
+        for workers in WORKER_COUNTS {
+            let parallel = passing_report(workers, program);
+            assert_eq!(
+                parallel, sequential,
+                "report diverged at workers={workers}: {parallel:?} vs {sequential:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pinned_g5_counts_hold_under_parallelism() {
+    for workers in WORKER_COUNTS {
+        let report = passing_report(workers, three_way_race);
+        assert_eq!(report.explored, 448, "workers={workers}");
+        assert_eq!(report.pruned, 8, "workers={workers}");
+        assert_eq!(report.truncated, 0, "workers={workers}");
+        assert!(report.complete, "workers={workers}");
+    }
+}
+
+fn racy_case() -> TestCase<()> {
+    TestCase::new(output_race(), |out: &RunOutcome<()>| {
+        if out.output == "ba" {
+            Err("child won the race".to_owned())
+        } else {
+            Ok(())
+        }
+    })
+}
+
+#[test]
+fn failure_certificates_identical_for_every_worker_count() {
+    let reference = explorer().check(racy_case);
+    let reference = reference.expect_fail();
+    for workers in WORKER_COUNTS {
+        let result = explorer().check_parallel(workers, racy_case);
+        let failure = result.expect_fail();
+        assert_eq!(
+            failure.schedule, reference.schedule,
+            "shrunk certificate diverged at workers={workers}"
+        );
+        assert_eq!(
+            failure.original, reference.original,
+            "original certificate diverged at workers={workers}"
+        );
+        assert_eq!(
+            failure.message, reference.message,
+            "failure message diverged at workers={workers}"
+        );
+        // Shrinking starts from the same original, so its cost is
+        // identical too.
+        assert_eq!(failure.report.shrink_runs, reference.report.shrink_runs);
+    }
+}
+
+#[test]
+fn parallel_find_shrink_replay_round_trip() {
+    // Find a race with the parallel engine...
+    let result = explorer().check_parallel(4, racy_case);
+    let failure = result.expect_fail();
+    // ...replay its minimal certificate in a brand-new runtime, twice...
+    for _ in 0..2 {
+        let (outcome, check) = Explorer::new().replay(racy_case(), &failure.schedule);
+        assert_eq!(outcome.output, "ba");
+        assert!(check.is_err());
+    }
+    // ...check it is minimal (every choice is necessary)...
+    for i in 0..failure.schedule.len() {
+        let mut candidate = failure.schedule.clone();
+        candidate.choices.remove(i);
+        let (_, check) = Explorer::new().replay(racy_case(), &candidate);
+        assert!(
+            check.is_ok(),
+            "choice {i} of {} is redundant",
+            failure.schedule
+        );
+    }
+    // ...and the text form round-trips.
+    let parsed: Schedule = failure.schedule.to_string().parse().unwrap();
+    assert_eq!(parsed, failure.schedule);
+}
+
+#[test]
+fn workers_zero_uses_available_parallelism() {
+    let report = explorer()
+        .check_parallel(0, || {
+            TestCase::new(output_race(), |_: &RunOutcome<()>| Ok(()))
+        })
+        .expect_pass()
+        .clone();
+    let sequential = explorer()
+        .check(|| TestCase::new(output_race(), |_: &RunOutcome<()>| Ok(())))
+        .expect_pass()
+        .clone();
+    assert_eq!(report, sequential);
+}
+
+#[test]
+fn step_budget_truncates_deterministically() {
+    // A tiny global step budget stops the search early — at the same
+    // schedule on every machine, unlike a wall-clock deadline — and the
+    // report is marked incomplete.
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_total_steps: Some(200),
+        ..ExploreConfig::default()
+    };
+    let capped = Explorer::with_config(cfg.clone())
+        .check(|| TestCase::new(three_way_race(), |_: &RunOutcome<i64>| Ok(())))
+        .expect_pass()
+        .clone();
+    assert!(!capped.complete, "budget must mark the search incomplete");
+    assert!(capped.explored < 448, "budget must actually bind");
+    assert!(
+        capped.steps >= 200,
+        "search stops only once the budget is spent"
+    );
+    // Deterministic: a second run truncates at exactly the same point.
+    let again = Explorer::with_config(cfg)
+        .check(|| TestCase::new(three_way_race(), |_: &RunOutcome<i64>| Ok(())))
+        .expect_pass()
+        .clone();
+    assert_eq!(capped, again);
+}
