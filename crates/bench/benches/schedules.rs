@@ -1,16 +1,22 @@
-//! B9 — schedule-exploration throughput (`conch-explore`).
+//! B9/X1 — schedule-exploration throughput and reduction
+//! (`conch-explore`).
 //!
-//! Measures how fast the explorer enumerates the schedule space of a
-//! three-thread workload (two workers contending on one `MVar`, plus a
-//! `throwTo` aimed at one of them): explored schedules per second and
-//! the sleep-set pruning ratio, with and without a preemption bound,
-//! sequentially and across worker threads (the prefix-splitting
-//! work-stealing engine — see DESIGN.md).
+//! Measures how fast the explorer enumerates the schedule space of the
+//! B9 three-thread workload (two workers contending on one `MVar`,
+//! plus a `throwTo` aimed at one of them), with and without a
+//! preemption bound, sequentially and across worker threads — and how
+//! much smaller dynamic partial-order reduction makes the explored set
+//! on B9 and on the larger X1 workloads (5-thread log fan-in, 2-client
+//! accept loop, 4-thread MVar pipeline with `throwTo` cancellation).
 //!
 //! Besides the timing output, writes `BENCH_explore.json` at the
 //! workspace root with the headline numbers, for EXPERIMENTS.md.
 //! Sequential rows carry `workers: 1`; parallel rows add a `speedup`
-//! field (sequential unbounded seconds / this row's seconds). The
+//! field (sequential seconds / this row's seconds — only meaningful
+//! when the reported `cpus` exceeds the worker count, see
+//! EXPERIMENTS.md for the overhead-crossover discussion). DPOR rows
+//! add `races_detected`, `backtracks_installed` and `reduction_ratio`
+//! (sleep-set explored / DPOR explored on the same workload). The
 //! coverage counters are identical in every row of a config — that is
 //! the parallel engine's determinism contract, and CI asserts it.
 //!
@@ -21,7 +27,12 @@
 
 use std::time::Instant;
 
-use conch_bench::{explore_once, explore_once_parallel};
+use conch_bench::{
+    accept_loop_workload, explore_once, explore_once_parallel, explore_reduced, log_fanin_workload,
+    pipeline_workload,
+};
+use conch_explore::{Reduction, Report};
+use conch_runtime::io::Io;
 use criterion::Criterion;
 
 /// Worker counts for the parallel rows. 1 is included deliberately: it
@@ -41,6 +52,66 @@ fn bench_exploration(c: &mut Criterion) {
         b.iter(|| explore_once_parallel(None, 4))
     });
     group.finish();
+}
+
+/// One JSON row for a DPOR exploration: the shared counters plus the
+/// reduction telemetry (`races_detected`, `backtracks_installed`,
+/// `reduction_ratio` vs the sleep-set baseline's explored count).
+fn dpor_row(
+    config: &str,
+    workers: usize,
+    report: &Report,
+    secs: f64,
+    sleep_explored: usize,
+) -> String {
+    format!(
+        concat!(
+            "    {{\"config\": \"{}\", \"workers\": {}, \"explored\": {}, ",
+            "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
+            "\"seconds\": {:.6}, \"races_detected\": {}, ",
+            "\"backtracks_installed\": {}, \"reduction_ratio\": {:.2}}}"
+        ),
+        config,
+        workers,
+        report.explored,
+        report.pruned,
+        report.truncated,
+        report.complete,
+        secs,
+        report.stats.races_detected,
+        report.stats.backtracks_installed,
+        sleep_explored as f64 / report.explored.max(1) as f64,
+    )
+}
+
+/// Two rows for one large workload: the sleep-set baseline and the
+/// DPOR exploration of the same program, the latter carrying the
+/// reduction telemetry.
+fn large_workload_rows<G>(rows: &mut Vec<String>, config: &str, workload: G)
+where
+    G: Fn() -> Io<i64> + Sync + Copy,
+{
+    let start = Instant::now();
+    let sleep = explore_reduced(Reduction::SleepSets, None, 1, workload);
+    let sleep_secs = start.elapsed().as_secs_f64();
+    rows.push(format!(
+        concat!(
+            "    {{\"config\": \"{}_sleep\", \"workers\": 1, \"explored\": {}, ",
+            "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
+            "\"seconds\": {:.6}}}"
+        ),
+        config, sleep.explored, sleep.pruned, sleep.truncated, sleep.complete, sleep_secs,
+    ));
+    let start = Instant::now();
+    let dpor = explore_reduced(Reduction::Dpor, None, 1, workload);
+    let dpor_secs = start.elapsed().as_secs_f64();
+    rows.push(dpor_row(
+        &format!("{config}_dpor"),
+        1,
+        &dpor,
+        dpor_secs,
+        sleep.explored,
+    ));
 }
 
 /// One measured exploration per configuration, written as a small JSON
@@ -105,9 +176,42 @@ fn emit_json() {
             base_secs / secs.max(1e-9),
         ));
     }
+    // DPOR rows: the same B9 workload under Reduction::Dpor,
+    // sequentially and at 4 workers (whose counters must match the
+    // sequential DPOR row bit for bit — CI asserts it).
+    let sleep_explored = {
+        let report = explore_once(None);
+        report.explored
+    };
+    for (config, workers) in [("dpor", 1), ("dpor_parallel", 4)] {
+        let start = Instant::now();
+        let report = explore_reduced(
+            Reduction::Dpor,
+            None,
+            workers,
+            conch_bench::explore_workload,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(dpor_row(config, workers, &report, secs, sleep_explored));
+    }
+
+    // X1: the larger workloads, each explored under sleep sets and
+    // under DPOR. The pipeline's sleep-set side caps out at the 2M
+    // schedule limit (complete=false) — its reduction ratio is a lower
+    // bound; DPOR is what makes the workload tractable at all.
+    large_workload_rows(&mut rows, "log_fanin_5threads", || log_fanin_workload(4, 4));
+    large_workload_rows(&mut rows, "accept_loop_2clients", || {
+        accept_loop_workload(2)
+    });
+    large_workload_rows(&mut rows, "pipeline_3stages", || pipeline_workload(3));
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
         "{{\n  \"bench\": \"schedule_exploration\",\n  \"workload\": \
-         \"3 threads, 1 MVar, 1 throwTo\",\n  \"results\": [\n{}\n  ]\n}}\n",
+         \"3 threads, 1 MVar, 1 throwTo\",\n  \"cpus\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        cpus,
         rows.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");

@@ -1,0 +1,150 @@
+//! Scratch harness: compare reduction modes on the exploration
+//! workloads. Used to size the benchmark workloads.
+
+use conch_bench::{
+    accept_loop_workload, explore_reduced, explore_workload, log_fanin_workload, pipeline_workload,
+};
+use conch_explore::Reduction;
+use std::time::Instant;
+
+fn row(
+    name: &str,
+    r: Reduction,
+    workers: usize,
+    f: impl Fn() -> conch_runtime::io::Io<i64> + Sync,
+) {
+    let t = Instant::now();
+    let rep = explore_reduced(r, None, workers, f);
+    println!(
+        "{name:24} {r:?}x{workers}: explored={} pruned={} complete={} races={} backtracks={} steps={} in {:?}",
+        rep.explored,
+        rep.pruned,
+        rep.complete,
+        rep.stats.races_detected,
+        rep.stats.backtracks_installed,
+        rep.steps,
+        t.elapsed()
+    );
+}
+
+fn fan_workload(workers: u64) -> conch_runtime::io::Io<i64> {
+    use conch_runtime::io::Io;
+    // N independent workers, each putting one value into a private
+    // MVar; main forks all of them, then collects and sums. The
+    // workers' steps are pairwise independent — the DPOR showcase.
+    fn build(i: u64, n: u64, acc: conch_runtime::io::Io<i64>) -> conch_runtime::io::Io<i64> {
+        if i == n {
+            return acc;
+        }
+        Io::new_empty_mvar::<i64>().and_then(move |resp| {
+            Io::fork(resp.put(i as i64 + 1)).then(build(
+                i + 1,
+                n,
+                acc.and_then(move |sum| resp.take().map(move |v| sum + v)),
+            ))
+        })
+    }
+    build(0, workers, conch_runtime::io::Io::pure(0))
+}
+
+fn b9k_workload(workers: u64) -> conch_runtime::io::Io<i64> {
+    use conch_runtime::exception::Exception;
+    use conch_runtime::io::Io;
+    // explore_workload generalized to k workers on one shared MVar:
+    // worker i adds 10^i, main kills worker 1 mid-flight and reads the
+    // survivors' arithmetic.
+    fn spawn(i: u64, n: u64, m: conch_runtime::MVar<i64>, acc: Io<i64>) -> Io<i64> {
+        if i == n {
+            return acc;
+        }
+        let delta = 10_i64.pow(i as u32);
+        Io::fork(
+            m.take()
+                .and_then(move |v| m.put(v + delta))
+                .catch(|_| Io::unit()),
+        )
+        .and_then(move |w| {
+            let kill = if i == 0 {
+                Io::throw_to(w, Exception::kill_thread())
+            } else {
+                Io::unit()
+            };
+            spawn(i + 1, n, m, acc.and_then(move |_| kill.then(Io::pure(0))))
+        })
+    }
+    Io::new_mvar(0_i64).and_then(move |m| {
+        spawn(0, workers, m, Io::pure(0))
+            .then(Io::sleep(5))
+            .then(m.take())
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    if which == "log" {
+        let n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+        let logs: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4);
+        row("log", Reduction::SleepSets, 1, move || {
+            log_fanin_workload(n, logs)
+        });
+        row("log", Reduction::SleepSets, 4, move || {
+            log_fanin_workload(n, logs)
+        });
+        row("log", Reduction::Dpor, 1, move || {
+            log_fanin_workload(n, logs)
+        });
+        row("log", Reduction::Dpor, 4, move || {
+            log_fanin_workload(n, logs)
+        });
+    }
+    if which == "b9k" {
+        let n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+        row("b9k", Reduction::SleepSets, 1, move || b9k_workload(n));
+        row("b9k", Reduction::Dpor, 1, move || b9k_workload(n));
+        row("b9k", Reduction::Dpor, 4, move || b9k_workload(n));
+    }
+    if which == "fan" {
+        let n: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+        row("fan", Reduction::SleepSets, 1, move || fan_workload(n));
+        row("fan", Reduction::Dpor, 1, move || fan_workload(n));
+        row("fan", Reduction::Dpor, 4, move || fan_workload(n));
+    }
+    if which == "all" || which == "b9" {
+        row(
+            "explore_workload",
+            Reduction::SleepSets,
+            1,
+            explore_workload,
+        );
+        row("explore_workload", Reduction::Dpor, 1, explore_workload);
+        row("explore_workload", Reduction::Dpor, 4, explore_workload);
+    }
+    if which == "all" || which == "pipe" {
+        let stages: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+        row("pipeline", Reduction::SleepSets, 1, move || {
+            pipeline_workload(stages)
+        });
+        row("pipeline", Reduction::Dpor, 1, move || {
+            pipeline_workload(stages)
+        });
+        row("pipeline", Reduction::Dpor, 4, move || {
+            pipeline_workload(stages)
+        });
+    }
+    if which == "all" || which == "accept" {
+        let clients: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+        row("accept_loop", Reduction::SleepSets, 1, move || {
+            accept_loop_workload(clients)
+        });
+        row("accept_loop", Reduction::SleepSets, 4, move || {
+            accept_loop_workload(clients)
+        });
+        row("accept_loop", Reduction::Dpor, 1, move || {
+            accept_loop_workload(clients)
+        });
+        row("accept_loop", Reduction::Dpor, 4, move || {
+            accept_loop_workload(clients)
+        });
+    }
+}

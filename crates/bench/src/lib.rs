@@ -7,7 +7,7 @@
 //! code paths.
 
 use conch_combinators::{modify_mvar, modify_mvar_naive, timeout};
-use conch_explore::{ExploreConfig, Explorer, Report, RunOutcome, TestCase};
+use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
 use conch_httpd::client::good_client;
 use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
@@ -234,6 +234,144 @@ pub fn explore_once_parallel(preemption_bound: Option<usize>, workers: usize) ->
     let result = Explorer::with_config(cfg).check_parallel(workers, || {
         TestCase::new(explore_workload(), |_: &RunOutcome<i64>| Ok(()))
     });
+    result.report().clone()
+}
+
+/// X1: the `workers + 1`-thread fan-in with a console log — `workers`
+/// one-shot producers each putting into a private `MVar`, while the
+/// main thread writes `logs` progress characters to the console before
+/// collecting the results. Producer terminations interleave freely
+/// with the log writes and with each other; under the conservative
+/// footprint relation every such interleaving is a distinct schedule,
+/// while the vector-clock race analysis proves the producers
+/// independent of the console — the workload where DPOR's sharper
+/// dependence relation pays off most.
+pub fn log_fanin_workload(workers: u64, logs: u64) -> Io<i64> {
+    fn build(i: u64, n: u64, logs: u64, acc: Io<i64>) -> Io<i64> {
+        if i == n {
+            let mut log = Io::unit();
+            for _ in 0..logs {
+                log = log.then(Io::put_char('.'));
+            }
+            return log.then(acc);
+        }
+        Io::new_empty_mvar::<i64>().and_then(move |resp| {
+            Io::fork(resp.put(i as i64 + 1)).then(build(
+                i + 1,
+                n,
+                logs,
+                acc.and_then(move |sum| resp.take().map(move |v| sum + v)),
+            ))
+        })
+    }
+    build(0, workers, logs, Io::pure(0))
+}
+
+/// B9/X1: an `n + 1`-thread MVar pipeline with `throwTo` cancellation —
+/// the ≥5-thread exploration workload the DPOR benchmarks measure
+/// reduction on. Stage `i` takes from its input MVar, adds one, and
+/// puts to its output; the main thread feeds the head, kills the first
+/// stage mid-flight (the §5.3 cancellation pattern), and takes from the
+/// tail. A killed stage forwards `-1` from its handler so the pipeline
+/// always drains: every schedule terminates, but *where* the kill lands
+/// decides which value comes out the far end.
+pub fn pipeline_workload(stages: u64) -> Io<i64> {
+    // One stage: take the value, do private scratch work on the
+    // stage's own MVar (independent of every other thread — free for
+    // DPOR, a combinatorial liability for the plain DFS), hand off.
+    // One stage: take the value, do private scratch work on the
+    // stage's own pre-allocated MVar (independent of every other
+    // thread — free for DPOR, a combinatorial liability for the plain
+    // DFS), hand off. The scratch MVar is allocated by the main thread
+    // before the fork so allocation order is program-ordered, not a
+    // race of its own.
+    fn stage(input: MVar<i64>, scratch: MVar<i64>, out: MVar<i64>) -> Io<()> {
+        input
+            .take()
+            .and_then(move |v| {
+                scratch
+                    .put(v + 1)
+                    .then(scratch.take())
+                    .and_then(move |v| out.put(v))
+            })
+            .catch(move |_| out.put(-1).catch(|_| Io::unit()))
+    }
+    fn extend(input: MVar<i64>, left: u64) -> Io<MVar<i64>> {
+        if left == 0 {
+            return Io::pure(input);
+        }
+        Io::new_empty_mvar::<i64>().and_then(move |out| {
+            Io::new_empty_mvar::<i64>().and_then(move |scratch| {
+                Io::fork(stage(input, scratch, out)).then(extend(out, left - 1))
+            })
+        })
+    }
+    Io::new_empty_mvar::<i64>().and_then(move |head| {
+        Io::new_empty_mvar::<i64>().and_then(move |m1| {
+            Io::new_empty_mvar::<i64>().and_then(move |s1| {
+                Io::fork(stage(head, s1, m1)).and_then(move |w1| {
+                    extend(m1, stages - 1).and_then(move |tail| {
+                        head.put(1)
+                            .then(Io::throw_to(w1, Exception::kill_thread()))
+                            .then(tail.take())
+                    })
+                })
+            })
+        })
+    })
+}
+
+/// B9/X1: an httpd-style accept loop — a server thread takes requests
+/// from a shared queue MVar forever, `clients` forked clients each
+/// submit one request, and the main thread shuts the server down with
+/// `throwTo` once every request is served (the §11 server shape without
+/// the HTTP plumbing). Returns the served total: client `i` contributes
+/// `2^i`, so a full run returns `2^clients - 1` on every schedule.
+pub fn accept_loop_workload(clients: u64) -> Io<i64> {
+    fn server(queue: MVar<i64>, served: MVar<i64>) -> Io<()> {
+        queue
+            .take()
+            .and_then(move |v| served.take().and_then(move |s| served.put(s + v)))
+            .and_then(move |_| server(queue, served))
+    }
+    Io::new_empty_mvar::<i64>().and_then(move |queue| {
+        Io::new_mvar(0_i64).and_then(move |served| {
+            Io::fork(server(queue, served).catch(|_| Io::unit())).and_then(move |srv| {
+                for_each(clients, move |i| Io::fork(queue.put(1 << i)))
+                    .then(wait_until(served, (1 << clients) - 1))
+                    .then(Io::throw_to(srv, Exception::kill_thread()))
+                    .then(served.take())
+            })
+        })
+    })
+}
+
+/// One full exploration of an arbitrary workload under an explicit
+/// reduction mode and worker count (`workers = 1` uses the sequential
+/// engine). The common core of the X1 reduction benchmarks.
+pub fn explore_reduced<G>(
+    reduction: Reduction,
+    preemption_bound: Option<usize>,
+    workers: usize,
+    workload: G,
+) -> Report
+where
+    G: Fn() -> Io<i64> + Sync,
+{
+    let cfg = ExploreConfig {
+        max_schedules: 2_000_000,
+        preemption_bound,
+        reduction,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(workload(), |_: &RunOutcome<i64>| Ok(())))
+    } else {
+        explorer.check_parallel(workers, || {
+            TestCase::new(workload(), |_: &RunOutcome<i64>| Ok(()))
+        })
+    };
     result.report().clone()
 }
 

@@ -1,0 +1,501 @@
+//! Vector-clock happens-before tracking and race detection over one
+//! executed run — the analysis half of dynamic partial-order reduction
+//! (Flanagan & Godefroid, POPL 2005), adapted to the runtime's
+//! [`StepFootprint`] dependence relation.
+//!
+//! The driver logs every executed *non-invisible* step as an
+//! [`ExecEvent`]: thread-local steps commute with everything and can
+//! never participate in a race, so they are skipped at the source, and
+//! delivery transitions are never logged (the nondeterminism of where a
+//! pending exception lands is carried entirely by the explicit
+//! `Choice::Deliver` branch points, which the DPOR engine branches both
+//! ways unconditionally).
+//!
+//! Happens-before is the transitive closure of
+//!
+//! * **program order** — consecutive steps of one thread,
+//! * **dependence** — logged steps that may not commute
+//!   ([`events_dependent`]), and
+//! * **creation** — a forked thread's first step follows its parent's
+//!   `fork` ([`Birth`]).
+//!
+//! # Why not just [`StepFootprint::dependent`]?
+//!
+//! The footprint relation is the right one for sleep sets, where a
+//! conservative answer only costs pruning. For DPOR the cost structure
+//! is inverted: every spurious dependence is a spurious race, every
+//! spurious race installs a backtrack flag, and every flag spawns a
+//! run — conservatism *multiplies* the schedule count instead of
+//! shaving the reduction. So the analyzer uses a sharper, tid-aware
+//! relation ([`events_dependent`]) that exploits what the log knows and
+//! the footprint lattice cannot express:
+//!
+//! * `Throw(t)` only touches `t`'s pending queue: it is dependent on
+//!   every step *of `t`* and on other throws at `t`, but commutes with
+//!   unrelated threads. (A throw whose target was not runnable is
+//!   already coarsened to `Effect` at the source — the eager
+//!   (Interrupt) rule may then cancel a wait on an arbitrary resource.)
+//! * `Terminal` of a non-main thread ends that thread and wakes its
+//!   sync-throw notifiers: dependent on the steps of any thread that
+//!   ever threw at it, and on nothing else. The *main* thread's
+//!   terminal stops the world — dependent on everything.
+//! * Everything else falls back to the same-resource conflicts of the
+//!   footprint relation.
+//!
+//! Two logged steps in different threads form a **race** when they are
+//! dependent but *not* happens-before ordered: executing them in the
+//! other order is a genuinely different behaviour that some schedule
+//! must cover. For each race the analysis reports the branch point at
+//! which the earlier step was chosen (when it was chosen at one — a
+//! forced step has no alternatives, and classic DPOR then relies on the
+//! race re-appearing at an earlier, branchable point of some other
+//! run), so the search can install a backtrack entry there instead of
+//! branching on every enabled alternative everywhere.
+
+use conch_runtime::decide::StepFootprint;
+
+/// One logged step of an executed run.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ExecEvent {
+    /// The thread that took the step.
+    pub tid: u64,
+    /// The step's footprint.
+    pub fp: StepFootprint,
+    /// Index into the run's branch-point record when this step was
+    /// chosen at a branch point; `None` for forced steps (sole runnable
+    /// thread, preemption-bound or depth-budget forcing).
+    pub point: Option<u32>,
+    /// For a `throwTo` step only: the target was not runnable when the
+    /// throw executed. The eager (Interrupt) rule may then cancel the
+    /// target's wait — an effect on whatever resource it was blocked
+    /// on, which the analyzer recovers from the target's last logged
+    /// event (the blocking operation itself, since blocking operations
+    /// are never local).
+    pub blocked_target: bool,
+}
+
+/// A thread observed for the first time, with the event that created it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Birth {
+    pub tid: u64,
+    /// Index into the event log of the parent's `fork` step, when the
+    /// step executed immediately before the thread first appeared was a
+    /// fork. `None` (no creation edge, which only *over*-approximates
+    /// concurrency and so over-explores, never under-explores) otherwise.
+    pub parent_event: Option<u32>,
+}
+
+/// A reversible race: the branch point of the earlier step, and the
+/// thread whose later dependent step should be tried there instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RaceFlag {
+    /// Index into the run's branch-point record.
+    pub point: u32,
+    /// The thread of the later step of the race.
+    pub later_tid: u64,
+    /// Flanagan–Godefroid's E set: threads whose *first* event after
+    /// the branch point already happens-before the later step of the
+    /// race (always includes `later_tid` itself). When `later_tid` is
+    /// not enabled at the branch point, forcing any one enabled witness
+    /// makes progress toward the reversal — a far narrower fallback
+    /// than flagging every untried sibling.
+    pub witnesses: Vec<u64>,
+}
+
+/// The result of analyzing one run.
+#[derive(Debug, Default)]
+pub(crate) struct RaceAnalysis {
+    /// Backtrack requests, in log order (deduplicated).
+    pub flags: Vec<RaceFlag>,
+    /// Total dependent-but-unordered pairs found, including those at
+    /// forced (unbranchable) steps — the `races_detected` telemetry.
+    pub races: u64,
+}
+
+/// A dense vector clock: one component per thread index.
+type Clock = Vec<u32>;
+
+fn join(into: &mut Clock, other: &Clock) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(other) {
+        *a = (*a).max(*b);
+    }
+}
+
+/// The DPOR dependence relation over logged events of *different*
+/// threads (see the module docs for the case-by-case justification).
+/// Must over-approximate true non-commutation, or reversals get lost;
+/// must stay sharp, or the search degenerates toward full enumeration.
+///
+/// `main` is the main thread's id (its terminal stops the world);
+/// `a_res`/`b_res` name the wait resource a blocked-target throw may
+/// cancel (see [`ExecEvent::blocked_target`]).
+fn events_dependent(
+    a: &ExecEvent,
+    b: &ExecEvent,
+    a_res: Option<StepFootprint>,
+    b_res: Option<StepFootprint>,
+    main: u64,
+) -> bool {
+    use StepFootprint::*;
+    debug_assert_ne!(a.tid, b.tid);
+    if a.fp == Effect || b.fp == Effect {
+        return true;
+    }
+    if let Throw(t) = a.fp {
+        if t.index() == b.tid || matches!(b.fp, Throw(u) if u.index() == t.index()) {
+            return true;
+        }
+    }
+    if let Throw(t) = b.fp {
+        if t.index() == a.tid {
+            return true;
+        }
+    }
+    // A throw at a blocked target may cancel the target's wait on
+    // `res`: it conflicts with any step touching that resource.
+    if let Some(res) = a_res {
+        if !res.independent(b.fp) {
+            return true;
+        }
+    }
+    if let Some(res) = b_res {
+        if !res.independent(a.fp) {
+            return true;
+        }
+    }
+    // The main thread's terminal stops the world: whether another step
+    // lands before or after it is observable. A non-main terminal is
+    // dependent only with its own thread's history and with throws at
+    // it — both covered by the rules above: a thrower's post-wake
+    // events are physically ordered after the terminal that woke it,
+    // and its pre-throw events conflict (if at all) through their own
+    // resources.
+    if (a.fp == Terminal && a.tid == main) || (b.fp == Terminal && b.tid == main) {
+        return true;
+    }
+    match (a.fp, b.fp) {
+        (Terminal, _) | (_, Terminal) => false,
+        (Throw(_), _) | (_, Throw(_)) => false,
+        (Local | Mask | Raise, _) | (_, Local | Mask | Raise) => false,
+        (MVar(x), MVar(y)) => x == y,
+        (Alloc, Alloc) | (Console, Console) | (Time, Time) | (Fork, Fork) => true,
+        _ => false,
+    }
+}
+
+/// Detect every race of one executed run.
+///
+/// This is a deterministic function of the log alone — the cornerstone
+/// of the parallel determinism argument in `DESIGN.md`: two workers
+/// replaying the same choice prefix produce the same log, hence the
+/// same flags, for any interleaving of workers.
+pub(crate) fn analyze(events: &[ExecEvent], births: &[Birth]) -> RaceAnalysis {
+    let mut analysis = RaceAnalysis::default();
+    if events.len() < 2 {
+        return analysis;
+    }
+
+    // The main thread is the first ever observed; its terminal stops
+    // the world. Collect (target, thrower) pairs for the terminal-wake
+    // rule of `events_dependent`.
+    let main = births.first().map(|b| b.tid).unwrap_or(0);
+
+    // The wait resource a blocked-target throw may cancel: the target's
+    // last logged event before the throw is the blocking operation
+    // itself (blocking operations are never local). A dead target
+    // (Terminal) makes the throw a no-op — no extra dependence; an
+    // unnameable wait falls back to Effect (dependent on everything).
+    let wait_res: Vec<Option<StepFootprint>> = events
+        .iter()
+        .enumerate()
+        .map(|(n, e)| {
+            if !e.blocked_target {
+                return None;
+            }
+            let StepFootprint::Throw(t) = e.fp else {
+                return None;
+            };
+            let target = t.index();
+            match events[..n].iter().rev().find(|p| p.tid == target) {
+                Some(p) => match p.fp {
+                    StepFootprint::Terminal => None,
+                    fp
+                    @ (StepFootprint::MVar(_) | StepFootprint::Console | StepFootprint::Time) => {
+                        Some(fp)
+                    }
+                    _ => Some(StepFootprint::Effect),
+                },
+                None => Some(StepFootprint::Effect),
+            }
+        })
+        .collect();
+
+    // Dense thread indices, in order of first appearance in the log.
+    let mut tids: Vec<u64> = Vec::new();
+    let thread_index = |tids: &mut Vec<u64>, tid: u64| -> usize {
+        match tids.iter().position(|&t| t == tid) {
+            Some(i) => i,
+            None => {
+                tids.push(tid);
+                tids.len() - 1
+            }
+        }
+    };
+
+    // Per-event post clocks, the running per-thread clocks, and each
+    // thread's executed-event count (its own clock component).
+    let mut post: Vec<Clock> = Vec::with_capacity(events.len());
+    let mut thread_clock: Vec<Clock> = Vec::new();
+    let mut thread_seq: Vec<u32> = Vec::new();
+    // Per-event sequence number within its thread (1-based).
+    let mut seq: Vec<u32> = Vec::with_capacity(events.len());
+    // Races at branchable points, as (earlier, later) event indices;
+    // flags are built after the pass, once every post clock is final.
+    let mut race_pairs: Vec<(usize, usize)> = Vec::new();
+
+    for (n, e) in events.iter().enumerate() {
+        let t = thread_index(&mut tids, e.tid);
+        if t == thread_clock.len() {
+            // First event of this thread: inherit the creating fork's
+            // clock, if known.
+            let mut c = Clock::new();
+            if let Some(b) = births.iter().find(|b| b.tid == e.tid) {
+                if let Some(p) = b.parent_event {
+                    if let Some(pc) = post.get(p as usize) {
+                        c = pc.clone();
+                    }
+                }
+            }
+            thread_clock.push(c);
+            thread_seq.push(0);
+        }
+
+        // Walk earlier events newest-first, folding dependent events'
+        // clocks into an accumulator as we go: event `i` races with `n`
+        // exactly when it is dependent and *not yet* covered by the
+        // accumulated clock — i.e. no chain of later dependent events
+        // (or program order) already orders it before `n`.
+        let mut acc = thread_clock[t].clone();
+        for i in (0..n).rev() {
+            let ei = &events[i];
+            if ei.tid == e.tid || !events_dependent(ei, e, wait_res[i], wait_res[n], main) {
+                continue;
+            }
+            let ti = thread_index(&mut tids, ei.tid);
+            if acc.get(ti).copied().unwrap_or(0) < seq[i] {
+                analysis.races += 1;
+                if ei.point.is_some() {
+                    race_pairs.push((i, n));
+                }
+            }
+            join(&mut acc, &post[i]);
+        }
+
+        // Commit: bump this thread's own component and store the post
+        // clock.
+        thread_seq[t] += 1;
+        if acc.len() <= t {
+            acc.resize(t + 1, 0);
+        }
+        acc[t] = thread_seq[t];
+        seq.push(thread_seq[t]);
+        thread_clock[t] = acc.clone();
+        post.push(acc);
+    }
+
+    // Build the flags, deduplicated on (point, later_tid), with each
+    // flag's witness set: the threads whose first event strictly after
+    // the earlier step is happens-before the later step (computed from
+    // the now-final post clocks; the later step always witnesses
+    // itself).
+    for (i, n) in race_pairs {
+        let point = events[i]
+            .point
+            .expect("race pair recorded at a branch point");
+        let later_tid = events[n].tid;
+        if analysis
+            .flags
+            .iter()
+            .any(|f| f.point == point && f.later_tid == later_tid)
+        {
+            continue;
+        }
+        let mut witnesses: Vec<u64> = Vec::new();
+        let mut seen: Vec<u64> = Vec::new();
+        for (j, ej) in events.iter().enumerate().take(n + 1).skip(i + 1) {
+            if seen.contains(&ej.tid) {
+                continue;
+            }
+            seen.push(ej.tid);
+            let tj = tids
+                .iter()
+                .position(|&t| t == ej.tid)
+                .expect("every logged thread has an index");
+            if post[n].get(tj).copied().unwrap_or(0) >= seq[j] {
+                witnesses.push(ej.tid);
+            }
+        }
+        analysis.flags.push(RaceFlag {
+            point,
+            later_tid,
+            witnesses,
+        });
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::ids::MVarId;
+
+    fn ev(tid: u64, fp: StepFootprint, point: Option<u32>) -> ExecEvent {
+        ExecEvent {
+            tid,
+            fp,
+            point,
+            blocked_target: false,
+        }
+    }
+
+    fn has_flag(a: &RaceAnalysis, point: u32, later_tid: u64) -> bool {
+        a.flags
+            .iter()
+            .any(|f| f.point == point && f.later_tid == later_tid)
+    }
+
+    #[test]
+    fn two_console_steps_race() {
+        let log = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(1, StepFootprint::Console, None),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 1);
+        assert_eq!(a.flags.len(), 1);
+        assert!(has_flag(&a, 0, 1));
+        // The later step always witnesses itself.
+        assert_eq!(a.flags[0].witnesses, vec![1]);
+    }
+
+    #[test]
+    fn program_order_is_not_a_race() {
+        let log = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(0, StepFootprint::Console, Some(1)),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 0);
+        assert!(a.flags.is_empty());
+    }
+
+    #[test]
+    fn independent_steps_do_not_race() {
+        let log = [
+            ev(0, StepFootprint::MVar(MVarId::from_index(1)), Some(0)),
+            ev(1, StepFootprint::MVar(MVarId::from_index(2)), None),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 0);
+    }
+
+    #[test]
+    fn dependence_chains_order_distant_events() {
+        // t0:m1 → t1:m1 (dependent, adjacent) → t1:m2 → t2:m2. The
+        // pair (t0:m1, t1:m1) races and (t1:m2, t2:m2) races, but
+        // t0:m1 does NOT race with anything in t2: it is ordered before
+        // t2:m2 only through... actually t0:m1 and t2:m2 are
+        // independent (different MVars), so only the two adjacent
+        // races exist.
+        let log = [
+            ev(0, StepFootprint::MVar(MVarId::from_index(1)), Some(0)),
+            ev(1, StepFootprint::MVar(MVarId::from_index(1)), Some(1)),
+            ev(1, StepFootprint::MVar(MVarId::from_index(2)), None),
+            ev(2, StepFootprint::MVar(MVarId::from_index(2)), Some(2)),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 2);
+        // Only the first race yields a flag: the earlier event of the
+        // second race (t1:m2) was not taken at a branchable point
+        // (`point = None`), so there is nothing to reverse there.
+        assert_eq!(a.flags.len(), 1);
+        assert!(has_flag(&a, 0, 1));
+    }
+
+    #[test]
+    fn happens_before_via_intermediate_suppresses_race() {
+        // t0:console, then t1:effect (dependent on both sides), then
+        // t2:console. t0's console is ordered before t2's console via
+        // the effect, so only two races are reported: (t0, t1) and
+        // (t1, t2).
+        let log = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(1, StepFootprint::Effect, Some(1)),
+            ev(2, StepFootprint::Console, Some(2)),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 2);
+        assert!(has_flag(&a, 0, 1));
+        assert!(has_flag(&a, 1, 2));
+    }
+
+    #[test]
+    fn fork_creates_happens_before() {
+        // Parent forks (event 0), child prints (event 1), parent prints
+        // (event 2). The child's console step inherits the fork's clock,
+        // but fork→console is independent... use Effect to force
+        // dependence checking: parent's fork then child console and
+        // parent console race with each other, but NOT with the fork
+        // (fork is independent of console). With the birth edge the
+        // child's console still races with the parent's later console.
+        let log = [
+            ev(0, StepFootprint::Fork, Some(0)),
+            ev(1, StepFootprint::Console, Some(1)),
+            ev(0, StepFootprint::Console, None),
+        ];
+        let births = [Birth {
+            tid: 1,
+            parent_event: Some(0),
+        }];
+        let a = analyze(&log, &births);
+        // console(child) vs console(parent): dependent, concurrent.
+        assert_eq!(a.races, 1);
+        assert_eq!(a.flags.len(), 1);
+        assert!(has_flag(&a, 1, 0));
+    }
+
+    #[test]
+    fn birth_edge_orders_child_after_forks_past() {
+        // t0: console (event 0), t0: fork (event 1), t1 (child):
+        // console (event 2). The child inherits the fork's clock, which
+        // includes t0's console via program order — no race.
+        let log = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(0, StepFootprint::Fork, Some(1)),
+            ev(1, StepFootprint::Console, None),
+        ];
+        let births = [Birth {
+            tid: 1,
+            parent_event: Some(1),
+        }];
+        let a = analyze(&log, &births);
+        assert_eq!(a.races, 0, "creation edge must order the child");
+    }
+
+    #[test]
+    fn missing_birth_edge_over_approximates_to_a_race() {
+        // Same log, no birth edge: the child's console looks concurrent
+        // with the parent's — a spurious race, which is the sound
+        // direction (extra exploration, never missed behaviour).
+        let log = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(0, StepFootprint::Fork, Some(1)),
+            ev(1, StepFootprint::Console, None),
+        ];
+        let a = analyze(&log, &[]);
+        assert_eq!(a.races, 1);
+    }
+}

@@ -35,6 +35,7 @@ use std::rc::Rc;
 use conch_runtime::decide::{Decider, StepFootprint, ThreadView};
 use conch_runtime::ids::ThreadId;
 
+use crate::clocks::{Birth, ExecEvent};
 use crate::schedule::Choice;
 
 /// A sleep-set entry: a thread and the footprint of the step it was put
@@ -144,6 +145,25 @@ pub(crate) struct DriverState {
     /// Whether the branch-point budget was hit (the run is truncated:
     /// schedules below this point were not enumerated).
     pub depth_hit: bool,
+    /// When set, every executed non-invisible step is appended to
+    /// `exec_log` (with thread births in `births`) for the DPOR race
+    /// analysis. Off for sleep-set exploration and replay, where the
+    /// log would be pure overhead.
+    pub trace_exec: bool,
+    /// The executed-step log (see [`crate::clocks`]). Thread-local
+    /// steps are omitted — they can never participate in a race.
+    pub exec_log: Vec<ExecEvent>,
+    /// Creation edges: each thread's first appearance, with the fork
+    /// event that created it when identifiable.
+    pub births: Vec<Birth>,
+    /// Every thread id ever observed in a runnable view this run.
+    known_tids: Vec<u64>,
+    /// Whether the scheduling decision of the current step boundary
+    /// pushed an event onto `exec_log`. When the boundary then turns
+    /// into a delivery ([`DriverState::deliver_point`] chooses to
+    /// deliver), that event is a phantom — the thread's ordinary step
+    /// never executed — and must be popped again.
+    sched_logged: bool,
 }
 
 impl DriverState {
@@ -164,6 +184,11 @@ impl DriverState {
             preemption_bound,
             max_points,
             depth_hit: false,
+            trace_exec: false,
+            exec_log: Vec::new(),
+            births: Vec::new(),
+            known_tids: Vec::new(),
+            sched_logged: false,
         }
     }
 
@@ -179,6 +204,66 @@ impl DriverState {
         self.sleep.clear();
         self.preemptions = 0;
         self.depth_hit = false;
+        self.exec_log.clear();
+        self.births.clear();
+        self.known_tids.clear();
+        self.sched_logged = false;
+    }
+
+    /// Note the threads visible at a step boundary, recording births
+    /// (first appearances) with a creation edge to the immediately
+    /// preceding event when it was a fork. Only called when
+    /// `trace_exec` is on.
+    fn note_views(&mut self, runnable: &[ThreadView]) {
+        for v in runnable {
+            let tid = v.tid.index();
+            if !self.known_tids.contains(&tid) {
+                self.known_tids.push(tid);
+                // Exactly one step executes between consecutive
+                // decisions, so if the last logged event was a fork it
+                // is the step that created this thread. (A local
+                // step could also have executed and gone unlogged —
+                // but a local step cannot fork.)
+                let parent_event = match self.exec_log.last() {
+                    Some(e) if e.fp == StepFootprint::Fork => {
+                        Some((self.exec_log.len() - 1) as u32)
+                    }
+                    _ => None,
+                };
+                self.births.push(Birth { tid, parent_event });
+            }
+        }
+    }
+
+    /// Log one executed step for the race analysis. Returns whether an
+    /// event was actually pushed (local steps are skipped — they cannot
+    /// participate in a race; the explicit delivery branch points cover
+    /// the only nondeterminism a pending queue adds).
+    ///
+    /// A `throwTo` whose target is not currently runnable is marked
+    /// [`ExecEvent::blocked_target`]: the target may be *blocked*, and
+    /// the eager (Interrupt) rule then cancels its wait — an effect on
+    /// whatever resource (MVar, console, clock) the target was waiting
+    /// on, which the analyzer recovers from the target's own event log.
+    fn log_exec(&mut self, view: &ThreadView, point: Option<u32>, runnable: &[ThreadView]) -> bool {
+        if !self.trace_exec {
+            return false;
+        }
+        let fp = view.footprint;
+        if fp.is_local() {
+            return false;
+        }
+        let blocked_target = match fp {
+            StepFootprint::Throw(target) => !runnable.iter().any(|v| v.tid == target),
+            _ => false,
+        };
+        self.exec_log.push(ExecEvent {
+            tid: view.tid.index(),
+            fp,
+            point,
+            blocked_target,
+        });
+        true
     }
 
     /// A step by `tid` with footprint `fp` is about to execute: wake
@@ -211,6 +296,7 @@ impl DriverState {
             if self.preemptions >= bound {
                 if let Some(i) = runnable.iter().position(|v| v.tid == prev) {
                     self.note_exec(alts[i].0, alts[i].1);
+                    self.sched_logged = self.log_exec(&runnable[i], None, runnable);
                     return i;
                 }
             }
@@ -220,6 +306,7 @@ impl DriverState {
         if self.record.len() >= self.max_points {
             self.depth_hit = true;
             self.note_exec(alts[0].0, alts[0].1);
+            self.sched_logged = self.log_exec(&runnable[0], None, runnable);
             return 0;
         }
 
@@ -277,13 +364,30 @@ impl DriverState {
             sleeping,
             chosen: Choice::Thread(chosen_tid),
         });
+        let point = (self.record.len() - 1) as u32;
+        self.sched_logged = self.log_exec(&runnable[index], Some(point), runnable);
         self.note_exec(chosen_tid, chosen_fp);
         index
+    }
+
+    /// When the boundary delivers, the ordinary step logged by
+    /// [`sched_point`](DriverState::sched_point) never executed: pop
+    /// the phantom. The delivery transition itself is not logged — it
+    /// is local to the target (the nondeterminism of *where* a pending
+    /// exception lands is entirely carried by the explicit
+    /// `Choice::Deliver` branch points, whose both arms the DPOR engine
+    /// always explores).
+    fn unlog_phantom(&mut self) {
+        if self.trace_exec && self.sched_logged {
+            self.exec_log.pop();
+            self.sched_logged = false;
+        }
     }
 
     fn deliver_point(&mut self, view: ThreadView) -> bool {
         if self.record.len() >= self.max_points {
             self.depth_hit = true;
+            self.unlog_phantom();
             return true;
         }
         let scripted = if self.pos < self.script.len() {
@@ -309,6 +413,9 @@ impl DriverState {
             sleeping: Vec::new(),
             chosen: Choice::Deliver(deliver),
         });
+        if deliver {
+            self.unlog_phantom();
+        }
         deliver
     }
 }
@@ -319,14 +426,19 @@ pub(crate) struct ScriptedDecider(pub Rc<RefCell<DriverState>>);
 impl Decider for ScriptedDecider {
     fn choose_thread(&mut self, runnable: &[ThreadView], previous: Option<ThreadId>) -> usize {
         let mut st = self.0.borrow_mut();
+        if st.trace_exec {
+            st.note_views(runnable);
+        }
         // Forced: only one thread can run.
         if runnable.len() == 1 {
-            let v = &runnable[0];
+            let v = runnable[0];
             st.note_exec(v.tid.index(), v.footprint);
+            st.sched_logged = st.log_exec(&v, None, runnable);
             return 0;
         }
         // Invisible-move fast-forward: run a local, exception-free step
-        // without branching (lowest thread id for determinism).
+        // without branching (lowest thread id for determinism). Local
+        // steps never participate in races, so the exec log skips them.
         let local = runnable
             .iter()
             .enumerate()
@@ -334,6 +446,9 @@ impl Decider for ScriptedDecider {
             .min_by_key(|(_, v)| v.tid);
         if let Some((i, v)) = local {
             st.note_exec(v.tid.index(), v.footprint);
+            // Never logged, and never followed by a delivery check
+            // (fast-forwarding requires no pending exceptions).
+            st.sched_logged = false;
             return i;
         }
         st.sched_point(runnable, previous)

@@ -13,10 +13,33 @@ use conch_runtime::stats::Stats;
 use conch_runtime::trace::IoEvent;
 use conch_runtime::value::FromValue;
 
+use crate::dpor::dpor_round_loop;
 use crate::driver::{DriverState, ScriptedDecider};
 use crate::frontier::Frontier;
 use crate::pool::worker_loop;
 use crate::schedule::Schedule;
+
+/// Which schedule-space reduction the explorer applies.
+///
+/// All three modes explore the same *behaviours* (every reachable
+/// outcome of every program, at the configured bounds); they differ
+/// only in how many redundant interleavings they execute to get there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// No pruning: enumerate every interleaving at the bounds. The
+    /// baseline reductions are measured against.
+    Off,
+    /// Sleep sets plus invisible-move fast-forwarding — the historical
+    /// default.
+    #[default]
+    SleepSets,
+    /// Dynamic partial-order reduction: vector-clock happens-before
+    /// race detection over each executed run, with backtrack flags
+    /// installed only where a race proves the reversal matters (see
+    /// [`crate::dpor`]). Typically explores far fewer schedules than
+    /// sleep sets on programs with many independent threads.
+    Dpor,
+}
 
 /// Everything observable about one driven execution.
 #[derive(Debug)]
@@ -89,6 +112,9 @@ pub struct ExploreConfig {
     /// deadline, the same budget truncates at the same schedule on
     /// every machine. `None` = unbounded.
     pub max_total_steps: Option<u64>,
+    /// Which schedule-space reduction to apply (default
+    /// [`Reduction::SleepSets`]).
+    pub reduction: Reduction,
 }
 
 impl Default for ExploreConfig {
@@ -101,6 +127,7 @@ impl Default for ExploreConfig {
             runtime: RuntimeConfig::new(),
             max_shrink_runs: 512,
             max_total_steps: None,
+            reduction: Reduction::SleepSets,
         }
     }
 }
@@ -128,6 +155,21 @@ pub struct Report {
     /// `true` iff the DFS exhausted the (bounded) schedule space with no
     /// run truncated — i.e. the verification is complete at this bound.
     pub complete: bool,
+}
+
+impl Report {
+    /// How many times fewer schedules this exploration executed than
+    /// `baseline` — the same workload explored under a weaker (or no)
+    /// reduction: `baseline.explored / self.explored`. Kept as a method
+    /// rather than a field so `Report` stays `Eq` (bit-comparable
+    /// across worker counts in the determinism tests).
+    pub fn reduction_ratio(&self, baseline: &Report) -> f64 {
+        if self.explored == 0 {
+            1.0
+        } else {
+            baseline.explored as f64 / self.explored as f64
+        }
+    }
 }
 
 impl std::fmt::Display for Report {
@@ -160,7 +202,7 @@ pub struct Failure {
 #[derive(Debug)]
 pub enum CheckResult {
     /// Every explored schedule satisfied the property.
-    Passed(Report),
+    Passed(Box<Report>),
     /// Some schedule violated the property.
     Failed(Box<Failure>),
 }
@@ -238,12 +280,21 @@ impl Explorer {
         T: FromValue,
         F: FnMut() -> TestCase<T>,
     {
-        // The single-worker instance of the shared DFS engine: with one
+        // The single-worker instance of the shared engine: with one
         // worker the frontier never requests work splitting, so this is
-        // the plain sequential DFS (same runs, in the same order, with
-        // the same counters and certificates as ever).
+        // the plain sequential search (same runs, in the same order,
+        // with the same counters and certificates as ever).
         let frontier = Frontier::new(1);
-        worker_loop(self, &frontier, &mut factory);
+        match self.config.reduction {
+            Reduction::Dpor => loop {
+                dpor_round_loop(self, &frontier, &mut factory);
+                if frontier.is_stopped() || !frontier.dpor_apply_pending() {
+                    break;
+                }
+                frontier.start_round();
+            },
+            Reduction::Off | Reduction::SleepSets => worker_loop(self, &frontier, &mut factory),
+        }
         self.finalize(&frontier, &mut factory)
     }
 
@@ -288,13 +339,32 @@ impl Explorer {
             return self.check(&factory);
         }
         let frontier = Frontier::new(workers);
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                let frontier = &frontier;
-                let factory = &factory;
-                s.spawn(move || worker_loop(self, frontier, factory));
+        match self.config.reduction {
+            Reduction::Dpor => loop {
+                // One scope per round: the round barrier needs every
+                // worker drained before the backtrack sets may change.
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let frontier = &frontier;
+                        let factory = &factory;
+                        s.spawn(move || dpor_round_loop(self, frontier, factory));
+                    }
+                });
+                if frontier.is_stopped() || !frontier.dpor_apply_pending() {
+                    break;
+                }
+                frontier.start_round();
+            },
+            Reduction::Off | Reduction::SleepSets => {
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let frontier = &frontier;
+                        let factory = &factory;
+                        s.spawn(move || worker_loop(self, frontier, factory));
+                    }
+                });
             }
-        });
+        }
         self.finalize(&frontier, &mut || factory())
     }
 
@@ -314,6 +384,14 @@ impl Explorer {
             stats: frontier.total_stats(),
             complete: false,
         };
+        if self.config.reduction == Reduction::Dpor {
+            // Under DPOR "pruned" is read off the final run trie (the
+            // alternatives no registered run took) and the backtrack
+            // count is the total size of the final backtrack sets —
+            // both deterministic functions of the fixpoint.
+            report.pruned = frontier.dpor_pruned();
+            report.stats.backtracks_installed = frontier.dpor_backtracks();
+        }
         if let Some(candidate) = frontier.take_failure() {
             let mut rt = self.make_runtime();
             let original = candidate.schedule;
@@ -332,7 +410,7 @@ impl Explorer {
             }));
         }
         report.complete = !frontier.is_stopped() && report.truncated == 0;
-        CheckResult::Passed(report)
+        CheckResult::Passed(Box::new(report))
     }
 
     /// Replay a schedule byte-for-byte in a fresh `Runtime` and apply the

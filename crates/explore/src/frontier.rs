@@ -45,12 +45,24 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 /// One node of a DFS stack: a branch point plus the index of the
 /// alternative currently being explored below it.
+///
+/// A node may carry a *restriction*: an explicit child order (the
+/// DPOR backtrack set, default choice first) that replaces "every
+/// alternative in `alts` order". Restricted nodes are how each DPOR
+/// round walks only the subtree its backtrack sets justify while
+/// reusing the whole DFS machinery — sleep entries, donation, keys.
 #[derive(Debug, Clone)]
 pub(crate) struct Node {
     pub point: Point,
     /// For scheduling nodes: index into `point.alts` of the current
-    /// choice. Unused for delivery nodes.
+    /// choice. Unused for delivery nodes. Maintained even under a
+    /// restriction, so [`key_index`](Node::key_index) always ranks by
+    /// full-`alts` position and failure keys stay comparable across
+    /// reduction modes.
     chosen_idx: usize,
+    /// The explicit child order (thread ids) and the position of the
+    /// current child in it; `None` explores all of `alts`.
+    restrict: Option<(Vec<u64>, usize)>,
     /// The node's remaining alternatives were donated to another worker
     /// as a [`WorkItem`]; locally it is exhausted.
     pub sealed: bool,
@@ -69,6 +81,32 @@ impl Node {
         Node {
             point,
             chosen_idx,
+            restrict: None,
+            sealed: false,
+        }
+    }
+
+    /// A scheduling node restricted to `order` (the executed default
+    /// choice first, then the backtrack entries in canonical order).
+    /// Every entry must name a thread in `point.alts`.
+    pub fn restricted(point: Point, order: Vec<u64>) -> Self {
+        debug_assert!(!point.is_delivery());
+        debug_assert_eq!(
+            Some(order[0]),
+            match point.chosen {
+                Choice::Thread(t) => Some(t),
+                _ => None,
+            }
+        );
+        let chosen_idx = point
+            .alts
+            .iter()
+            .position(|&(a, _)| a == order[0])
+            .expect("restricted choice must be among the point's alternatives");
+        Node {
+            point,
+            chosen_idx,
+            restrict: Some((order, 0)),
             sealed: false,
         }
     }
@@ -81,13 +119,25 @@ impl Node {
         }
     }
 
-    /// Alternatives already explored at this node (to be slept in
-    /// sibling subtrees).
-    pub fn explored_alts(&self) -> &[SleepEntry] {
+    /// Visit the alternatives already explored at this node (to be
+    /// slept in sibling subtrees).
+    pub fn each_explored(&self, mut f: impl FnMut(SleepEntry)) {
         if self.point.is_delivery() {
-            &[]
-        } else {
-            &self.point.alts[..self.chosen_idx]
+            return;
+        }
+        match &self.restrict {
+            None => {
+                for &entry in &self.point.alts[..self.chosen_idx] {
+                    f(entry);
+                }
+            }
+            Some((order, pos)) => {
+                for &tid in &order[..*pos] {
+                    if let Some(&entry) = self.point.alts.iter().find(|&&(a, _)| a == tid) {
+                        f(entry);
+                    }
+                }
+            }
         }
     }
 
@@ -120,6 +170,21 @@ impl Node {
             } else {
                 false
             }
+        } else if let Some((order, pos)) = &mut self.restrict {
+            loop {
+                *pos += 1;
+                let Some(&tid) = order.get(*pos) else {
+                    return false;
+                };
+                if self.point.sleeping.contains(&tid) {
+                    continue;
+                }
+                let Some(i) = self.point.alts.iter().position(|&(a, _)| a == tid) else {
+                    continue;
+                };
+                self.chosen_idx = i;
+                return true;
+            }
         } else {
             match (self.chosen_idx + 1..self.point.alts.len())
                 .find(|&i| !self.point.sleeping.contains(&self.point.alts[i].0))
@@ -142,7 +207,7 @@ pub(crate) fn dfs_key(record: &[Point]) -> Vec<u32> {
     record.iter().map(point_key).collect()
 }
 
-fn point_key(p: &Point) -> u32 {
+pub(crate) fn point_key(p: &Point) -> u32 {
     match p.chosen {
         Choice::Deliver(now) => {
             if now {
@@ -203,6 +268,54 @@ struct QueueState {
     busy: usize,
 }
 
+/// One node of the DPOR run-path trie.
+#[derive(Default)]
+struct TrieNode {
+    /// Outgoing edges: the choices actually taken from this node by
+    /// registered runs.
+    edges: Vec<(Choice, u32)>,
+    /// Number of alternatives available at this node's branch point —
+    /// `alts.len()` for scheduling points, 2 for delivery points; 0
+    /// until some registered run passes through and reports it. Every
+    /// run through a given choice prefix sees the same branch point
+    /// there (branch-point structure is a function of the path), so
+    /// the value is well-defined.
+    candidates: u32,
+    /// A registered run's choice path ends exactly here.
+    run_end: bool,
+    /// The node's backtrack set: thread ids some race analysis asked to
+    /// force here, in canonical order (appended round by round, sorted
+    /// within each round). Append-only, so the exploration order of
+    /// already-present children never changes between rounds.
+    backtrack: Vec<u64>,
+}
+
+/// Shared state specific to dynamic partial-order reduction
+/// ([`Reduction::Dpor`](crate::explorer::Reduction)): the registry of
+/// executed run paths, per-node backtrack sets, and the insertions
+/// requested during the current round.
+///
+/// # Determinism
+///
+/// The search proceeds in *rounds*. Within a round the backtrack sets
+/// are frozen, so the round's tree is fixed and the work-stealing DFS
+/// over it is deterministic (the [`Frontier`] queue discipline). The
+/// insertions a run requests are a pure function of its choice path,
+/// and only the *first* registration of a path emits them, so the set
+/// of pending insertions at the end of a round is a set union —
+/// independent of worker count and timing. The barrier
+/// ([`Frontier::dpor_apply_pending`]) folds that set in canonically
+/// (grouped per node, new tids sorted ascending, appended), so the next
+/// round's tree is again a deterministic function of the previous one.
+/// By induction every counter and the DFS-earliest failure certificate
+/// are bit-identical for any worker count.
+struct DporShared {
+    nodes: Vec<TrieNode>,
+    /// Backtrack insertions requested during the current round:
+    /// `(trie node, thread id)` pairs, applied at the round barrier.
+    pending: Vec<(u32, u64)>,
+}
+
 /// Shared state of one (possibly parallel) exploration.
 pub(crate) struct Frontier {
     workers: usize,
@@ -219,6 +332,7 @@ pub(crate) struct Frontier {
     steps: AtomicU64,
     failure: Mutex<Option<FailureCandidate>>,
     stats: Mutex<Stats>,
+    dpor: Mutex<DporShared>,
 }
 
 impl Frontier {
@@ -240,6 +354,10 @@ impl Frontier {
             steps: AtomicU64::new(0),
             failure: Mutex::new(None),
             stats: Mutex::new(Stats::default()),
+            dpor: Mutex::new(DporShared {
+                nodes: vec![TrieNode::default()],
+                pending: Vec::new(),
+            }),
         }
     }
 
@@ -371,6 +489,156 @@ impl Frontier {
 
     pub fn take_failure(&self) -> Option<FailureCandidate> {
         lock(&self.failure).take()
+    }
+
+    /// Register an executed run's choice path in the DPOR trie.
+    /// `candidates[d]` is the number of alternatives at the run's `d`-th
+    /// branch point. Returns `true` iff the path was not registered
+    /// before — only then may the caller count the run, analyze it, and
+    /// install its flags; a duplicate execution must contribute nothing.
+    pub fn dpor_register_run(&self, choices: &[Choice], candidates: &[u32]) -> bool {
+        debug_assert_eq!(choices.len(), candidates.len());
+        let mut d = lock(&self.dpor);
+        let mut node = 0usize;
+        let mut created = false;
+        for (c, &cand) in choices.iter().zip(candidates) {
+            debug_assert!(
+                d.nodes[node].candidates == 0 || d.nodes[node].candidates == cand,
+                "branch-point structure must be a function of the choice prefix"
+            );
+            d.nodes[node].candidates = cand;
+            let found = d.nodes[node]
+                .edges
+                .iter()
+                .find(|&&(e, _)| e == *c)
+                .map(|&(_, n)| n);
+            node = match found {
+                Some(n) => n as usize,
+                None => {
+                    let next = d.nodes.len() as u32;
+                    d.nodes.push(TrieNode::default());
+                    d.nodes[node].edges.push((*c, next));
+                    created = true;
+                    next as usize
+                }
+            };
+        }
+        let new = created || !d.nodes[node].run_end;
+        d.nodes[node].run_end = true;
+        new
+    }
+
+    /// Request backtrack insertions derived from one registered run:
+    /// `inserts` holds `(branch-point index, thread id)` pairs, where
+    /// the index refers to a position along `choices` (the run's path).
+    /// The requests are buffered; they take effect only at the round
+    /// barrier ([`dpor_apply_pending`](Frontier::dpor_apply_pending)).
+    pub fn dpor_request_inserts(&self, choices: &[Choice], inserts: &[(usize, u64)]) {
+        if inserts.is_empty() {
+            return;
+        }
+        let mut d = lock(&self.dpor);
+        // Map each path position to its trie node with one walk.
+        let mut node_at = Vec::with_capacity(choices.len());
+        let mut node = 0u32;
+        for c in choices {
+            node_at.push(node);
+            node = d.nodes[node as usize]
+                .edges
+                .iter()
+                .find(|&&(e, _)| e == *c)
+                .map(|&(_, n)| n)
+                .expect("insert requests must come from a registered run");
+        }
+        for &(point, tid) in inserts {
+            d.pending.push((node_at[point], tid));
+        }
+    }
+
+    /// Round barrier: fold the pending insertions into the trie's
+    /// backtrack sets. Requests are grouped per node; tids already
+    /// present are dropped; the genuinely new ones are appended in
+    /// ascending order.
+    /// Because the pending set is a union over first-registered runs,
+    /// the result is independent of worker timing. Returns `true` iff
+    /// any set grew — i.e. the next round has new work.
+    pub fn dpor_apply_pending(&self) -> bool {
+        let mut d = lock(&self.dpor);
+        let mut pending = std::mem::take(&mut d.pending);
+        pending.sort_unstable();
+        pending.dedup();
+        let mut grew = false;
+        for (node, tid) in pending {
+            let n = &mut d.nodes[node as usize];
+            if n.backtrack.contains(&tid) {
+                continue;
+            }
+            // Sorted dedup'd pending means per-node tids arrive
+            // ascending, so plain append keeps the canonical
+            // (round added, tid) order.
+            n.backtrack.push(tid);
+            grew = true;
+        }
+        grew
+    }
+
+    /// The backtrack lists along an executed path, for stack expansion:
+    /// entry `i` is the (possibly empty) backtrack set at branch point
+    /// `from + i` of `choices`. Missing trie nodes (the path's new
+    /// suffix, not yet registered when expansion happens first) yield
+    /// empty lists.
+    pub fn dpor_backtrack_lists(&self, choices: &[Choice], from: usize) -> Vec<Vec<u64>> {
+        let d = lock(&self.dpor);
+        let mut lists = Vec::with_capacity(choices.len().saturating_sub(from));
+        let mut node = Some(0u32);
+        for (i, c) in choices.iter().enumerate() {
+            if i >= from {
+                lists.push(match node {
+                    Some(n) => d.nodes[n as usize].backtrack.clone(),
+                    None => Vec::new(),
+                });
+            }
+            node = node.and_then(|n| {
+                d.nodes[n as usize]
+                    .edges
+                    .iter()
+                    .find(|&&(e, _)| e == *c)
+                    .map(|&(_, nx)| nx)
+            });
+        }
+        lists
+    }
+
+    /// Reset the work queue for the next DPOR round: the whole
+    /// (grown) tree is re-walked from the root. Counters, the trie,
+    /// the failure candidate, and the stop flag all persist.
+    pub fn start_round(&self) {
+        let mut q = lock(&self.queue);
+        debug_assert_eq!(q.busy, 0, "a round must be fully drained first");
+        q.items = vec![WorkItem::root()];
+        drop(q);
+        self.available.notify_all();
+    }
+
+    /// Schedules pruned under DPOR: over every branch node of the run
+    /// trie, the alternatives no run ever took. A deterministic
+    /// function of the final trie, computed once at finalization.
+    pub fn dpor_pruned(&self) -> usize {
+        let d = lock(&self.dpor);
+        d.nodes
+            .iter()
+            .map(|n| (n.candidates as usize).saturating_sub(n.edges.len()))
+            .sum()
+    }
+
+    /// Total backtrack-set entries installed by the race analysis —
+    /// the `backtracks_installed` telemetry.
+    pub fn dpor_backtracks(&self) -> u64 {
+        lock(&self.dpor)
+            .nodes
+            .iter()
+            .map(|n| n.backtrack.len() as u64)
+            .sum()
     }
 
     /// Fold a worker's accumulated runtime statistics into the total.

@@ -66,6 +66,8 @@
 //! assert_eq!(outcome.output, "ba");
 //! ```
 
+mod clocks;
+mod dpor;
 mod driver;
 pub mod explorer;
 mod frontier;
@@ -74,6 +76,6 @@ pub mod props;
 pub mod schedule;
 
 pub use crate::explorer::{
-    CheckResult, ExploreConfig, Explorer, Failure, Report, RunOutcome, TestCase,
+    CheckResult, ExploreConfig, Explorer, Failure, Reduction, Report, RunOutcome, TestCase,
 };
 pub use crate::schedule::{Choice, ParseScheduleError, Schedule};

@@ -24,14 +24,14 @@ use conch_runtime::stats::Stats;
 use conch_runtime::value::FromValue;
 
 use crate::driver::DriverState;
-use crate::explorer::{Explorer, TestCase};
+use crate::explorer::{Explorer, Reduction, TestCase};
 use crate::frontier::{dfs_key, Frontier, Node, WorkItem};
 
 /// Balances every `next_item` with a `finish_item`, even if the worker
 /// panics mid-item (a panicking worker also aborts the search so its
 /// peers don't wait forever for donations that will never come; the
 /// panic itself propagates through `std::thread::scope`).
-struct ItemGuard<'a>(&'a Frontier);
+pub(crate) struct ItemGuard<'a>(pub(crate) &'a Frontier);
 
 impl Drop for ItemGuard<'_> {
     fn drop(&mut self) {
@@ -50,6 +50,10 @@ where
     F: FnMut() -> TestCase<T>,
 {
     let config = explorer.config();
+    // Under `Reduction::Off` sleep entries are simply never loaded into
+    // the driver, so every alternative is enumerated — the unreduced
+    // baseline the benchmarks measure reductions against.
+    let use_sleep = config.reduction != Reduction::Off;
     // One runtime and one driver state per worker, reset between
     // schedules, so the per-schedule cost is interpretation, not
     // allocation. The `Rc` never leaves this thread.
@@ -81,7 +85,7 @@ where
                 }
                 break 'dfs;
             }
-            load_script(&state, &item, &stack);
+            load_script(&state, &item, &stack, use_sleep);
             let (run, schedule) = explorer.run_once(&mut rt, factory(), &state);
             frontier.note_run(run.depth_hit, run.stats.steps);
             local_stats.merge(&run.stats);
@@ -129,16 +133,18 @@ where
 
 /// Refill the driver's script and sleep entries for the schedule the
 /// item prefix + stack currently denote.
-fn load_script(state: &Rc<RefCell<DriverState>>, item: &WorkItem, stack: &[Node]) {
+fn load_script(state: &Rc<RefCell<DriverState>>, item: &WorkItem, stack: &[Node], use_sleep: bool) {
     let mut st = state.borrow_mut();
     st.reset();
     st.script.extend_from_slice(&item.prefix);
-    st.extra_sleep.extend_from_slice(&item.base_sleep);
+    if use_sleep {
+        st.extra_sleep.extend_from_slice(&item.base_sleep);
+    }
     let base = item.prefix.len();
     for (i, node) in stack.iter().enumerate() {
         st.script.push(node.choice());
-        for &entry in node.explored_alts() {
-            st.extra_sleep.push((base + i, entry));
+        if use_sleep {
+            node.each_explored(|entry| st.extra_sleep.push((base + i, entry)));
         }
     }
 }
@@ -186,9 +192,7 @@ fn donate(frontier: &Frontier, item: &WorkItem, stack: &mut [Node]) {
         let mut base_key = item.base_key.clone();
         for (j, node) in stack[..i].iter().enumerate() {
             prefix.push(node.choice());
-            for &entry in node.explored_alts() {
-                base_sleep.push((base + j, entry));
-            }
+            node.each_explored(|entry| base_sleep.push((base + j, entry)));
             base_key.push(node.key_index());
         }
         frontier.push(WorkItem {

@@ -121,6 +121,17 @@ impl StepFootprint {
             }
         }
     }
+
+    /// The complement of [`independent`](StepFootprint::independent):
+    /// `true` when the two steps may not commute. This is the dependence
+    /// relation a happens-before race detector (dynamic partial-order
+    /// reduction) closes over: two executed steps are causally ordered
+    /// exactly when a chain of dependent steps connects them, and a
+    /// dependent, *unordered* pair is a race whose reversal must be
+    /// explored.
+    pub fn dependent(self, other: StepFootprint) -> bool {
+        !self.independent(other)
+    }
 }
 
 /// A runnable thread as shown to a [`Decider`].
@@ -226,5 +237,15 @@ mod tests {
         assert!(!m1.independent(StepFootprint::Terminal));
         assert!(!StepFootprint::Fork.independent(StepFootprint::Fork));
         assert!(StepFootprint::Fork.independent(m1));
+    }
+
+    #[test]
+    fn dependent_is_the_complement_of_independent() {
+        let m1 = StepFootprint::MVar(MVarId(1));
+        let m2 = StepFootprint::MVar(MVarId(2));
+        assert!(m1.dependent(m1));
+        assert!(!m1.dependent(m2));
+        assert!(StepFootprint::Effect.dependent(StepFootprint::Local));
+        assert!(StepFootprint::Throw(tid(1)).dependent(StepFootprint::Mask));
     }
 }

@@ -113,6 +113,13 @@ impl MVarId {
     pub fn index(self) -> u64 {
         self.0
     }
+
+    /// The handle with raw index `i` — for tooling and tests that
+    /// build footprints without running a program; a fabricated id
+    /// names a real `MVar` only if one with that index exists.
+    pub fn from_index(i: u64) -> Self {
+        MVarId(i)
+    }
 }
 
 impl fmt::Display for MVarId {

@@ -66,6 +66,16 @@ pub struct Stats {
     /// interrupted sleepers keeps this proportional to the number of
     /// *live* sleepers, not the total number of timeouts ever started.
     pub max_sleeper_heap: usize,
+    /// Happens-before races detected by a schedule explorer's dynamic
+    /// partial-order reduction over runs of this runtime (pairs of
+    /// dependent, causally-unordered steps). Zero for plain runs; the
+    /// explorer accumulates it here so worker totals merge with the
+    /// same commutative rule as every other counter.
+    pub races_detected: u64,
+    /// Backtrack points installed by dynamic partial-order reduction:
+    /// distinct (schedule prefix, alternative) pairs the race analysis
+    /// asked the search to explore. Zero for plain runs.
+    pub backtracks_installed: u64,
 }
 
 impl Stats {
@@ -95,6 +105,8 @@ impl Stats {
         self.delivery_latency_samples += other.delivery_latency_samples;
         self.max_thread_slots = self.max_thread_slots.max(other.max_thread_slots);
         self.max_sleeper_heap = self.max_sleeper_heap.max(other.max_sleeper_heap);
+        self.races_detected += other.races_detected;
+        self.backtracks_installed += other.backtracks_installed;
     }
 
     /// Mean steps between `throwTo` and delivery, if any were delivered.

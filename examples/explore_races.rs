@@ -4,7 +4,10 @@
 //! Run with `cargo run --example explore_races`. Pass `--workers N` to
 //! spread the exploration over `N` OS threads (default: available
 //! parallelism) — the counts and the certificate below come out
-//! identical for every `N`; only the wall-clock time changes.
+//! identical for every `N`; only the wall-clock time changes. Pass
+//! `--reduction {sleep,dpor}` to pick the schedule-space reduction
+//! (default: sleep sets); with `dpor` the sleep-set baseline is run
+//! too and the reduction ratio is printed.
 //!
 //! The victim is a hand-rolled resource guard with the classic mistake
 //! §7.1 warns about: the **acquire runs outside `block`**, so an
@@ -13,7 +16,7 @@
 //! that window occasionally; the explorer hits it *always*, and hands
 //! back a minimal, replayable schedule certificate.
 
-use conch::explore::{props, CheckResult, Explorer, TestCase};
+use conch::explore::{props, CheckResult, ExploreConfig, Explorer, Reduction, TestCase};
 use conch::prelude::*;
 use conch_combinators::bracket;
 
@@ -47,9 +50,12 @@ fn under_fire(body: Io<i64>) -> Io<()> {
         .then(Io::sleep(1))
 }
 
-/// `--workers N` from the command line; 0 (the default) lets
-/// `check_parallel` pick the machine's available parallelism.
-fn workers_arg() -> usize {
+/// `--workers N` (0, the default, lets `check_parallel` pick the
+/// machine's available parallelism) and `--reduction {sleep,dpor}`
+/// from the command line.
+fn cli_args() -> (usize, Reduction) {
+    let mut workers = 0;
+    let mut reduction = Reduction::SleepSets;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--workers" {
@@ -57,21 +63,38 @@ fn workers_arg() -> usize {
                 eprintln!("--workers needs a number");
                 std::process::exit(2);
             });
-            return value.parse().unwrap_or_else(|_| {
+            workers = value.parse().unwrap_or_else(|_| {
                 eprintln!("--workers needs a number, got {value:?}");
                 std::process::exit(2);
             });
+        } else if arg == "--reduction" {
+            reduction = match args.next().as_deref() {
+                Some("sleep") => Reduction::SleepSets,
+                Some("dpor") => Reduction::Dpor,
+                other => {
+                    eprintln!("--reduction needs 'sleep' or 'dpor', got {other:?}");
+                    std::process::exit(2);
+                }
+            };
         }
     }
-    0
+    (workers, reduction)
+}
+
+fn explorer_for(reduction: Reduction) -> Explorer {
+    Explorer::with_config(ExploreConfig {
+        reduction,
+        ..ExploreConfig::default()
+    })
 }
 
 fn main() {
-    let explorer = Explorer::new();
-    let workers = workers_arg();
+    let (workers, reduction) = cli_args();
+    let explorer = explorer_for(reduction);
+    println!("reduction: {reduction:?}, workers: {workers}");
 
     // The correct bracket survives every schedule.
-    println!("== proper bracket ==");
+    println!("\n== proper bracket ==");
     let ok = explorer.check_parallel(workers, || {
         TestCase::new(
             under_fire(proper_bracket()),
@@ -80,7 +103,29 @@ fn main() {
     });
     match &ok {
         CheckResult::Passed(report) => {
-            println!("every acquire released on every schedule: {report}")
+            println!("every acquire released on every schedule: {report}");
+            if reduction == Reduction::Dpor {
+                // Run the sleep-set baseline on the same program so the
+                // summary can state the reduction directly.
+                let baseline = explorer_for(Reduction::SleepSets)
+                    .check_parallel(workers, || {
+                        TestCase::new(
+                            under_fire(proper_bracket()),
+                            props::releases_balanced('a', 'r'),
+                        )
+                    })
+                    .expect_pass()
+                    .clone();
+                println!(
+                    "sleep-set baseline explored {}, DPOR explored {} — reduction ratio {:.2}x \
+                     ({} races detected, {} backtracks installed)",
+                    baseline.explored,
+                    report.explored,
+                    report.reduction_ratio(&baseline),
+                    report.stats.races_detected,
+                    report.stats.backtracks_installed,
+                );
+            }
         }
         CheckResult::Failed(f) => println!("unexpectedly failed: {}", f.message),
     }

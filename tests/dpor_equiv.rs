@@ -1,0 +1,357 @@
+//! DPOR soundness corpus: dynamic partial-order reduction must be a
+//! pure *reduction* — fewer executed schedules, identical verdicts.
+//!
+//! Every program below is explored twice, under `Reduction::SleepSets`
+//! and `Reduction::Dpor`, asserting:
+//!
+//! * the same pass/fail verdict, and on failure the same message and
+//!   the byte-identical shrunk certificate;
+//! * the identical set of observable outcomes (result + console
+//!   output) across all explored schedules — Mazurkiewicz-equivalent
+//!   traces agree on both, so dropping redundant interleavings must
+//!   not lose (or invent) behaviours;
+//! * DPOR explores no more schedules than sleep sets.
+//!
+//! The corpus covers the paper's load-bearing cases: the §5.3
+//! `block(takeMVar)` atomicity argument, §7.1 `bracket` (plus a
+//! seeded-bug variant whose failure must be found, shrunk and reported
+//! identically), the §7.2 `both`/`either` combinators, asynchronous
+//! delivery-point programs, and plain MVar/console races.
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+use conch_combinators::{both, bracket, race, Either};
+use conch_explore::{ExploreConfig, Explorer, Reduction, RunOutcome, TestCase};
+use conch_runtime::prelude::*;
+use conch_runtime::value::FromValue;
+
+/// Everything one exploration of one corpus program produced.
+struct ModeResult {
+    outcomes: BTreeSet<String>,
+    explored: usize,
+    complete: bool,
+    /// `(message, shrunk schedule, original schedule)` on failure.
+    failure: Option<(String, String, String)>,
+}
+
+fn run_mode<T: FromValue + Debug + 'static>(
+    reduction: Reduction,
+    max_schedules: usize,
+    program: fn() -> Io<T>,
+    fail_if: fn(&RunOutcome<T>) -> Option<String>,
+) -> ModeResult {
+    let outcomes: Rc<RefCell<BTreeSet<String>>> = Rc::new(RefCell::new(BTreeSet::new()));
+    let cfg = ExploreConfig {
+        max_schedules,
+        reduction,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg).check(|| {
+        let outcomes = Rc::clone(&outcomes);
+        TestCase::new(program(), move |out: &RunOutcome<T>| {
+            outcomes
+                .borrow_mut()
+                .insert(format!("{:?} | {:?}", out.result, out.output));
+            match fail_if(out) {
+                Some(msg) => Err(msg),
+                None => Ok(()),
+            }
+        })
+    });
+    let report = result.report().clone();
+    let seen = outcomes.borrow().clone();
+    ModeResult {
+        outcomes: seen,
+        explored: report.explored,
+        complete: report.complete,
+        failure: result.failure().map(|f| {
+            (
+                f.message.clone(),
+                f.schedule.to_string(),
+                f.original.to_string(),
+            )
+        }),
+    }
+}
+
+/// Explore `program` under both reductions and assert DPOR changed
+/// nothing but the schedule count.
+fn assert_equiv<T: FromValue + Debug + 'static>(
+    name: &str,
+    max_schedules: usize,
+    program: fn() -> Io<T>,
+    fail_if: fn(&RunOutcome<T>) -> Option<String>,
+) {
+    let sleep = run_mode(Reduction::SleepSets, max_schedules, program, fail_if);
+    let dpor = run_mode(Reduction::Dpor, max_schedules, program, fail_if);
+    // A failing exploration is never `complete` (it reports coverage up
+    // to the failure); only passing corpus runs must be exhaustive.
+    if sleep.failure.is_none() || dpor.failure.is_none() {
+        assert!(
+            sleep.complete && dpor.complete,
+            "{name}: corpus programs must be exhaustively explorable \
+             (sleep {}, dpor {})",
+            sleep.complete,
+            dpor.complete
+        );
+    }
+    assert_eq!(
+        sleep.failure.is_some(),
+        dpor.failure.is_some(),
+        "{name}: verdict diverged"
+    );
+    if let (Some(s), Some(d)) = (&sleep.failure, &dpor.failure) {
+        assert_eq!(s.0, d.0, "{name}: failure message diverged");
+        assert_eq!(s.1, d.1, "{name}: shrunk certificate diverged");
+    }
+    // On a failure each mode stops at its first failing run, so the
+    // outcome sets are legitimately partial; only passing (complete)
+    // explorations must agree on the full behaviour set.
+    if sleep.failure.is_none() {
+        assert_eq!(
+            sleep.outcomes, dpor.outcomes,
+            "{name}: observable behaviours diverged"
+        );
+    }
+    // The schedule-count comparison only makes sense on passes: a
+    // failing sleep-set DFS stops at its first failing run, while DPOR
+    // deliberately drains its whole fixpoint so the certificate stays
+    // a deterministic function of the run set (see `crates/explore`).
+    if sleep.failure.is_none() {
+        assert!(
+            dpor.explored <= sleep.explored,
+            "{name}: DPOR explored more ({}) than sleep sets ({})",
+            dpor.explored,
+            sleep.explored
+        );
+    }
+}
+
+fn no_failure<T>(_: &RunOutcome<T>) -> Option<String> {
+    None
+}
+
+// --------------------------------------------------------------- corpus
+
+/// 1. The classic two-thread console race.
+fn output_race() -> Io<()> {
+    Io::fork(Io::put_char('b'))
+        .then(Io::put_char('a'))
+        .then(Io::sleep(1))
+}
+
+#[test]
+fn corpus_output_race() {
+    assert_equiv("output_race", 10_000, output_race, no_failure);
+}
+
+/// 2. The same race as a seeded failure: both engines must find it,
+///    report the same message, and shrink to the same certificate.
+#[test]
+fn corpus_output_race_failing() {
+    assert_equiv("output_race_failing", 10_000, output_race, |out| {
+        (out.output == "ba").then(|| "child won the race".to_owned())
+    });
+}
+
+/// 3. The G5 golden workload: two MVar writers racing a reader plus an
+///    async kill (448 schedules under sleep sets).
+fn three_way_race() -> Io<i64> {
+    Io::new_empty_mvar::<i64>().and_then(|m| {
+        Io::fork(m.put(1))
+            .then(Io::fork(m.put(2)))
+            .and_then(move |t2| {
+                Io::throw_to(t2, Exception::kill_thread())
+                    .then(m.take())
+                    .catch(|_| Io::pure(-1))
+            })
+    })
+}
+
+#[test]
+fn corpus_three_way_race() {
+    assert_equiv("three_way_race", 10_000, three_way_race, no_failure);
+}
+
+/// 4. Two independent MVar pairs — the sleep-set showcase; DPOR must
+///    not regress it.
+fn independent_pairs() -> Io<i64> {
+    Io::new_empty_mvar::<i64>().and_then(|a| {
+        Io::new_empty_mvar::<i64>().and_then(move |b| {
+            Io::fork(a.put(1))
+                .then(Io::fork(b.put(2)))
+                .then(a.take())
+                .and_then(move |x| b.take().map(move |y| x + y))
+        })
+    })
+}
+
+#[test]
+fn corpus_independent_pairs() {
+    assert_equiv(
+        "independent_pairs",
+        10_000,
+        independent_pairs,
+        |out| match out.result {
+            Ok(3) => None,
+            ref other => Some(format!("expected Ok(3), got {other:?}")),
+        },
+    );
+}
+
+/// 5. §5.3: `block (takeMVar m)` on a full MVar is atomic — no
+///    delivery point may split the take from its continuation.
+fn block_take() -> Io<(i64, bool)> {
+    Io::new_mvar(7_i64).and_then(|m| {
+        Io::my_thread_id().and_then(move |me| {
+            Io::fork(Io::throw_to(me, Exception::kill_thread()))
+                .then(Io::block(
+                    m.take().and_then(|v| Io::put_char('t').map(move |_| v)),
+                ))
+                .catch(|_| Io::pure(-1))
+                .and_then(move |r| m.try_take().map(move |left| (r, left.is_some())))
+        })
+    })
+}
+
+#[test]
+fn corpus_block_take_atomicity() {
+    assert_equiv("block_take", 10_000, block_take, |out| match &out.result {
+        Ok((_, still_full)) => {
+            let took = out.output.contains('t');
+            if took && *still_full {
+                Some("'t' printed but the MVar still holds a value".into())
+            } else if !took && !*still_full {
+                Some("MVar drained without completing block(takeMVar)".into())
+            } else {
+                None
+            }
+        }
+        Err(RunError::Uncaught(_)) => None,
+        Err(e) => Some(e.to_string()),
+    });
+}
+
+/// 6. §7.1: a correct `bracket` under an async kill releases on every
+///    schedule.
+fn good_bracket_under_kill() -> Io<i64> {
+    let body = bracket(
+        Io::put_char('a').map(|_| 0_i64),
+        |_| Io::put_char('r'),
+        |_| Io::pure(1_i64),
+    );
+    Io::fork(body.map(|_| ()).catch(|_| Io::unit()))
+        .and_then(|w| Io::throw_to(w, Exception::kill_thread()))
+        .then(Io::sleep(1))
+        .map(|_| 0)
+}
+
+#[test]
+fn corpus_good_bracket() {
+    assert_equiv("good_bracket", 50_000, good_bracket_under_kill, |out| {
+        let a = out.output.matches('a').count();
+        let r = out.output.matches('r').count();
+        (a != r).then(|| format!("acquired {a} but released {r} (output {:?})", out.output))
+    });
+}
+
+/// 7. §7.1 seeded bug: the acquire runs *outside* the protected
+///    region, so a kill landing right after it leaks the resource. Both
+///    engines must catch it identically.
+fn broken_bracket_under_kill() -> Io<i64> {
+    let body = Io::put_char('a').map(|_| 0_i64).and_then(|_| {
+        Io::block(
+            Io::unblock(Io::pure(1_i64))
+                .catch(|e| Io::put_char('r').then(Io::throw(e)))
+                .and_then(|v| Io::put_char('r').map(move |_| v)),
+        )
+    });
+    Io::fork(body.map(|_| ()).catch(|_| Io::unit()))
+        .and_then(|w| Io::throw_to(w, Exception::kill_thread()))
+        .then(Io::sleep(1))
+        .map(|_| 0)
+}
+
+#[test]
+fn corpus_broken_bracket_seeded_bug() {
+    assert_equiv("broken_bracket", 50_000, broken_bracket_under_kill, |out| {
+        let a = out.output.matches('a').count();
+        let r = out.output.matches('r').count();
+        (a != r).then(|| format!("leak: acquired {a}, released {r}"))
+    });
+}
+
+/// 8. §7.2 `both`: the pair always materializes, both child orders
+///    reachable.
+fn both_pair() -> Io<(i64, i64)> {
+    both(
+        Io::put_char('x').map(|_| 1_i64),
+        Io::put_char('y').map(|_| 2_i64),
+    )
+}
+
+#[test]
+fn corpus_both() {
+    assert_equiv("both", 50_000, both_pair, |out| match &out.result {
+        Ok((1, 2)) => None,
+        other => Some(format!("expected Ok((1, 2)), got {other:?}")),
+    });
+}
+
+/// 9. §7.2 `either`/`race`: exactly one winner on every schedule.
+fn either_race() -> Io<Either<char, char>> {
+    race(Io::pure('l'), Io::pure('r'))
+}
+
+#[test]
+fn corpus_either() {
+    assert_equiv("either", 100_000, either_race, |out| match &out.result {
+        Ok(Either::Left('l')) | Ok(Either::Right('r')) => None,
+        other => Some(format!("race produced {other:?}")),
+    });
+}
+
+/// 10. Delivery points under `block`/`unblock`: the kill may land at
+///     several distinct unmasked points (or never); DPOR must see every
+///     landing site the full exploration sees.
+fn masked_delivery() -> Io<i64> {
+    Io::my_thread_id().and_then(|me| {
+        Io::fork(Io::throw_to(me, Exception::kill_thread()))
+            .then(Io::block(Io::put_char('x').then(Io::put_char('y'))))
+            .then(Io::put_char('z'))
+            .map(|_| 0_i64)
+            .catch(|_| Io::pure(1_i64))
+    })
+}
+
+#[test]
+fn corpus_masked_delivery() {
+    assert_equiv("masked_delivery", 10_000, masked_delivery, no_failure);
+}
+
+/// 11. A throwTo aimed at a worker blocked on an MVar — the
+///     blocked-target dependence rule (the delivery races with the wake-up,
+///     not with the target's last executed step).
+fn kill_blocked_worker() -> Io<i64> {
+    Io::new_empty_mvar::<i64>().and_then(|m| {
+        Io::fork(m.take().map(|_| ()).catch(|_| Io::unit())).and_then(move |w| {
+            Io::fork(m.put(5))
+                .then(Io::throw_to(w, Exception::kill_thread()))
+                .then(Io::sleep(2))
+                .then(m.try_take().map(|v| v.unwrap_or(-1)))
+        })
+    })
+}
+
+#[test]
+fn corpus_kill_blocked_worker() {
+    assert_equiv(
+        "kill_blocked_worker",
+        50_000,
+        kill_blocked_worker,
+        no_failure,
+    );
+}

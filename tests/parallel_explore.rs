@@ -6,7 +6,7 @@
 //! worker count, and failing runs shrink to the byte-identical
 //! certificate the sequential DFS would have produced.
 
-use conch_explore::{ExploreConfig, Explorer, Report, RunOutcome, Schedule, TestCase};
+use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Schedule, TestCase};
 use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
 
@@ -177,6 +177,104 @@ fn workers_zero_uses_available_parallelism() {
         .expect_pass()
         .clone();
     assert_eq!(report, sequential);
+}
+
+// ---------------------------------------------------------------------
+// The same determinism contract must hold under DPOR: each round's
+// tree is fixed, insertions are a commutative union, so counters and
+// certificates are functions of the schedule space alone (see
+// crates/explore/src/dpor.rs).
+// ---------------------------------------------------------------------
+
+fn dpor_explorer() -> Explorer {
+    Explorer::with_config(ExploreConfig {
+        max_schedules: 100_000,
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    })
+}
+
+#[test]
+fn dpor_counts_identical_for_every_worker_count() {
+    for program in [three_way_race as fn() -> Io<i64>, independent_pairs] {
+        let sequential = dpor_explorer()
+            .check(|| {
+                TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
+                    Ok(_) => Ok(()),
+                    Err(ref e) => Err(e.to_string()),
+                })
+            })
+            .expect_pass()
+            .clone();
+        assert!(sequential.complete);
+        for workers in WORKER_COUNTS {
+            let parallel = dpor_explorer()
+                .check_parallel(workers, || {
+                    TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
+                        Ok(_) => Ok(()),
+                        Err(ref e) => Err(e.to_string()),
+                    })
+                })
+                .expect_pass()
+                .clone();
+            assert_eq!(
+                parallel, sequential,
+                "DPOR report diverged at workers={workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dpor_explores_fewer_schedules_than_sleep_sets_on_g5() {
+    let sleep = passing_report(1, three_way_race);
+    let dpor = dpor_explorer()
+        .check(|| {
+            TestCase::new(three_way_race(), |out: &RunOutcome<i64>| match out.result {
+                Ok(_) => Ok(()),
+                Err(ref e) => Err(e.to_string()),
+            })
+        })
+        .expect_pass()
+        .clone();
+    assert!(sleep.complete && dpor.complete);
+    assert!(
+        dpor.explored < sleep.explored,
+        "DPOR must strictly reduce G5: {} vs {}",
+        dpor.explored,
+        sleep.explored
+    );
+    assert!(dpor.stats.races_detected > 0);
+    assert!(dpor.stats.backtracks_installed > 0);
+}
+
+#[test]
+fn dpor_failure_certificates_identical_for_every_worker_count() {
+    let check = || {
+        Explorer::with_config(ExploreConfig {
+            max_schedules: 100_000,
+            reduction: Reduction::Dpor,
+            ..ExploreConfig::default()
+        })
+    };
+    let reference = check().check(racy_case);
+    let reference = reference.expect_fail();
+    for workers in WORKER_COUNTS {
+        let result = check().check_parallel(workers, racy_case);
+        let failure = result.expect_fail();
+        assert_eq!(
+            failure.schedule, reference.schedule,
+            "DPOR shrunk certificate diverged at workers={workers}"
+        );
+        assert_eq!(failure.original, reference.original);
+        assert_eq!(failure.message, reference.message);
+        // DPOR drains its whole fixpoint before shrinking, so even the
+        // coverage counters of a failing search are deterministic.
+        assert_eq!(
+            failure.report, reference.report,
+            "DPOR failing report diverged at workers={workers}"
+        );
+    }
 }
 
 #[test]
