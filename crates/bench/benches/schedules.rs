@@ -28,8 +28,8 @@
 use std::time::Instant;
 
 use conch_bench::{
-    accept_loop_workload, explore_once, explore_once_parallel, explore_reduced, log_fanin_workload,
-    pipeline_workload,
+    accept_loop_workload, explore_fault_space, explore_once, explore_once_parallel,
+    explore_reduced, log_fanin_workload, pipeline_workload,
 };
 use conch_explore::{Reduction, Report};
 use conch_runtime::io::Io;
@@ -193,6 +193,47 @@ fn emit_json() {
         );
         let secs = start.elapsed().as_secs_f64();
         rows.push(dpor_row(config, workers, &report, secs, sleep_explored));
+    }
+
+    // X2: the fault × schedule spaces — an httpd server under
+    // Injector::Explore, so every injection site (connection fault arm,
+    // storm strike) is a branch point the explorer enumerates alongside
+    // the scheduling decisions. Each space is explored sequentially and
+    // at 4 workers; every row must be complete with faults_injected > 0,
+    // and the two rows of a space must carry identical counters — CI
+    // asserts all of it. The recovery invariants (healthy probe answered
+    // 200, no leaked workers or connections, counters conserved) are
+    // checked on every schedule inside explore_fault_space.
+    for (config, space) in [
+        (
+            "conn_faults",
+            conch_faults::spaces::conn_fault_space as fn() -> Io<_>,
+        ),
+        (
+            "kill_storm",
+            conch_faults::spaces::storm_space as fn() -> Io<_>,
+        ),
+    ] {
+        for workers in [1, 4] {
+            let start = Instant::now();
+            let report = explore_fault_space(space, workers);
+            let secs = start.elapsed().as_secs_f64();
+            rows.push(format!(
+                concat!(
+                    "    {{\"config\": \"{}\", \"workers\": {}, \"explored\": {}, ",
+                    "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
+                    "\"seconds\": {:.6}, \"faults_injected\": {}}}"
+                ),
+                config,
+                workers,
+                report.explored,
+                report.pruned,
+                report.truncated,
+                report.complete,
+                secs,
+                report.faults_injected,
+            ));
+        }
     }
 
     // X1: the larger workloads, each explored under sleep sets and

@@ -11,7 +11,7 @@ use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Test
 use conch_httpd::client::good_client;
 use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
-use conch_httpd::server::{handler, start, Handler, ServerConfig};
+use conch_httpd::server::{handler, start, Handler, ServerConfig, StatsSnapshot};
 use conch_runtime::io::{for_each, sequence, Io};
 use conch_runtime::prelude::*;
 
@@ -373,6 +373,43 @@ where
         })
     };
     result.report().clone()
+}
+
+/// X2: one full exploration of a canonical fault × schedule space from
+/// [`conch_faults::spaces`], checking the recovery invariants
+/// ([`conch_faults::spaces::holds_invariants`]) on every schedule.
+/// DPOR with preemption bound 2 — fault arms and delivery points still
+/// branch fully (only preemptive switches are rationed), so fault
+/// coverage stays exhaustive while the space converges in
+/// milliseconds. Panics on a violation: the bench regenerates verified
+/// numbers and must not silently record a failing space.
+pub fn explore_fault_space(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers: usize) -> Report {
+    fn check(out: &RunOutcome<(i64, i64, StatsSnapshot)>) -> Result<(), String> {
+        match &out.result {
+            Ok(v) => conch_faults::spaces::holds_invariants(v),
+            Err(e) => Err(format!("run failed: {e:?}")),
+        }
+    }
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(space(), check))
+    } else {
+        explorer.check_parallel(workers, move || TestCase::new(space(), check))
+    };
+    match result {
+        conch_explore::CheckResult::Passed(report) => *report,
+        conch_explore::CheckResult::Failed(f) => {
+            panic!("fault space violated recovery invariants: {}", f.message)
+        }
+    }
 }
 
 /// S1: the §11 server answering `n` well-behaved requests, one forked

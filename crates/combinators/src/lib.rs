@@ -20,7 +20,9 @@
 //! * paper-adjacent extensions: [`Thunk`] (§8's thunk treatment),
 //!   [`catch_sync`]/[`catch_alert`] (§9's exceptions-vs-alerts),
 //!   [`mask`]/[`Restore`] (the successor to `block`/`unblock`),
-//!   [`supervise`] (§11's fault-tolerance idiom).
+//!   [`supervise`] (§11's fault-tolerance idiom);
+//! * recovery: [`retry_backoff`] (bounded, virtual-clock exponential
+//!   backoff) and [`Breaker`] (a load-shedding circuit breaker).
 //!
 //! The paper's point is that these can be built *as a library*, with no
 //! further runtime support than `throwTo`, `block`/`unblock` and
@@ -51,6 +53,7 @@ mod locking;
 mod many;
 mod mask;
 mod race;
+mod retry;
 mod sem;
 mod supervise;
 mod thunk;
@@ -67,6 +70,7 @@ pub use crate::locking::{
 pub use crate::many::{map_concurrently, race_many};
 pub use crate::mask::{mask, modify_mvar_restoring, Restore};
 pub use crate::race::{both, race, timeout};
+pub use crate::retry::{retry_backoff, Breaker, BreakerOutcome};
 pub use crate::sem::Sem;
 pub use crate::supervise::{supervise, Supervised};
 pub use crate::thunk::Thunk;

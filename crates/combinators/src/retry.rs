@@ -1,0 +1,390 @@
+//! Recovery combinators: bounded retry with exponential backoff and a
+//! load-shedding circuit breaker.
+//!
+//! Both are built from the paper's primitives only — `catch`, `MVar`s
+//! and the virtual clock — so they compose with asynchronous
+//! exceptions the same way every other combinator here does:
+//! `KillThread` is never swallowed (a retry loop that ate its own
+//! cancellation would resurrect exactly the §9 bug the server's
+//! handler guard defends against), and all waiting is bounded virtual
+//! sleeping, so the explorer can enumerate every schedule through a
+//! recovery path.
+
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue};
+
+use crate::locking::modify_mvar_with;
+
+/// Runs `factory(attempt)` up to `attempts` times, sleeping
+/// `base_delay << attempt` virtual microseconds between failures
+/// (bounded exponential backoff: `base_delay`, `2·base_delay`,
+/// `4·base_delay`, …).
+///
+/// The action is taken as a *factory* (attempt number in) because `Io`
+/// values are single-use. Synchronous failures are retried;
+/// `KillThread` is re-thrown immediately — a cancelled retry loop must
+/// stay cancelled. When the budget is exhausted the last failure
+/// propagates.
+///
+/// # Panics
+///
+/// Panics if `attempts` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use conch_runtime::prelude::*;
+/// use conch_combinators::retry_backoff;
+/// use std::cell::RefCell;
+/// use std::rc::Rc;
+///
+/// let mut rt = Runtime::new();
+/// let tries = Rc::new(RefCell::new(0));
+/// let t = Rc::clone(&tries);
+/// let prog = retry_backoff(3, 100, move |attempt| {
+///     *t.borrow_mut() += 1;
+///     if attempt < 2 {
+///         Io::<i64>::throw(Exception::error_call("flaky"))
+///     } else {
+///         Io::pure(7)
+///     }
+/// });
+/// assert_eq!(rt.run(prog).unwrap(), 7);
+/// assert_eq!(*tries.borrow(), 3);
+/// assert_eq!(rt.clock(), 100 + 200); // backoff between the attempts
+/// ```
+pub fn retry_backoff<A, F>(attempts: u32, base_delay: u64, factory: F) -> Io<A>
+where
+    A: FromValue + IntoValue + 'static,
+    F: Fn(u32) -> Io<A> + 'static,
+{
+    assert!(attempts > 0, "retry_backoff needs at least one attempt");
+    fn go<A, F>(attempt: u32, attempts: u32, base_delay: u64, factory: std::rc::Rc<F>) -> Io<A>
+    where
+        A: FromValue + IntoValue + 'static,
+        F: Fn(u32) -> Io<A> + 'static,
+    {
+        factory(attempt).catch(move |e| {
+            if e.is_kill_thread() || attempt + 1 >= attempts {
+                Io::throw(e)
+            } else {
+                Io::sleep(base_delay << attempt)
+                    .and_then(move |_| go(attempt + 1, attempts, base_delay, factory))
+            }
+        })
+    }
+    go(0, attempts, base_delay, std::rc::Rc::new(factory))
+}
+
+/// A circuit breaker: after `threshold` *consecutive* failures the
+/// circuit opens for `cooldown` virtual microseconds, during which
+/// [`guard`](Breaker::guard)ed actions are shed without running — the
+/// server-side half of graceful degradation (the caller turns a shed
+/// into a `503 Retry-After`, a cached answer, whatever fits).
+///
+/// State lives in one `MVar` holding `(consecutive_failures,
+/// open_until)`, updated with the §5.1 safe pattern, so the breaker is
+/// async-exception-safe and shareable across worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct Breaker {
+    /// `(consecutive failures, virtual deadline until which the
+    /// circuit stays open)`.
+    state: MVar<(i64, i64)>,
+    /// Consecutive failures that open the circuit.
+    threshold: i64,
+    /// How long the circuit stays open once tripped (virtual µs).
+    cooldown: u64,
+}
+
+/// What a [`Breaker::guard`]ed call produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerOutcome<A> {
+    /// The circuit was closed and the action succeeded.
+    Ran(A),
+    /// The circuit was open: the action never ran.
+    Shed,
+}
+
+impl<A: IntoValue> IntoValue for BreakerOutcome<A> {
+    fn into_value(self) -> conch_runtime::value::Value {
+        use conch_runtime::value::Value;
+        match self {
+            BreakerOutcome::Ran(a) => Value::Left(Box::new(a.into_value())),
+            BreakerOutcome::Shed => Value::Right(Box::new(Value::Unit)),
+        }
+    }
+}
+
+impl<A: FromValue> FromValue for BreakerOutcome<A> {
+    fn from_value(v: conch_runtime::value::Value) -> Option<Self> {
+        use conch_runtime::value::Value;
+        match v {
+            Value::Left(a) => Some(BreakerOutcome::Ran(A::from_value(*a)?)),
+            Value::Right(_) => Some(BreakerOutcome::Shed),
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for Breaker {
+    fn into_value(self) -> conch_runtime::value::Value {
+        use conch_runtime::value::Value;
+        Value::List(vec![
+            self.state.into_value(),
+            Value::Int(self.threshold),
+            Value::Int(self.cooldown as i64),
+        ])
+    }
+}
+
+impl FromValue for Breaker {
+    fn from_value(v: conch_runtime::value::Value) -> Option<Self> {
+        use conch_runtime::value::Value;
+        match v {
+            Value::List(xs) if xs.len() == 3 => {
+                let mut it = xs.into_iter();
+                Some(Breaker {
+                    state: MVar::from_value(it.next()?)?,
+                    threshold: it.next()?.as_int()?,
+                    cooldown: u64::try_from(it.next()?.as_int()?).ok()?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Breaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and stays open for `cooldown` virtual microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: i64, cooldown: u64) -> Io<Breaker> {
+        assert!(threshold > 0, "Breaker needs a positive threshold");
+        Io::new_mvar((0_i64, 0_i64)).map(move |state| Breaker {
+            state,
+            threshold,
+            cooldown,
+        })
+    }
+
+    /// Runs `action` if the circuit is closed (or the cooldown has
+    /// expired), recording success/failure; sheds it otherwise.
+    ///
+    /// A failure while the action runs counts toward the threshold and
+    /// re-throws. `KillThread` still counts (the worker died mid-call —
+    /// the dependency is not absolved) but is never swallowed.
+    pub fn guard<A>(&self, action: Io<A>) -> Io<BreakerOutcome<A>>
+    where
+        A: FromValue + IntoValue + 'static,
+    {
+        let b = *self;
+        Io::now().and_then(move |now| {
+            modify_mvar_with(b.state, move |(fails, open_until): (i64, i64)| {
+                let open = now < open_until;
+                Io::pure(((fails, open_until), open))
+            })
+            .and_then(move |open| {
+                if open {
+                    return Io::pure(BreakerOutcome::Shed);
+                }
+                action
+                    .and_then(move |a| b.record(true).map(move |_| BreakerOutcome::Ran(a)))
+                    .catch(move |e| b.record(false).then(Io::throw(e)))
+            })
+        })
+    }
+
+    /// `true` while the circuit is open at the current virtual time.
+    pub fn is_open(&self) -> Io<bool> {
+        let state = self.state;
+        Io::now().and_then(move |now| {
+            crate::locking::with_mvar(state, Io::pure)
+                .map(move |(_, open_until): (i64, i64)| now < open_until)
+        })
+    }
+
+    /// Records one call outcome: success closes the circuit fully,
+    /// failure number `threshold` opens it until `now + cooldown`.
+    fn record(&self, success: bool) -> Io<()> {
+        let b = *self;
+        Io::now().and_then(move |now| {
+            modify_mvar_with(b.state, move |(fails, open_until): (i64, i64)| {
+                let next = if success {
+                    (0, 0)
+                } else {
+                    let fails = fails + 1;
+                    if fails >= b.threshold {
+                        // Open: shed everything until the cooldown ends,
+                        // then let the next call probe the dependency.
+                        (0, now + b.cooldown as i64)
+                    } else {
+                        (fails, open_until)
+                    }
+                };
+                Io::pure((next, ()))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::prelude::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn retry_succeeds_first_try_without_sleeping() {
+        let mut rt = Runtime::new();
+        let prog = retry_backoff(5, 1_000, |_| Io::pure(1_i64));
+        assert_eq!(rt.run(prog).unwrap(), 1);
+        assert_eq!(rt.clock(), 0);
+    }
+
+    #[test]
+    fn retry_backs_off_exponentially() {
+        let mut rt = Runtime::new();
+        let tries = Rc::new(RefCell::new(0_u32));
+        let t = Rc::clone(&tries);
+        let prog = retry_backoff(4, 100, move |attempt| {
+            *t.borrow_mut() += 1;
+            if attempt < 3 {
+                Io::<i64>::throw(Exception::error_call("flaky"))
+            } else {
+                Io::pure(9)
+            }
+        });
+        assert_eq!(rt.run(prog).unwrap(), 9);
+        assert_eq!(*tries.borrow(), 4);
+        // 100 + 200 + 400 between the four attempts.
+        assert_eq!(rt.clock(), 700);
+    }
+
+    #[test]
+    fn retry_exhausted_rethrows_last_failure() {
+        let mut rt = Runtime::new();
+        let prog = retry_backoff(3, 10, |attempt| {
+            Io::<i64>::throw(Exception::error_call(format!("fail {attempt}")))
+        });
+        assert_eq!(
+            rt.run(prog),
+            Err(RunError::Uncaught(Exception::error_call("fail 2")))
+        );
+    }
+
+    #[test]
+    fn retry_never_swallows_kill_thread() {
+        let mut rt = Runtime::new();
+        // A retried action that blocks forever; killing the thread must
+        // not trigger a retry.
+        let tries = Rc::new(RefCell::new(0_u32));
+        let t = Rc::clone(&tries);
+        let prog = Io::new_empty_mvar::<i64>().and_then(move |hole| {
+            let body = retry_backoff(10, 5, move |_| {
+                *t.borrow_mut() += 1;
+                hole.take()
+            })
+            .map(|_| ())
+            .catch(|e| {
+                assert!(e.is_kill_thread());
+                Io::unit()
+            });
+            Io::fork(body).and_then(|tid| {
+                Io::sleep(50)
+                    .then(Io::throw_to(tid, Exception::kill_thread()))
+                    .then(Io::sleep(50))
+            })
+        });
+        rt.run(prog).unwrap();
+        assert_eq!(*tries.borrow(), 1, "KillThread must not be retried");
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_sheds() {
+        let mut rt = Runtime::new();
+        let prog = Breaker::new(2, 10_000).and_then(|b| {
+            let fail = || {
+                b.guard(Io::<i64>::throw(Exception::error_call("down")))
+                    .catch(|_| Io::pure(BreakerOutcome::Shed))
+            };
+            fail()
+                .then(fail())
+                .then(b.guard(Io::pure(5_i64)))
+                .and_then(move |shed| b.is_open().map(move |open| (shed, open)))
+        });
+        let (shed, open) = rt.run(prog).unwrap();
+        assert_eq!(shed, BreakerOutcome::Shed, "third call must be shed");
+        assert!(open);
+    }
+
+    #[test]
+    fn breaker_closes_again_after_cooldown() {
+        let mut rt = Runtime::new();
+        let prog = Breaker::new(1, 1_000).and_then(|b| {
+            b.guard(Io::<i64>::throw(Exception::error_call("down")))
+                .catch(|_| Io::pure(BreakerOutcome::Shed))
+                .then(Io::sleep(2_000))
+                .then(b.guard(Io::pure(3_i64)))
+        });
+        assert_eq!(rt.run(prog).unwrap(), BreakerOutcome::Ran(3));
+    }
+
+    #[test]
+    fn breaker_success_resets_failure_streak() {
+        let mut rt = Runtime::new();
+        let prog = Breaker::new(2, 10_000).and_then(|b| {
+            let fail = move || {
+                b.guard(Io::<i64>::throw(Exception::error_call("down")))
+                    .catch(|_| Io::pure(BreakerOutcome::Shed))
+            };
+            // fail, success, fail: streak never reaches 2.
+            fail()
+                .then(b.guard(Io::pure(1_i64)))
+                .then(fail())
+                .then(b.guard(Io::pure(2_i64)))
+        });
+        assert_eq!(rt.run(prog).unwrap(), BreakerOutcome::Ran(2));
+    }
+
+    #[test]
+    fn retry_composes_with_breaker() {
+        let mut rt = Runtime::new();
+        // A flaky dependency behind a breaker: the retry loop sees the
+        // shed as a failure and backs off past the cooldown, after
+        // which the probe succeeds.
+        let calls = Rc::new(RefCell::new(0_u32));
+        let c = Rc::clone(&calls);
+        let prog = Breaker::new(1, 500).and_then(move |b| {
+            retry_backoff(4, 400, move |_| {
+                let c2 = Rc::clone(&c);
+                b.guard(
+                    Io::effect(move || {
+                        let n = {
+                            let mut m = c2.borrow_mut();
+                            *m += 1;
+                            *m
+                        };
+                        n as i64
+                    })
+                    .and_then(|n| {
+                        if n == 1 {
+                            Io::<i64>::throw(Exception::error_call("cold start"))
+                        } else {
+                            Io::pure(n)
+                        }
+                    }),
+                )
+                .and_then(|out| match out {
+                    BreakerOutcome::Ran(v) => Io::pure(v),
+                    BreakerOutcome::Shed => Io::<i64>::throw(Exception::error_call("shed")),
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 2);
+    }
+}

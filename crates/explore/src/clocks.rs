@@ -179,7 +179,10 @@ fn events_dependent(
     match (a.fp, b.fp) {
         (Terminal, _) | (_, Terminal) => false,
         (Throw(_), _) | (_, Throw(_)) => false,
-        (Local | Mask | Raise, _) | (_, Local | Mask | Raise) => false,
+        // Oracle steps are never logged (their nondeterminism lives in
+        // the explicit arm branch point), but treat them as confined to
+        // their thread should one ever appear.
+        (Local | Mask | Raise | Oracle, _) | (_, Local | Mask | Raise | Oracle) => false,
         (MVar(x), MVar(y)) => x == y,
         (Alloc, Alloc) | (Console, Console) | (Time, Time) | (Fork, Fork) => true,
         _ => false,

@@ -105,6 +105,8 @@ where
                 .map(|p| {
                     if p.is_delivery() {
                         2
+                    } else if p.is_arm() {
+                        p.arms as u32
                     } else {
                         p.alts.len() as u32
                     }
@@ -112,7 +114,7 @@ where
                 .collect();
             let new_path = frontier.dpor_register_run(&schedule.choices, &candidates);
             if new_path {
-                frontier.note_run(run.depth_hit, run.stats.steps);
+                frontier.note_run(run.depth_hit, run.stats.steps, &schedule.choices);
                 local_stats.merge(&run.stats);
                 if let Err(message) = run.check_result {
                     // A failure neither stops the round nor prunes
@@ -136,12 +138,19 @@ where
                 let lists = frontier.dpor_backtrack_lists(&schedule.choices, scripted);
                 let mut st = state.borrow_mut();
                 for (point, backtrack) in st.record.drain(scripted..).zip(lists) {
-                    if point.is_delivery() {
+                    if point.is_delivery() || point.is_arm() {
+                        // Delivery and oracle points branch all their
+                        // alternatives in every round — a delivery is
+                        // dependent on every step of its target, and an
+                        // oracle's arms are first-class behaviours, so
+                        // neither is ever restricted by backtrack sets.
                         stack.push(Node::from_point(point));
                     } else {
                         let chosen = match point.chosen {
                             Choice::Thread(t) => t,
-                            Choice::Deliver(_) => unreachable!("scheduling point"),
+                            Choice::Deliver(_) | Choice::Arm(_) => {
+                                unreachable!("scheduling point")
+                            }
                         };
                         let mut order = Vec::with_capacity(1 + backtrack.len());
                         order.push(chosen);
@@ -186,15 +195,19 @@ fn plan_inserts(st: &DriverState, flags: &[RaceFlag]) -> Vec<(usize, u64)> {
     for flag in flags {
         let point = flag.point as usize;
         let p = &st.record[point];
-        if p.is_delivery() {
+        if p.is_delivery() || p.is_arm() {
             // Both delivery arms are always explored; the reversal of
             // a race whose earlier event is the delivery transition is
-            // the opposite arm.
+            // the opposite arm. Oracle points likewise branch every
+            // arm unconditionally (and their steps are never logged,
+            // so no race should flag one anyway).
             continue;
         }
         let chosen = match p.chosen {
             Choice::Thread(t) => t,
-            Choice::Deliver(_) => unreachable!("scheduling point must hold a thread choice"),
+            Choice::Deliver(_) | Choice::Arm(_) => {
+                unreachable!("scheduling point must hold a thread choice")
+            }
         };
         if flag.later_tid == chosen {
             continue;

@@ -105,12 +105,20 @@ pub(crate) struct Point {
     pub sleeping: Vec<u64>,
     /// The choice taken this run.
     pub chosen: Choice,
+    /// For oracle points ([`Io::choose`](conch_runtime::io::Io::choose)):
+    /// the number of arms. Zero for scheduling and delivery points.
+    pub arms: u8,
 }
 
 impl Point {
     /// Is this a delivery (rather than scheduling) point?
     pub fn is_delivery(&self) -> bool {
         matches!(self.chosen, Choice::Deliver(_))
+    }
+
+    /// Is this an oracle-arm point?
+    pub fn is_arm(&self) -> bool {
+        matches!(self.chosen, Choice::Arm(_))
     }
 }
 
@@ -250,7 +258,11 @@ impl DriverState {
             return false;
         }
         let fp = view.footprint;
-        if fp.is_local() {
+        if fp.is_local() || fp == StepFootprint::Oracle {
+            // Local steps cannot race; an oracle step is confined to
+            // its thread too — its nondeterminism is carried entirely
+            // by the explicit `Choice::Arm` branch point, which the
+            // engines always branch fully.
             return false;
         }
         let blocked_target = match fp {
@@ -348,9 +360,10 @@ impl DriverState {
                 .iter()
                 .position(|&(a, _)| a == t)
                 .unwrap_or_else(default_index),
-            // A delivery choice at a scheduling point can only happen
-            // when replaying a spliced (shrunk) schedule; fall back.
-            Some(Choice::Deliver(_)) | None => default_index(),
+            // A delivery or arm choice at a scheduling point can only
+            // happen when replaying a spliced (shrunk) schedule; fall
+            // back.
+            Some(Choice::Deliver(_) | Choice::Arm(_)) | None => default_index(),
         };
 
         if let Some(prev) = previous {
@@ -363,6 +376,7 @@ impl DriverState {
             alts,
             sleeping,
             chosen: Choice::Thread(chosen_tid),
+            arms: 0,
         });
         let point = (self.record.len() - 1) as u32;
         self.sched_logged = self.log_exec(&runnable[index], Some(point), runnable);
@@ -399,8 +413,9 @@ impl DriverState {
         };
         let deliver = match scripted {
             Some(Choice::Deliver(b)) => b,
-            // A thread choice here means a spliced schedule; default.
-            Some(Choice::Thread(_)) | None => true,
+            // A thread or arm choice here means a spliced schedule;
+            // default.
+            Some(Choice::Thread(_) | Choice::Arm(_)) | None => true,
         };
         if deliver {
             // The delivered exception starts unwinding the target: a step
@@ -412,11 +427,44 @@ impl DriverState {
             alts: Alts::new(),
             sleeping: Vec::new(),
             chosen: Choice::Deliver(deliver),
+            arms: 0,
         });
         if deliver {
             self.unlog_phantom();
         }
         deliver
+    }
+
+    /// The arm decision for an [`Io::choose`](conch_runtime::io::Io::choose)
+    /// oracle. Recorded as a full branch point (every arm is a sibling
+    /// the DFS will visit), even when the thread choice leading here was
+    /// forced. Oracle steps are never logged for the race analysis —
+    /// their nondeterminism is entirely carried by this explicit choice.
+    fn arm_point(&mut self, _view: ThreadView, arms: u8) -> u8 {
+        if self.record.len() >= self.max_points {
+            self.depth_hit = true;
+            return 0;
+        }
+        let scripted = if self.pos < self.script.len() {
+            let c = self.script[self.pos];
+            self.pos += 1;
+            Some(c)
+        } else {
+            None
+        };
+        let arm = match scripted {
+            // An out-of-range arm (or a thread/delivery choice) here
+            // means a spliced schedule; take the default arm.
+            Some(Choice::Arm(a)) if a < arms => a,
+            _ => 0,
+        };
+        self.record.push(Point {
+            alts: Alts::new(),
+            sleeping: Vec::new(),
+            chosen: Choice::Arm(arm),
+            arms,
+        });
+        arm
     }
 }
 
@@ -456,5 +504,9 @@ impl Decider for ScriptedDecider {
 
     fn deliver_now(&mut self, view: ThreadView) -> bool {
         self.0.borrow_mut().deliver_point(view)
+    }
+
+    fn choose_arm(&mut self, view: ThreadView, arms: u8) -> u8 {
+        self.0.borrow_mut().arm_point(view, arms)
     }
 }

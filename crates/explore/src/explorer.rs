@@ -152,6 +152,11 @@ pub struct Report {
     /// explored schedule: counters add, high-water marks take the max.
     /// Covers exploration runs only, not shrink replays.
     pub stats: Stats,
+    /// Total fault-arm choices taken across all explored schedules: the
+    /// number of `Choice::Arm(k)` branch points with `k > 0` (arm 0 is
+    /// the no-fault arm by convention). A sum over the explored run
+    /// set, so bit-identical for every worker count.
+    pub faults_injected: u64,
     /// `true` iff the DFS exhausted the (bounded) schedule space with no
     /// run truncated — i.e. the verification is complete at this bound.
     pub complete: bool,
@@ -382,6 +387,7 @@ impl Explorer {
             shrink_runs: 0,
             steps: frontier.steps(),
             stats: frontier.total_stats(),
+            faults_injected: frontier.faults(),
             complete: false,
         };
         if self.config.reduction == Reduction::Dpor {

@@ -76,7 +76,9 @@ impl Node {
                 .iter()
                 .position(|&(a, _)| a == t)
                 .expect("recorded choice must be among its alternatives"),
-            Choice::Deliver(_) => 0,
+            // Delivery and arm nodes track their current alternative in
+            // `point.chosen` itself.
+            Choice::Deliver(_) | Choice::Arm(_) => 0,
         };
         Node {
             point,
@@ -90,7 +92,7 @@ impl Node {
     /// choice first, then the backtrack entries in canonical order).
     /// Every entry must name a thread in `point.alts`.
     pub fn restricted(point: Point, order: Vec<u64>) -> Self {
-        debug_assert!(!point.is_delivery());
+        debug_assert!(!point.is_delivery() && !point.is_arm());
         debug_assert_eq!(
             Some(order[0]),
             match point.chosen {
@@ -112,7 +114,7 @@ impl Node {
     }
 
     pub fn choice(&self) -> Choice {
-        if self.point.is_delivery() {
+        if self.point.is_delivery() || self.point.is_arm() {
             self.point.chosen
         } else {
             Choice::Thread(self.point.alts[self.chosen_idx].0)
@@ -120,9 +122,10 @@ impl Node {
     }
 
     /// Visit the alternatives already explored at this node (to be
-    /// slept in sibling subtrees).
+    /// slept in sibling subtrees). Delivery and arm alternatives are
+    /// not threads, so they contribute no sleep entries.
     pub fn each_explored(&self, mut f: impl FnMut(SleepEntry)) {
-        if self.point.is_delivery() {
+        if self.point.is_delivery() || self.point.is_arm() {
             return;
         }
         match &self.restrict {
@@ -146,13 +149,11 @@ impl Node {
     /// concatenating them along a path yields a key that orders whole
     /// runs by sequential visit order (see [`dfs_key`]).
     pub fn key_index(&self) -> u32 {
-        if self.point.is_delivery() {
-            match self.point.chosen {
-                Choice::Deliver(true) => 0,
-                _ => 1,
-            }
-        } else {
-            self.chosen_idx as u32
+        match self.point.chosen {
+            Choice::Deliver(true) => 0,
+            Choice::Deliver(false) => 1,
+            Choice::Arm(a) => a as u32,
+            Choice::Thread(_) => self.chosen_idx as u32,
         }
     }
 
@@ -166,6 +167,14 @@ impl Node {
             // Deliver-now is explored first; defer second; then done.
             if self.point.chosen == Choice::Deliver(true) {
                 self.point.chosen = Choice::Deliver(false);
+                true
+            } else {
+                false
+            }
+        } else if let Choice::Arm(a) = self.point.chosen {
+            // Arms are explored in ascending order, 0 first.
+            if a + 1 < self.point.arms {
+                self.point.chosen = Choice::Arm(a + 1);
                 true
             } else {
                 false
@@ -216,6 +225,7 @@ pub(crate) fn point_key(p: &Point) -> u32 {
                 1
             }
         }
+        Choice::Arm(a) => a as u32,
         Choice::Thread(t) => {
             p.alts
                 .iter()
@@ -330,6 +340,11 @@ pub(crate) struct Frontier {
     pruned: AtomicUsize,
     truncated: AtomicUsize,
     steps: AtomicU64,
+    /// Faults injected across all explored runs: non-default oracle
+    /// arms taken (`Choice::Arm(k)` with `k > 0`, the fault plane's
+    /// "something goes wrong" arms). A sum over the fixed run set, so
+    /// bit-identical for any worker count.
+    faults: AtomicU64,
     failure: Mutex<Option<FailureCandidate>>,
     stats: Mutex<Stats>,
     dpor: Mutex<DporShared>,
@@ -352,6 +367,7 @@ impl Frontier {
             pruned: AtomicUsize::new(0),
             truncated: AtomicUsize::new(0),
             steps: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
             failure: Mutex::new(None),
             stats: Mutex::new(Stats::default()),
             dpor: Mutex::new(DporShared {
@@ -421,13 +437,22 @@ impl Frontier {
         self.stopped.load(Ordering::Acquire)
     }
 
-    /// Record one executed run.
-    pub fn note_run(&self, depth_hit: bool, run_steps: u64) {
+    /// Record one executed run. `choices` is the run's full schedule,
+    /// from which the injected-fault count (non-default oracle arms) is
+    /// tallied.
+    pub fn note_run(&self, depth_hit: bool, run_steps: u64, choices: &[Choice]) {
         self.explored.fetch_add(1, Ordering::Relaxed);
         if depth_hit {
             self.truncated.fetch_add(1, Ordering::Relaxed);
         }
         self.steps.fetch_add(run_steps, Ordering::Relaxed);
+        let faults = choices
+            .iter()
+            .filter(|c| matches!(c, Choice::Arm(a) if *a > 0))
+            .count() as u64;
+        if faults > 0 {
+            self.faults.fetch_add(faults, Ordering::Relaxed);
+        }
     }
 
     pub fn add_pruned(&self, n: usize) {
@@ -450,6 +475,10 @@ impl Frontier {
 
     pub fn steps(&self) -> u64 {
         self.steps.load(Ordering::Relaxed)
+    }
+
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
     }
 
     /// Offer a failing run; kept only if DFS-earlier than the current
@@ -712,13 +741,19 @@ mod tests {
     #[test]
     fn counters_accumulate() {
         let f = Frontier::new(1);
-        f.note_run(false, 10);
-        f.note_run(true, 32);
+        f.note_run(false, 10, &[Choice::Thread(0), Choice::Arm(0)]);
+        f.note_run(
+            true,
+            32,
+            &[Choice::Arm(2), Choice::Deliver(true), Choice::Arm(1)],
+        );
         f.add_pruned(3);
         assert_eq!(f.explored(), 2);
         assert_eq!(f.truncated(), 1);
         assert_eq!(f.steps(), 42);
         assert_eq!(f.pruned(), 3);
+        // Arm 0 is the no-fault arm; only non-default arms count.
+        assert_eq!(f.faults(), 2);
     }
 
     #[test]

@@ -87,7 +87,7 @@ where
             }
             load_script(&state, &item, &stack, use_sleep);
             let (run, schedule) = explorer.run_once(&mut rt, factory(), &state);
-            frontier.note_run(run.depth_hit, run.stats.steps);
+            frontier.note_run(run.depth_hit, run.stats.steps, &schedule.choices);
             local_stats.merge(&run.stats);
             if let Err(message) = run.check_result {
                 // Stop this item (everything left in it is DFS-later

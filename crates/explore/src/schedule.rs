@@ -9,8 +9,10 @@
 //! different process, or a bug report.
 //!
 //! The text form is compact and line-safe: choices separated by `.`,
-//! thread choices as `t<N>` and delivery choices as `d+` (deliver now)
-//! or `d-` (defer), e.g. `t1.t0.d-.t1.d+`.
+//! thread choices as `t<N>`, delivery choices as `d+` (deliver now)
+//! or `d-` (defer), and oracle-arm choices
+//! ([`Io::choose`](conch_runtime::io::Io::choose), the fault plane's
+//! branch points) as `f<N>`, e.g. `t1.t0.d-.f2.t1.d+`.
 
 use std::fmt;
 use std::str::FromStr;
@@ -23,6 +25,10 @@ pub enum Choice {
     /// At a delivery opportunity: deliver the pending exception now
     /// (`true`) or defer it past the next step (`false`).
     Deliver(bool),
+    /// At an [`Io::choose`](conch_runtime::io::Io::choose) oracle: take
+    /// this arm. Arm 0 is the "nothing unusual happens" convention of
+    /// the fault plane.
+    Arm(u8),
 }
 
 impl fmt::Display for Choice {
@@ -31,6 +37,7 @@ impl fmt::Display for Choice {
             Choice::Thread(t) => write!(f, "t{t}"),
             Choice::Deliver(true) => f.write_str("d+"),
             Choice::Deliver(false) => f.write_str("d-"),
+            Choice::Arm(a) => write!(f, "f{a}"),
         }
     }
 }
@@ -105,14 +112,19 @@ impl FromStr for Schedule {
             let choice = match token {
                 "d+" => Choice::Deliver(true),
                 "d-" => Choice::Deliver(false),
-                _ => match token.strip_prefix('t').and_then(|n| n.parse::<u64>().ok()) {
-                    Some(t) => Choice::Thread(t),
-                    None => {
-                        return Err(ParseScheduleError {
-                            token: token.to_owned(),
-                        })
+                _ => {
+                    let thread = token.strip_prefix('t').and_then(|n| n.parse::<u64>().ok());
+                    let arm = token.strip_prefix('f').and_then(|n| n.parse::<u8>().ok());
+                    match (thread, arm) {
+                        (Some(t), _) => Choice::Thread(t),
+                        (None, Some(a)) => Choice::Arm(a),
+                        (None, None) => {
+                            return Err(ParseScheduleError {
+                                token: token.to_owned(),
+                            })
+                        }
                     }
-                },
+                }
             };
             choices.push(choice);
         }
@@ -129,11 +141,12 @@ mod tests {
         let s = Schedule::from(vec![
             Choice::Thread(1),
             Choice::Deliver(false),
+            Choice::Arm(2),
             Choice::Thread(0),
             Choice::Deliver(true),
         ]);
         let text = s.to_string();
-        assert_eq!(text, "t1.d-.t0.d+");
+        assert_eq!(text, "t1.d-.f2.t0.d+");
         assert_eq!(text.parse::<Schedule>().unwrap(), s);
     }
 

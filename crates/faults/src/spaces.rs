@@ -1,0 +1,134 @@
+//! Canonical fault × schedule spaces, shared by the explorer test
+//! suite, the benchmark harness and `examples/fault_storm.rs` — one
+//! definition, so the numbers CI pins and the numbers the docs quote
+//! are the same program.
+//!
+//! Each space is a self-contained `Io` program: it starts an httpd
+//! server, lets an [`Injector::Explore`] turn every injection site into
+//! an explorer branch point, then audits the server with the quiescent
+//! observation protocol. The returned triple is
+//! `(fault episode code, healthy-probe status, counter snapshot)`;
+//! [`holds_invariants`] is the property every schedule must satisfy.
+//!
+//! ## The observation protocol
+//!
+//! The audit tail of every space is `shutdown_sync → drain → snapshot`,
+//! in that order:
+//!
+//! 1. **`shutdown_sync`** (§9 synchronous `throwTo`) returns only once
+//!    the acceptor is dead, so `accepted` is final;
+//! 2. **`drain`** waits for `active == 0` — and because a worker's
+//!    outcome is recorded in the *same transaction* as its active
+//!    decrement, drain returning means the books are closed;
+//! 3. **`snapshot`** reads every counter in one atomic take/put.
+//!
+//! Weaker protocols are genuinely unsound — the explorer exhibited
+//! torn-counter interleavings for both the asynchronous-shutdown and
+//! the snapshot-before-drain variants while this module was built.
+
+use conch_httpd::client::{status_of, ClientOutcome};
+use conch_httpd::http::Response;
+use conch_httpd::net::{Connection, Listener};
+use conch_httpd::server::{handler, start, Server, ServerConfig, StatsSnapshot};
+use conch_runtime::io::Io;
+
+use crate::client::{faulty_client, prepared_connection};
+use crate::fault::ConnFault;
+use crate::inject::Injector;
+use crate::storm::kill_storm;
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: 1_000,
+        handler_timeout: 5_000,
+        ..ServerConfig::default()
+    }
+}
+
+/// Sends a healthy request after the fault episode, then audits the
+/// counters (see the module docs for why the order is load-bearing).
+fn probe_and_snapshot(
+    l: Listener,
+    server: Server,
+    fault_code: i64,
+) -> Io<(i64, i64, StatsSnapshot)> {
+    prepared_connection(ConnFault::None, "/probe").and_then(move |conn: Connection| {
+        l.inject(conn)
+            .then(conn.read_response())
+            .and_then(move |resp| {
+                let probe_code = match status_of(&resp) {
+                    ClientOutcome::Status(code) => i64::from(code),
+                    ClientOutcome::Garbled => -2,
+                };
+                server
+                    .shutdown_sync()
+                    .then(server.drain())
+                    .then(server.stats.snapshot())
+                    .map(move |snap| (fault_code, probe_code, snap))
+            })
+    })
+}
+
+/// One faulty visit — all five [`ConnFault`] arms (none / drop / stall
+/// / mid-request close / garbage) as explorer branches — then the
+/// healthy probe and the audit.
+pub fn conn_fault_space() -> Io<(i64, i64, StatsSnapshot)> {
+    Listener::bind().and_then(|l| {
+        start(
+            l,
+            handler(|_| Io::pure(Response::ok("hi"))),
+            server_config(),
+        )
+        .and_then(move |server| {
+            faulty_client(l, &Injector::Explore, "/x".into(), 50_000)
+                .and_then(move |code| probe_and_snapshot(l, server, code))
+        })
+    })
+}
+
+/// A stalled connection parks a worker in its read; a `KillThread`
+/// storm (each strike an explorer branch) may kill it mid-read; then
+/// the healthy probe and the audit.
+pub fn storm_space() -> Io<(i64, i64, StatsSnapshot)> {
+    Listener::bind().and_then(|l| {
+        start(
+            l,
+            handler(|_| Io::pure(Response::ok("hi"))),
+            server_config(),
+        )
+        .and_then(move |server| {
+            prepared_connection(ConnFault::Stall, "/x").and_then(move |conn| {
+                // The sleep parks this thread (a blocked switch is
+                // free under preemption bounding), guaranteeing the
+                // worker is forked and parked in its read — well
+                // within the stall's read-timeout budget — before
+                // the storm picks targets.
+                l.inject(conn)
+                    .then(Io::sleep(100))
+                    .then(kill_storm(&server, &Injector::Explore))
+                    .and_then(move |kills| probe_and_snapshot(l, server, kills))
+            })
+        })
+    })
+}
+
+/// The recovery invariants every schedule of every space must satisfy:
+///
+/// * **liveness after faults** — the healthy probe is answered `200`
+///   whatever fault fired and wherever the kills landed;
+/// * **conservation / no leaks** — the audited snapshot satisfies
+///   [`StatsSnapshot::conserved`]: `active == 0` (drain terminated, no
+///   leaked worker or connection) and every accepted connection
+///   recorded exactly one outcome.
+pub fn holds_invariants(out: &(i64, i64, StatsSnapshot)) -> Result<(), String> {
+    let (_, probe_code, snap) = out;
+    if *probe_code != 200 {
+        return Err(format!(
+            "healthy probe after the fault episode got {probe_code}, want 200"
+        ));
+    }
+    if !snap.conserved() {
+        return Err(format!("counters not conserved: {snap:?}"));
+    }
+    Ok(())
+}

@@ -1,0 +1,141 @@
+//! Exception storms: bursts of `throwTo KillThread` at worker threads.
+//!
+//! The §11 fault-tolerance story run in reverse — instead of a
+//! supervisor keeping workers alive, an adversary tries to kill them
+//! at the worst possible moment, and the server's bracket discipline
+//! has to keep the counters conserved anyway. Each potential strike is
+//! an injector decision, so in explore mode the engine enumerates every
+//! subset of workers × every delivery interleaving.
+//!
+//! Striking a worker that already finished is deliberately fine:
+//! thread ids are generation-tagged, so the `throwTo` is a no-op
+//! rather than friendly fire against an unrelated thread that reused
+//! the slot.
+
+use conch_combinators::kill_thread;
+use conch_httpd::server::Server;
+use conch_runtime::ids::ThreadId;
+use conch_runtime::io::Io;
+
+use crate::inject::Injector;
+
+/// One storm pass: for every worker the server has ever forked, ask
+/// the injector whether to strike it with `KillThread`. Returns how
+/// many strikes were delivered (thrown — a strike at an
+/// already-finished worker still counts, and is still harmless).
+pub fn kill_storm(server: &Server, inj: &Injector) -> Io<i64> {
+    let inj = inj.clone();
+    server
+        .worker_ids()
+        .and_then(move |tids| strike_each(inj, tids.into_iter(), 0))
+}
+
+fn strike_each(inj: Injector, mut tids: std::vec::IntoIter<ThreadId>, kills: i64) -> Io<i64> {
+    match tids.next() {
+        None => Io::pure(kills),
+        Some(tid) => inj.strike().and_then(move |hit| {
+            if hit {
+                kill_thread(tid).and_then(move |_| strike_each(inj, tids, kills + 1))
+            } else {
+                strike_each(inj, tids, kills)
+            }
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::prepared_connection;
+    use crate::fault::ConnFault;
+    use conch_httpd::http::Response;
+    use conch_httpd::net::Listener;
+    use conch_httpd::server::{handler, start, ServerConfig};
+    use conch_runtime::prelude::*;
+
+    #[test]
+    fn storm_kills_live_workers_and_counters_conserve() {
+        let mut rt = Runtime::new();
+        let cfg = ServerConfig {
+            read_timeout: 10_000,
+            handler_timeout: 10_000,
+            ..ServerConfig::default()
+        };
+        // A stalled connection parks a worker in its read; the storm
+        // kills it; the counters must still conserve (killed, not
+        // leaked).
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, handler(|_| Io::pure(Response::ok("hi"))), cfg).and_then(move |server| {
+                prepared_connection(ConnFault::Stall, "/x").and_then(move |conn| {
+                    l.inject(conn)
+                        .then(Io::sleep(100)) // let the worker park in the read
+                        .then(kill_storm(&server, &Injector::scripted([1])))
+                        .and_then(move |kills| {
+                            server
+                                .drain()
+                                .then(server.shutdown())
+                                .then(server.stats.snapshot())
+                                .map(move |snap| (kills, snap))
+                        })
+                })
+            })
+        });
+        let (kills, snap) = rt.run(prog).unwrap();
+        assert_eq!(kills, 1);
+        assert_eq!(snap.killed, 1, "{snap:?}");
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn storm_against_finished_workers_is_a_no_op() {
+        let mut rt = Runtime::new();
+        let cfg = ServerConfig::default();
+        // Serve a request to completion, then storm the (finished)
+        // worker: the strike is thrown but lands nowhere.
+        let prog = Listener::bind().and_then(move |l| {
+            start(l, handler(|_| Io::pure(Response::ok("hi"))), cfg).and_then(move |server| {
+                prepared_connection(ConnFault::None, "/x").and_then(move |conn| {
+                    l.inject(conn)
+                        .then(conn.read_response())
+                        .then(server.drain())
+                        .then(kill_storm(&server, &Injector::scripted([1])))
+                        .and_then(move |kills| {
+                            server
+                                .shutdown()
+                                .then(server.stats.snapshot())
+                                .map(move |snap| (kills, snap))
+                        })
+                })
+            })
+        });
+        let (kills, snap) = rt.run(prog).unwrap();
+        assert_eq!(kills, 1, "the strike is thrown even at a finished worker");
+        assert_eq!(snap.served, 1);
+        assert_eq!(
+            snap.killed, 0,
+            "a dead slot must absorb the strike: {snap:?}"
+        );
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn quiet_injector_spares_everyone() {
+        let mut rt = Runtime::new();
+        let prog = Listener::bind().and_then(move |l| {
+            start(
+                l,
+                handler(|_| Io::pure(Response::ok("hi"))),
+                ServerConfig::default(),
+            )
+            .and_then(move |server| {
+                prepared_connection(ConnFault::None, "/x").and_then(move |conn| {
+                    l.inject(conn)
+                        .then(conn.read_response())
+                        .then(server.drain())
+                        .then(kill_storm(&server, &Injector::quiet()))
+                })
+            })
+        });
+        assert_eq!(rt.run(prog).unwrap(), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Fault × schedule exploration: the tentpole integration tests.
+//!
+//! Each test explores one of the canonical spaces from
+//! [`conch_faults::spaces`]: an httpd server under
+//! [`Injector::Explore`](conch_faults::Injector), so every injection
+//! site is an `Io::choose` branch point, and `conch-explore` enumerates
+//! the *product* of fault decisions and scheduling decisions. The
+//! properties checked on every run of every explored schedule are the
+//! recovery invariants the PR hardens the server for:
+//!
+//! * **conservation** — after the server drains,
+//!   `accepted == served + timed-out + errored + aborted + killed + shed`
+//!   and `active == 0`: no connection's outcome is lost or
+//!   double-counted, whatever fault fired and wherever `KillThread`
+//!   landed;
+//! * **no leaks** — `drain` terminates (so the active count really
+//!   reaches zero) on every schedule, and the whole exploration is
+//!   `complete` (no run was cut off by depth or step budgets while
+//!   threads still held resources);
+//! * **liveness after faults** — a healthy probe sent after the fault
+//!   sequence is answered `200` on every schedule.
+//!
+//! Each space is explored twice — sequential engine and 4-worker
+//! work-stealing engine — and the coverage reports must be equal, the
+//! determinism contract extended to fault branch points.
+
+use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
+use conch_faults::spaces::{conn_fault_space, holds_invariants, storm_space};
+use conch_httpd::server::StatsSnapshot;
+use conch_runtime::io::Io;
+
+fn check_invariants(out: &RunOutcome<(i64, i64, StatsSnapshot)>) -> Result<(), String> {
+    match &out.result {
+        Ok(v) => holds_invariants(v),
+        Err(e) => Err(format!("run failed: {e:?}")),
+    }
+}
+
+fn explore(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers: usize) -> Report {
+    // Preemption bound 2: fault arms and exception-delivery points
+    // always branch fully regardless of the bound (only *preemptive*
+    // thread switches are rationed), so fault coverage stays exhaustive
+    // while the schedule dimension stays tractable — these spaces
+    // complete in milliseconds, where the unbounded product runs past
+    // 400k schedules without converging.
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(space(), check_invariants))
+    } else {
+        explorer.check_parallel(workers, move || TestCase::new(space(), check_invariants))
+    };
+    result.report().clone()
+}
+
+#[test]
+fn conn_fault_space_holds_invariants_on_every_schedule() {
+    let report = explore(conn_fault_space, 1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    assert!(
+        report.faults_injected > 0,
+        "the fault arms must actually be visited: {report:?}"
+    );
+    // Five arms, each with at least one schedule.
+    assert!(report.explored >= 5, "{report:?}");
+}
+
+#[test]
+fn conn_fault_space_reports_identically_at_any_worker_count() {
+    let sequential = explore(conn_fault_space, 1);
+    let parallel = explore(conn_fault_space, 4);
+    assert_eq!(
+        sequential, parallel,
+        "fault×schedule coverage must be bit-identical across engines"
+    );
+}
+
+#[test]
+fn storm_space_holds_invariants_on_every_schedule() {
+    let report = explore(storm_space, 1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    assert!(
+        report.faults_injected > 0,
+        "some schedule must deliver the strike: {report:?}"
+    );
+    assert!(report.explored >= 2, "{report:?}");
+}
+
+#[test]
+fn storm_space_reports_identically_at_any_worker_count() {
+    let sequential = explore(storm_space, 1);
+    let parallel = explore(storm_space, 4);
+    assert_eq!(sequential, parallel);
+}

@@ -20,7 +20,7 @@ pub enum ClientOutcome {
 }
 
 /// Extracts the status code from a response's status line.
-fn status_of(resp: &str) -> ClientOutcome {
+pub fn status_of(resp: &str) -> ClientOutcome {
     resp.strip_prefix("HTTP/1.0 ")
         .and_then(|rest| rest.split_whitespace().next())
         .and_then(|code| code.parse().ok())

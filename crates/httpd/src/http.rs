@@ -139,6 +139,9 @@ pub struct Response {
     pub status: u16,
     /// The body text.
     pub body: String,
+    /// Optional `Retry-After` header value (virtual seconds) — the
+    /// load-shedding 503 path uses it to tell clients when to come back.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -147,6 +150,7 @@ impl Response {
         Response {
             status: 200,
             body: body.into(),
+            retry_after: None,
         }
     }
 
@@ -155,15 +159,31 @@ impl Response {
         Response {
             status,
             body: reason(status).to_owned(),
+            retry_after: None,
+        }
+    }
+
+    /// A `503 Service Unavailable` carrying a `Retry-After` hint — the
+    /// graceful-degradation answer an overloaded server sheds load with.
+    pub fn unavailable(retry_after: u64) -> Response {
+        Response {
+            status: 503,
+            body: reason(503).to_owned(),
+            retry_after: Some(retry_after),
         }
     }
 
     /// Renders the response as wire text.
     pub fn render(&self) -> String {
+        let retry = match self.retry_after {
+            Some(secs) => format!("Retry-After: {secs}\r\n"),
+            None => String::new(),
+        };
         format!(
-            "HTTP/1.0 {} {}\r\nContent-Length: {}\r\n\r\n{}",
+            "HTTP/1.0 {} {}\r\n{}Content-Length: {}\r\n\r\n{}",
             self.status,
             reason(self.status),
+            retry,
             self.body.len(),
             self.body
         )
@@ -173,10 +193,14 @@ impl Response {
 impl conch_runtime::value::IntoValue for Response {
     fn into_value(self) -> conch_runtime::value::Value {
         use conch_runtime::value::Value;
-        Value::Pair(
-            Box::new(Value::Int(i64::from(self.status))),
-            Box::new(Value::Str(self.body)),
-        )
+        // retry_after encodes as -1 for "no header" (it is a duration,
+        // so every real value is non-negative).
+        let retry = self.retry_after.map_or(-1, |s| s as i64);
+        Value::List(vec![
+            Value::Int(i64::from(self.status)),
+            Value::Str(self.body),
+            Value::Int(retry),
+        ])
     }
 }
 
@@ -184,13 +208,20 @@ impl conch_runtime::value::FromValue for Response {
     fn from_value(v: conch_runtime::value::Value) -> Option<Self> {
         use conch_runtime::value::Value;
         match v {
-            Value::Pair(status, body) => Some(Response {
-                status: u16::try_from(status.as_int()?).ok()?,
-                body: match *body {
+            Value::List(xs) if xs.len() == 3 => {
+                let mut it = xs.into_iter();
+                let status = u16::try_from(it.next()?.as_int()?).ok()?;
+                let body = match it.next()? {
                     Value::Str(s) => s,
                     _ => return None,
-                },
-            }),
+                };
+                let retry = it.next()?.as_int()?;
+                Some(Response {
+                    status,
+                    body,
+                    retry_after: (retry >= 0).then_some(retry as u64),
+                })
+            }
             _ => None,
         }
     }
@@ -268,6 +299,15 @@ mod tests {
         assert!(r.starts_with("HTTP/1.0 200 OK\r\n"));
         assert!(r.contains("Content-Length: 5"));
         assert!(r.ends_with("hello"));
+    }
+
+    #[test]
+    fn unavailable_renders_retry_after() {
+        let r = Response::unavailable(30).render();
+        assert!(r.starts_with("HTTP/1.0 503 Service Unavailable\r\n"));
+        assert!(r.contains("Retry-After: 30\r\n"));
+        // Plain responses must not grow the header.
+        assert!(!Response::ok("x").render().contains("Retry-After"));
     }
 
     #[test]

@@ -9,8 +9,20 @@
 //! server time them out.
 
 use conch_combinators::Chan;
+use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
 use conch_runtime::value::{FromValue, IntoValue, Value};
+
+/// The in-band end-of-transmission sentinel a closing client pushes
+/// onto its request channel (ASCII EOT). Never part of an HTTP
+/// request, so the server can tell "peer hung up" from request bytes.
+const EOT: char = '\u{4}';
+
+/// The exception [`Connection::read_request_text`] raises when the
+/// peer closed the connection mid-request.
+pub fn connection_closed() -> Exception {
+    Exception::custom("ConnectionClosed")
+}
 
 /// One simulated TCP connection.
 ///
@@ -47,18 +59,37 @@ impl Connection {
     /// Client side: send text slowly — `gap` virtual microseconds between
     /// characters. This is the slowloris-style client the paper's
     /// timeouts defend against.
+    ///
+    /// The gap paces *between* characters: the first character goes out
+    /// immediately, so `n` characters take `(n - 1) * gap` microseconds
+    /// (an earlier version slept before the first character too, adding
+    /// a spurious `gap` of latency to every request).
     pub fn send_text_slowly(&self, text: impl Into<String>, gap: u64) -> Io<()> {
         let chars: Vec<char> = text.into().chars().collect();
         let inbound = self.inbound;
-        fn go(inbound: Chan<char>, mut chars: std::vec::IntoIter<char>, gap: u64) -> Io<()> {
+        fn go(
+            inbound: Chan<char>,
+            mut chars: std::vec::IntoIter<char>,
+            gap: u64,
+            first: bool,
+        ) -> Io<()> {
             match chars.next() {
                 None => Io::unit(),
-                Some(c) => Io::sleep(gap)
-                    .then(inbound.send(c))
-                    .and_then(move |_| go(inbound, chars, gap)),
+                Some(c) => {
+                    let pace = if first { Io::unit() } else { Io::sleep(gap) };
+                    pace.then(inbound.send(c))
+                        .and_then(move |_| go(inbound, chars, gap, false))
+                }
             }
         }
-        go(inbound, chars.into_iter(), gap)
+        go(inbound, chars.into_iter(), gap, true)
+    }
+
+    /// Client side: close the connection. The server's next (or
+    /// in-progress) request read raises [`connection_closed`] instead of
+    /// waiting forever for bytes that will never come.
+    pub fn close(&self) -> Io<()> {
+        self.inbound.send(EOT)
     }
 
     /// Client side: wait for the response text.
@@ -68,10 +99,18 @@ impl Connection {
 
     /// Server side: read request characters until the header-terminating
     /// blank line (`\r\n\r\n`), returning the accumulated text.
+    ///
+    /// # Errors (as `Io` exceptions)
+    ///
+    /// Raises [`connection_closed`] if the peer [`close`](Self::close)s
+    /// the connection before the request is complete.
     pub fn read_request_text(&self) -> Io<String> {
         let inbound = self.inbound;
         fn go(inbound: Chan<char>, mut acc: String) -> Io<String> {
             inbound.recv().and_then(move |c| {
+                if c == EOT {
+                    return Io::throw(connection_closed());
+                }
                 acc.push(c);
                 if acc.ends_with("\r\n\r\n") {
                     Io::pure(acc)
@@ -134,6 +173,20 @@ impl Listener {
     pub fn accept(&self) -> Io<Connection> {
         self.accept_queue.recv()
     }
+
+    /// Hands an already-open connection to the accept queue.
+    ///
+    /// This is the fault-injection entry point: a test (or
+    /// `conch-faults`) can compose the connection's entire wire history
+    /// — a full request, a truncated one, garbage, or a bare close —
+    /// *before* the server ever sees it. Because `Chan` sends never
+    /// block, the composition runs with no other thread runnable, so a
+    /// schedule explorer pays no interleaving cost for the bytes
+    /// themselves; the nondeterminism stays where it belongs, in which
+    /// fault was chosen and how the server's threads interleave.
+    pub fn inject(&self, conn: Connection) -> Io<()> {
+        self.accept_queue.send(conn)
+    }
 }
 
 impl FromValue for Listener {
@@ -183,7 +236,47 @@ mod tests {
             Io::fork(c.send_text_slowly("ab\r\n\r\n", 100)).then(c.read_request_text())
         });
         assert_eq!(rt.run(prog).unwrap(), "ab\r\n\r\n");
-        assert!(rt.clock() >= 600);
+        // 6 characters paced at 100µs between characters: 500µs total.
+        assert!(rt.clock() >= 500);
+    }
+
+    #[test]
+    fn slow_send_paces_between_characters_not_before() {
+        // Regression: the first character must go out at t=0, so a
+        // single character costs no virtual time at all, and n
+        // characters cost exactly (n-1)·gap.
+        let mut rt = Runtime::new();
+        let prog = Connection::open()
+            .and_then(|c| Io::fork(c.send_text_slowly("x", 1_000_000)).then(c.inbound.recv()));
+        assert_eq!(rt.run(prog).unwrap(), 'x');
+        assert_eq!(
+            rt.clock(),
+            0,
+            "gap must not be charged before the first char"
+        );
+
+        let mut rt = Runtime::new();
+        let prog = Connection::open().and_then(|c| {
+            Io::fork(c.send_text_slowly("ab\r\n\r\n", 100)).then(c.read_request_text())
+        });
+        assert_eq!(rt.run(prog).unwrap(), "ab\r\n\r\n");
+        assert_eq!(
+            rt.clock(),
+            500,
+            "6 chars at gap 100 must take exactly 500µs"
+        );
+    }
+
+    #[test]
+    fn closed_connection_raises_on_read() {
+        let mut rt = Runtime::new();
+        let prog = Connection::open().and_then(|c| {
+            Io::fork(c.send_text("GET / HT").then(c.close()))
+                .then(c.read_request_text())
+                .map(|_| "completed".to_owned())
+                .catch(|e| Io::pure(format!("{e}")))
+        });
+        assert_eq!(rt.run(prog).unwrap(), "ConnectionClosed");
     }
 
     #[test]

@@ -74,6 +74,14 @@ pub enum StepFootprint {
     /// A native [`Io::effect`](crate::io::Io::effect) closure: arbitrary
     /// observable side effects, dependent on everything.
     Effect,
+    /// A scheduler-visible nondeterministic choice
+    /// ([`Io::choose`](crate::io::Io::choose)): the oracle the fault
+    /// plane branches on. The step itself touches only the choosing
+    /// thread (the arm lands in its own continuation), so it commutes
+    /// with every other thread's non-exception step — but it is a real
+    /// branch point, never fast-forwarded: *which* arm was taken is a
+    /// separate choice recorded by the driver.
+    Oracle,
 }
 
 impl StepFootprint {
@@ -107,8 +115,11 @@ impl StepFootprint {
             // steps, since it opens a delivery point at the target.
             (Terminal | Throw(_) | Effect, _) | (_, Terminal | Throw(_) | Effect) => false,
             // Steps confined to their own thread commute with any other
-            // thread's non-exception step.
-            (Local | Mask | Raise, _) | (_, Local | Mask | Raise) => true,
+            // thread's non-exception step. An Oracle step is confined
+            // too: the chosen arm flows into the choosing thread's own
+            // continuation only (the choice itself is a driver-recorded
+            // branch point, not a shared-state effect).
+            (Local | Mask | Raise | Oracle, _) | (_, Local | Mask | Raise | Oracle) => true,
             // Same-resource conflicts.
             (MVar(a), MVar(b)) => a != b,
             (Alloc, Alloc) => false,
@@ -165,6 +176,16 @@ pub trait Decider {
     /// (Receive) rule fires) or defer it and let the thread take its
     /// ordinary step (`false`)?
     fn deliver_now(&mut self, view: ThreadView) -> bool;
+
+    /// The chosen thread's step is an [`Io::choose`](crate::io::Io::choose)
+    /// oracle with `arms` alternatives: pick the arm (must be
+    /// `< arms`). The default takes arm 0 — the "nothing unusual
+    /// happens" convention — so deciders written before the fault plane
+    /// keep their behaviour.
+    fn choose_arm(&mut self, view: ThreadView, arms: u8) -> u8 {
+        let _ = (view, arms);
+        0
+    }
 }
 
 /// A trivial [`Decider`]: always the first runnable thread, always
@@ -199,10 +220,13 @@ mod tests {
             StepFootprint::Console,
             StepFootprint::Time,
             StepFootprint::Fork,
+            StepFootprint::Oracle,
         ];
         for f in benign {
             assert!(StepFootprint::Local.independent(f));
             assert!(f.independent(StepFootprint::Local));
+            assert!(StepFootprint::Oracle.independent(f));
+            assert!(f.independent(StepFootprint::Oracle));
         }
         // But a throw conflicts even with local steps: it opens a
         // delivery point at its target.
@@ -223,6 +247,9 @@ mod tests {
         assert!(!StepFootprint::Mask.is_local());
         assert!(!StepFootprint::Raise.is_local());
         assert!(!StepFootprint::Effect.is_local());
+        // An oracle is confined to its thread but is a real branch
+        // point: fast-forwarding it would hide the arm choice.
+        assert!(!StepFootprint::Oracle.is_local());
     }
 
     #[test]

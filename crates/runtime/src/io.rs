@@ -105,6 +105,14 @@ pub(crate) enum Action {
     Now,
     /// Escape hatch: run native Rust code atomically and return its value.
     Effect(Box<dyn FnOnce() -> Value>),
+    /// A scheduler-visible nondeterministic choice among `0..arms`
+    /// alternatives. Under external scheduling the installed
+    /// [`Decider`](crate::decide::Decider) picks the arm
+    /// ([`Decider::choose_arm`](crate::decide::Decider::choose_arm)), so
+    /// an explorer can enumerate all of them; otherwise arm 0 is taken.
+    /// This is the oracle primitive the fault-injection plane
+    /// (`conch-faults`) builds on.
+    Choose(u8),
 }
 
 impl std::fmt::Debug for Action {
@@ -135,6 +143,7 @@ impl std::fmt::Debug for Action {
             Action::Yield => "Yield",
             Action::Now => "Now",
             Action::Effect(_) => "Effect",
+            Action::Choose(n) => return write!(f, "Choose({n})"),
         };
         f.write_str(name)
     }
@@ -305,6 +314,24 @@ impl Io<i64> {
     /// Reads the virtual clock, in microseconds since the runtime started.
     pub fn now() -> Io<i64> {
         Io::from_action(Action::Now)
+    }
+
+    /// A scheduler-visible nondeterministic choice: yields some arm in
+    /// `0..arms`.
+    ///
+    /// Under [`SchedulingPolicy::External`](crate::config::SchedulingPolicy)
+    /// the installed [`Decider`](crate::decide::Decider) picks the arm via
+    /// [`choose_arm`](crate::decide::Decider::choose_arm), which lets
+    /// `conch-explore` enumerate every alternative as a first-class branch
+    /// point (fault × schedule exploration). Without a decider — or under
+    /// any other scheduling policy — the choice resolves to arm `0`, so
+    /// programs are deterministic by default and arm `0` should encode
+    /// "nothing unusual happens".
+    ///
+    /// `arms` must be at least 1.
+    pub fn choose(arms: u8) -> Io<i64> {
+        assert!(arms >= 1, "Io::choose needs at least one arm");
+        Io::from_action(Action::Choose(arms))
     }
 }
 
@@ -564,5 +591,13 @@ mod tests {
     fn debug_render_is_nonempty() {
         let io = Io::pure(1_i64);
         assert!(!format!("{io:?}").is_empty());
+    }
+
+    #[test]
+    fn choose_defaults_to_arm_zero() {
+        // Without an external decider the oracle always collapses to
+        // arm 0, so programs stay deterministic by default.
+        let mut rt = Runtime::new();
+        assert_eq!(rt.run(Io::choose(4)).unwrap(), 0);
     }
 }

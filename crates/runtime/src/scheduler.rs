@@ -544,7 +544,7 @@ impl Runtime {
                         break wake_at;
                     }
                     self.sleepers.pop(); // stale entry
-                    self.stale_sleepers = self.stale_sleepers.saturating_sub(1);
+                    self.note_stale_sleeper_popped();
                 }
             }
         };
@@ -563,10 +563,23 @@ impl Runtime {
                 th.code = Code::ReturnVal(Value::Unit);
                 self.enqueue_runnable(tid);
             } else {
-                self.stale_sleepers = self.stale_sleepers.saturating_sub(1);
+                self.note_stale_sleeper_popped();
             }
         }
         true
+    }
+
+    /// Balances [`Runtime::stale_sleepers`] when a stale heap entry is
+    /// popped. Every stale entry is counted exactly once at the moment
+    /// its sleeper is invalidated, so the counter can never underflow;
+    /// the assert catches a double-decrement accounting bug in debug
+    /// builds, while release builds saturate rather than wrap.
+    fn note_stale_sleeper_popped(&mut self) {
+        debug_assert!(
+            self.stale_sleepers > 0,
+            "stale-sleeper accounting: popped a stale entry that was never counted"
+        );
+        self.stale_sleepers = self.stale_sleepers.saturating_sub(1);
     }
 
     /// Rebuilds the sleeper heap without its stale entries once they
@@ -1107,6 +1120,30 @@ impl Runtime {
             }
             Action::Now => th.code = Code::ReturnVal(Value::Int(self.clock as i64)),
             Action::Effect(f) => th.code = Code::ReturnVal(f()),
+            Action::Choose(arms) => {
+                // A scheduler-visible oracle: the installed decider picks
+                // the arm (the explorer records it as a branch point);
+                // without a decider the choice collapses to arm 0.
+                let arm = match self.decider.take() {
+                    None => 0,
+                    Some(mut decider) => {
+                        let view = ThreadView {
+                            tid: th.tid,
+                            footprint: StepFootprint::Oracle,
+                            pending: th.pending.len(),
+                            masked: th.mask == MaskState::Blocked,
+                        };
+                        let answer = decider.choose_arm(view, arms);
+                        self.decider = Some(decider);
+                        answer
+                    }
+                };
+                assert!(
+                    arm < arms,
+                    "Decider::choose_arm returned arm {arm} for {arms} arms"
+                );
+                th.code = Code::ReturnVal(Value::Int(arm as i64));
+            }
             Action::ThrowTo(target, e) => {
                 self.stats.throwtos += 1;
                 if self.config.record_sched_events {
@@ -1306,6 +1343,7 @@ fn footprint_of(th: &Thread) -> StepFootprint {
             Action::Fork(_) => StepFootprint::Fork,
             Action::ThrowTo(t, _) | Action::ThrowToSync(t, _) => StepFootprint::Throw(*t),
             Action::Effect(_) => StepFootprint::Effect,
+            Action::Choose(_) => StepFootprint::Oracle,
         },
     }
 }

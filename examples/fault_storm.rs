@@ -1,0 +1,109 @@
+//! Exhaustively exploring a fault × schedule space against the httpd
+//! server, and proving it recovers on every branch of both.
+//!
+//! Run with `cargo run --release --example fault_storm`.
+//!
+//! Two canonical spaces from [`conch::faults::spaces`] are explored to
+//! completion under DPOR with preemption bound 2:
+//!
+//! * **connection faults** — one client visit where the injector
+//!   chooses, as an explorer branch point, between a healthy request,
+//!   dropping the connection, stalling forever, closing mid-request,
+//!   and sending garbage;
+//! * **kill storm** — a stalled connection parks a worker mid-read,
+//!   then the explorer decides where a `throwTo KillThread` storm
+//!   lands.
+//!
+//! On *every* schedule of *every* fault arm, three invariants are
+//! checked after the quiescent audit (`shutdown_sync → drain →
+//! snapshot`):
+//!
+//! 1. **still serving** — a healthy probe sent after the fault episode
+//!    is answered `200`;
+//! 2. **no leaks** — `drain` terminates with `active == 0`: no worker
+//!    thread or connection outlives its request;
+//! 3. **conservation** — `accepted == served + timed-out + errored +
+//!    aborted + killed + shed`: every accepted connection gets exactly
+//!    one outcome, wherever the kill landed.
+//!
+//! Each space is then re-explored on the 4-worker work-stealing engine
+//! and the coverage reports are asserted bit-identical — determinism
+//! extended over fault branch points.
+
+use conch::explore::{
+    CheckResult, ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase,
+};
+use conch::faults::spaces::{conn_fault_space, holds_invariants, storm_space};
+use conch::httpd::server::StatsSnapshot;
+use conch::runtime::io::Io;
+
+type Space = fn() -> Io<(i64, i64, StatsSnapshot)>;
+
+fn check(out: &RunOutcome<(i64, i64, StatsSnapshot)>) -> Result<(), String> {
+    match &out.result {
+        Ok(v) => holds_invariants(v),
+        Err(e) => Err(format!("run failed: {e:?}")),
+    }
+}
+
+fn explore(space: Space, workers: usize) -> Report {
+    // Preemption bound 2 keeps the schedule dimension tractable while
+    // fault arms and delivery points still branch fully (only
+    // preemptive switches are rationed), so fault coverage is
+    // exhaustive; unbounded, the conn space runs past 400k schedules
+    // without converging.
+    let explorer = Explorer::with_config(ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    });
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(space(), check))
+    } else {
+        explorer.check_parallel(workers, move || TestCase::new(space(), check))
+    };
+    match result {
+        CheckResult::Passed(report) => *report,
+        CheckResult::Failed(f) => {
+            println!("invariant VIOLATED: {}", f.message);
+            println!("  shrunk certificate: {}", f.schedule);
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    for (name, space) in [
+        ("connection faults", conn_fault_space as Space),
+        ("kill storm", storm_space as Space),
+    ] {
+        println!("== {name} ==");
+        let sequential = explore(space, 1);
+        assert!(
+            sequential.complete,
+            "exploration must be exhaustive: {sequential:?}"
+        );
+        assert!(
+            sequential.faults_injected > 0,
+            "the fault arms must actually be visited: {sequential:?}"
+        );
+        println!(
+            "  explored {} schedules ({} pruned, {} faults injected), complete: {}",
+            sequential.explored, sequential.pruned, sequential.faults_injected, sequential.complete,
+        );
+        println!("  invariants held on every schedule: still serving (probe answered 200),");
+        println!("  no leaked workers or connections (drained to active == 0),");
+        println!("  counters conserved (accepted == outcomes).");
+
+        let parallel = explore(space, 4);
+        assert_eq!(
+            sequential, parallel,
+            "coverage must be bit-identical across engines"
+        );
+        println!("  4-worker engine: identical report, bit for bit.\n");
+    }
+    println!("both fault × schedule spaces verified exhaustively.");
+}

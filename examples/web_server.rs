@@ -32,6 +32,7 @@ fn main() {
     let config = ServerConfig {
         read_timeout: 5_000,
         handler_timeout: 50_000,
+        ..ServerConfig::default()
     };
 
     let prog = Listener::bind().and_then(move |listener| {

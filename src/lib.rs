@@ -16,6 +16,9 @@
 //!   exhaustively drive every interleaving and delivery point of a small
 //!   program, with replayable, shrinkable failure certificates.
 //! * [`httpd`] — the fault-tolerant HTTP-server case study (§11).
+//! * [`faults`] — deterministic fault injection: connection faults,
+//!   handler faults, and `KillThread` storms as explorer branch points,
+//!   so the fault × schedule product space is enumerable.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the reproduction map, and
 //! `EXPERIMENTS.md` for the measured results.
@@ -34,6 +37,7 @@
 
 pub use conch_combinators as combinators;
 pub use conch_explore as explore;
+pub use conch_faults as faults;
 pub use conch_httpd as httpd;
 pub use conch_runtime as runtime;
 pub use conch_semantics as semantics;

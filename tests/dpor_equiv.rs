@@ -23,7 +23,7 @@ use std::collections::BTreeSet;
 use std::fmt::Debug;
 use std::rc::Rc;
 
-use conch_combinators::{both, bracket, race, Either};
+use conch_combinators::{both, bracket, race, timeout, Either};
 use conch_explore::{ExploreConfig, Explorer, Reduction, RunOutcome, TestCase};
 use conch_runtime::prelude::*;
 use conch_runtime::value::FromValue;
@@ -40,12 +40,14 @@ struct ModeResult {
 fn run_mode<T: FromValue + Debug + 'static>(
     reduction: Reduction,
     max_schedules: usize,
+    preemption_bound: Option<usize>,
     program: fn() -> Io<T>,
     fail_if: fn(&RunOutcome<T>) -> Option<String>,
 ) -> ModeResult {
     let outcomes: Rc<RefCell<BTreeSet<String>>> = Rc::new(RefCell::new(BTreeSet::new()));
     let cfg = ExploreConfig {
         max_schedules,
+        preemption_bound,
         reduction,
         ..ExploreConfig::default()
     };
@@ -85,8 +87,25 @@ fn assert_equiv<T: FromValue + Debug + 'static>(
     program: fn() -> Io<T>,
     fail_if: fn(&RunOutcome<T>) -> Option<String>,
 ) {
-    let sleep = run_mode(Reduction::SleepSets, max_schedules, program, fail_if);
-    let dpor = run_mode(Reduction::Dpor, max_schedules, program, fail_if);
+    assert_equiv_bounded(name, max_schedules, None, program, fail_if);
+}
+
+/// Like [`assert_equiv`], but compares the two reductions under an
+/// identical preemption bound. Used for corpus programs whose unbounded
+/// sleep-set space is intractable (nested timeouts spawn five threads);
+/// the equivalence obligation is unchanged — same verdict, same
+/// behaviours, no extra schedules — just over the bounded space both
+/// modes share. Exception-delivery points branch fully regardless of
+/// the bound, so the asynchronous-exception dimension stays exhaustive.
+fn assert_equiv_bounded<T: FromValue + Debug + 'static>(
+    name: &str,
+    max_schedules: usize,
+    bound: Option<usize>,
+    program: fn() -> Io<T>,
+    fail_if: fn(&RunOutcome<T>) -> Option<String>,
+) {
+    let sleep = run_mode(Reduction::SleepSets, max_schedules, bound, program, fail_if);
+    let dpor = run_mode(Reduction::Dpor, max_schedules, bound, program, fail_if);
     // A failing exploration is never `complete` (it reports coverage up
     // to the failure); only passing corpus runs must be exhaustive.
     if sleep.failure.is_none() || dpor.failure.is_none() {
@@ -353,5 +372,67 @@ fn corpus_kill_blocked_worker() {
         50_000,
         kill_blocked_worker,
         no_failure,
+    );
+}
+
+/// 12. §7.3 degenerate budget: `timeout 0` races `sleep 0` against an
+///     instant computation. Which side wins is a pure scheduling choice,
+///     but on *no* schedule may any timeout exception escape — the §7.3
+///     construction has no timeout exception to leak.
+fn timeout_zero() -> Io<Option<i64>> {
+    timeout(0, Io::pure(7_i64))
+}
+
+#[test]
+fn corpus_timeout_zero() {
+    assert_equiv("timeout_zero", 100_000, timeout_zero, |out| {
+        match &out.result {
+            Ok(None) | Ok(Some(7)) => None,
+            other => Some(format!("timeout(0, pure 7) produced {other:?}")),
+        }
+    });
+}
+
+/// 13. §7.3 nested timeouts, outer tighter (a < b): the action cannot
+///     beat the outer clock, so the outer `None` must win on every
+///     schedule — the inner timeout's machinery (its own racer, sleeper
+///     and kills) must never garble the outer verdict.
+fn nested_timeout_outer_tight() -> Io<Option<Option<i64>>> {
+    timeout(5, timeout(50, Io::sleep(10).map(|_| 7_i64)))
+}
+
+#[test]
+fn corpus_nested_timeout_outer_tight() {
+    assert_equiv_bounded(
+        "nested_timeout_outer_tight",
+        500_000,
+        Some(2),
+        nested_timeout_outer_tight,
+        |out| match &out.result {
+            Ok(None) => None,
+            other => Some(format!("outer timeout must fire first, got {other:?}")),
+        },
+    );
+}
+
+/// 14. §7.3 nested timeouts, equal budgets (a == b) with an instant
+///     action: the action beats both clocks, so the inner result must
+///     come through intact (`Some(Some(7))`) on every schedule — virtual
+///     time cannot advance while the action is runnable.
+fn nested_timeout_inner_wins() -> Io<Option<Option<i64>>> {
+    timeout(5, timeout(5, Io::pure(7_i64)))
+}
+
+#[test]
+fn corpus_nested_timeout_inner_wins() {
+    assert_equiv_bounded(
+        "nested_timeout_inner_wins",
+        500_000,
+        Some(2),
+        nested_timeout_inner_wins,
+        |out| match &out.result {
+            Ok(Some(Some(7))) => None,
+            other => Some(format!("inner result must win, got {other:?}")),
+        },
     );
 }

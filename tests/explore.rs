@@ -277,6 +277,91 @@ fn either_always_commits_to_one_winner() {
 }
 
 // ---------------------------------------------------------------------
+// §7.2 / ids: re-delivery to a dead-and-reused thread slot is a no-op.
+// ---------------------------------------------------------------------
+
+/// The `race`/`both` parent loop (`await_result`) re-throws any
+/// asynchronous exception it receives to *both* children and resumes
+/// waiting. Those children may long since have finished — and their
+/// thread slots may have been reclaimed and handed to unrelated threads.
+/// This program engineers exactly that hazard: the race's children
+/// finish instantly, a bystander thread is forked afterwards (so on many
+/// schedules it *reuses* a child's slot), and an outside poke hits the
+/// racing parent mid-wait. The re-thrown poke then targets the
+/// children's stale `ThreadId`s; only the generation tag in the id
+/// stands between it and friendly fire against the bystander.
+///
+/// Returns (racer outcome, bystander token). The bystander must deliver
+/// its token on every schedule — if a stale re-throw could land, the
+/// bystander dies, the token never arrives, and the run deadlocks.
+fn stale_redelivery_program() -> Io<(i64, i64)> {
+    Io::new_empty_mvar::<i64>().and_then(|done| {
+        Io::new_empty_mvar::<i64>().and_then(move |token| {
+            // The poke may land anywhere in the racer — inside the race
+            // or between the race and the `done.put` — so the catch
+            // covers the put too and reports via the non-blocking
+            // `try_put` (a no-op if the result already made it out).
+            let racer = race(Io::pure(1_i64), Io::pure(2_i64))
+                .map(|r| match r {
+                    Either::Left(v) | Either::Right(v) => v,
+                })
+                .and_then(move |v| done.put(v))
+                .catch(move |e| {
+                    if e == Exception::custom("poke") {
+                        done.try_put(-1).map(|_| ())
+                    } else {
+                        Io::throw(e)
+                    }
+                });
+            Io::fork(racer).and_then(move |racer_id| {
+                // Forked after the racer, so whenever the race's children
+                // are already dead this thread takes over a freed slot.
+                // The sleep keeps it alive (and killable) through the
+                // poke window.
+                let bystander = Io::sleep(50).then(token.put(42));
+                Io::fork(bystander).and_then(move |_| {
+                    Io::throw_to(racer_id, Exception::custom("poke"))
+                        .then(done.take())
+                        .and_then(move |r| token.take().map(move |t| (r, t)))
+                })
+            })
+        })
+    })
+}
+
+#[test]
+fn stale_redelivery_to_reused_slot_is_a_noop_on_every_schedule() {
+    // DPOR plus a preemption bound keeps the space tractable without
+    // losing the hazard: reaching "children dead, slot reused, poke
+    // mid-wait" needs a single preemption of the main thread (all other
+    // switches happen at blocking points, which are free), and
+    // exception-delivery points branch fully whatever the bound.
+    let cfg = ExploreConfig {
+        max_schedules: 200_000,
+        preemption_bound: Some(2),
+        reduction: conch_explore::Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let result = Explorer::with_config(cfg).check(|| {
+        TestCase::new(
+            stale_redelivery_program(),
+            |out: &RunOutcome<(i64, i64)>| match &out.result {
+                Ok((r, 42)) if [1, 2, -1].contains(r) => Ok(()),
+                Ok(other) => Err(format!("unexpected outcome {other:?}")),
+                Err(e) => Err(format!(
+                    "run failed (a stale re-throw likely killed the bystander): {e:?}"
+                )),
+            },
+        )
+    });
+    let report = result.expect_pass();
+    assert!(
+        report.complete,
+        "stale-redelivery check must be exhaustive: {report}"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Bounds behave as documented.
 // ---------------------------------------------------------------------
 

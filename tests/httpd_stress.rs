@@ -78,6 +78,7 @@ fn run_storm(kinds: Vec<ClientKind>, seed: u64) -> (Vec<i64>, Vec<i64>, StatsSna
     let server_cfg = ServerConfig {
         read_timeout: 20_000,
         handler_timeout: 100_000,
+        ..ServerConfig::default()
     };
     let kinds2 = kinds.clone();
     let prog = Listener::bind().and_then(move |l| {
