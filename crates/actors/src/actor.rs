@@ -1,0 +1,574 @@
+//! Actors: a mailbox, a thread, and an exit protocol.
+//!
+//! [`spawn_actor`] forks a thread whose body runs inside a *shell*
+//! that implements the Erlang exit protocol on the paper's
+//! primitives:
+//!
+//! * The shell runs **masked** (`block`), so asynchronous exceptions —
+//!   `KillThread` from a supervisor or storm, `ExitSignal` from a
+//!   linked peer — land only at interruptible points: mailbox waits,
+//!   sleeps, blocked takes. This is the §7.4 discipline that lets the
+//!   exit bookkeeping below run to completion on *every* termination
+//!   path, the role `bracket` plays for scalar acquire/release.
+//! * On any exit — normal return, synchronous crash, asynchronous
+//!   kill — the shell classifies an [`ExitReason`], atomically marks
+//!   the actor's control cell dead (taking the registered peer list
+//!   *exactly once*), then notifies: linked peers get
+//!   `throwTo(ExitSignal)` on abnormal exits, monitors get a [`Down`]
+//!   message on every exit. Finally the original exception (if any) is
+//!   re-raised with its original origin, so the runtime's (Throw GC)
+//!   accounting and exit-reason counters see the true cause of death.
+//! * Registration races are settled by the control cell: [`link`] /
+//!   [`monitor`] against an already-dead actor observe the recorded
+//!   reason and deliver immediately — never zero times, never twice.
+//!
+//! Trap-exits: an actor that wants to *observe* peer deaths instead
+//! of dying with them masks (which the shell already provides) and
+//! receives with [`Mailbox::recv_trapping`], which converts an
+//! `ExitSignal` landing at the wait into a [`Signal::Exit`] message.
+
+use conch_runtime::exception::{Exception, ExitReason};
+use conch_runtime::ids::ThreadId;
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+use conch_runtime::RaiseOrigin;
+
+use crate::mailbox::Mailbox;
+
+/// A monitor notification: the actor spawned as thread `from`
+/// terminated with `reason`; `mref` is the reference the watcher chose
+/// at [`monitor`] time (supervisors use the child's spec index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Down {
+    /// Watcher-chosen monitor reference.
+    pub mref: i64,
+    /// Spawn sequence number of the dead actor's thread.
+    pub from: u64,
+    /// Why it died.
+    pub reason: ExitReason,
+}
+
+impl IntoValue for Down {
+    fn into_value(self) -> Value {
+        Value::List(vec![
+            Value::Int(self.mref),
+            Value::Int(self.from as i64),
+            self.reason.into_value(),
+        ])
+    }
+}
+
+impl FromValue for Down {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::List(xs) if xs.len() == 3 => {
+                let mut it = xs.into_iter();
+                Some(Down {
+                    mref: it.next()?.as_int()?,
+                    from: it.next()?.as_int()? as u64,
+                    reason: ExitReason::from_value(it.next()?)?,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// What a trapping receive yields: an ordinary message, or a trapped
+/// exit signal from a linked peer (see [`Mailbox::recv_trapping`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Signal<M> {
+    /// An ordinary mailbox message.
+    Msg(M),
+    /// A trapped `ExitSignal`.
+    Exit {
+        /// Spawn sequence number of the dead peer.
+        from: u64,
+        /// Why it died.
+        reason: ExitReason,
+    },
+}
+
+impl<M: IntoValue> IntoValue for Signal<M> {
+    fn into_value(self) -> Value {
+        match self {
+            Signal::Msg(m) => Value::Left(Box::new(m.into_value())),
+            Signal::Exit { from, reason } => Value::Right(Box::new(Value::Pair(
+                Box::new(Value::Int(from as i64)),
+                Box::new(reason.into_value()),
+            ))),
+        }
+    }
+}
+
+impl<M: FromValue> FromValue for Signal<M> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Left(m) => Some(Signal::Msg(M::from_value(*m)?)),
+            Value::Right(p) => match *p {
+                Value::Pair(from, reason) => Some(Signal::Exit {
+                    from: from.as_int()? as u64,
+                    reason: ExitReason::from_value(*reason)?,
+                }),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// A handle on a running (or dead) actor: its thread, its mailbox and
+/// its control cell. Copyable; stale handles are harmless — `throwTo`
+/// at a retired thread slot is a no-op, and the control cell remembers
+/// the exit reason forever.
+pub struct ActorRef<M> {
+    tid: ThreadId,
+    mailbox: Mailbox<M>,
+    /// `Left(List(entries))` while alive — the registered links and
+    /// monitors; `Right(reason)` once dead.
+    ctl: MVar<Value>,
+}
+
+impl<M> Clone for ActorRef<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for ActorRef<M> {}
+
+impl<M> std::fmt::Debug for ActorRef<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorRef({})", self.tid)
+    }
+}
+
+impl<M> IntoValue for ActorRef<M> {
+    fn into_value(self) -> Value {
+        Value::List(vec![
+            Value::ThreadId(self.tid),
+            self.mailbox.into_value(),
+            Value::MVar(self.ctl.id()),
+        ])
+    }
+}
+
+impl<M> FromValue for ActorRef<M> {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::List(xs) if xs.len() == 3 => {
+                let mut it = xs.into_iter();
+                Some(ActorRef {
+                    tid: it.next()?.as_thread_id()?,
+                    mailbox: Mailbox::from_value(it.next()?)?,
+                    ctl: MVar::from_id(it.next()?.as_mvar_id()?),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+// -- control-cell encodings ------------------------------------------------
+
+fn alive(entries: Vec<Value>) -> Value {
+    Value::Left(Box::new(Value::List(entries)))
+}
+
+fn dead(reason: ExitReason) -> Value {
+    Value::Right(Box::new(reason.into_value()))
+}
+
+fn link_entry(peer: ThreadId) -> Value {
+    Value::Pair(Box::new(Value::Int(0)), Box::new(Value::ThreadId(peer)))
+}
+
+fn monitor_entry(mref: i64, watcher: Mailbox<Down>) -> Value {
+    Value::Pair(
+        Box::new(Value::Int(1)),
+        Box::new(Value::Pair(
+            Box::new(Value::Int(mref)),
+            Box::new(watcher.into_value()),
+        )),
+    )
+}
+
+/// Registers `entry` in `ctl` if the actor is alive; otherwise returns
+/// the recorded exit reason so the caller can deliver immediately.
+/// Registered-or-immediate is exclusive, which is where "monitors fire
+/// exactly once" comes from even when registration races death.
+fn add_entry(ctl: MVar<Value>, entry: Value) -> Io<Option<ExitReason>> {
+    Io::block(ctl.take().and_then(move |v| match v {
+        Value::Left(entries) => {
+            let mut xs = match *entries {
+                Value::List(xs) => xs,
+                _ => Vec::new(),
+            };
+            xs.push(entry);
+            ctl.put(alive(xs)).map(|_| None)
+        }
+        Value::Right(reason) => {
+            let r = ExitReason::from_value((*reason).clone());
+            ctl.put(Value::Right(reason)).map(move |_| r)
+        }
+        other => panic!("actor control cell has shape {}", other.shape()),
+    }))
+}
+
+/// Marks the actor dead and returns the peers to notify — or `None`
+/// if some earlier exit already claimed them. The single transaction
+/// is the exactly-once source for every notification.
+fn claim_entries(ctl: MVar<Value>, reason: ExitReason) -> Io<Option<Vec<Value>>> {
+    Io::block(ctl.take().and_then(move |v| match v {
+        Value::Left(entries) => {
+            let xs = match *entries {
+                Value::List(xs) => xs,
+                _ => Vec::new(),
+            };
+            ctl.put(dead(reason)).map(move |_| Some(xs))
+        }
+        already @ Value::Right(_) => ctl.put(already).map(|_| None),
+        other => panic!("actor control cell has shape {}", other.shape()),
+    }))
+}
+
+/// Delivers one death notice, retrying on interruption. The commit
+/// inside (a `throwTo`, or a mailbox-send transaction) happens at most
+/// once per call chain: an exception can only abort *before* the
+/// commit, so the retry never double-delivers. A dying actor absorbs
+/// further kills here — killing the already-dying is a no-op, as in
+/// Erlang.
+fn deliver_one(entry: Value, me: u64, reason: ExitReason) -> Io<()> {
+    let (entry2, reason2) = (entry.clone(), reason.clone());
+    let attempt = match entry {
+        Value::Pair(tag, payload) => match (*tag, *payload) {
+            (Value::Int(0), Value::ThreadId(peer)) => {
+                if reason.is_abnormal() {
+                    Io::throw_to(peer, Exception::exit_signal(me, reason))
+                } else {
+                    // Erlang: 'normal' exit signals do not disturb links.
+                    Io::unit()
+                }
+            }
+            (Value::Int(1), Value::Pair(mref, watcher)) => {
+                let mref = mref.as_int().unwrap_or(0);
+                match Mailbox::<Down>::from_value(*watcher) {
+                    Some(mb) => mb.send(Down {
+                        mref,
+                        from: me,
+                        reason,
+                    }),
+                    None => Io::unit(),
+                }
+            }
+            _ => Io::unit(),
+        },
+        _ => Io::unit(),
+    };
+    attempt.catch(move |_| deliver_one(entry2, me, reason2))
+}
+
+fn deliver_all(mut entries: Vec<Value>, me: u64, reason: ExitReason) -> Io<()> {
+    match entries.pop() {
+        None => Io::unit(),
+        Some(e) => {
+            let r = reason.clone();
+            deliver_one(e, me, r).then(deliver_all(entries, me, reason))
+        }
+    }
+}
+
+/// The exit path: claim the peer list (exactly once) and notify
+/// everyone. Runs masked — the shell is inside `block`, and every
+/// blocking step on this path is either retried (`deliver_one`) or
+/// pre-commit-abortable (`claim_entries`' take).
+fn notify_exit(ctl: MVar<Value>, me: u64, reason: ExitReason) -> Io<()> {
+    claim_entries(ctl, reason.clone()).and_then(move |claimed| match claimed {
+        Some(entries) => deliver_all(entries, me, reason),
+        None => Io::unit(),
+    })
+}
+
+fn classify(e: &Exception, origin: RaiseOrigin) -> ExitReason {
+    if origin == RaiseOrigin::Async && e.is_kill_thread() {
+        ExitReason::Killed
+    } else {
+        ExitReason::Crashed(Box::new(e.clone()))
+    }
+}
+
+/// The shell wrapped around every actor body (see module docs).
+fn actor_shell(ctl: MVar<Value>, body: Io<()>) -> Io<()> {
+    Io::block(Io::my_thread_id().and_then(move |me| {
+        body.map(|_| (ExitReason::Normal, None))
+            .catch_info(|e, origin| {
+                let reason = classify(&e, origin);
+                let is_async = origin == RaiseOrigin::Async;
+                Io::pure((reason, Some((e, is_async))))
+            })
+            .and_then(
+                move |(reason, rethrow): (ExitReason, Option<(Exception, bool)>)| {
+                    notify_exit(ctl, me.index(), reason).then(match rethrow {
+                        None => Io::unit(),
+                        Some((e, true)) => Io::rethrow(e, RaiseOrigin::Async),
+                        Some((e, false)) => Io::rethrow(e, RaiseOrigin::Sync),
+                    })
+                },
+            )
+    }))
+}
+
+/// Spawns an actor with a fresh mailbox of the given capacity. The
+/// body runs masked (see module docs); exceptions land only at its
+/// interruptible points, mailbox waits above all.
+pub fn spawn_actor<M, F>(capacity: i64, body: F) -> Io<ActorRef<M>>
+where
+    M: FromValue + IntoValue + 'static,
+    F: FnOnce(Mailbox<M>) -> Io<()> + 'static,
+{
+    Mailbox::new(capacity).and_then(move |mb| spawn_actor_on(mb, body))
+}
+
+/// Spawns an actor consuming an existing mailbox — the shape shared
+/// work queues use (several pool workers, one queue), and the shape
+/// supervisors use to give a restarted child its predecessor's
+/// unconsumed messages.
+pub fn spawn_actor_on<M, F>(mb: Mailbox<M>, body: F) -> Io<ActorRef<M>>
+where
+    M: FromValue + IntoValue + 'static,
+    F: FnOnce(Mailbox<M>) -> Io<()> + 'static,
+{
+    Io::new_mvar(alive(Vec::new())).and_then(move |ctl| {
+        // Fork under `block` so the child *inherits* the mask: a kill
+        // aimed at a freshly spawned actor is deferred until the body's
+        // first interruptible point, by which time the shell's exit
+        // bookkeeping is installed. Without this, a fast kill could land
+        // before the shell's own `block` executes and the actor would
+        // die without ever marking its control cell.
+        Io::block(Io::fork(actor_shell(ctl, body(mb)))).map(move |tid| ActorRef {
+            tid,
+            mailbox: mb,
+            ctl,
+        })
+    })
+}
+
+/// Links two actors: if either dies abnormally, the other receives an
+/// `ExitSignal` via `throwTo` — death by default, a [`Signal::Exit`]
+/// message if the survivor traps. If one is already dead with an
+/// abnormal reason, the signal is delivered to the other immediately.
+pub fn link<A, B>(a: &ActorRef<A>, b: &ActorRef<B>) -> Io<()> {
+    let (ta, tb) = (a.tid, b.tid);
+    let (ca, cb) = (a.ctl, b.ctl);
+    add_entry(ca, link_entry(tb)).and_then(move |a_dead| {
+        add_entry(cb, link_entry(ta)).and_then(move |b_dead| {
+            let signal_b = match a_dead {
+                Some(r) if r.is_abnormal() => {
+                    Io::throw_to(tb, Exception::exit_signal(ta.index(), r))
+                }
+                _ => Io::unit(),
+            };
+            let signal_a = match b_dead {
+                Some(r) if r.is_abnormal() => {
+                    Io::throw_to(ta, Exception::exit_signal(tb.index(), r))
+                }
+                _ => Io::unit(),
+            };
+            signal_b.then(signal_a)
+        })
+    })
+}
+
+/// Registers `watcher` to receive a [`Down`] message (tagged `mref`)
+/// when `target` dies — immediately, if it already has. Fires exactly
+/// once per monitor call, on every schedule: registration and death
+/// race through the same control-cell transaction.
+pub fn monitor<A>(target: &ActorRef<A>, watcher: Mailbox<Down>, mref: i64) -> Io<()> {
+    let (tid, ctl) = (target.tid, target.ctl);
+    add_entry(ctl, monitor_entry(mref, watcher)).and_then(move |already| match already {
+        None => Io::unit(),
+        Some(reason) => deliver_one(monitor_entry(mref, watcher), tid.index(), reason),
+    })
+}
+
+impl<M: FromValue + IntoValue + 'static> ActorRef<M> {
+    /// The actor's thread id.
+    pub fn tid(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The actor's mailbox.
+    pub fn mailbox(&self) -> Mailbox<M> {
+        self.mailbox
+    }
+
+    /// Enqueues a message for this actor (blocking backpressure).
+    pub fn send(&self, m: M) -> Io<()> {
+        self.mailbox.send(m)
+    }
+
+    /// The recorded exit reason, or `None` while the actor lives.
+    /// "Dead" here means the shell has *committed* its exit — the
+    /// strongest fact the no-orphan audits poll for.
+    pub fn exit_reason(&self) -> Io<Option<ExitReason>> {
+        let ctl = self.ctl;
+        Io::block(ctl.take().and_then(move |v| {
+            let r = match &v {
+                Value::Right(reason) => ExitReason::from_value((**reason).clone()),
+                _ => None,
+            };
+            ctl.put(v).map(move |_| r)
+        }))
+    }
+
+    /// Sends the untrappable `KillThread` (asynchronous).
+    pub fn kill(&self) -> Io<()> {
+        Io::throw_to(self.tid, Exception::kill_thread())
+    }
+
+    /// Sends `KillThread` with the §9 synchronous `throwTo`: returns
+    /// once the exception is delivered (or the actor is already gone).
+    pub fn kill_sync(&self) -> Io<()> {
+        Io::throw_to_sync(self.tid, Exception::kill_thread())
+    }
+
+    /// Erases the message type, for heterogeneous child lists.
+    pub fn erase(&self) -> ActorRef<Value> {
+        ActorRef {
+            tid: self.tid,
+            mailbox: self.mailbox.cast(),
+            ctl: self.ctl,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::scheduler::Runtime;
+
+    fn run<T: FromValue + IntoValue + 'static>(io: Io<T>) -> T {
+        Runtime::new().run(io).unwrap()
+    }
+
+    /// Polls until the actor records an exit reason (tests only).
+    fn wait_dead<M: FromValue + IntoValue + 'static>(a: ActorRef<M>) -> Io<ExitReason> {
+        a.exit_reason().and_then(move |r| match r {
+            Some(r) => Io::pure(r),
+            None => Io::sleep(10).then(wait_dead(a)),
+        })
+    }
+
+    #[test]
+    fn normal_exit_records_reason() {
+        let got = run(spawn_actor(1, |_mb: Mailbox<i64>| Io::unit()).and_then(wait_dead));
+        assert_eq!(got, ExitReason::Normal);
+    }
+
+    #[test]
+    fn crash_records_exception() {
+        let got = run(spawn_actor(1, |_mb: Mailbox<i64>| {
+            Io::throw(Exception::error_call("boom"))
+        })
+        .and_then(wait_dead));
+        assert_eq!(
+            got,
+            ExitReason::Crashed(Box::new(Exception::error_call("boom")))
+        );
+    }
+
+    #[test]
+    fn kill_records_killed() {
+        let got = run(spawn_actor(1, |mb: Mailbox<i64>| mb.recv().map(|_| ()))
+            .and_then(|a| a.kill_sync().then(wait_dead(a))));
+        assert_eq!(got, ExitReason::Killed);
+    }
+
+    #[test]
+    fn monitor_fires_on_crash() {
+        let got = run(Mailbox::<Down>::new(2).and_then(|watcher| {
+            spawn_actor(1, |mb: Mailbox<i64>| {
+                mb.recv().then(Io::throw(Exception::error_call("die")))
+            })
+            .and_then(move |a| {
+                monitor(&a, watcher, 42)
+                    .then(a.send(0))
+                    .then(watcher.recv())
+            })
+        }));
+        assert_eq!(got.mref, 42);
+        assert!(got.reason.is_abnormal());
+    }
+
+    #[test]
+    fn monitor_on_already_dead_actor_fires_immediately() {
+        let got = run(Mailbox::<Down>::new(2).and_then(|watcher| {
+            spawn_actor(1, |_mb: Mailbox<i64>| Io::unit()).and_then(move |a| {
+                // Wait until the exit has committed, then register.
+                wait_dead(a)
+                    .then(monitor(&a, watcher, 7))
+                    .then(watcher.recv())
+            })
+        }));
+        assert_eq!(
+            got,
+            Down {
+                mref: 7,
+                from: got.from,
+                reason: ExitReason::Normal
+            }
+        );
+    }
+
+    #[test]
+    fn link_kills_non_trapping_peer() {
+        // b waits forever; when a crashes, the exit signal cascades.
+        let got = run(
+            spawn_actor(1, |mb: Mailbox<i64>| mb.recv().map(|_| ())).and_then(|b| {
+                spawn_actor(1, |_mb: Mailbox<i64>| {
+                    Io::throw(Exception::error_call("crash"))
+                })
+                .and_then(move |a| link(&a, &b).then(wait_dead(b)))
+            }),
+        );
+        match got {
+            ExitReason::Crashed(e) => assert!(e.is_exit_signal()),
+            other => panic!("expected crashed-by-signal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trapping_peer_survives_and_observes() {
+        let got = run(spawn_actor(2, |mb: Mailbox<i64>| {
+            // Trap: convert the incoming exit signal into a message and
+            // report its reason tag on our own mailbox... instead we
+            // just exit normally after observing it.
+            mb.recv_trapping().map(|sig| {
+                assert!(matches!(sig, Signal::Exit { .. }));
+            })
+        })
+        .and_then(|b| {
+            spawn_actor(1, |_mb: Mailbox<i64>| Io::throw(Exception::error_call("x")))
+                .and_then(move |a| link(&a, &b).then(wait_dead(b)))
+        }));
+        // The trapping actor observed the signal and finished normally.
+        assert_eq!(got, ExitReason::Normal);
+    }
+
+    #[test]
+    fn normal_exit_does_not_signal_links() {
+        let got = run(
+            spawn_actor(1, |mb: Mailbox<i64>| mb.recv().map(|_| ())).and_then(|b| {
+                spawn_actor(1, |_mb: Mailbox<i64>| Io::unit()).and_then(move |a| {
+                    link(&a, &b)
+                        .then(wait_dead(a))
+                        // b must still be alive and serviceable.
+                        .then(b.send(1))
+                        .then(wait_dead(b))
+                })
+            }),
+        );
+        assert_eq!(got, ExitReason::Normal);
+    }
+}

@@ -1,0 +1,600 @@
+//! Supervisors: monitored children, restart strategies, intensity
+//! windows, and trees.
+//!
+//! A supervisor is itself an actor (so supervisors compose into trees
+//! via [`supervisor_child`]): its mailbox carries [`Down`] messages
+//! from a [`monitor`] on each child, tagged with the child's spec
+//! index. The loop:
+//!
+//! * ignores *stale* notices (a `Down` whose `from` is not the current
+//!   incarnation's thread — e.g. the delayed notice of a child the
+//!   supervisor itself killed during an all-for-one sweep);
+//! * removes children that exited [`ExitReason::Normal`] without
+//!   restarting them;
+//! * on an abnormal exit, slides the restart-intensity window: if more
+//!   than `max_restarts` abnormal exits land within `window` virtual
+//!   microseconds, the supervisor gives up — kills every child and
+//!   crashes, escalating to *its* supervisor;
+//! * otherwise restarts per strategy: the crashed child
+//!   ([`Strategy::OneForOne`]), every child ([`Strategy::AllForOne`]),
+//!   or the crashed child and all later-started ones
+//!   ([`Strategy::RestForOne`]). Replaced incarnations are killed
+//!   synchronously (§9 `throwTo`) before their successors start.
+//!
+//! **No orphans**: the whole supervisor body is guarded so that *any*
+//! exit — give-up, crash, or an asynchronous kill from a storm or a
+//! parent supervisor — first kills every live child. Children spawned
+//! with [`spawn_actor_on`] keep their mailbox across restarts, so
+//! unconsumed messages survive the crash: restart preserves queue
+//! state, and any application state the child keeps in external
+//! `MVar`s is protected by its own masked transactions.
+
+use std::rc::Rc;
+
+use conch_runtime::exception::Exception;
+use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::{FromValue, IntoValue, Value};
+
+use crate::actor::{monitor, spawn_actor, ActorRef, Down};
+use crate::mailbox::Mailbox;
+
+/// Which children a crash takes down with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Restart only the crashed child.
+    OneForOne,
+    /// Kill and restart every child.
+    AllForOne,
+    /// Kill and restart the crashed child and all later-started ones.
+    RestForOne,
+}
+
+/// How to (re)start one child. The closure runs once at supervisor
+/// start and once per restart; capture `Copy` handles (mailboxes,
+/// state cells) to give successive incarnations shared state.
+#[derive(Clone)]
+pub struct ChildSpec {
+    start: Rc<dyn Fn() -> Io<ActorRef<Value>>>,
+}
+
+/// Builds a [`ChildSpec`] from a start closure.
+pub fn child_spec(start: impl Fn() -> Io<ActorRef<Value>> + 'static) -> ChildSpec {
+    ChildSpec {
+        start: Rc::new(start),
+    }
+}
+
+/// A supervisor's configuration: strategy, restart budget, children.
+#[derive(Clone)]
+pub struct SupervisorSpec {
+    strategy: Strategy,
+    /// Maximum abnormal exits tolerated within `window` before giving up.
+    max_restarts: usize,
+    /// Sliding window, in virtual microseconds.
+    window: i64,
+    children: Vec<ChildSpec>,
+}
+
+impl SupervisorSpec {
+    /// A spec with the given strategy, no children yet, and a default
+    /// budget of 3 restarts per 1 000 000 virtual microseconds.
+    pub fn new(strategy: Strategy) -> Self {
+        SupervisorSpec {
+            strategy,
+            max_restarts: 3,
+            window: 1_000_000,
+            children: Vec::new(),
+        }
+    }
+
+    /// Sets the restart-intensity budget.
+    pub fn intensity(mut self, max_restarts: usize, window: i64) -> Self {
+        self.max_restarts = max_restarts;
+        self.window = window.max(1);
+        self
+    }
+
+    /// Appends a child (start order is rest-for-one order).
+    pub fn child(mut self, spec: ChildSpec) -> Self {
+        self.children.push(spec);
+        self
+    }
+}
+
+/// A running supervisor: the supervisor actor plus the cell naming
+/// the *current* child incarnations (`List` of `Pair(Int(index),
+/// child-ref)`), exposed so audits and kill storms can aim at live
+/// children and at the supervisor itself.
+#[derive(Debug, Clone, Copy)]
+pub struct Supervisor {
+    /// The supervisor actor (its mailbox carries `Down` notices).
+    pub actor: ActorRef<Down>,
+    /// Current children, updated by the restart loop.
+    pub children_cell: MVar<Value>,
+}
+
+impl Supervisor {
+    /// The current child incarnations, in spec-index order.
+    pub fn child_refs(&self) -> Io<Vec<ActorRef<Value>>> {
+        let cell = self.children_cell;
+        Io::block(cell.take().and_then(move |v| {
+            let refs = decode_children(&v)
+                .into_iter()
+                .map(|(_, c)| c)
+                .collect::<Vec<_>>();
+            cell.put(v).map(move |_| refs)
+        }))
+    }
+
+    /// Kills the supervisor (asynchronously); its exit guard kills
+    /// every child, so no orphan survives.
+    pub fn shutdown(&self) -> Io<()> {
+        self.actor.kill()
+    }
+
+    /// Kills the supervisor with the §9 synchronous `throwTo`.
+    pub fn shutdown_sync(&self) -> Io<()> {
+        self.actor.kill_sync()
+    }
+}
+
+impl IntoValue for Supervisor {
+    fn into_value(self) -> Value {
+        Value::Pair(
+            Box::new(self.actor.into_value()),
+            Box::new(Value::MVar(self.children_cell.id())),
+        )
+    }
+}
+
+impl FromValue for Supervisor {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(a, c) => Some(Supervisor {
+                actor: ActorRef::from_value(*a)?,
+                children_cell: MVar::from_id(c.as_mvar_id()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn decode_children(v: &Value) -> Vec<(usize, ActorRef<Value>)> {
+    match v {
+        Value::List(xs) => xs
+            .iter()
+            .filter_map(|x| match x {
+                Value::Pair(i, c) => {
+                    Some((i.as_int()? as usize, ActorRef::from_value((**c).clone())?))
+                }
+                _ => None,
+            })
+            .collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn encode_children(children: Vec<(usize, ActorRef<Value>)>) -> Value {
+    Value::List(
+        children
+            .into_iter()
+            .map(|(i, c)| Value::Pair(Box::new(Value::Int(i as i64)), Box::new(c.into_value())))
+            .collect(),
+    )
+}
+
+/// One masked transaction over the children cell.
+fn children_txn<R>(
+    cell: MVar<Value>,
+    f: impl FnOnce(&mut Vec<(usize, ActorRef<Value>)>) -> R + 'static,
+) -> Io<R>
+where
+    R: FromValue + IntoValue + 'static,
+{
+    Io::block(cell.take().and_then(move |v| {
+        let mut kids = decode_children(&v);
+        let r = f(&mut kids);
+        cell.put(encode_children(kids)).map(move |_| r)
+    }))
+}
+
+/// Starts child `idx`, monitors it into the supervisor's mailbox
+/// (mref = spec index) and records the incarnation.
+fn start_child(
+    spec: Rc<SupervisorSpec>,
+    idx: usize,
+    inbox: Mailbox<Down>,
+    cell: MVar<Value>,
+) -> Io<()> {
+    (spec.children[idx].start)().and_then(move |child| {
+        monitor(&child, inbox, idx as i64).then(children_txn(cell, move |kids| {
+            kids.retain(|(i, _)| *i != idx);
+            kids.push((idx, child));
+            kids.sort_by_key(|(i, _)| *i);
+        }))
+    })
+}
+
+fn start_range(
+    spec: Rc<SupervisorSpec>,
+    indices: Vec<usize>,
+    inbox: Mailbox<Down>,
+    cell: MVar<Value>,
+) -> Io<()> {
+    let mut indices = indices;
+    match indices.pop() {
+        None => Io::unit(),
+        Some(last) => {
+            // Keep start order: recurse on the front first.
+            let front = indices;
+            let spec2 = Rc::clone(&spec);
+            start_range(spec2, front, inbox, cell).then(start_child(spec, last, inbox, cell))
+        }
+    }
+}
+
+/// Synchronously kills the recorded incarnations at `indices` (dead
+/// targets are no-ops) and drops them from the cell.
+fn kill_indices(cell: MVar<Value>, indices: Vec<usize>) -> Io<()> {
+    children_txn(cell, move |kids| {
+        let doomed: Vec<Value> = kids
+            .iter()
+            .filter(|(i, _)| indices.contains(i))
+            .map(|(_, c)| c.into_value())
+            .collect();
+        kids.retain(|(i, _)| !indices.contains(i));
+        doomed
+    })
+    .and_then(kill_refs)
+}
+
+fn kill_refs(mut doomed: Vec<Value>) -> Io<()> {
+    match doomed.pop() {
+        None => Io::unit(),
+        Some(v) => match ActorRef::<Value>::from_value(v) {
+            Some(c) => c.kill_sync().then(kill_refs(doomed)),
+            None => kill_refs(doomed),
+        },
+    }
+}
+
+/// Kills every live child, retrying if an asynchronous exception (a
+/// storm striking the dying supervisor) interrupts the sweep. Each
+/// kill is idempotent — `throwTo` at a dead thread is a no-op — so
+/// retrying from the top cannot over-kill, and any finite storm lets
+/// the sweep complete. This is the no-orphan guarantee.
+fn kill_all_children(cell: MVar<Value>) -> Io<()> {
+    children_txn(cell, move |kids| {
+        let doomed: Vec<Value> = kids.iter().map(|(_, c)| c.into_value()).collect();
+        kids.clear();
+        doomed
+    })
+    .and_then(kill_refs)
+    .catch(move |_| kill_all_children(cell))
+}
+
+/// Slides the intensity window and decides: `None` = give up,
+/// `Some(times)` = proceed with the updated restart history.
+fn admit_restart(mut times: Vec<i64>, now: i64, spec: &SupervisorSpec) -> Option<Vec<i64>> {
+    times.retain(|t| now - *t <= spec.window);
+    times.push(now);
+    if times.len() > spec.max_restarts {
+        None
+    } else {
+        Some(times)
+    }
+}
+
+fn sup_loop(
+    inbox: Mailbox<Down>,
+    spec: Rc<SupervisorSpec>,
+    cell: MVar<Value>,
+    restarts: Vec<i64>,
+) -> Io<()> {
+    inbox.recv().and_then(move |down: Down| {
+        let idx = down.mref as usize;
+        // Stale-notice filter: only the *current* incarnation's death
+        // is actionable. (We learn the current tid from the cell; a
+        // notice from a replaced incarnation is dropped.)
+        children_txn(cell, move |kids| {
+            kids.iter()
+                .find(|(i, _)| *i == idx)
+                .map(|(_, c)| c.tid().index() as i64)
+        })
+        .and_then(move |current: Option<i64>| {
+            let stale = current != Some(down.from as i64);
+            if stale || idx >= spec.children.len() {
+                return sup_loop(inbox, spec, cell, restarts);
+            }
+            if !down.reason.is_abnormal() {
+                // Normal exit: remove, do not restart.
+                return children_txn(cell, move |kids| kids.retain(|(i, _)| *i != idx))
+                    .then(sup_loop(inbox, spec, cell, restarts));
+            }
+            Io::now().and_then(move |now| match admit_restart(restarts, now, &spec) {
+                None => {
+                    // Budget exhausted: give up and escalate. The body
+                    // guard in sup_body will (re-)kill the children.
+                    Io::throw(Exception::error_call(
+                        "supervisor: restart intensity exceeded",
+                    ))
+                }
+                Some(times) => {
+                    let n = spec.children.len();
+                    let to_restart: Vec<usize> = match spec.strategy {
+                        Strategy::OneForOne => vec![idx],
+                        Strategy::AllForOne => (0..n).collect(),
+                        Strategy::RestForOne => (idx..n).collect(),
+                    };
+                    let spec2 = Rc::clone(&spec);
+                    kill_indices(cell, to_restart.clone())
+                        .then(start_range(spec2, to_restart, inbox, cell))
+                        .then(sup_loop(inbox, spec, cell, times))
+                }
+            })
+        })
+    })
+}
+
+fn sup_body(inbox: Mailbox<Down>, spec: Rc<SupervisorSpec>, cell: MVar<Value>) -> Io<()> {
+    let n = spec.children.len();
+    let spec2 = Rc::clone(&spec);
+    start_range(spec2, (0..n).collect(), inbox, cell)
+        .then(sup_loop(inbox, spec, cell, Vec::new()))
+        .catch_info(move |e, origin| kill_all_children(cell).then(Io::rethrow(e, origin)))
+}
+
+/// Spawns a supervisor running `spec`. The supervisor's mailbox is
+/// sized to hold a `Down` from every child plus slack, so exit
+/// delivery to the supervisor never blocks a dying child for long.
+pub fn spawn_supervisor(spec: SupervisorSpec) -> Io<Supervisor> {
+    let capacity = (spec.children.len() as i64 * 2).max(4);
+    Io::new_mvar(Value::List(Vec::new())).and_then(move |cell| {
+        let spec = Rc::new(spec);
+        spawn_actor(capacity, move |inbox: Mailbox<Down>| {
+            sup_body(inbox, spec, cell)
+        })
+        .map(move |actor| Supervisor {
+            actor,
+            children_cell: cell,
+        })
+    })
+}
+
+/// Wraps a whole supervisor as a child of another supervisor — the
+/// tree combinator. If the inner supervisor gives up (or is killed),
+/// its parent restarts the entire subtree with a fresh spec copy.
+pub fn supervisor_child(spec: SupervisorSpec) -> ChildSpec {
+    child_spec(move || spawn_supervisor(spec.clone()).map(|sup| sup.actor.erase()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conch_runtime::exception::ExitReason;
+    use conch_runtime::scheduler::Runtime;
+
+    fn run<T: FromValue + IntoValue + 'static>(io: Io<T>) -> T {
+        Runtime::new().run(io).unwrap()
+    }
+
+    /// A counter worker: `Inc` (any message) adds 2 to the shared cell
+    /// in one masked transaction; message `-1` makes it crash.
+    fn counter_child(state: MVar<i64>, inbox: Mailbox<i64>) -> ChildSpec {
+        child_spec(move || {
+            spawn_actor_on(inbox, move |mb: Mailbox<i64>| counter_loop(mb, state))
+                .map(|a| a.erase())
+        })
+    }
+
+    fn counter_loop(mb: Mailbox<i64>, state: MVar<i64>) -> Io<()> {
+        mb.recv().and_then(move |msg| {
+            if msg < 0 {
+                Io::throw(Exception::error_call("poison"))
+            } else {
+                Io::block(state.take().and_then(move |n| state.put(n + 2)))
+                    .then(counter_loop(mb, state))
+            }
+        })
+    }
+
+    fn wait_counter(state: MVar<i64>, at_least: i64) -> Io<i64> {
+        Io::block(state.take().and_then(move |n| state.put(n).map(move |_| n))).and_then(move |n| {
+            if n >= at_least {
+                Io::pure(n)
+            } else {
+                Io::sleep(20).then(wait_counter(state, at_least))
+            }
+        })
+    }
+
+    use crate::actor::spawn_actor_on;
+
+    #[test]
+    fn one_for_one_restarts_crashed_child_and_keeps_state() {
+        let got = run(Io::new_mvar(0_i64).and_then(|state| {
+            Mailbox::<i64>::new(8).and_then(move |inbox| {
+                let spec = SupervisorSpec::new(Strategy::OneForOne)
+                    .intensity(5, 1_000_000)
+                    .child(counter_child(state, inbox));
+                spawn_supervisor(spec).and_then(move |sup| {
+                    inbox
+                        .send(1) // +2
+                        .then(inbox.send(-1)) // crash
+                        .then(inbox.send(1)) // +2, served by the restart
+                        .then(wait_counter(state, 4))
+                        .and_then(move |n| sup.shutdown().map(move |_| n))
+                })
+            })
+        }));
+        assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn give_up_after_intensity_exceeded() {
+        let got = run(Io::new_mvar(0_i64).and_then(|state| {
+            Mailbox::<i64>::new(8).and_then(move |inbox| {
+                let spec = SupervisorSpec::new(Strategy::OneForOne)
+                    .intensity(1, 1_000_000)
+                    .child(counter_child(state, inbox));
+                spawn_supervisor(spec).and_then(move |sup| {
+                    // Two crashes within the window exceed a budget of 1.
+                    inbox.send(-1).then(inbox.send(-1)).then(wait_sup_dead(sup))
+                })
+            })
+        }));
+        match got {
+            ExitReason::Crashed(e) => {
+                assert_eq!(
+                    *e,
+                    Exception::error_call("supervisor: restart intensity exceeded")
+                )
+            }
+            other => panic!("expected give-up crash, got {other:?}"),
+        }
+    }
+
+    fn wait_sup_dead(sup: Supervisor) -> Io<ExitReason> {
+        sup.actor.exit_reason().and_then(move |r| match r {
+            Some(r) => Io::pure(r),
+            None => Io::sleep(20).then(wait_sup_dead(sup)),
+        })
+    }
+
+    fn incarnation_seqs(sup: Supervisor) -> Io<Vec<i64>> {
+        sup.child_refs()
+            .map(|refs| refs.iter().map(|c| c.tid().index() as i64).collect())
+    }
+
+    fn wait_children(sup: Supervisor, n: usize) -> Io<Vec<i64>> {
+        incarnation_seqs(sup).and_then(move |seqs| {
+            if seqs.len() == n {
+                Io::pure(seqs)
+            } else {
+                Io::sleep(20).then(wait_children(sup, n))
+            }
+        })
+    }
+
+    /// Crashes the child at `idx` (via its own mailbox poison) and
+    /// waits until every child slot holds a live, *settled* pool.
+    fn seq_change_matrix(strategy: Strategy) -> (Vec<i64>, Vec<i64>) {
+        run(Io::new_mvar(0_i64).and_then(move |state| {
+            Mailbox::<i64>::new(4).and_then(move |poison_box| {
+                // Three children, each with its own mailbox; child 1
+                // gets the poison.
+                Mailbox::<i64>::new(4).and_then(move |mb0| {
+                    Mailbox::<i64>::new(4).and_then(move |mb2| {
+                        let spec = SupervisorSpec::new(strategy)
+                            .intensity(5, 1_000_000)
+                            .child(counter_child(state, mb0))
+                            .child(counter_child(state, poison_box))
+                            .child(counter_child(state, mb2));
+                        spawn_supervisor(spec).and_then(move |sup| {
+                            wait_children(sup, 3).and_then(move |before| {
+                                poison_box.send(-1).then(
+                                    wait_restart(sup, before.clone())
+                                        .map(move |after| (before, after)),
+                                )
+                            })
+                        })
+                    })
+                })
+            })
+        }))
+    }
+
+    /// Waits until child 1's incarnation differs from `before[1]` and
+    /// three children are live again.
+    fn wait_restart(sup: Supervisor, before: Vec<i64>) -> Io<Vec<i64>> {
+        incarnation_seqs(sup).and_then(move |after| {
+            if after.len() == 3 && after[1] != before[1] {
+                Io::pure(after)
+            } else {
+                Io::sleep(20).then(wait_restart(sup, before))
+            }
+        })
+    }
+
+    #[test]
+    fn one_for_one_replaces_only_the_crashed_child() {
+        let (before, after) = seq_change_matrix(Strategy::OneForOne);
+        assert_eq!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        assert_eq!(before[2], after[2]);
+    }
+
+    #[test]
+    fn all_for_one_replaces_every_child() {
+        let (before, after) = seq_change_matrix(Strategy::AllForOne);
+        assert_ne!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        assert_ne!(before[2], after[2]);
+    }
+
+    #[test]
+    fn rest_for_one_replaces_crashed_and_later_children() {
+        let (before, after) = seq_change_matrix(Strategy::RestForOne);
+        assert_eq!(before[0], after[0]);
+        assert_ne!(before[1], after[1]);
+        assert_ne!(before[2], after[2]);
+    }
+
+    #[test]
+    fn shutdown_leaves_no_orphans() {
+        let got = run(Io::new_mvar(0_i64).and_then(|state| {
+            Mailbox::<i64>::new(4).and_then(move |inbox| {
+                let spec =
+                    SupervisorSpec::new(Strategy::OneForOne).child(counter_child(state, inbox));
+                spawn_supervisor(spec).and_then(move |sup| {
+                    wait_children(sup, 1).and_then(move |_| {
+                        sup.child_refs().and_then(move |kids| {
+                            let kid = kids[0];
+                            sup.shutdown_sync().then(wait_ref_dead(kid))
+                        })
+                    })
+                })
+            })
+        }));
+        assert_eq!(got, ExitReason::Killed);
+    }
+
+    fn wait_ref_dead(a: ActorRef<Value>) -> Io<ExitReason> {
+        a.exit_reason().and_then(move |r| match r {
+            Some(r) => Io::pure(r),
+            None => Io::sleep(20).then(wait_ref_dead(a)),
+        })
+    }
+
+    #[test]
+    fn supervision_tree_restarts_a_whole_subtree() {
+        // Root supervises a child supervisor which supervises a
+        // counter. Killing the mid supervisor restarts the subtree and
+        // service resumes on the same mailbox.
+        let got = run(Io::new_mvar(0_i64).and_then(|state| {
+            Mailbox::<i64>::new(8).and_then(move |inbox| {
+                let mid = SupervisorSpec::new(Strategy::OneForOne)
+                    .intensity(5, 1_000_000)
+                    .child(counter_child(state, inbox));
+                let root_spec = SupervisorSpec::new(Strategy::OneForOne)
+                    .intensity(5, 1_000_000)
+                    .child(supervisor_child(mid));
+                spawn_supervisor(root_spec).and_then(move |root| {
+                    inbox.send(1).then(wait_counter(state, 2)).then(
+                        // Kill the mid supervisor (root's only child).
+                        root.child_refs().and_then(move |kids| {
+                            kids[0].kill_sync().then(
+                                inbox
+                                    .send(1)
+                                    .then(wait_counter(state, 4))
+                                    .and_then(move |n| root.shutdown().map(move |_| n)),
+                            )
+                        }),
+                    )
+                })
+            })
+        }));
+        assert_eq!(got, 4);
+    }
+}

@@ -10,6 +10,9 @@
 //!   high-water mark showing slot reclamation keeps memory bounded.
 //! * `httpd_requests` — the §11 server answering well-behaved requests:
 //!   requests per (wall and virtual) second, fork-per-connection.
+//!   The JSON adds an `httpd_requests_pooled` row: the same load
+//!   through the supervised `conch-actors` worker pool, recording the
+//!   conservation counters (`accepted == outcomes`).
 //! * `schedule_exploration` — the B9 three-thread workload explored to
 //!   completion: schedules per second through the reset-and-reuse
 //!   explorer runtime.
@@ -25,7 +28,7 @@
 
 use std::time::Instant;
 
-use conch_bench::{explore_once, serve_n_good, serve_n_good_paced};
+use conch_bench::{explore_once, serve_n_good, serve_n_good_paced, serve_n_good_pooled};
 use conch_runtime::io::for_each;
 use conch_runtime::prelude::*;
 use criterion::Criterion;
@@ -124,6 +127,30 @@ fn emit_json() {
         secs,
         HTTPD_REQUESTS as f64 / secs,
         per_virtual_sec,
+    ));
+
+    // The same load through the supervised `conch-actors` worker pool
+    // instead of fork-per-connection. The row records the conservation
+    // counters — CI asserts `accepted == outcomes` stays true under the
+    // pool (the audit-grade quiesce: shutdown_sync, drain, snapshot).
+    let mut rt = Runtime::new();
+    let start = Instant::now();
+    let snap = rt
+        .run(serve_n_good_pooled(HTTPD_REQUESTS))
+        .expect("pooled server run");
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    rows.push(format!(
+        "    {{\"workload\": \"httpd_requests_pooled\", \"requests\": {}, \
+         \"accepted\": {}, \"outcomes\": {}, \"conserved\": {}, \
+         \"max_thread_slots\": {}, \"seconds\": {:.6}, \
+         \"requests_per_sec\": {:.1}}}",
+        HTTPD_REQUESTS,
+        snap.accepted,
+        snap.outcomes(),
+        snap.conserved(),
+        rt.stats().max_thread_slots,
+        secs,
+        HTTPD_REQUESTS as f64 / secs,
     ));
 
     let start = Instant::now();

@@ -213,6 +213,10 @@ fn emit_json() {
             "kill_storm",
             conch_faults::spaces::storm_space as fn() -> Io<_>,
         ),
+        (
+            "supervised_pool",
+            conch_faults::spaces::supervised_pool_space as fn() -> Io<_>,
+        ),
     ] {
         for workers in [1, 4] {
             let start = Instant::now();
@@ -234,6 +238,26 @@ fn emit_json() {
                 report.faults_injected,
             ));
         }
+    }
+
+    // X3: the actor-ring workload (3 relay actors, 2 laps) from
+    // `conch-actors`, explored under the same DPOR + preemption-bound-2
+    // configuration as the fault spaces, sequentially and at 4 workers.
+    // The token invariant (result == actors * laps) is checked on every
+    // schedule inside explore_actor_ring; the two rows must carry
+    // identical counters — CI asserts it.
+    for workers in [1, 4] {
+        let start = Instant::now();
+        let report = conch_bench::explore_actor_ring(workers);
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(format!(
+            concat!(
+                "    {{\"config\": \"actor_ring\", \"workers\": {}, \"explored\": {}, ",
+                "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
+                "\"seconds\": {:.6}}}"
+            ),
+            workers, report.explored, report.pruned, report.truncated, report.complete, secs,
+        ));
     }
 
     // X1: the larger workloads, each explored under sleep sets and

@@ -6,11 +6,13 @@
 //! experiment-table generator and the benches share exactly the same
 //! code paths.
 
+use conch_actors::{spawn_actor_on, Mailbox};
 use conch_combinators::{modify_mvar, modify_mvar_naive, timeout};
 use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
 use conch_httpd::client::good_client;
 use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
+use conch_httpd::pool::{start_pooled, PoolConfig};
 use conch_httpd::server::{handler, start, Handler, ServerConfig, StatsSnapshot};
 use conch_runtime::io::{for_each, sequence, Io};
 use conch_runtime::prelude::*;
@@ -412,6 +414,116 @@ pub fn explore_fault_space(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers
     }
 }
 
+/// X3: an actor-ring token pass — `actors` relay actors chained
+/// mailbox-to-mailbox, the main thread closing the ring: each lap it
+/// injects the token at the head and collects it at the tail, and each
+/// relay increments it on the way through. Every relay does exactly
+/// `laps` hand-offs, so every schedule terminates, and on all of them
+/// the result is `actors * laps` — mailbox backpressure (capacity-1
+/// queues) may reorder the polling but never the tokens.
+pub fn actor_ring_workload(actors: u64, laps: u64) -> Io<i64> {
+    fn relay(mb: Mailbox<i64>, next: Mailbox<i64>, left: u64) -> Io<()> {
+        if left == 0 {
+            return Io::unit();
+        }
+        mb.recv()
+            .and_then(move |v: i64| next.send(v + 1).then(relay(mb, next, left - 1)))
+    }
+    fn chain(left: u64, laps: u64, input: Mailbox<i64>) -> Io<Mailbox<i64>> {
+        if left == 0 {
+            return Io::pure(input);
+        }
+        Mailbox::<i64>::new(1).and_then(move |out| {
+            spawn_actor_on(input, move |mb: Mailbox<i64>| relay(mb, out, laps))
+                .and_then(move |_| chain(left - 1, laps, out))
+        })
+    }
+    fn drive(head: Mailbox<i64>, tail: Mailbox<i64>, left: u64, token: i64) -> Io<i64> {
+        if left == 0 {
+            return Io::pure(token);
+        }
+        head.send(token)
+            .then(tail.recv())
+            .and_then(move |v: i64| drive(head, tail, left - 1, v))
+    }
+    Mailbox::<i64>::new(1).and_then(move |head| {
+        chain(actors, laps, head).and_then(move |tail| drive(head, tail, laps, 0))
+    })
+}
+
+/// X3: one full exploration of the actor ring at the canonical bench
+/// size (3 actors, 2 laps), under the same bounds as the fault spaces
+/// (DPOR, preemption bound 2 — hand-offs and exception-delivery points
+/// still branch fully). Panics if any schedule garbles the token: the
+/// bench regenerates verified numbers and must not silently record a
+/// failing workload.
+pub fn explore_actor_ring(workers: usize) -> Report {
+    const ACTORS: u64 = 3;
+    const LAPS: u64 = 2;
+    fn check(out: &RunOutcome<i64>) -> Result<(), String> {
+        match &out.result {
+            Ok(v) if *v == (ACTORS * LAPS) as i64 => Ok(()),
+            other => Err(format!("ring token garbled: {other:?}")),
+        }
+    }
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(actor_ring_workload(ACTORS, LAPS), check))
+    } else {
+        explorer.check_parallel(workers, || {
+            TestCase::new(actor_ring_workload(ACTORS, LAPS), check)
+        })
+    };
+    match result {
+        conch_explore::CheckResult::Passed(report) => *report,
+        conch_explore::CheckResult::Failed(f) => {
+            panic!("actor ring violated its invariant: {}", f.message)
+        }
+    }
+}
+
+/// S1 under the supervised pool: the same well-behaved load served by
+/// the `conch-actors` worker pool behind the accept loop instead of a
+/// fork per connection. The queue is sized to the load so nothing is
+/// shed; every request must come back `200`. Returns the quiesced
+/// snapshot so callers can record — and CI can assert — that the
+/// conservation law (`accepted == outcomes`) survives the pool.
+pub fn serve_n_good_pooled(n: u64) -> Io<StatsSnapshot> {
+    fn routes() -> Handler {
+        handler(|_| Io::pure(Response::ok("ok")))
+    }
+    let config = PoolConfig {
+        queue_capacity: n as i64,
+        ..PoolConfig::default()
+    };
+    Listener::bind().and_then(move |l| {
+        start_pooled(l, routes(), config).and_then(move |server| {
+            Io::new_empty_mvar::<i64>().and_then(move |report| {
+                for_each(n, move |i| {
+                    Io::fork(good_client(l, format!("/{i}"), report))
+                })
+                .then(sequence((0..n).map(|_| report.take()).collect()))
+                .and_then(move |codes| {
+                    assert!(codes.iter().all(|c| *c == 200));
+                    server
+                        .shutdown_sync()
+                        .then(server.drain())
+                        .then(server.stats.snapshot())
+                        .and_then(move |snap| server.stop_sync().map(move |_| snap))
+                })
+            })
+        })
+    })
+}
+
 /// S1: the §11 server answering `n` well-behaved requests, one forked
 /// client (and one forked per-connection server thread) per request.
 pub fn serve_n_good(n: u64) -> Io<()> {
@@ -494,6 +606,15 @@ mod tests {
         run(cfg(), polling_overhead(500, 50));
         let polling = RuntimeConfig::new().delivery_mode(DeliveryMode::Polling);
         run(polling, polled_victim_round(50));
+    }
+
+    #[test]
+    fn actor_and_pool_workloads_run_clean() {
+        let cfg = RuntimeConfig::new;
+        assert_eq!(run(cfg(), actor_ring_workload(3, 2)).0, 6);
+        let snap = run(cfg(), serve_n_good_pooled(10)).0;
+        assert_eq!(snap.served, 10);
+        assert!(snap.conserved(), "{snap:?}");
     }
 
     #[test]

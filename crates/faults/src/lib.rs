@@ -46,4 +46,4 @@ pub use crate::client::{faulty_client, prepared_connection};
 pub use crate::fault::{ConnFault, HandlerFault};
 pub use crate::handler::faulty_handler;
 pub use crate::inject::{FaultPlan, Injector};
-pub use crate::storm::kill_storm;
+pub use crate::storm::{kill_storm, kill_storm_pooled, kill_storm_targets};

@@ -26,16 +26,24 @@
 //! torn-counter interleavings for both the asynchronous-shutdown and
 //! the snapshot-before-drain variants while this module was built.
 
+use conch_actors::{
+    child_spec, spawn_actor_on, spawn_supervisor, ActorRef, ChildSpec, Mailbox, Strategy,
+    Supervisor, SupervisorSpec,
+};
 use conch_httpd::client::{status_of, ClientOutcome};
 use conch_httpd::http::Response;
 use conch_httpd::net::{Connection, Listener};
+use conch_httpd::pool::{start_pooled, PoolConfig, PooledServer};
 use conch_httpd::server::{handler, start, Server, ServerConfig, StatsSnapshot};
+use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
+use conch_runtime::mvar::MVar;
+use conch_runtime::value::Value;
 
 use crate::client::{faulty_client, prepared_connection};
 use crate::fault::ConnFault;
 use crate::inject::Injector;
-use crate::storm::kill_storm;
+use crate::storm::{kill_storm, kill_storm_pooled};
 
 fn server_config() -> ServerConfig {
     ServerConfig {
@@ -131,4 +139,193 @@ pub fn holds_invariants(out: &(i64, i64, StatsSnapshot)) -> Result<(), String> {
         return Err(format!("counters not conserved: {snap:?}"));
     }
     Ok(())
+}
+
+/// The [`storm_space`] episode against the supervised worker pool
+/// (`conch_httpd::pool`): a stalled connection parks the pool's single
+/// worker in its read, then a synchronous `KillThread` storm — each
+/// strike an explorer branch — targets the worker *and the pool
+/// supervisor itself*. Whatever subset dies, the supervision tree must
+/// restart enough of itself that the healthy probe is answered `200`
+/// and the counters conserve ([`holds_invariants`], unchanged: the
+/// pool commits outcomes through the same `finish` transaction).
+pub fn supervised_pool_space() -> Io<(i64, i64, StatsSnapshot)> {
+    let cfg = PoolConfig {
+        workers: 1,
+        queue_capacity: 2,
+        max_restarts: 4,
+        window: 1_000_000,
+        server: server_config(),
+    };
+    Listener::bind().and_then(move |l| {
+        start_pooled(l, handler(|_| Io::pure(Response::ok("hi"))), cfg).and_then(move |server| {
+            prepared_connection(ConnFault::Stall, "/x").and_then(move |conn| {
+                l.inject(conn)
+                    .then(Io::sleep(100))
+                    .then(kill_storm_pooled(&server, &Injector::Explore))
+                    .and_then(move |kills| pooled_probe_and_snapshot(l, server, kills))
+            })
+        })
+    })
+}
+
+/// [`probe_and_snapshot`] for the pooled server — same observation
+/// protocol, then a full tree teardown so no supervisor or worker
+/// outlives the audit.
+fn pooled_probe_and_snapshot(
+    l: Listener,
+    server: PooledServer,
+    fault_code: i64,
+) -> Io<(i64, i64, StatsSnapshot)> {
+    prepared_connection(ConnFault::None, "/probe").and_then(move |conn: Connection| {
+        l.inject(conn)
+            .then(conn.read_response())
+            .and_then(move |resp| {
+                let probe_code = match status_of(&resp) {
+                    ClientOutcome::Status(code) => i64::from(code),
+                    ClientOutcome::Garbled => -2,
+                };
+                server
+                    .shutdown_sync()
+                    .then(server.drain())
+                    .then(server.stats.snapshot())
+                    .and_then(move |snap| {
+                        server
+                            .stop_sync()
+                            .map(move |_| (fault_code, probe_code, snap))
+                    })
+            })
+    })
+}
+
+// -- the actor space -------------------------------------------------------
+
+/// A supervised counter actor under fault injection: one
+/// [`Io::choose`] site picks the episode — nothing, a poison message
+/// (synchronous crash), an untrappable kill, or a wedge (the actor
+/// sleeps on a slow message) followed by a kill. After the episode a
+/// probe message must still be served (the supervisor restarted the
+/// child on the *same* mailbox and state cell, so the counter reaches
+/// exactly 4 — state transactionality across restarts), the
+/// supervisor is shut down, and the audit checks that the child was
+/// reaped (no orphans) and that the mailbox lost no capacity to the
+/// kills (both `try_send`s into the emptied 2-slot mailbox must fit).
+///
+/// Returns `[counter, child-exit code, fit1, fit2, arm]`;
+/// [`holds_actor_invariants`] pins the first four.
+pub fn actor_space() -> Io<Vec<i64>> {
+    Io::new_mvar(0_i64).and_then(|state| {
+        Mailbox::<i64>::new(2).and_then(move |inbox| {
+            let spec = SupervisorSpec::new(Strategy::OneForOne)
+                .intensity(3, 1_000_000)
+                .child(counter_child(state, inbox));
+            spawn_supervisor(spec).and_then(move |sup| {
+                inbox
+                    .send(1)
+                    .then(wait_counter(state, 2))
+                    .then(Io::choose(4))
+                    .and_then(move |arm| {
+                        episode(sup, inbox, arm)
+                            .then(inbox.send(1)) // the probe: +2, whoever serves it
+                            .then(wait_counter(state, 4))
+                            .and_then(move |n| {
+                                current_child(sup).and_then(move |child| {
+                                    sup.shutdown_sync().then(wait_child_dead(child)).and_then(
+                                        move |code| {
+                                            inbox.try_send(9).and_then(move |fit1| {
+                                                inbox.try_send(9).map(move |fit2| {
+                                                    vec![
+                                                        n,
+                                                        code,
+                                                        i64::from(fit1),
+                                                        i64::from(fit2),
+                                                        arm,
+                                                    ]
+                                                })
+                                            })
+                                        },
+                                    )
+                                })
+                            })
+                    })
+            })
+        })
+    })
+}
+
+/// The fault episode for [`actor_space`], by injector arm.
+fn episode(sup: Supervisor, inbox: Mailbox<i64>, arm: i64) -> Io<()> {
+    match arm {
+        // Poison: the child crashes synchronously on the message.
+        1 => inbox.send(-1),
+        // Kill: untrappable asynchronous death of the current child.
+        2 => current_child(sup).and_then(|child| child.kill_sync()),
+        // Wedge then kill: the child parks in a long sleep first, so
+        // the kill lands mid-computation rather than at the recv wait.
+        3 => inbox
+            .send(-2)
+            .then(Io::sleep(50))
+            .then(current_child(sup).and_then(|child| child.kill_sync())),
+        _ => Io::unit(),
+    }
+}
+
+/// The child spec for [`actor_space`]: `-1` crashes, `-2` wedges
+/// (sleeps 5 000 virtual microseconds), anything else adds 2 to the
+/// shared counter in one masked transaction.
+fn counter_child(state: MVar<i64>, inbox: Mailbox<i64>) -> ChildSpec {
+    child_spec(move || {
+        spawn_actor_on(inbox, move |mb: Mailbox<i64>| counter_loop(mb, state)).map(|a| a.erase())
+    })
+}
+
+fn counter_loop(mb: Mailbox<i64>, state: MVar<i64>) -> Io<()> {
+    mb.recv().and_then(move |msg| match msg {
+        -1 => Io::throw(Exception::error_call("poison")),
+        -2 => Io::sleep(5_000).then(counter_loop(mb, state)),
+        _ => Io::block(state.take().and_then(move |n| state.put(n + 2)))
+            .then(counter_loop(mb, state)),
+    })
+}
+
+fn wait_counter(state: MVar<i64>, at_least: i64) -> Io<i64> {
+    Io::block(state.take().and_then(move |n| state.put(n).map(move |_| n))).and_then(move |n| {
+        if n >= at_least {
+            Io::pure(n)
+        } else {
+            Io::sleep(50).then(wait_counter(state, at_least))
+        }
+    })
+}
+
+/// The current child incarnation (polls: restarts swap it briefly).
+fn current_child(sup: Supervisor) -> Io<ActorRef<Value>> {
+    sup.child_refs().and_then(move |kids| match kids.first() {
+        Some(kid) => Io::pure(*kid),
+        None => Io::sleep(50).then(current_child(sup)),
+    })
+}
+
+/// Polls until the child records an exit reason; 1 = killed, the code
+/// the supervisor's shutdown sweep must produce.
+fn wait_child_dead(child: ActorRef<Value>) -> Io<i64> {
+    child.exit_reason().and_then(move |r| match r {
+        Some(conch_runtime::exception::ExitReason::Killed) => Io::pure(1),
+        Some(_) => Io::pure(2),
+        None => Io::sleep(50).then(wait_child_dead(child)),
+    })
+}
+
+/// The supervision invariants for [`actor_space`], on every schedule:
+/// the counter reaches exactly 4 (restarts preserve the state cell and
+/// the unconsumed queue), the child is reaped as `Killed` by the
+/// supervisor's shutdown (no orphans), and the emptied mailbox still
+/// has its full 2-slot capacity (kills leak no slots).
+pub fn holds_actor_invariants(out: &[i64]) -> Result<(), String> {
+    match out {
+        [4, 1, 1, 1, _] => Ok(()),
+        other => Err(format!(
+            "want [counter=4, killed=1, fit=1, fit=1, _], got {other:?}"
+        )),
+    }
 }

@@ -25,7 +25,10 @@
 //! determinism contract extended to fault branch points.
 
 use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
-use conch_faults::spaces::{conn_fault_space, holds_invariants, storm_space};
+use conch_faults::spaces::{
+    actor_space, conn_fault_space, holds_actor_invariants, holds_invariants, storm_space,
+    supervised_pool_space,
+};
 use conch_httpd::server::StatsSnapshot;
 use conch_runtime::io::Io;
 
@@ -104,4 +107,81 @@ fn storm_space_reports_identically_at_any_worker_count() {
     let sequential = explore(storm_space, 1);
     let parallel = explore(storm_space, 4);
     assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn supervised_pool_space_holds_invariants_on_every_schedule() {
+    let report = explore(supervised_pool_space, 1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    assert!(
+        report.faults_injected > 0,
+        "worker and supervisor strikes must be visited: {report:?}"
+    );
+    // Two targets (worker, pool supervisor), each struck or spared.
+    assert!(report.explored >= 4, "{report:?}");
+}
+
+#[test]
+fn supervised_pool_space_reports_identically_at_any_worker_count() {
+    let sequential = explore(supervised_pool_space, 1);
+    let parallel = explore(supervised_pool_space, 4);
+    assert_eq!(
+        sequential, parallel,
+        "pool fault×schedule coverage must be bit-identical across engines"
+    );
+}
+
+fn check_actor_invariants(out: &RunOutcome<Vec<i64>>) -> Result<(), String> {
+    match &out.result {
+        Ok(v) => holds_actor_invariants(v),
+        Err(e) => Err(format!("run failed: {e:?}")),
+    }
+}
+
+fn explore_actor(workers: usize) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(actor_space(), check_actor_invariants))
+    } else {
+        explorer.check_parallel(workers, move || {
+            TestCase::new(actor_space(), check_actor_invariants)
+        })
+    };
+    result.report().clone()
+}
+
+#[test]
+fn actor_space_holds_invariants_on_every_schedule() {
+    let report = explore_actor(1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    assert!(
+        report.faults_injected > 0,
+        "the crash/kill/wedge arms must be visited: {report:?}"
+    );
+    // Four episode arms, each with at least one schedule.
+    assert!(report.explored >= 4, "{report:?}");
+}
+
+#[test]
+fn actor_space_reports_identically_at_any_worker_count() {
+    let sequential = explore_actor(1);
+    let parallel = explore_actor(4);
+    assert_eq!(
+        sequential, parallel,
+        "actor fault×schedule coverage must be bit-identical across engines"
+    );
 }

@@ -12,6 +12,9 @@
 //!   the timeouts and the graceful shutdown possible.
 //! * [`server`] — the accept loop, per-connection workers, read/handler
 //!   timeouts, crash-to-500 conversion, counters, graceful shutdown.
+//! * [`pool`] — the same serving contract on a supervised worker pool
+//!   (`conch-actors`): a bounded accept queue feeds a fixed set of
+//!   worker actors under a self-healing two-level supervision tree.
 //! * [`client`] — load-generating clients: well-behaved, stalling,
 //!   trickling and garbage.
 //!
@@ -41,5 +44,6 @@ pub mod client;
 pub mod http;
 pub mod log;
 pub mod net;
+pub mod pool;
 pub mod router;
 pub mod server;

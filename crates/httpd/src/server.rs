@@ -147,7 +147,7 @@ impl StatsSnapshot {
 }
 
 impl ServerStats {
-    fn new() -> Io<ServerStats> {
+    pub(crate) fn new() -> Io<ServerStats> {
         Io::new_mvar(StatsSnapshot::default()).map(|cell| ServerStats { cell })
     }
 
@@ -165,7 +165,7 @@ impl ServerStats {
     /// interrupted at *blocking* operations. An asynchronous exception
     /// therefore either lands while the `take` still waits (nothing
     /// taken, nothing changed) or after the transaction is whole.
-    fn txn<R, F>(&self, f: F) -> Io<R>
+    pub(crate) fn txn<R, F>(&self, f: F) -> Io<R>
     where
         R: FromValue + IntoValue + Copy + 'static,
         F: FnOnce(&mut StatsSnapshot) -> R + 'static,
@@ -182,7 +182,7 @@ impl ServerStats {
 /// these is recorded per accept, in the same transaction that lowers
 /// the active count ([`finish`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
+pub(crate) enum Outcome {
     Served,
     ReadTimeout,
     HandlerTimeout,
@@ -396,7 +396,7 @@ pub fn start(listener: Listener, h: Handler, config: ServerConfig) -> Io<Server>
 /// windows; if a `KillThread` still lands while the registry `take`
 /// blocks, the worker is already forked and accounted — it merely goes
 /// unregistered, which only makes it invisible to kill storms.
-fn register_worker(workers: MVar<Value>, tid: ThreadId) -> Io<()> {
+pub(crate) fn register_worker(workers: MVar<Value>, tid: ThreadId) -> Io<()> {
     modify_mvar_masked(workers, move |v| {
         let mut xs = match v {
             Value::List(xs) => xs,
@@ -490,7 +490,7 @@ pub fn handle_connection(
 /// contended — `drain` polls it), nothing was committed yet: catch and
 /// retry with the *same* outcome. Each storm strike can force at most
 /// one retry, so any finite storm terminates.
-fn finish(stats: ServerStats, outcome: Outcome) -> Io<()> {
+pub(crate) fn finish(stats: ServerStats, outcome: Outcome) -> Io<()> {
     stats
         .txn(move |s| {
             debug_assert!(s.active > 0, "active underflow recording {outcome:?}");
@@ -500,7 +500,7 @@ fn finish(stats: ServerStats, outcome: Outcome) -> Io<()> {
         .catch(move |_| finish(stats, outcome))
 }
 
-fn serve_one(conn: Connection, h: Handler, config: ServerConfig) -> Io<Outcome> {
+pub(crate) fn serve_one(conn: Connection, h: Handler, config: ServerConfig) -> Io<Outcome> {
     let main = timeout(config.read_timeout, conn.read_request_text()).and_then(move |text| {
         match text {
             None => conn

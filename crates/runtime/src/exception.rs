@@ -54,6 +54,53 @@ pub enum ExceptionKind {
     UserInterrupt,
     /// An application-defined exception identified by name.
     Custom(String),
+    /// An actor exit signal: the thread with spawn sequence `from`
+    /// terminated with `reason`. This is the typed payload a linked
+    /// actor delivers to its peers via `throwTo` — the Erlang-style
+    /// layer ("An Exceptional Actor System") built on the paper's
+    /// asynchronous exceptions. A trapping actor converts it into a
+    /// mailbox message instead of dying (see `conch-actors`).
+    ExitSignal {
+        /// Spawn sequence number of the terminated thread.
+        from: u64,
+        /// Why it terminated.
+        reason: Box<ExitReason>,
+    },
+}
+
+/// Why a thread (actor) terminated — the payload of
+/// [`ExceptionKind::ExitSignal`] and the classification the scheduler
+/// records on the (Throw GC) path.
+///
+/// The three-way split mirrors Erlang: `Normal` exits do not kill
+/// linked peers, `Killed` marks an asynchronous `KillThread` (the
+/// untrappable `exit(Pid, kill)` analogue), and `Crashed` carries the
+/// uncaught exception itself.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExitReason {
+    /// The thread's body returned normally.
+    Normal,
+    /// The thread died with this uncaught exception.
+    Crashed(Box<Exception>),
+    /// The thread was torn down by an asynchronous `KillThread`.
+    Killed,
+}
+
+impl ExitReason {
+    /// `true` for every reason except [`ExitReason::Normal`].
+    pub fn is_abnormal(&self) -> bool {
+        !matches!(self, ExitReason::Normal)
+    }
+}
+
+impl fmt::Display for ExitReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExitReason::Normal => write!(f, "normal"),
+            ExitReason::Crashed(e) => write!(f, "crashed: {e}"),
+            ExitReason::Killed => write!(f, "killed"),
+        }
+    }
 }
 
 /// Arithmetic failure modes for [`ExceptionKind::Arithmetic`].
@@ -101,6 +148,14 @@ impl Exception {
         Exception::new(ExceptionKind::Custom(name.into()))
     }
 
+    /// An exit signal from the thread with spawn sequence `from`.
+    pub fn exit_signal(from: u64, reason: ExitReason) -> Self {
+        Exception::new(ExceptionKind::ExitSignal {
+            from,
+            reason: Box::new(reason),
+        })
+    }
+
     /// The kind of this exception.
     pub fn kind(&self) -> &ExceptionKind {
         &self.kind
@@ -114,6 +169,19 @@ impl Exception {
     /// Returns `true` if this is a timeout exception.
     pub fn is_timeout(&self) -> bool {
         self.kind == ExceptionKind::Timeout
+    }
+
+    /// Returns `true` if this is an exit signal.
+    pub fn is_exit_signal(&self) -> bool {
+        matches!(self.kind, ExceptionKind::ExitSignal { .. })
+    }
+
+    /// The `(from, reason)` payload of an exit signal, if this is one.
+    pub fn as_exit_signal(&self) -> Option<(u64, &ExitReason)> {
+        match &self.kind {
+            ExceptionKind::ExitSignal { from, reason } => Some((*from, reason)),
+            _ => None,
+        }
     }
 }
 
@@ -141,6 +209,9 @@ impl fmt::Display for Exception {
             ExceptionKind::HeapOverflow => write!(f, "heap overflow"),
             ExceptionKind::UserInterrupt => write!(f, "user interrupt"),
             ExceptionKind::Custom(name) => write!(f, "{name}"),
+            ExceptionKind::ExitSignal { from, reason } => {
+                write!(f, "ExitSignal(thread#{from}, {reason})")
+            }
         }
     }
 }
@@ -187,5 +258,31 @@ mod tests {
     fn implements_error_trait() {
         fn takes_error<E: std::error::Error>(_: E) {}
         takes_error(Exception::timeout());
+    }
+
+    #[test]
+    fn exit_signal_accessors_and_display() {
+        let crash = ExitReason::Crashed(Box::new(Exception::error_call("boom")));
+        let e = Exception::exit_signal(7, crash.clone());
+        assert!(e.is_exit_signal());
+        assert!(!e.is_kill_thread());
+        assert_eq!(e.as_exit_signal(), Some((7, &crash)));
+        assert_eq!(
+            e.to_string(),
+            "ExitSignal(thread#7, crashed: ErrorCall(\"boom\"))"
+        );
+        assert_eq!(
+            Exception::exit_signal(1, ExitReason::Killed).to_string(),
+            "ExitSignal(thread#1, killed)"
+        );
+        assert!(Exception::kill_thread().as_exit_signal().is_none());
+    }
+
+    #[test]
+    fn exit_reason_abnormality() {
+        assert!(!ExitReason::Normal.is_abnormal());
+        assert!(ExitReason::Killed.is_abnormal());
+        assert!(ExitReason::Crashed(Box::new(Exception::timeout())).is_abnormal());
+        assert_eq!(ExitReason::Normal.to_string(), "normal");
     }
 }

@@ -69,7 +69,7 @@ pub mod value;
 pub use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
 pub use crate::decide::{Decider, FirstRunnable, StepFootprint, ThreadView};
 pub use crate::error::RunError;
-pub use crate::exception::{ArithError, Exception, ExceptionKind};
+pub use crate::exception::{ArithError, Exception, ExceptionKind, ExitReason};
 pub use crate::ids::{MVarId, ThreadId};
 pub use crate::io::Io;
 pub use crate::mvar::MVar;
@@ -84,7 +84,7 @@ pub mod prelude {
     pub use crate::config::{DeadlockPolicy, DeliveryMode, RuntimeConfig, SchedulingPolicy};
     pub use crate::decide::{Decider, StepFootprint, ThreadView};
     pub use crate::error::RunError;
-    pub use crate::exception::{Exception, ExceptionKind};
+    pub use crate::exception::{Exception, ExceptionKind, ExitReason};
     pub use crate::ids::ThreadId;
     pub use crate::io::Io;
     pub use crate::mvar::MVar;

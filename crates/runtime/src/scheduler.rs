@@ -780,6 +780,14 @@ impl Runtime {
 
     fn die_thread(&mut self, th: Box<Thread>, exc: Exception) {
         let tid = th.tid;
+        // Exit-reason classification (the actor layer's `ExitReason`
+        // mirrors this split): a death is a kill, a link-cascade exit
+        // signal, or an ordinary crash.
+        if exc.is_kill_thread() {
+            self.stats.kill_thread_deaths += 1;
+        } else if exc.is_exit_signal() {
+            self.stats.exit_signal_deaths += 1;
+        }
         if Some(tid) == self.main_tid {
             self.main_result = Some(Err(exc));
         }

@@ -29,6 +29,13 @@ pub struct Stats {
     pub finished_threads: u64,
     /// Threads that died with an uncaught exception (rule (Throw GC)).
     pub died_threads: u64,
+    /// Of `died_threads`, those torn down by an uncaught `KillThread` —
+    /// the scheduler's exit-reason classification the actor layer's
+    /// `ExitReason::Killed` mirrors.
+    pub kill_thread_deaths: u64,
+    /// Of `died_threads`, those that died of an uncaught `ExitSignal`,
+    /// i.e. a link cascade reached a non-trapping actor.
+    pub exit_signal_deaths: u64,
     /// Asynchronous exceptions delivered to *runnable* threads
     /// (rule (Receive)).
     pub async_deliveries: u64,
@@ -91,6 +98,8 @@ impl Stats {
         self.forks += other.forks;
         self.finished_threads += other.finished_threads;
         self.died_threads += other.died_threads;
+        self.kill_thread_deaths += other.kill_thread_deaths;
+        self.exit_signal_deaths += other.exit_signal_deaths;
         self.async_deliveries += other.async_deliveries;
         self.interrupted_blocked += other.interrupted_blocked;
         self.sync_throws += other.sync_throws;

@@ -314,6 +314,33 @@ impl FromValue for Exception {
     }
 }
 
+// `Normal` and `Killed` are small integer tags; `Crashed` rides on the
+// first-class exception value, so the carried exception round-trips
+// exactly (the actor layer threads exit reasons through `MVar`s and
+// mailbox messages).
+impl IntoValue for crate::exception::ExitReason {
+    fn into_value(self) -> Value {
+        use crate::exception::ExitReason;
+        match self {
+            ExitReason::Normal => Value::Int(0),
+            ExitReason::Killed => Value::Int(1),
+            ExitReason::Crashed(e) => Value::Exception(*e),
+        }
+    }
+}
+
+impl FromValue for crate::exception::ExitReason {
+    fn from_value(v: Value) -> Option<Self> {
+        use crate::exception::ExitReason;
+        match v {
+            Value::Int(0) => Some(ExitReason::Normal),
+            Value::Int(1) => Some(ExitReason::Killed),
+            Value::Exception(e) => Some(ExitReason::Crashed(Box::new(e))),
+            _ => None,
+        }
+    }
+}
+
 impl<A: IntoValue, B: IntoValue> IntoValue for (A, B) {
     fn into_value(self) -> Value {
         Value::Pair(Box::new(self.0.into_value()), Box::new(self.1.into_value()))

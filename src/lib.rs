@@ -19,6 +19,9 @@
 //! * [`faults`] — deterministic fault injection: connection faults,
 //!   handler faults, and `KillThread` storms as explorer branch points,
 //!   so the fault × schedule product space is enumerable.
+//! * [`actors`] — the Erlang-style layer built on `throwTo`: typed
+//!   bounded mailboxes, `link`/`monitor`, trap-exits, and supervision
+//!   trees with restart strategies and intensity windows.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the reproduction map, and
 //! `EXPERIMENTS.md` for the measured results.
@@ -35,6 +38,7 @@
 //! assert_eq!(rt.run(prog).unwrap(), None);
 //! ```
 
+pub use conch_actors as actors;
 pub use conch_combinators as combinators;
 pub use conch_explore as explore;
 pub use conch_faults as faults;

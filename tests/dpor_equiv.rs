@@ -16,17 +16,21 @@
 //! `block(takeMVar)` atomicity argument, §7.1 `bracket` (plus a
 //! seeded-bug variant whose failure must be found, shrunk and reported
 //! identically), the §7.2 `both`/`either` combinators, asynchronous
-//! delivery-point programs, and plain MVar/console races.
+//! delivery-point programs, plain MVar/console races, and the
+//! `conch-actors` layer (mailbox backpressure, monitor
+//! registration/death races, link cascades).
 
 use std::cell::RefCell;
 use std::collections::BTreeSet;
 use std::fmt::Debug;
 use std::rc::Rc;
 
+use conch_actors::{link, monitor, spawn_actor, ActorRef, Down, Mailbox};
 use conch_combinators::{both, bracket, race, timeout, Either};
 use conch_explore::{ExploreConfig, Explorer, Reduction, RunOutcome, TestCase};
+use conch_runtime::exception::ExitReason;
 use conch_runtime::prelude::*;
-use conch_runtime::value::FromValue;
+use conch_runtime::value::{FromValue, Value};
 
 /// Everything one exploration of one corpus program produced.
 struct ModeResult {
@@ -45,8 +49,14 @@ fn run_mode<T: FromValue + Debug + 'static>(
     fail_if: fn(&RunOutcome<T>) -> Option<String>,
 ) -> ModeResult {
     let outcomes: Rc<RefCell<BTreeSet<String>>> = Rc::new(RefCell::new(BTreeSet::new()));
+    // Depth and step budgets are raised above the defaults for the
+    // actor-layer programs, whose polling mailboxes run longer threads;
+    // programs that fit the defaults explore identically (the limits
+    // only matter when hit, and every passing corpus run is `complete`).
     let cfg = ExploreConfig {
         max_schedules,
+        max_depth: 512,
+        step_budget: 100_000,
         preemption_bound,
         reduction,
         ..ExploreConfig::default()
@@ -433,6 +443,107 @@ fn corpus_nested_timeout_inner_wins() {
         |out| match &out.result {
             Ok(Some(Some(7))) => None,
             other => Some(format!("inner result must win, got {other:?}")),
+        },
+    );
+}
+
+// ----------------------------------------------------- actor-layer corpus
+//
+// The `conch-actors` programs fork actor shells with polling mailboxes,
+// so their unbounded sleep-set spaces are intractable; like the nested
+// timeouts they are compared under preemption bound 2 (exception
+// delivery and mailbox hand-offs still branch fully).
+
+/// Polls until the actor commits an exit reason, coded as an integer
+/// (0 normal, 1 killed, 2 crashed by exit signal, 3 crashed).
+fn actor_exit_code(a: ActorRef<Value>) -> Io<i64> {
+    a.exit_reason().and_then(move |r| match r {
+        Some(ExitReason::Normal) => Io::pure(0),
+        Some(ExitReason::Killed) => Io::pure(1),
+        Some(ExitReason::Crashed(e)) if e.is_exit_signal() => Io::pure(2),
+        Some(ExitReason::Crashed(_)) => Io::pure(3),
+        None => Io::sleep(25).then(actor_exit_code(a)),
+    })
+}
+
+/// 15. Mailbox backpressure race: two producers into a capacity-1
+///     mailbox — the loser polls for the free slot — and the consumer
+///     drains both. Both messages must arrive on every schedule,
+///     whichever producer wins the slot.
+fn actor_mailbox_race() -> Io<i64> {
+    Mailbox::<i64>::new(1).and_then(|mb| {
+        Io::fork(mb.send(1))
+            .then(Io::fork(mb.send(2)))
+            .then(mb.recv())
+            .and_then(move |x: i64| mb.recv().map(move |y: i64| x + y))
+    })
+}
+
+#[test]
+fn corpus_actor_mailbox_race() {
+    assert_equiv_bounded(
+        "actor_mailbox_race",
+        500_000,
+        Some(2),
+        actor_mailbox_race,
+        |out| match &out.result {
+            Ok(3) => None,
+            other => Some(format!("both messages must arrive, got {other:?}")),
+        },
+    );
+}
+
+/// 16. Monitor registration racing the target's death: the actor exits
+///     immediately, so `monitor` may find it alive (Down delivered on
+///     death) or already dead (Down delivered retroactively). Either
+///     way exactly one Down with the caller's reference arrives.
+fn actor_monitor_race() -> Io<i64> {
+    Mailbox::<Down>::new(2).and_then(|watcher| {
+        spawn_actor(1, |_mb: Mailbox<i64>| Io::unit()).and_then(move |a| {
+            monitor(&a, watcher, 11).then(watcher.recv().map(|down: Down| down.mref))
+        })
+    })
+}
+
+#[test]
+fn corpus_actor_monitor_race() {
+    assert_equiv_bounded(
+        "actor_monitor_race",
+        500_000,
+        Some(2),
+        actor_monitor_race,
+        |out| match &out.result {
+            Ok(11) => None,
+            other => Some(format!("expected the Down(mref 11), got {other:?}")),
+        },
+    );
+}
+
+/// 17. Link cascade: `a` crashes while `b` is blocked in `recv`; the
+///     link turns `a`'s crash into an exit signal, so `b` dies
+///     crashed-by-signal (code 2) on every schedule — whichever side of
+///     the link registration the crash lands on.
+fn actor_link_cascade() -> Io<i64> {
+    spawn_actor(1, |mb: Mailbox<i64>| mb.recv().map(|_: i64| ())).and_then(|b| {
+        spawn_actor(1, |_mb: Mailbox<i64>| {
+            Io::throw(Exception::error_call("crash"))
+        })
+        .and_then(move |a| link(&a, &b).then(actor_exit_code(b.erase())))
+    })
+}
+
+#[test]
+fn corpus_actor_link_cascade() {
+    assert_equiv_bounded(
+        "actor_link_cascade",
+        500_000,
+        Some(2),
+        actor_link_cascade,
+        |out| match &out.result {
+            Ok(2) => None,
+            other => Some(format!(
+                "peer must die crashed-by-signal (2), got {other:?}"
+            )),
         },
     );
 }
