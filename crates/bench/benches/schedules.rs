@@ -15,10 +15,14 @@
 //! field (sequential seconds / this row's seconds — only meaningful
 //! when the reported `cpus` exceeds the worker count, see
 //! EXPERIMENTS.md for the overhead-crossover discussion). DPOR rows
-//! add `races_detected`, `backtracks_installed` and `reduction_ratio`
-//! (sleep-set explored / DPOR explored on the same workload). The
-//! coverage counters are identical in every row of a config — that is
-//! the parallel engine's determinism contract, and CI asserts it.
+//! add `races_detected`, `backtracks_installed`, `reduction_ratio`
+//! (sleep-set explored / DPOR explored on the same workload),
+//! `schedules_per_sec`, `wallclock_vs_sleep` (DPOR seconds / sleep-set
+//! seconds on the same workload — CI asserts it stays at or below 1 on
+//! the large workloads) and the `replay_seconds`/`analysis_seconds`
+//! split of where the time went. The coverage counters are identical
+//! in every row of a config — that is the parallel engine's
+//! determinism contract, and CI asserts it.
 //!
 //! With `BENCH_SMOKE` set in the environment, the Criterion timing
 //! loops are skipped and each configuration is explored exactly once to
@@ -56,20 +60,30 @@ fn bench_exploration(c: &mut Criterion) {
 
 /// One JSON row for a DPOR exploration: the shared counters plus the
 /// reduction telemetry (`races_detected`, `backtracks_installed`,
-/// `reduction_ratio` vs the sleep-set baseline's explored count).
+/// `reduction_ratio` vs the sleep-set baseline's explored count), the
+/// throughput (`schedules_per_sec`), the wall-clock ratio against the
+/// sleep-set baseline on the same workload (`wallclock_vs_sleep` =
+/// DPOR seconds / sleep seconds — below 1.0 means DPOR is faster
+/// end-to-end, the property CI asserts), and the split of where the
+/// DPOR seconds went (`replay_seconds` executing schedules,
+/// `analysis_seconds` in vector-clock race analysis).
 fn dpor_row(
     config: &str,
     workers: usize,
     report: &Report,
     secs: f64,
     sleep_explored: usize,
+    sleep_secs: f64,
 ) -> String {
     format!(
         concat!(
             "    {{\"config\": \"{}\", \"workers\": {}, \"explored\": {}, ",
             "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
-            "\"seconds\": {:.6}, \"races_detected\": {}, ",
-            "\"backtracks_installed\": {}, \"reduction_ratio\": {:.2}}}"
+            "\"seconds\": {:.6}, \"schedules_per_sec\": {:.1}, ",
+            "\"races_detected\": {}, ",
+            "\"backtracks_installed\": {}, \"reduction_ratio\": {:.2}, ",
+            "\"wallclock_vs_sleep\": {:.3}, \"replay_seconds\": {:.6}, ",
+            "\"analysis_seconds\": {:.6}}}"
         ),
         config,
         workers,
@@ -78,9 +92,13 @@ fn dpor_row(
         report.truncated,
         report.complete,
         secs,
+        report.explored as f64 / secs.max(1e-9),
         report.stats.races_detected,
         report.stats.backtracks_installed,
         sleep_explored as f64 / report.explored.max(1) as f64,
+        secs / sleep_secs.max(1e-9),
+        report.timing.replay_seconds,
+        report.timing.analysis_seconds,
     )
 }
 
@@ -98,9 +116,15 @@ where
         concat!(
             "    {{\"config\": \"{}_sleep\", \"workers\": 1, \"explored\": {}, ",
             "\"pruned\": {}, \"truncated\": {}, \"complete\": {}, ",
-            "\"seconds\": {:.6}}}"
+            "\"seconds\": {:.6}, \"schedules_per_sec\": {:.1}}}"
         ),
-        config, sleep.explored, sleep.pruned, sleep.truncated, sleep.complete, sleep_secs,
+        config,
+        sleep.explored,
+        sleep.pruned,
+        sleep.truncated,
+        sleep.complete,
+        sleep_secs,
+        sleep.explored as f64 / sleep_secs.max(1e-9),
     ));
     let start = Instant::now();
     let dpor = explore_reduced(Reduction::Dpor, None, 1, workload);
@@ -111,6 +135,7 @@ where
         &dpor,
         dpor_secs,
         sleep.explored,
+        sleep_secs,
     ));
 }
 
@@ -179,9 +204,10 @@ fn emit_json() {
     // DPOR rows: the same B9 workload under Reduction::Dpor,
     // sequentially and at 4 workers (whose counters must match the
     // sequential DPOR row bit for bit — CI asserts it).
-    let sleep_explored = {
+    let (sleep_explored, b9_sleep_secs) = {
+        let start = Instant::now();
         let report = explore_once(None);
-        report.explored
+        (report.explored, start.elapsed().as_secs_f64())
     };
     for (config, workers) in [("dpor", 1), ("dpor_parallel", 4)] {
         let start = Instant::now();
@@ -192,7 +218,14 @@ fn emit_json() {
             conch_bench::explore_workload,
         );
         let secs = start.elapsed().as_secs_f64();
-        rows.push(dpor_row(config, workers, &report, secs, sleep_explored));
+        rows.push(dpor_row(
+            config,
+            workers,
+            &report,
+            secs,
+            sleep_explored,
+            b9_sleep_secs,
+        ));
     }
 
     // X2: the fault × schedule spaces — an httpd server under

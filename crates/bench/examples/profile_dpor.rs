@@ -1,0 +1,33 @@
+//! Profile one DPOR exploration of the 5-thread log fan-in workload:
+//! prints the coverage counters and the replay/analysis wall-clock
+//! split. Handy for checking the incremental-analysis and
+//! subtree-skip machinery against the golden BENCH_explore.json
+//! numbers without running the whole bench suite:
+//!
+//! ```text
+//! cargo run --release -p conch-bench --example profile_dpor
+//! ```
+
+use std::time::Instant;
+
+use conch_bench::{explore_reduced, log_fanin_workload};
+use conch_explore::Reduction;
+
+fn main() {
+    let start = Instant::now();
+    let report = explore_reduced(Reduction::Dpor, None, 1, || log_fanin_workload(4, 4));
+    let secs = start.elapsed().as_secs_f64();
+    println!(
+        "explored={} pruned={} races={} backtracks={} complete={} secs={:.2}",
+        report.explored,
+        report.pruned,
+        report.stats.races_detected,
+        report.stats.backtracks_installed,
+        report.complete,
+        secs
+    );
+    println!(
+        "replay_s={:.2} analysis_s={:.2}",
+        report.timing.replay_seconds, report.timing.analysis_seconds
+    );
+}

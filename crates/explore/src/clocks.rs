@@ -55,7 +55,7 @@
 use conch_runtime::decide::StepFootprint;
 
 /// One logged step of an executed run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct ExecEvent {
     /// The thread that took the step.
     pub tid: u64,
@@ -103,7 +103,7 @@ pub(crate) struct RaceFlag {
 }
 
 /// The result of analyzing one run.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub(crate) struct RaceAnalysis {
     /// Backtrack requests, in log order (deduplicated).
     pub flags: Vec<RaceFlag>,
@@ -350,6 +350,498 @@ pub(crate) fn analyze(events: &[ExecEvent], births: &[Birth]) -> RaceAnalysis {
     analysis
 }
 
+/// A sparse vector clock: `(thread index, count)` pairs, ascending by
+/// index, zero components absent. A DPOR run only ever orders the few
+/// threads that actually communicated on its path, so sparse clocks
+/// stay tiny and joins touch only the communicating entries, where the
+/// legacy analyzer's dense `Vec<u32>` clones scale with the total
+/// thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct SparseClock {
+    entries: Vec<(u32, u32)>,
+}
+
+impl SparseClock {
+    fn get(&self, t: u32) -> u32 {
+        match self.entries.binary_search_by_key(&t, |&(i, _)| i) {
+            Ok(k) => self.entries[k].1,
+            Err(_) => 0,
+        }
+    }
+
+    fn set(&mut self, t: u32, v: u32) {
+        match self.entries.binary_search_by_key(&t, |&(i, _)| i) {
+            Ok(k) => self.entries[k].1 = v,
+            Err(k) => self.entries.insert(k, (t, v)),
+        }
+    }
+
+    /// Pointwise maximum (a sorted merge).
+    fn join(&mut self, other: &SparseClock) {
+        if other.entries.is_empty() {
+            return;
+        }
+        if self.entries.is_empty() {
+            self.entries.clone_from(&other.entries);
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.entries.len() + other.entries.len());
+        let (a, b) = (&self.entries, &other.entries);
+        let (mut i, mut j) = (0, 0);
+        loop {
+            match (a.get(i), b.get(j)) {
+                (Some(&(ta, va)), Some(&(tb, vb))) => {
+                    if ta == tb {
+                        merged.push((ta, va.max(vb)));
+                        i += 1;
+                        j += 1;
+                    } else if ta < tb {
+                        merged.push((ta, va));
+                        i += 1;
+                    } else {
+                        merged.push((tb, vb));
+                        j += 1;
+                    }
+                }
+                (Some(&e), None) => {
+                    merged.push(e);
+                    i += 1;
+                }
+                (None, Some(&e)) => {
+                    merged.push(e);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.entries = merged;
+    }
+}
+
+/// Interned footprint class of a resource-bearing footprint: a small
+/// integer key for the per-object candidate index, so list lookup and
+/// bucketing compare integers instead of matching footprint structs.
+/// Footprints without a same-resource conflict class (`Local`, `Mask`,
+/// `Raise`, `Oracle`, `Throw`, `Terminal`, `Effect`) have none — their
+/// dependence arcs run through the dedicated throw/terminal/always
+/// lists instead.
+fn fp_class(fp: StepFootprint) -> Option<u64> {
+    use StepFootprint::*;
+    match fp {
+        Alloc => Some(0),
+        Console => Some(1),
+        Time => Some(2),
+        Fork => Some(3),
+        MVar(x) => Some(4 + x.index()),
+        _ => None,
+    }
+}
+
+fn truncate_list(list: &mut Vec<u32>, limit: u32) {
+    while list.last().is_some_and(|&n| n >= limit) {
+        list.pop();
+    }
+}
+
+/// The incremental race analyzer: vector-clock state for the *current*
+/// event log, updated per executed step and rolled back to the common
+/// prefix when the search backtracks, instead of recomputed from
+/// scratch on every run ([`analyze`], kept as the
+/// `legacy_race_analysis` reference path).
+///
+/// # Why rollback is sound
+///
+/// Everything stored here about events `0..k` is a pure function of
+/// those events (plus the births of the threads appearing in them,
+/// which the driver fixes before a thread's first logged step) — the
+/// same guarantee the legacy analyzer's determinism rests on. Two runs
+/// sharing an event-log prefix therefore share every per-event
+/// artifact over it: post clocks, sequence numbers, race pairs, and
+/// the candidate indices. So on a new run the state is truncated to
+/// the longest common prefix (each event saving just enough — its
+/// thread's previous clock — to undo itself) and only the new suffix
+/// is analyzed.
+///
+/// # Why the candidate indices lose no race
+///
+/// For a new event `e` the analyzer walks candidate earlier events
+/// newest-first exactly like the legacy full scan, but gathers the
+/// candidates from per-object lists instead of the whole prefix: the
+/// same-resource list of `e`'s footprint class, the throws aimed at
+/// `e`'s thread, (for a throw) the target's events, its other throwers
+/// and all blocked-target throws, (for a terminal) the blocked-target
+/// throws, (for a blocked-target throw) its wait resource's list plus
+/// all throws and terminals, and the `always` list (`Effect` steps,
+/// the main thread's terminal, unnameable waits) — a transcription of
+/// [`events_dependent`], case by case, into list membership, checked
+/// by the unit tests against the exhaustive scan. The union is a
+/// *superset* of every possibly-dependent event; each candidate is
+/// then re-checked with `events_dependent` itself, so the dependent
+/// subsequence — and with it the accumulator walk, the race count,
+/// the flags and their witness sets — is bit-identical to the legacy
+/// analyzer's.
+pub(crate) struct RaceState {
+    /// Ignore all incremental state and run [`analyze`] per run.
+    legacy: bool,
+    events: Vec<ExecEvent>,
+    wait_res: Vec<Option<StepFootprint>>,
+    /// Dense thread indices, in order of first appearance.
+    tids: Vec<u64>,
+    /// Whether event `n` was its thread's first.
+    introduced: Vec<bool>,
+    post: Vec<SparseClock>,
+    seq: Vec<u32>,
+    /// The thread clock of event `n`'s thread just before `n` — the
+    /// undo record rollback restores.
+    prev_clock: Vec<SparseClock>,
+    thread_clock: Vec<SparseClock>,
+    thread_seq: Vec<u32>,
+    /// Cumulative dependent-but-unordered pair count through event `n`
+    /// — the run's `races` telemetry is the last entry.
+    cum_races: Vec<u64>,
+    /// Branchable race pairs `(earlier, later)`, later ascending.
+    race_pairs: Vec<(u32, u32)>,
+    // Candidate indices: ascending event positions, truncated on
+    // rollback.
+    by_thread: Vec<Vec<u32>>,
+    res_lists: std::collections::HashMap<u64, Vec<u32>>,
+    throws_at: std::collections::HashMap<u64, Vec<u32>>,
+    throws_all: Vec<u32>,
+    terminals: Vec<u32>,
+    blocked: Vec<u32>,
+    always: Vec<u32>,
+    scratch: Vec<u32>,
+}
+
+impl RaceState {
+    pub fn new(legacy: bool) -> Self {
+        RaceState {
+            legacy,
+            events: Vec::new(),
+            wait_res: Vec::new(),
+            tids: Vec::new(),
+            introduced: Vec::new(),
+            post: Vec::new(),
+            seq: Vec::new(),
+            prev_clock: Vec::new(),
+            thread_clock: Vec::new(),
+            thread_seq: Vec::new(),
+            cum_races: Vec::new(),
+            race_pairs: Vec::new(),
+            by_thread: Vec::new(),
+            res_lists: std::collections::HashMap::new(),
+            throws_at: std::collections::HashMap::new(),
+            throws_all: Vec::new(),
+            terminals: Vec::new(),
+            blocked: Vec::new(),
+            always: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Analyze one run's event log, reusing the shared-prefix state of
+    /// the previous call. Returns exactly what [`analyze`] would.
+    pub fn analyze(&mut self, events: &[ExecEvent], births: &[Birth]) -> RaceAnalysis {
+        if self.legacy {
+            return analyze(events, births);
+        }
+        let keep = self
+            .events
+            .iter()
+            .zip(events)
+            .take_while(|(a, b)| a == b)
+            .count();
+        self.rollback(keep);
+        let main = births.first().map(|b| b.tid).unwrap_or(0);
+        for e in &events[keep..] {
+            self.push_event(*e, births, main);
+        }
+        self.build_analysis()
+    }
+
+    /// Truncate the state to the first `keep` events, undoing each
+    /// later event newest-first.
+    fn rollback(&mut self, keep: usize) {
+        for n in (keep..self.events.len()).rev() {
+            if self.introduced[n] {
+                // Threads are introduced in index order, so undoing
+                // events newest-first pops them last-introduced-first.
+                self.tids.pop();
+                self.thread_clock.pop();
+                self.thread_seq.pop();
+                self.by_thread.pop();
+            } else {
+                let tid = self.events[n].tid;
+                let t = self
+                    .tids
+                    .iter()
+                    .position(|&x| x == tid)
+                    .expect("rolled-back event's thread is indexed");
+                self.thread_seq[t] -= 1;
+                self.thread_clock[t] = std::mem::take(&mut self.prev_clock[n]);
+            }
+        }
+        self.events.truncate(keep);
+        self.wait_res.truncate(keep);
+        self.introduced.truncate(keep);
+        self.post.truncate(keep);
+        self.seq.truncate(keep);
+        self.prev_clock.truncate(keep);
+        self.cum_races.truncate(keep);
+        let limit = keep as u32;
+        while self.race_pairs.last().is_some_and(|&(_, n)| n >= limit) {
+            self.race_pairs.pop();
+        }
+        for list in self.by_thread.iter_mut() {
+            truncate_list(list, limit);
+        }
+        for list in self.res_lists.values_mut() {
+            truncate_list(list, limit);
+        }
+        for list in self.throws_at.values_mut() {
+            truncate_list(list, limit);
+        }
+        truncate_list(&mut self.throws_all, limit);
+        truncate_list(&mut self.terminals, limit);
+        truncate_list(&mut self.blocked, limit);
+        truncate_list(&mut self.always, limit);
+    }
+
+    /// The wait resource a blocked-target throw may cancel — the
+    /// legacy analyzer's backwards log scan, answered from the
+    /// per-thread index instead.
+    fn wait_res_of(&self, e: &ExecEvent) -> Option<StepFootprint> {
+        if !e.blocked_target {
+            return None;
+        }
+        let StepFootprint::Throw(t) = e.fp else {
+            return None;
+        };
+        let target = t.index();
+        let last = self
+            .tids
+            .iter()
+            .position(|&x| x == target)
+            .and_then(|t2| self.by_thread[t2].last().copied());
+        match last {
+            Some(p) => match self.events[p as usize].fp {
+                StepFootprint::Terminal => None,
+                fp @ (StepFootprint::MVar(_) | StepFootprint::Console | StepFootprint::Time) => {
+                    Some(fp)
+                }
+                _ => Some(StepFootprint::Effect),
+            },
+            None => Some(StepFootprint::Effect),
+        }
+    }
+
+    /// Extend the state by one event: gather the candidate earlier
+    /// events from the per-object indices, run the newest-first
+    /// accumulator walk over them, and commit the event's clocks and
+    /// index entries.
+    fn push_event(&mut self, e: ExecEvent, births: &[Birth], main: u64) {
+        let n = self.events.len();
+        let w = self.wait_res_of(&e);
+        let (t, introduced) = match self.tids.iter().position(|&x| x == e.tid) {
+            Some(t) => (t, false),
+            None => {
+                // First event of this thread: inherit the creating
+                // fork's clock, if known.
+                let mut c = SparseClock::default();
+                if let Some(b) = births.iter().find(|b| b.tid == e.tid) {
+                    if let Some(p) = b.parent_event {
+                        if let Some(pc) = self.post.get(p as usize) {
+                            c = pc.clone();
+                        }
+                    }
+                }
+                self.tids.push(e.tid);
+                self.thread_clock.push(c);
+                self.thread_seq.push(0);
+                self.by_thread.push(Vec::new());
+                (self.tids.len() - 1, true)
+            }
+        };
+
+        // Candidates, descending and deduped. An `Effect` step, the
+        // main thread's terminal, and an unnameable cancelled wait are
+        // dependent with everything — fall back to the full prefix.
+        let full_walk = e.fp == StepFootprint::Effect
+            || (e.fp == StepFootprint::Terminal && e.tid == main)
+            || w == Some(StepFootprint::Effect);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if full_walk {
+            scratch.extend((0..n as u32).rev());
+        } else {
+            scratch.extend_from_slice(&self.always);
+            if let Some(list) = self.throws_at.get(&e.tid) {
+                scratch.extend_from_slice(list);
+            }
+            if let Some(class) = fp_class(e.fp) {
+                if let Some(list) = self.res_lists.get(&class) {
+                    scratch.extend_from_slice(list);
+                }
+            }
+            if let StepFootprint::Throw(target) = e.fp {
+                let target = target.index();
+                if let Some(t2) = self.tids.iter().position(|&x| x == target) {
+                    scratch.extend_from_slice(&self.by_thread[t2]);
+                }
+                if let Some(list) = self.throws_at.get(&target) {
+                    scratch.extend_from_slice(list);
+                }
+                scratch.extend_from_slice(&self.blocked);
+            }
+            if e.fp == StepFootprint::Terminal {
+                scratch.extend_from_slice(&self.blocked);
+            }
+            if let Some(res) = w {
+                // `res != Effect` here (that took the full-walk path):
+                // the cancelled wait conflicts with its resource's
+                // steps and with every throw and terminal.
+                if let Some(class) = fp_class(res) {
+                    if let Some(list) = self.res_lists.get(&class) {
+                        scratch.extend_from_slice(list);
+                    }
+                }
+                scratch.extend_from_slice(&self.throws_all);
+                scratch.extend_from_slice(&self.terminals);
+            }
+            scratch.sort_unstable_by(|a, b| b.cmp(a));
+            scratch.dedup();
+        }
+
+        // The accumulator walk of `analyze`, restricted to the
+        // candidates: the skipped events are provably independent, so
+        // the dependent subsequence — and the accumulator's evolution
+        // along it — is identical to the full scan's.
+        let mut acc = self.thread_clock[t].clone();
+        let mut new_races = 0u64;
+        for &iu in &scratch {
+            let i = iu as usize;
+            let ei = &self.events[i];
+            if ei.tid == e.tid || !events_dependent(ei, &e, self.wait_res[i], w, main) {
+                continue;
+            }
+            let ti = self
+                .tids
+                .iter()
+                .position(|&x| x == ei.tid)
+                .expect("earlier event's thread is indexed") as u32;
+            if acc.get(ti) < self.seq[i] {
+                new_races += 1;
+                if ei.point.is_some() {
+                    self.race_pairs.push((iu, n as u32));
+                }
+            }
+            acc.join(&self.post[i]);
+        }
+        self.scratch = scratch;
+
+        // Commit clocks and undo record.
+        self.thread_seq[t] += 1;
+        let sq = self.thread_seq[t];
+        acc.set(t as u32, sq);
+        let prev = std::mem::replace(&mut self.thread_clock[t], acc.clone());
+        self.prev_clock.push(if introduced {
+            SparseClock::default()
+        } else {
+            prev
+        });
+        self.post.push(acc);
+        self.seq.push(sq);
+        self.introduced.push(introduced);
+        let total = self.cum_races.last().copied().unwrap_or(0) + new_races;
+        self.cum_races.push(total);
+
+        // Commit index entries.
+        self.by_thread[t].push(n as u32);
+        if let Some(class) = fp_class(e.fp) {
+            self.res_lists.entry(class).or_default().push(n as u32);
+        }
+        match e.fp {
+            StepFootprint::Throw(target) => {
+                self.throws_at
+                    .entry(target.index())
+                    .or_default()
+                    .push(n as u32);
+                self.throws_all.push(n as u32);
+            }
+            StepFootprint::Terminal => {
+                self.terminals.push(n as u32);
+                if e.tid == main {
+                    self.always.push(n as u32);
+                }
+            }
+            StepFootprint::Effect => self.always.push(n as u32),
+            _ => {}
+        }
+        match w {
+            Some(StepFootprint::Effect) => {
+                self.always.push(n as u32);
+                self.blocked.push(n as u32);
+            }
+            Some(res) => {
+                self.blocked.push(n as u32);
+                if let Some(class) = fp_class(res) {
+                    self.res_lists.entry(class).or_default().push(n as u32);
+                }
+            }
+            None => {}
+        }
+        self.events.push(e);
+        self.wait_res.push(w);
+    }
+
+    /// The run's [`RaceAnalysis`]: total race pairs over the whole
+    /// current log, and the flags rebuilt from the cached race pairs in
+    /// first-found order with witnesses read off the (immutable) post
+    /// clocks — byte-for-byte what [`analyze`] builds.
+    fn build_analysis(&self) -> RaceAnalysis {
+        let mut analysis = RaceAnalysis {
+            flags: Vec::new(),
+            races: self.cum_races.last().copied().unwrap_or(0),
+        };
+        for &(iu, nu) in &self.race_pairs {
+            let (i, n) = (iu as usize, nu as usize);
+            let point = self.events[i]
+                .point
+                .expect("race pair recorded at a branch point");
+            let later_tid = self.events[n].tid;
+            if analysis
+                .flags
+                .iter()
+                .any(|f| f.point == point && f.later_tid == later_tid)
+            {
+                continue;
+            }
+            let mut witnesses: Vec<u64> = Vec::new();
+            let mut seen: Vec<u64> = Vec::new();
+            for (j, ej) in self.events.iter().enumerate().take(n + 1).skip(i + 1) {
+                if seen.contains(&ej.tid) {
+                    continue;
+                }
+                seen.push(ej.tid);
+                let tj = self
+                    .tids
+                    .iter()
+                    .position(|&x| x == ej.tid)
+                    .expect("every logged thread has an index") as u32;
+                if self.post[n].get(tj) >= self.seq[j] {
+                    witnesses.push(ej.tid);
+                }
+            }
+            analysis.flags.push(RaceFlag {
+                point,
+                later_tid,
+                witnesses,
+            });
+        }
+        analysis
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,5 +992,124 @@ mod tests {
         ];
         let a = analyze(&log, &[]);
         assert_eq!(a.races, 1);
+    }
+
+    // --------------------------------------------------- incremental
+
+    /// Minimal deterministic LCG so the fuzz below needs no external
+    /// crate and reruns identically.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self, bound: u64) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.0 >> 33) % bound.max(1)
+        }
+    }
+
+    /// A random event over a palette covering every footprint class the
+    /// candidate indices distinguish: same-resource classes, throws
+    /// (runnable and blocked targets), terminals, effects, locals.
+    fn random_event(rng: &mut Lcg, threads: u64, next_point: &mut u32) -> ExecEvent {
+        use conch_runtime::ids::ThreadId;
+        let tid = rng.next(threads);
+        let fp = match rng.next(12) {
+            0 => StepFootprint::Local,
+            1 => StepFootprint::Mask,
+            2 => StepFootprint::Terminal,
+            3 => StepFootprint::MVar(MVarId::from_index(1)),
+            4 => StepFootprint::MVar(MVarId::from_index(2)),
+            5 => StepFootprint::Alloc,
+            6 => StepFootprint::Console,
+            7 => StepFootprint::Time,
+            8 => StepFootprint::Fork,
+            9 => StepFootprint::Effect,
+            _ => StepFootprint::Throw(ThreadId::from_index(rng.next(threads))),
+        };
+        let blocked_target = matches!(fp, StepFootprint::Throw(_)) && rng.next(2) == 0;
+        let point = if rng.next(3) > 0 {
+            *next_point += 1;
+            Some(*next_point - 1)
+        } else {
+            None
+        };
+        ExecEvent {
+            tid,
+            fp,
+            point,
+            blocked_target,
+        }
+    }
+
+    /// The incremental analyzer against the legacy full recompute, over
+    /// DFS-shaped log sequences: each run keeps a random prefix of the
+    /// previous run (exercising [`RaceState::rollback`] at every depth,
+    /// including 0 and full length) and appends a fresh random suffix.
+    /// The two must agree exactly — race count, flags, witnesses.
+    #[test]
+    fn incremental_matches_legacy_on_backtracking_log_sequences() {
+        for seed in 0..20 {
+            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ (seed * 0x5851F42D4C957F2D));
+            let threads = 2 + rng.next(4);
+            let births: Vec<Birth> = (0..threads)
+                .map(|t| Birth {
+                    tid: t,
+                    // Arbitrary but fixed creation edges (t born of an
+                    // early event of t-1), consistent across the runs
+                    // of one "exploration" like the driver guarantees.
+                    parent_event: (t > 0).then_some((t - 1) as u32),
+                })
+                .collect();
+            let mut incremental = RaceState::new(false);
+            let mut log: Vec<ExecEvent> = Vec::new();
+            for _run in 0..60 {
+                let keep = if log.is_empty() {
+                    0
+                } else {
+                    rng.next(log.len() as u64 + 1) as usize
+                };
+                log.truncate(keep);
+                let grow = 1 + rng.next(15);
+                let mut next_point = log.iter().filter(|e| e.point.is_some()).count() as u32;
+                for _ in 0..grow {
+                    let e = random_event(&mut rng, threads, &mut next_point);
+                    log.push(e);
+                }
+                let expected = analyze(&log, &births);
+                let got = incremental.analyze(&log, &births);
+                assert_eq!(
+                    got, expected,
+                    "seed={seed} diverged on log {log:?} births {births:?}"
+                );
+            }
+        }
+    }
+
+    /// Rollback all the way to the empty log must leave the state
+    /// indistinguishable from fresh.
+    #[test]
+    fn incremental_survives_rollback_to_empty() {
+        let births = [Birth {
+            tid: 0,
+            parent_event: None,
+        }];
+        let long = [
+            ev(0, StepFootprint::Console, Some(0)),
+            ev(1, StepFootprint::Console, Some(1)),
+            ev(0, StepFootprint::MVar(MVarId::from_index(1)), Some(2)),
+            ev(1, StepFootprint::MVar(MVarId::from_index(1)), None),
+        ];
+        let short = [
+            ev(1, StepFootprint::Time, Some(0)),
+            ev(0, StepFootprint::Time, None),
+        ];
+        let mut st = RaceState::new(false);
+        assert_eq!(st.analyze(&long, &births), analyze(&long, &births));
+        // Disjoint first event: common prefix is empty.
+        assert_eq!(st.analyze(&short, &births), analyze(&short, &births));
+        assert_eq!(st.analyze(&long, &births), analyze(&long, &births));
     }
 }

@@ -57,7 +57,7 @@ use std::rc::Rc;
 use conch_runtime::stats::Stats;
 use conch_runtime::value::FromValue;
 
-use crate::clocks::{analyze, RaceFlag};
+use crate::clocks::{RaceFlag, RaceState};
 use crate::driver::DriverState;
 use crate::explorer::{Explorer, TestCase};
 use crate::frontier::{dfs_key, Frontier, Node};
@@ -69,6 +69,17 @@ use crate::schedule::Choice;
 /// analyze each first-executed path, donate when peers starve. The
 /// caller loops rounds until [`Frontier::dpor_apply_pending`] reports
 /// closure.
+///
+/// Re-walking the grown tree each round is what makes the fixpoint
+/// simple, but most of the tree is unchanged from round to round — so
+/// before executing a script the worker asks the trie whether the
+/// subtree below it is *clean* ([`Frontier::dpor_subtree_clean`]):
+/// registered in full by an earlier round, with no backtrack entry
+/// added since. A clean subtree would replay only already-registered
+/// paths (which contribute nothing — registration is first-run-only),
+/// so it is skipped without executing anything. Only dirty spines and
+/// genuinely new paths are ever replayed, which collapses the
+/// per-round cost from O(tree) to O(changed subtrees).
 pub(crate) fn dpor_round_loop<T, F>(explorer: &Explorer, frontier: &Frontier, mut factory: F)
 where
     T: FromValue,
@@ -84,7 +95,11 @@ where
     )));
     state.borrow_mut().trace_exec = true;
     let mut stack: Vec<Node> = Vec::new();
+    let mut script: Vec<Choice> = Vec::new();
     let mut local_stats = Stats::default();
+    let mut races = RaceState::new(config.legacy_race_analysis);
+    let mut replay_ns = 0u64;
+    let mut analysis_ns = 0u64;
 
     while let Some(item) = frontier.next_item() {
         let _guard = ItemGuard(frontier);
@@ -96,8 +111,23 @@ where
             if frontier.is_stopped() {
                 break 'dfs;
             }
+            script.clear();
+            script.extend_from_slice(&item.prefix);
+            script.extend(stack.iter().map(Node::choice));
+            if frontier.dpor_subtree_clean(&script) {
+                // Every path below this script is registered and its
+                // backtrack sets have not changed since the round that
+                // drained it: replaying it would register nothing, so
+                // skip the whole subtree.
+                if !backtrack_stack(&mut stack) {
+                    break 'dfs;
+                }
+                continue 'dfs;
+            }
             load_script(&state, &item, &stack);
+            let t0 = std::time::Instant::now();
             let (run, schedule) = explorer.run_once(&mut rt, factory(), &state);
+            replay_ns += t0.elapsed().as_nanos() as u64;
             let st = state.borrow();
             let candidates: Vec<u32> = st
                 .record
@@ -123,7 +153,9 @@ where
                     // certificate are functions of the run set alone.
                     frontier.offer_failure(dfs_key(&st.record), schedule.clone(), message);
                 }
-                let analysis = analyze(&st.exec_log, &st.births);
+                let t1 = std::time::Instant::now();
+                let analysis = races.analyze(&st.exec_log, &st.births);
+                analysis_ns += t1.elapsed().as_nanos() as u64;
                 local_stats.races_detected += analysis.races;
                 let inserts = plan_inserts(&st, &analysis.flags);
                 frontier.dpor_request_inserts(&schedule.choices, &inserts);
@@ -178,6 +210,7 @@ where
         }
     }
     frontier.merge_stats(&local_stats);
+    frontier.add_timing(replay_ns, analysis_ns);
 }
 
 /// Translate one run's race flags into backtrack insertions — a pure
@@ -270,13 +303,19 @@ fn backtrack_stack(stack: &mut Vec<Node>) -> bool {
     }
 }
 
-/// Split the shallowest unexhausted branch point of the stack into a
-/// [`WorkItem`](crate::frontier::WorkItem) covering its remaining
-/// alternatives, and seal it locally (the DPOR twin of
+/// Split the shallowest unexhausted branch points of the stack into
+/// [`WorkItem`](crate::frontier::WorkItem)s covering their remaining
+/// alternatives, and seal them locally (the DPOR twin of
 /// [`crate::pool`]'s `donate` — restricted nodes donate their
-/// remaining backtrack children).
+/// remaining backtrack children). Donates up to one item per currently
+/// starving thief, pushed as one batch.
 fn donate(frontier: &Frontier, item: &crate::frontier::WorkItem, stack: &mut [Node]) {
+    let want = frontier.starving().max(1);
+    let mut batch: Vec<crate::frontier::WorkItem> = Vec::new();
     for i in 0..stack.len() {
+        if batch.len() >= want {
+            break;
+        }
         if stack[i].sealed {
             continue;
         }
@@ -293,13 +332,13 @@ fn donate(frontier: &Frontier, item: &crate::frontier::WorkItem, stack: &mut [No
             node.each_explored(|entry| base_sleep.push((base + j, entry)));
             base_key.push(node.key_index());
         }
-        frontier.push(crate::frontier::WorkItem {
+        batch.push(crate::frontier::WorkItem {
             prefix,
             base_sleep,
             base_key,
             node: Some(remainder),
         });
         stack[i].sealed = true;
-        return;
     }
+    frontier.push_batch(batch);
 }

@@ -115,6 +115,12 @@ pub struct ExploreConfig {
     /// Which schedule-space reduction to apply (default
     /// [`Reduction::SleepSets`]).
     pub reduction: Reduction,
+    /// Use the legacy full-recompute race analyzer instead of the
+    /// incremental one (DPOR only). The two are bit-equivalent —
+    /// `tests/dpor_equiv.rs` proves it over the corpus — and the flag
+    /// exists so that proof stays executable; leave it `false`
+    /// everywhere else.
+    pub legacy_race_analysis: bool,
 }
 
 impl Default for ExploreConfig {
@@ -128,9 +134,32 @@ impl Default for ExploreConfig {
             max_shrink_runs: 512,
             max_total_steps: None,
             reduction: Reduction::SleepSets,
+            legacy_race_analysis: false,
         }
     }
 }
+
+/// Wall-clock telemetry for one exploration, split by phase: schedule
+/// execution (`replay_seconds`) vs race analysis (`analysis_seconds`,
+/// zero outside DPOR). Machine-dependent by nature, so it is excluded
+/// from [`Report`] equality — the determinism contract covers the
+/// counters, not the stopwatch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timing {
+    /// Seconds spent executing schedules, summed across workers.
+    pub replay_seconds: f64,
+    /// Seconds spent in vector-clock race analysis, summed across
+    /// workers.
+    pub analysis_seconds: f64,
+}
+
+impl PartialEq for Timing {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Timing {}
 
 /// What an exploration covered.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -160,6 +189,9 @@ pub struct Report {
     /// `true` iff the DFS exhausted the (bounded) schedule space with no
     /// run truncated — i.e. the verification is complete at this bound.
     pub complete: bool,
+    /// Wall-clock telemetry (replay vs analysis seconds). Always equal
+    /// under `==`: timing is measurement, not coverage.
+    pub timing: Timing,
 }
 
 impl Report {
@@ -249,6 +281,20 @@ impl CheckResult {
     }
 }
 
+/// The worker count [`Explorer::check_parallel`] actually uses for a
+/// request of `requested` workers on a host with `available` CPUs:
+/// `0` asks for the host default, anything else is clamped to
+/// `available` (oversubscription only adds contention — never
+/// coverage, which is worker-count-independent).
+pub fn effective_workers(requested: usize, available: usize) -> usize {
+    let available = available.max(1);
+    if requested == 0 {
+        available
+    } else {
+        requested.min(available)
+    }
+}
+
 /// The exploration engine. See the crate docs for the model.
 #[derive(Debug, Clone, Default)]
 pub struct Explorer {
@@ -303,10 +349,18 @@ impl Explorer {
         self.finalize(&frontier, &mut factory)
     }
 
-    /// [`Explorer::check`] fanned out over `workers` OS threads with
-    /// prefix-based work stealing (see `DESIGN.md`). `workers = 0`
-    /// means [`std::thread::available_parallelism`]; `workers = 1` is
-    /// exactly [`Explorer::check`].
+    /// [`Explorer::check`] fanned out over OS threads with prefix-based
+    /// work stealing (see `DESIGN.md`). `workers = 0` means
+    /// [`std::thread::available_parallelism`]; `workers = 1` is exactly
+    /// [`Explorer::check`]. A request *above* the machine's available
+    /// parallelism is clamped down to it — oversubscribed workers only
+    /// contend for the same cores and slow the search (0.85x at 8
+    /// workers on 1 CPU, per BENCH_explore.json before the clamp).
+    /// Counters and certificates are worker-count-independent, so the
+    /// clamp never changes a result; use
+    /// [`check_parallel_exact`](Explorer::check_parallel_exact) to
+    /// force a genuine thread count (the determinism tests do, to
+    /// actually exercise cross-thread interleavings on small hosts).
     ///
     /// Each worker owns its own [`Runtime`] and driver and builds fresh
     /// `TestCase`s from `factory` (which is why, unlike `check`, the
@@ -329,6 +383,22 @@ impl Explorer {
     /// binds mid-search, in-flight runs may overshoot it; whenever the
     /// search completes within its caps the counts are exact.
     pub fn check_parallel<T, F>(&self, workers: usize, factory: F) -> CheckResult
+    where
+        T: FromValue,
+        F: Fn() -> TestCase<T> + Sync,
+    {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.check_parallel_exact(effective_workers(workers, available), factory)
+    }
+
+    /// [`Explorer::check_parallel`] without the available-parallelism
+    /// clamp: spawn exactly `workers` threads (`0` still means
+    /// [`std::thread::available_parallelism`]). The explicit override
+    /// for callers that need a genuine thread count regardless of the
+    /// host — the w1==w4 determinism tests, chiefly.
+    pub fn check_parallel_exact<T, F>(&self, workers: usize, factory: F) -> CheckResult
     where
         T: FromValue,
         F: Fn() -> TestCase<T> + Sync,
@@ -389,6 +459,13 @@ impl Explorer {
             stats: frontier.total_stats(),
             faults_injected: frontier.faults(),
             complete: false,
+            timing: {
+                let (replay_seconds, analysis_seconds) = frontier.timing();
+                Timing {
+                    replay_seconds,
+                    analysis_seconds,
+                }
+            },
         };
         if self.config.reduction == Reduction::Dpor {
             // Under DPOR "pruned" is read off the final run trie (the

@@ -298,6 +298,15 @@ struct TrieNode {
     /// within each round). Append-only, so the exploration order of
     /// already-present children never changes between rounds.
     backtrack: Vec<u64>,
+    /// `true` iff the last round barrier grew the backtrack set of this
+    /// node *or of some node below it* — i.e. the current round's tree
+    /// differs from the previous round's somewhere in this subtree.
+    /// Subtrees with `dirty_below == false` were walked to completion
+    /// by an earlier round and have not changed since, so re-executing
+    /// them contributes nothing; the round DFS skips them wholesale
+    /// ([`Frontier::dpor_subtree_clean`]). The root starts dirty so the
+    /// first round explores.
+    dirty_below: bool,
 }
 
 /// Shared state specific to dynamic partial-order reduction
@@ -340,6 +349,12 @@ pub(crate) struct Frontier {
     pruned: AtomicUsize,
     truncated: AtomicUsize,
     steps: AtomicU64,
+    /// Wall-clock nanoseconds spent executing (replaying) schedules,
+    /// summed over workers — telemetry only, never part of the
+    /// determinism contract.
+    replay_ns: AtomicU64,
+    /// Wall-clock nanoseconds spent in race analysis (DPOR only).
+    analysis_ns: AtomicU64,
     /// Faults injected across all explored runs: non-default oracle
     /// arms taken (`Choice::Arm(k)` with `k > 0`, the fault plane's
     /// "something goes wrong" arms). A sum over the fixed run set, so
@@ -367,11 +382,16 @@ impl Frontier {
             pruned: AtomicUsize::new(0),
             truncated: AtomicUsize::new(0),
             steps: AtomicU64::new(0),
+            replay_ns: AtomicU64::new(0),
+            analysis_ns: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             failure: Mutex::new(None),
             stats: Mutex::new(Stats::default()),
             dpor: Mutex::new(DporShared {
-                nodes: vec![TrieNode::default()],
+                nodes: vec![TrieNode {
+                    dirty_below: true,
+                    ..TrieNode::default()
+                }],
                 pending: Vec::new(),
             }),
         }
@@ -411,12 +431,39 @@ impl Frontier {
         }
     }
 
-    /// Donate an item to the pool.
-    pub fn push(&self, item: WorkItem) {
+    /// Donate several items in one lock acquisition — a donor splitting
+    /// for multiple starving thieves batches its chunks so each thief
+    /// wakes to a multi-schedule region instead of contending for
+    /// single splits.
+    pub fn push_batch(&self, items: Vec<WorkItem>) {
+        if items.is_empty() {
+            return;
+        }
+        let n = items.len();
         let mut q = lock(&self.queue);
-        q.items.push(item);
+        q.items.extend(items);
         drop(q);
-        self.available.notify_one();
+        if n == 1 {
+            self.available.notify_one();
+        } else {
+            self.available.notify_all();
+        }
+    }
+
+    /// Fold a worker's accumulated wall-clock telemetry into the
+    /// totals (`replay` = schedule execution, `analysis` = race
+    /// analysis; both in nanoseconds).
+    pub fn add_timing(&self, replay_ns: u64, analysis_ns: u64) {
+        self.replay_ns.fetch_add(replay_ns, Ordering::Relaxed);
+        self.analysis_ns.fetch_add(analysis_ns, Ordering::Relaxed);
+    }
+
+    /// Accumulated (replay, analysis) wall-clock seconds.
+    pub fn timing(&self) -> (f64, f64) {
+        (
+            self.replay_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            self.analysis_ns.load(Ordering::Relaxed) as f64 / 1e9,
+        )
     }
 
     /// Should busy workers split their subtrees? True when some worker
@@ -424,6 +471,17 @@ impl Frontier {
     /// `workers = 1` engine is the sequential DFS, bit for bit.
     pub fn hungry(&self) -> bool {
         self.workers > 1 && self.starving.load(Ordering::Relaxed) > 0
+    }
+
+    /// How many workers are blocked waiting for an item right now — the
+    /// batch size a donor should aim for when splitting its stack, so
+    /// one donation pass feeds every thief at once.
+    pub fn starving(&self) -> usize {
+        if self.workers > 1 {
+            self.starving.load(Ordering::Relaxed)
+        } else {
+            0
+        }
     }
 
     /// Abort the search (a global cap was hit, or a worker panicked).
@@ -591,11 +649,21 @@ impl Frontier {
     /// Because the pending set is a union over first-registered runs,
     /// the result is independent of worker timing. Returns `true` iff
     /// any set grew — i.e. the next round has new work.
+    ///
+    /// The barrier also recomputes every node's
+    /// [`dirty_below`](TrieNode::dirty_below) flag: a node whose set
+    /// grew is dirty, and dirtiness propagates to every ancestor, so
+    /// the next round's DFS can skip any registered subtree with
+    /// `dirty_below == false` — its tree is unchanged since the round
+    /// that drained it.
     pub fn dpor_apply_pending(&self) -> bool {
         let mut d = lock(&self.dpor);
         let mut pending = std::mem::take(&mut d.pending);
         pending.sort_unstable();
         pending.dedup();
+        for n in &mut d.nodes {
+            n.dirty_below = false;
+        }
         let mut grew = false;
         for (node, tid) in pending {
             let n = &mut d.nodes[node as usize];
@@ -606,9 +674,52 @@ impl Frontier {
             // ascending, so plain append keeps the canonical
             // (round added, tid) order.
             n.backtrack.push(tid);
+            n.dirty_below = true;
             grew = true;
         }
+        // Propagate dirtiness to ancestors. Registration appends child
+        // nodes while walking root → leaf, so every child's index is
+        // strictly greater than its parent's and one reverse scan sees
+        // each child before its parent.
+        for i in (0..d.nodes.len()).rev() {
+            if d.nodes[i].dirty_below {
+                continue;
+            }
+            let dirty = d.nodes[i]
+                .edges
+                .iter()
+                .any(|&(_, c)| d.nodes[c as usize].dirty_below);
+            d.nodes[i].dirty_below = dirty;
+        }
         grew
+    }
+
+    /// `true` iff `script` names a registered trie node whose entire
+    /// subtree is free of backtrack entries added at the last round
+    /// barrier. Such a subtree is exactly the tree a previous round
+    /// already drained: every path in it is registered, its sleep
+    /// contexts are unchanged (child order is append-only), so
+    /// re-executing it can register no new run, merge no stats, and
+    /// request no insertion — the round DFS skips it wholesale instead
+    /// of replaying every schedule in it.
+    ///
+    /// A script that walks off the trie is never clean: it denotes a
+    /// path no registered run has taken, so this round must execute
+    /// it. A node created *during* the current round is unreachable
+    /// here — the DFS generates each script before any run through it
+    /// registers, and never re-generates a script afterwards — so a
+    /// successful walk always lands on a node some earlier round
+    /// drained completely.
+    pub fn dpor_subtree_clean(&self, script: &[Choice]) -> bool {
+        let d = lock(&self.dpor);
+        let mut node = 0usize;
+        for c in script {
+            match d.nodes[node].edges.iter().find(|&&(e, _)| e == *c) {
+                Some(&(_, n)) => node = n as usize,
+                None => return false,
+            }
+        }
+        !d.nodes[node].dirty_below
     }
 
     /// The backtrack lists along an executed path, for stack expansion:
@@ -722,7 +833,7 @@ mod tests {
         let item = f.next_item().expect("root item");
         assert!(item.node.is_none() && item.prefix.is_empty());
         // Donate one child, finish the root: child still pending.
-        f.push(WorkItem::root());
+        f.push_batch(vec![WorkItem::root()]);
         f.finish_item();
         assert!(f.next_item().is_some());
         f.finish_item();

@@ -76,6 +76,7 @@ pub mod props;
 pub mod schedule;
 
 pub use crate::explorer::{
-    CheckResult, ExploreConfig, Explorer, Failure, Reduction, Report, RunOutcome, TestCase,
+    effective_workers, CheckResult, ExploreConfig, Explorer, Failure, Reduction, Report,
+    RunOutcome, TestCase, Timing,
 };
 pub use crate::schedule::{Choice, ParseScheduleError, Schedule};

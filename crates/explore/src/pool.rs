@@ -66,6 +66,7 @@ where
     )));
     let mut stack: Vec<Node> = Vec::new();
     let mut local_stats = Stats::default();
+    let mut replay_ns = 0u64;
 
     while let Some(item) = frontier.next_item() {
         let _guard = ItemGuard(frontier);
@@ -86,7 +87,9 @@ where
                 break 'dfs;
             }
             load_script(&state, &item, &stack, use_sleep);
+            let t0 = std::time::Instant::now();
             let (run, schedule) = explorer.run_once(&mut rt, factory(), &state);
+            replay_ns += t0.elapsed().as_nanos() as u64;
             frontier.note_run(run.depth_hit, run.stats.steps, &schedule.choices);
             local_stats.merge(&run.stats);
             if let Err(message) = run.check_result {
@@ -129,6 +132,7 @@ where
         }
     }
     frontier.merge_stats(&local_stats);
+    frontier.add_timing(replay_ns, 0);
 }
 
 /// Refill the driver's script and sleep entries for the schedule the
@@ -172,13 +176,21 @@ fn backtrack(stack: &mut Vec<Node>) -> bool {
     }
 }
 
-/// Split the shallowest unexhausted branch point of the stack into a
-/// [`WorkItem`] covering its remaining alternatives, and seal it
-/// locally. The donated item carries the full replay context — prefix
+/// Split the shallowest unexhausted branch points of the stack into
+/// [`WorkItem`]s covering their remaining alternatives, and seal them
+/// locally. Each donated item carries the full replay context — prefix
 /// choices, accumulated sleep entries, DFS key — so any worker can pick
-/// it up cold.
+/// it up cold. One pass donates up to one item per *currently starving*
+/// thief, pushed as a single batch: every thief wakes to its own
+/// multi-schedule chunk instead of the whole pool contending for one
+/// split per executed run.
 fn donate(frontier: &Frontier, item: &WorkItem, stack: &mut [Node]) {
+    let want = frontier.starving().max(1);
+    let mut batch: Vec<WorkItem> = Vec::new();
     for i in 0..stack.len() {
+        if batch.len() >= want {
+            break;
+        }
         if stack[i].sealed {
             continue;
         }
@@ -195,13 +207,13 @@ fn donate(frontier: &Frontier, item: &WorkItem, stack: &mut [Node]) {
             node.each_explored(|entry| base_sleep.push((base + j, entry)));
             base_key.push(node.key_index());
         }
-        frontier.push(WorkItem {
+        batch.push(WorkItem {
             prefix,
             base_sleep,
             base_key,
             node: Some(remainder),
         });
         stack[i].sealed = true;
-        return;
     }
+    frontier.push_batch(batch);
 }

@@ -64,6 +64,14 @@ impl ThreadId {
     pub fn index(self) -> u64 {
         self.seq as u64
     }
+
+    /// The handle with raw index `i` — for tooling and tests that build
+    /// footprints without running a program (identity is the sequence
+    /// number alone; the addressing hint of a fabricated id names a
+    /// real slot only while no slot has been recycled).
+    pub fn from_index(i: u64) -> Self {
+        ThreadId::fresh(i as u32, i as u16, 0)
+    }
 }
 
 // Identity is the spawn sequence number alone: two handles with the

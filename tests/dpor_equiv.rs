@@ -10,7 +10,12 @@
 //!   output) across all explored schedules — Mazurkiewicz-equivalent
 //!   traces agree on both, so dropping redundant interleavings must
 //!   not lose (or invent) behaviours;
-//! * DPOR explores no more schedules than sleep sets.
+//! * DPOR explores no more schedules than sleep sets;
+//! * the incremental sparse-clock race analysis (the default) and the
+//!   legacy full-recompute analysis
+//!   ([`ExploreConfig::legacy_race_analysis`]) agree bit-for-bit on
+//!   every coverage counter — explored, pruned, races detected,
+//!   backtracks installed — at workers 1 and 4.
 //!
 //! The corpus covers the paper's load-bearing cases: the §5.3
 //! `block(takeMVar)` atomicity argument, §7.1 `bracket` (plus a
@@ -36,6 +41,9 @@ use conch_runtime::value::{FromValue, Value};
 struct ModeResult {
     outcomes: BTreeSet<String>,
     explored: usize,
+    pruned: usize,
+    races_detected: u64,
+    backtracks_installed: u64,
     complete: bool,
     /// `(message, shrunk schedule, original schedule)` on failure.
     failure: Option<(String, String, String)>,
@@ -78,6 +86,9 @@ fn run_mode<T: FromValue + Debug + 'static>(
     ModeResult {
         outcomes: seen,
         explored: report.explored,
+        pruned: report.pruned,
+        races_detected: report.stats.races_detected,
+        backtracks_installed: report.stats.backtracks_installed,
         complete: report.complete,
         failure: result.failure().map(|f| {
             (
@@ -87,6 +98,49 @@ fn run_mode<T: FromValue + Debug + 'static>(
             )
         }),
     }
+}
+
+/// One DPOR exploration's coverage counters under an explicit analysis
+/// path (legacy full recompute vs incremental) and worker count.
+/// Worker counts above 1 go through [`Explorer::check_parallel_exact`]
+/// so the test genuinely exercises that many OS threads even on a
+/// small CI box (the public `check_parallel` clamps to the machine).
+fn dpor_counters<T: FromValue + Debug + 'static>(
+    max_schedules: usize,
+    preemption_bound: Option<usize>,
+    legacy_race_analysis: bool,
+    workers: usize,
+    program: fn() -> Io<T>,
+    fail_if: fn(&RunOutcome<T>) -> Option<String>,
+) -> (usize, usize, u64, u64) {
+    let cfg = ExploreConfig {
+        max_schedules,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound,
+        reduction: Reduction::Dpor,
+        legacy_race_analysis,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let factory = move || {
+        TestCase::new(program(), move |out: &RunOutcome<T>| match fail_if(out) {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        })
+    };
+    let result = if workers == 1 {
+        explorer.check(factory)
+    } else {
+        explorer.check_parallel_exact(workers, factory)
+    };
+    let report = result.report();
+    (
+        report.explored,
+        report.pruned,
+        report.stats.races_detected,
+        report.stats.backtracks_installed,
+    )
 }
 
 /// Explore `program` under both reductions and assert DPOR changed
@@ -155,6 +209,23 @@ fn assert_equiv_bounded<T: FromValue + Debug + 'static>(
             "{name}: DPOR explored more ({}) than sleep sets ({})",
             dpor.explored,
             sleep.explored
+        );
+    }
+    // The incremental sparse-clock analysis must be indistinguishable
+    // from the legacy full recompute, and both must be independent of
+    // the worker count: every coverage counter bit-identical across the
+    // four (analysis path × workers) combinations.
+    let reference = (
+        dpor.explored,
+        dpor.pruned,
+        dpor.races_detected,
+        dpor.backtracks_installed,
+    );
+    for (legacy, workers) in [(true, 1), (true, 4), (false, 4)] {
+        let got = dpor_counters(max_schedules, bound, legacy, workers, program, fail_if);
+        assert_eq!(
+            got, reference,
+            "{name}: DPOR counters diverged (legacy={legacy}, workers={workers})"
         );
     }
 }

@@ -6,10 +6,17 @@
 //! worker count, and failing runs shrink to the byte-identical
 //! certificate the sequential DFS would have produced.
 
-use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Schedule, TestCase};
+use conch_explore::{
+    effective_workers, ExploreConfig, Explorer, Reduction, Report, RunOutcome, Schedule, TestCase,
+};
 use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
 
+// The worker sweeps below use `check_parallel_exact` so that 4 and 8
+// genuinely mean 4 and 8 OS threads even on a small CI box — the
+// public `check_parallel` clamps requests to `available_parallelism`
+// (see `workers_clamped_to_available_parallelism`), which would
+// silently collapse the sweep to 1 worker on a 1-CPU machine.
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 /// The G5 golden workload (see `tests/golden_traces.rs`): two MVar
@@ -55,7 +62,7 @@ fn explorer() -> Explorer {
 
 fn passing_report(workers: usize, program: fn() -> Io<i64>) -> Report {
     explorer()
-        .check_parallel(workers, || {
+        .check_parallel_exact(workers, || {
             TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
                 Ok(_) => Ok(()),
                 Err(ref e) => Err(e.to_string()),
@@ -117,7 +124,7 @@ fn failure_certificates_identical_for_every_worker_count() {
     let reference = explorer().check(racy_case);
     let reference = reference.expect_fail();
     for workers in WORKER_COUNTS {
-        let result = explorer().check_parallel(workers, racy_case);
+        let result = explorer().check_parallel_exact(workers, racy_case);
         let failure = result.expect_fail();
         assert_eq!(
             failure.schedule, reference.schedule,
@@ -140,7 +147,7 @@ fn failure_certificates_identical_for_every_worker_count() {
 #[test]
 fn parallel_find_shrink_replay_round_trip() {
     // Find a race with the parallel engine...
-    let result = explorer().check_parallel(4, racy_case);
+    let result = explorer().check_parallel_exact(4, racy_case);
     let failure = result.expect_fail();
     // ...replay its minimal certificate in a brand-new runtime, twice...
     for _ in 0..2 {
@@ -179,6 +186,38 @@ fn workers_zero_uses_available_parallelism() {
     assert_eq!(report, sequential);
 }
 
+#[test]
+fn worker_auto_sizing_clamps_to_available_parallelism() {
+    // The clamp itself, over every interesting shape of request.
+    assert_eq!(effective_workers(0, 4), 4, "0 means 'use the machine'");
+    assert_eq!(effective_workers(2, 4), 2, "under the machine: honored");
+    assert_eq!(effective_workers(4, 4), 4, "exactly the machine: honored");
+    assert_eq!(effective_workers(64, 4), 4, "over the machine: clamped");
+    assert_eq!(effective_workers(8, 1), 1, "1-CPU box never oversubscribes");
+    assert_eq!(effective_workers(0, 0), 1, "degenerate probe still runs");
+}
+
+#[test]
+fn oversized_worker_request_is_clamped_and_deterministic() {
+    // A request far beyond any plausible machine goes through the
+    // public (clamped) engine; the determinism contract makes the
+    // clamp observationally safe — the report is bit-identical to the
+    // sequential reference no matter how many workers actually ran.
+    // `check_parallel_exact` is the documented escape hatch for
+    // callers that really want oversubscription.
+    let clamped = explorer()
+        .check_parallel(1024, || {
+            TestCase::new(output_race(), |_: &RunOutcome<()>| Ok(()))
+        })
+        .expect_pass()
+        .clone();
+    let sequential = explorer()
+        .check(|| TestCase::new(output_race(), |_: &RunOutcome<()>| Ok(())))
+        .expect_pass()
+        .clone();
+    assert_eq!(clamped, sequential);
+}
+
 // ---------------------------------------------------------------------
 // The same determinism contract must hold under DPOR: each round's
 // tree is fixed, insertions are a commutative union, so counters and
@@ -187,16 +226,25 @@ fn workers_zero_uses_available_parallelism() {
 // ---------------------------------------------------------------------
 
 fn dpor_explorer() -> Explorer {
+    dpor_explorer_with(false)
+}
+
+fn dpor_explorer_with(legacy_race_analysis: bool) -> Explorer {
     Explorer::with_config(ExploreConfig {
         max_schedules: 100_000,
         reduction: Reduction::Dpor,
+        legacy_race_analysis,
         ..ExploreConfig::default()
     })
 }
 
 #[test]
-fn dpor_counts_identical_for_every_worker_count() {
+fn dpor_counts_identical_for_every_worker_count_and_analysis_path() {
     for program in [three_way_race as fn() -> Io<i64>, independent_pairs] {
+        // The sequential incremental-analysis engine is the reference;
+        // the legacy full-recompute path and every worker count must
+        // reproduce its report bit for bit (`Report` is `Eq`; the
+        // wall-clock `timing` field is excluded from equality).
         let sequential = dpor_explorer()
             .check(|| {
                 TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
@@ -207,20 +255,22 @@ fn dpor_counts_identical_for_every_worker_count() {
             .expect_pass()
             .clone();
         assert!(sequential.complete);
-        for workers in WORKER_COUNTS {
-            let parallel = dpor_explorer()
-                .check_parallel(workers, || {
-                    TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
-                        Ok(_) => Ok(()),
-                        Err(ref e) => Err(e.to_string()),
+        for legacy in [false, true] {
+            for workers in WORKER_COUNTS {
+                let parallel = dpor_explorer_with(legacy)
+                    .check_parallel_exact(workers, || {
+                        TestCase::new(program(), |out: &RunOutcome<i64>| match out.result {
+                            Ok(_) => Ok(()),
+                            Err(ref e) => Err(e.to_string()),
+                        })
                     })
-                })
-                .expect_pass()
-                .clone();
-            assert_eq!(
-                parallel, sequential,
-                "DPOR report diverged at workers={workers}"
-            );
+                    .expect_pass()
+                    .clone();
+                assert_eq!(
+                    parallel, sequential,
+                    "DPOR report diverged at workers={workers} legacy={legacy}"
+                );
+            }
         }
     }
 }
@@ -260,7 +310,7 @@ fn dpor_failure_certificates_identical_for_every_worker_count() {
     let reference = check().check(racy_case);
     let reference = reference.expect_fail();
     for workers in WORKER_COUNTS {
-        let result = check().check_parallel(workers, racy_case);
+        let result = check().check_parallel_exact(workers, racy_case);
         let failure = result.expect_fail();
         assert_eq!(
             failure.schedule, reference.schedule,
