@@ -13,6 +13,14 @@
 //!   The JSON adds an `httpd_requests_pooled` row: the same load
 //!   through the supervised `conch-actors` worker pool, recording the
 //!   conservation counters (`accepted == outcomes`).
+//! * `httpd_requests_sharded` — the production-scale sharded plane: a
+//!   clients × shards sweep of keep-alive connections each carrying a
+//!   pipelined request run, recording the quiescent-aggregate
+//!   conservation counters, virtual-time throughput and timer-wheel
+//!   throughput per row.
+//! * `timer_churn` — the hierarchical timer wheel against the old
+//!   `BinaryHeap` sleeper queue on a 100k-standing-timer,
+//!   batched-wakeup churn shape.
 //! * `schedule_exploration` — the B9 three-thread workload explored to
 //!   completion: schedules per second through the reset-and-reuse
 //!   explorer runtime.
@@ -28,7 +36,10 @@
 
 use std::time::Instant;
 
-use conch_bench::{explore_once, serve_n_good, serve_n_good_paced, serve_n_good_pooled};
+use conch_bench::{
+    explore_once, serve_n_good, serve_n_good_paced, serve_n_good_pooled, serve_sharded,
+    timer_heap_churn, timer_wheel_churn,
+};
 use conch_runtime::io::for_each;
 use conch_runtime::prelude::*;
 use criterion::Criterion;
@@ -36,6 +47,19 @@ use criterion::Criterion;
 const COMPUTE_STEPS: u64 = 1_000_000;
 const CHURN_FORKS: u64 = 10_000;
 const HTTPD_REQUESTS: u64 = 50;
+/// The sharded-plane sweep: clients × shards, each connection carrying
+/// `SHARDED_PIPELINE` pipelined requests — the 100k-client rows run a
+/// million virtual requests each.
+const SHARDED_CLIENTS: [usize; 3] = [1_000, 10_000, 100_000];
+const SHARDED_SHARDS: [usize; 3] = [1, 4, 16];
+const SHARDED_PIPELINE: usize = 10;
+/// T1 churn shape: 100k standing keep-alive timers plus fast
+/// request-timeout churn through the front of the queue —
+/// `TIMER_CYCLES` ticks each filing and expiring a `TIMER_BATCH`-sized
+/// batched wakeup (2M churn inserts total).
+const TIMER_STANDING: u64 = 100_000;
+const TIMER_CYCLES: u64 = 250_000;
+const TIMER_BATCH: u64 = 8;
 /// Virtual microseconds between client arrivals in the JSON row: paced
 /// arrivals keep the virtual clock moving (see
 /// [`conch_bench::serve_n_good_paced`]), making "requests per virtual
@@ -68,6 +92,19 @@ fn bench_hot_paths(c: &mut Criterion) {
             let mut rt = Runtime::new();
             rt.run(serve_n_good(HTTPD_REQUESTS)).expect("server run");
         })
+    });
+    group.bench_function("httpd_sharded_1k_x4", |b| {
+        b.iter(|| {
+            let mut rt = Runtime::new();
+            rt.run(serve_sharded(1_000, 4, SHARDED_PIPELINE))
+                .expect("sharded run");
+        })
+    });
+    group.bench_function("timer_wheel_churn_100k", |b| {
+        b.iter(|| timer_wheel_churn(TIMER_STANDING, TIMER_CYCLES, TIMER_BATCH))
+    });
+    group.bench_function("timer_heap_churn_100k", |b| {
+        b.iter(|| timer_heap_churn(TIMER_STANDING, TIMER_CYCLES, TIMER_BATCH))
     });
     group.bench_function("explore_unbounded", |b| b.iter(|| explore_once(None)));
     group.finish();
@@ -151,6 +188,79 @@ fn emit_json() {
         rt.stats().max_thread_slots,
         secs,
         HTTPD_REQUESTS as f64 / secs,
+    ));
+
+    // The production-scale sharded plane: clients × shards, each
+    // connection one FIN-terminated pipeline of SHARDED_PIPELINE
+    // requests (the 100k-client rows run a million virtual requests).
+    // CI asserts every row conserves, the 100k rows clear 1M requests,
+    // and the shard sweep scales requests_per_virtual_sec.
+    for clients in SHARDED_CLIENTS {
+        for shards in SHARDED_SHARDS {
+            let mut rt = Runtime::new();
+            let start = Instant::now();
+            let snap = rt
+                .run(serve_sharded(clients, shards, SHARDED_PIPELINE))
+                .expect("sharded server run");
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let requests = (clients * SHARDED_PIPELINE) as u64;
+            let virtual_us = rt.clock();
+            let per_virtual_sec = if virtual_us == 0 {
+                0.0
+            } else {
+                requests as f64 / (virtual_us as f64 / 1e6)
+            };
+            let timer_ops = rt.stats().timer_ops;
+            rows.push(format!(
+                "    {{\"workload\": \"httpd_requests_sharded\", \"clients\": {}, \
+                 \"shards\": {}, \"requests\": {}, \"accepted\": {}, \"outcomes\": {}, \
+                 \"conserved\": {}, \"max_thread_slots\": {}, \"virtual_us\": {}, \
+                 \"seconds\": {:.6}, \"requests_per_sec\": {:.1}, \
+                 \"requests_per_virtual_sec\": {:.1}, \"timer_ops\": {}, \
+                 \"timer_ops_per_sec\": {:.1}}}",
+                clients,
+                shards,
+                requests,
+                snap.accepted,
+                snap.outcomes(),
+                snap.conserved(),
+                rt.stats().max_thread_slots,
+                virtual_us,
+                secs,
+                requests as f64 / secs,
+                per_virtual_sec,
+                timer_ops,
+                timer_ops as f64 / secs,
+            ));
+        }
+    }
+
+    // T1: the timer structures head to head on the production churn
+    // shape — a standing mass of far-future keep-alive timers plus fast
+    // request-timeout traffic through the front of the queue. Identical
+    // logical work; the checksums must agree or the comparison is void.
+    let wheel_start = Instant::now();
+    let wheel_sum = timer_wheel_churn(TIMER_STANDING, TIMER_CYCLES, TIMER_BATCH);
+    let wheel_secs = wheel_start.elapsed().as_secs_f64().max(1e-9);
+    let heap_start = Instant::now();
+    let heap_sum = timer_heap_churn(TIMER_STANDING, TIMER_CYCLES, TIMER_BATCH);
+    let heap_secs = heap_start.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(
+        wheel_sum, heap_sum,
+        "wheel and heap churn must fire the same entries"
+    );
+    let churn_ops = TIMER_STANDING + 2 * TIMER_CYCLES * TIMER_BATCH;
+    rows.push(format!(
+        "    {{\"workload\": \"timer_churn\", \"standing\": {}, \"cycles\": {}, \
+         \"batch\": {}, \"ops\": {}, \"timer_ops_per_sec\": {:.1}, \
+         \"heap_ops_per_sec\": {:.1}, \"wheel_vs_heap\": {:.2}}}",
+        TIMER_STANDING,
+        TIMER_CYCLES,
+        TIMER_BATCH,
+        churn_ops,
+        churn_ops as f64 / wheel_secs,
+        churn_ops as f64 / heap_secs,
+        heap_secs / wheel_secs,
     ));
 
     let start = Instant::now();

@@ -14,8 +14,10 @@ use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
 use conch_httpd::pool::{start_pooled, PoolConfig};
 use conch_httpd::server::{handler, start, Handler, ServerConfig, StatsSnapshot};
+use conch_httpd::shard::{sharded_load, LoadConfig};
 use conch_runtime::io::{for_each, sequence, Io};
 use conch_runtime::prelude::*;
+use conch_runtime::timer::{TimerEntry, TimerWheel};
 
 /// B1: a mask-recursive loop — `block (…; unblock (…; block …))` — of
 /// the §8.1 shape, `n` levels deep. With frame collapse the stack stays
@@ -579,6 +581,118 @@ pub fn serve_n_good_paced(n: u64, gap_us: u64) -> Io<()> {
     })
 }
 
+/// S2: the production-scale sharded plane — `clients` keep-alive
+/// connections over `shards` accept shards, each connection carrying
+/// `requests_per_conn` pipelined requests in one FIN-terminated frame
+/// (`conch_httpd::shard::sharded_load`). Arrivals are paced per shard,
+/// so the virtual makespan is `(clients / shards) × gap`: the derived
+/// "requests per virtual second" is deterministic and scales linearly
+/// with the shard count. Returns the ok-count and the
+/// quiescent-aggregate snapshot; panics unless every request was
+/// served — the bench must not record a lossy run.
+pub fn serve_sharded(clients: usize, shards: usize, requests_per_conn: usize) -> Io<StatsSnapshot> {
+    let cfg = LoadConfig {
+        clients,
+        shards,
+        requests_per_conn,
+        arrival_gap: 100,
+        queue_capacity: 1_024,
+        ..LoadConfig::default()
+    };
+    let want = (clients * requests_per_conn) as i64;
+    sharded_load(handler(|_| Io::pure(Response::ok("ok"))), cfg).map(move |(oks, snap)| {
+        assert_eq!(oks, want, "every pipelined request must come back 200");
+        assert_eq!(snap.served, want, "aggregate must record every serve");
+        snap
+    })
+}
+
+/// T1: the timer-wheel churn microbench, production-shaped: `standing`
+/// far-future entries model idle keep-alive connection timers (they
+/// never fire), and `cycles` ticks each insert `batch` near-term
+/// entries and then expire them together — the batched-wakeup shape the
+/// scheduler produces when a whole tick of sleepers becomes runnable at
+/// one `advance_clock`. The old `BinaryHeap` pays O(log n) against the
+/// standing population on *every* insert and every expiry sift; the
+/// hierarchical wheel files each entry in O(1) and drains the tick with
+/// one bucket grab, untouched by the standing mass. Returns a checksum
+/// (fired-entry payload sum) so the work cannot be optimised away —
+/// both implementations must agree on it.
+pub fn timer_wheel_churn(standing: u64, cycles: u64, batch: u64) -> u64 {
+    let mut wheel: TimerWheel<u64> = TimerWheel::new();
+    let mut seq = 0_u64;
+    for i in 0..standing {
+        wheel.insert(
+            0,
+            TimerEntry {
+                wake_at: 1 << 40,
+                seq,
+                payload: i,
+            },
+        );
+        seq += 1;
+    }
+    let mut out = Vec::new();
+    let mut sum = 0_u64;
+    for i in 0..cycles {
+        let now = i;
+        for b in 0..batch {
+            wheel.insert(
+                now,
+                TimerEntry {
+                    wake_at: now + 1,
+                    seq,
+                    payload: i.wrapping_mul(batch).wrapping_add(b),
+                },
+            );
+            seq += 1;
+        }
+        // The whole batch is due at `now + 1`; the standing mass stays
+        // filed in the top levels and is never touched.
+        let wake = wheel.pop_earliest_into(&mut out).expect("a due tick");
+        debug_assert_eq!(wake, now + 1);
+        for e in out.drain(..) {
+            sum = sum.wrapping_add(e.payload);
+        }
+    }
+    sum
+}
+
+/// T1 baseline: the identical workload through the scheduler's old
+/// sleeper structure — a `BinaryHeap` of `(wake_at, seq)`-ordered
+/// entries popped one sift at a time. Same checksum as
+/// [`timer_wheel_churn`].
+pub fn timer_heap_churn(standing: u64, cycles: u64, batch: u64) -> u64 {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0_u64;
+    for i in 0..standing {
+        heap.push(Reverse((1 << 40, seq, i)));
+        seq += 1;
+    }
+    let mut sum = 0_u64;
+    for i in 0..cycles {
+        let now = i;
+        for b in 0..batch {
+            heap.push(Reverse((
+                now + 1,
+                seq,
+                i.wrapping_mul(batch).wrapping_add(b),
+            )));
+            seq += 1;
+        }
+        while let Some(Reverse((wake, _, payload))) = heap.peek().copied() {
+            if wake > now + 1 {
+                break;
+            }
+            heap.pop();
+            sum = sum.wrapping_add(payload);
+        }
+    }
+    sum
+}
+
 /// Polls (sleeping) until the counter reaches `target`.
 pub fn wait_until(count: conch_runtime::MVar<i64>, target: i64) -> Io<()> {
     conch_combinators::with_mvar(count, Io::pure).and_then(move |c| {
@@ -619,6 +733,42 @@ mod tests {
         let snap = run(cfg(), serve_n_good_pooled(10)).0;
         assert_eq!(snap.served, 10);
         assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn sharded_workload_runs_clean_and_conserves() {
+        let snap = run(RuntimeConfig::new(), serve_sharded(24, 4, 5)).0;
+        assert_eq!(snap.accepted, 120);
+        assert!(snap.conserved(), "{snap:?}");
+    }
+
+    #[test]
+    fn timer_churn_checksums_agree() {
+        assert_eq!(
+            timer_wheel_churn(1_000, 2_000, 8),
+            timer_heap_churn(1_000, 2_000, 8)
+        );
+    }
+
+    /// Prints wheel-vs-heap ratios across batch sizes; run with
+    /// `cargo test --release -p conch-bench timer_churn_timing -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "timing probe, release-only"]
+    fn timer_churn_timing() {
+        for batch in [1_u64, 8, 32, 64] {
+            let cycles = 2_000_000 / batch;
+            let t0 = std::time::Instant::now();
+            let w = timer_wheel_churn(100_000, cycles, batch);
+            let tw = t0.elapsed().as_secs_f64();
+            let t1 = std::time::Instant::now();
+            let h = timer_heap_churn(100_000, cycles, batch);
+            let th = t1.elapsed().as_secs_f64();
+            assert_eq!(w, h);
+            println!(
+                "batch {batch:3}: wheel {tw:.3}s heap {th:.3}s ratio {:.2}",
+                th / tw
+            );
+        }
     }
 
     #[test]

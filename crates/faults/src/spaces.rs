@@ -31,10 +31,11 @@ use conch_actors::{
     Supervisor, SupervisorSpec,
 };
 use conch_httpd::client::{status_of, ClientOutcome};
-use conch_httpd::http::Response;
-use conch_httpd::net::{Connection, Listener};
+use conch_httpd::http::{Request, Response};
+use conch_httpd::net::{Connection, FrameConnection, Listener};
 use conch_httpd::pool::{start_pooled, PoolConfig, PooledServer};
 use conch_httpd::server::{handler, start, Server, ServerConfig, StatsSnapshot};
+use conch_httpd::shard::{start_sharded, ShardConfig, ShardedListener, ShardedServer};
 use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
 use conch_runtime::mvar::MVar;
@@ -43,7 +44,7 @@ use conch_runtime::value::Value;
 use crate::client::{faulty_client, prepared_connection};
 use crate::fault::ConnFault;
 use crate::inject::Injector;
-use crate::storm::{kill_storm, kill_storm_pooled};
+use crate::storm::{kill_storm, kill_storm_pooled, kill_storm_targets};
 
 fn server_config() -> ServerConfig {
     ServerConfig {
@@ -194,6 +195,91 @@ fn pooled_probe_and_snapshot(
                             .stop_sync()
                             .map(move |_| (fault_code, probe_code, snap))
                     })
+            })
+    })
+}
+
+// -- the sharded plane -----------------------------------------------------
+
+/// A `KillThread` between two pipelined requests on the sharded plane
+/// (`conch_httpd::shard`): shard 0 receives one keep-alive connection
+/// carrying **two** pipelined requests in a single FIN-terminated
+/// frame; the handler sleeps mid-request, so a storm strike (struck or
+/// spared — an explorer branch) can land while the *first* request is
+/// in flight and the second sits parsed-but-unaccepted in the read
+/// buffer. The per-request accounting must not lose either request
+/// from the law, on any schedule:
+///
+/// * strike lands mid-serve → the in-flight request is recorded
+///   `Killed` in the same transaction pattern as the classic server,
+///   and the buffered second request — never parsed into the law —
+///   simply dies with the connection;
+/// * strike lands at a blocking point with nothing mid-flight → the
+///   top-level catch tears the connection down with zero requests
+///   accepted;
+/// * no strike → both requests are served.
+///
+/// The audit then probes the *other* shard (liveness: shard 1 must be
+/// unaffected) and checks the conservation law on the **quiescent
+/// aggregate** (`shutdown_sync → drain → aggregate`) — the sharded
+/// observation protocol, certified on every schedule.
+pub fn sharded_pipeline_space() -> Io<(i64, i64, StatsSnapshot)> {
+    let cfg = ShardConfig {
+        read_timeout: 1_000,
+        handler_timeout: 5_000,
+    };
+    ShardedListener::bind(2, 2).and_then(move |l| {
+        start_sharded(
+            &l,
+            handler(|_| Io::sleep(1_000).then(Io::pure(Response::ok("hi")))),
+            cfg,
+        )
+        .and_then(move |server| {
+            FrameConnection::open().and_then(move |conn| {
+                conn.send_frame_fin(Request::get("/a").render().repeat(2))
+                    .then(l.inject(0, conn))
+                    // Park main so the shard-0 handler is forked and
+                    // mid-first-request (asleep in the handler) before
+                    // the storm picks targets.
+                    .then(Io::sleep(100))
+                    .then(server.worker_ids())
+                    .and_then({
+                        let server = server.clone();
+                        move |tids| {
+                            kill_storm_targets(tids, &Injector::Explore, true)
+                                .and_then(move |kills| sharded_probe_and_snapshot(l, server, kills))
+                        }
+                    })
+            })
+        })
+    })
+}
+
+/// [`probe_and_snapshot`] for the sharded plane: the healthy probe goes
+/// to shard 1 (the shard the fault episode never touched), then the
+/// quiescent-aggregate audit — `shutdown_sync` over every acceptor,
+/// `drain` until every shard's `active` is zero, and the per-shard
+/// snapshots summed with `StatsSnapshot::merge`.
+fn sharded_probe_and_snapshot(
+    l: ShardedListener,
+    server: ShardedServer,
+    fault_code: i64,
+) -> Io<(i64, i64, StatsSnapshot)> {
+    FrameConnection::open().and_then(move |probe| {
+        probe
+            .send_frame_fin(Request::get("/probe").render())
+            .then(l.inject(1, probe))
+            .then(probe.read_response_frame())
+            .and_then(move |resp| {
+                let probe_code = match status_of(&resp) {
+                    ClientOutcome::Status(code) => i64::from(code),
+                    ClientOutcome::Garbled => -2,
+                };
+                server
+                    .shutdown_sync()
+                    .then(server.drain())
+                    .then(server.aggregate())
+                    .map(move |snap| (fault_code, probe_code, snap))
             })
     })
 }

@@ -26,8 +26,8 @@
 
 use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
 use conch_faults::spaces::{
-    actor_space, conn_fault_space, holds_actor_invariants, holds_invariants, storm_space,
-    supervised_pool_space,
+    actor_space, conn_fault_space, holds_actor_invariants, holds_invariants,
+    sharded_pipeline_space, storm_space, supervised_pool_space,
 };
 use conch_httpd::server::StatsSnapshot;
 use conch_runtime::io::Io;
@@ -131,6 +131,37 @@ fn supervised_pool_space_reports_identically_at_any_worker_count() {
     assert_eq!(
         sequential, parallel,
         "pool fault×schedule coverage must be bit-identical across engines"
+    );
+}
+
+/// Satellite of the sharded-plane PR: a `KillThread` between two
+/// pipelined requests must not lose the in-flight request from the
+/// conservation law. The space certifies the *quiescent-aggregate*
+/// protocol (per-shard drain, then summed snapshots) on every schedule
+/// of the strike × delivery product, and the untouched shard must keep
+/// serving (`200` probe) throughout.
+#[test]
+fn sharded_pipeline_space_holds_invariants_on_every_schedule() {
+    let report = explore(sharded_pipeline_space, 1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    assert!(
+        report.faults_injected > 0,
+        "some schedule must strike the pipelined handler: {report:?}"
+    );
+    // Struck or spared, each with at least one schedule.
+    assert!(report.explored >= 2, "{report:?}");
+}
+
+#[test]
+fn sharded_pipeline_space_reports_identically_at_any_worker_count() {
+    let sequential = explore(sharded_pipeline_space, 1);
+    let parallel = explore(sharded_pipeline_space, 4);
+    assert_eq!(
+        sequential, parallel,
+        "sharded fault×schedule coverage must be bit-identical across engines"
     );
 }
 

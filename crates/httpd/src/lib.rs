@@ -15,6 +15,10 @@
 //! * [`pool`] — the same serving contract on a supervised worker pool
 //!   (`conch-actors`): a bounded accept queue feeds a fixed set of
 //!   worker actors under a self-healing two-level supervision tree.
+//! * [`shard`] — the production-scale plane: N accept shards with
+//!   per-shard bounded queues and stats cells, keep-alive/pipelined
+//!   [`net::FrameConnection`]s with per-request accounting, batched
+//!   response flushes, and the quiescent-aggregate conservation law.
 //! * [`client`] — load-generating clients: well-behaved, stalling,
 //!   trickling and garbage.
 //!
@@ -47,3 +51,4 @@ pub mod net;
 pub mod pool;
 pub mod router;
 pub mod server;
+pub mod shard;

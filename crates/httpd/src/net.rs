@@ -16,7 +16,7 @@ use conch_runtime::value::{FromValue, IntoValue, Value};
 /// The in-band end-of-transmission sentinel a closing client pushes
 /// onto its request channel (ASCII EOT). Never part of an HTTP
 /// request, so the server can tell "peer hung up" from request bytes.
-const EOT: char = '\u{4}';
+pub(crate) const EOT: char = '\u{4}';
 
 /// The exception [`Connection::read_request_text`] raises when the
 /// peer closed the connection mid-request.
@@ -141,6 +141,108 @@ impl FromValue for Connection {
 }
 
 impl IntoValue for Connection {
+    fn into_value(self) -> Value {
+        Value::Pair(
+            Box::new(self.inbound.into_value()),
+            Box::new(self.outbound.into_value()),
+        )
+    }
+}
+
+/// A keep-alive connection whose unit of transfer is a *frame* (one
+/// simulated TCP segment carrying a string of bytes) instead of a
+/// single character.
+///
+/// [`Connection`] moves one `MVar` handoff per byte — perfect for the
+/// slowloris/timeout studies, hopeless at a million requests per run.
+/// A `FrameConnection` carries a whole pipelined batch of requests in
+/// one channel message, and the server replies with one frame per
+/// flushed batch of responses, so the wire cost of `k` pipelined
+/// requests is O(1) channel operations, not O(bytes). Framing does not
+/// change the byte-stream semantics: frames concatenate to the same
+/// stream the char model would carry, a request may span several
+/// frames, and one frame may hold several requests.
+///
+/// Close is in-band, like [`Connection::close`]: the final frame ends
+/// with the [`EOT`] sentinel (a piggybacked FIN), or a lone-EOT frame
+/// is sent. EOT never appears mid-frame.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameConnection {
+    /// Client → server request frames.
+    pub inbound: Chan<String>,
+    /// Server → client response frames.
+    pub outbound: Chan<String>,
+}
+
+impl FrameConnection {
+    /// Allocates a fresh connection (both channels empty).
+    pub fn open() -> Io<FrameConnection> {
+        Chan::<String>::new().and_then(|inbound| {
+            Chan::<String>::new().map(move |outbound| FrameConnection { inbound, outbound })
+        })
+    }
+
+    /// Client side: send one frame of request bytes.
+    pub fn send_frame(&self, text: impl Into<String>) -> Io<()> {
+        let text: String = text.into();
+        debug_assert!(!text.contains(EOT), "EOT may only terminate a frame");
+        self.inbound.send(text)
+    }
+
+    /// Client side: send a final frame with the FIN piggybacked — the
+    /// bytes followed by the in-band [`EOT`]. After this the server
+    /// will serve every complete request in the stream and then close.
+    pub fn send_frame_fin(&self, text: impl Into<String>) -> Io<()> {
+        let mut text: String = text.into();
+        debug_assert!(!text.contains(EOT), "EOT may only terminate a frame");
+        text.push(EOT);
+        self.inbound.send(text)
+    }
+
+    /// Client side: close without sending further bytes (a bare FIN).
+    pub fn close(&self) -> Io<()> {
+        self.inbound.send(EOT.to_string())
+    }
+
+    /// Client side: wait for the next response frame. One frame may
+    /// carry several pipelined responses back to back.
+    pub fn read_response_frame(&self) -> Io<String> {
+        self.outbound.recv()
+    }
+
+    /// Server side: receive the next raw frame. Returns the payload
+    /// bytes and whether the frame carried the FIN.
+    pub fn recv_frame(&self) -> Io<(String, bool)> {
+        self.inbound.recv().map(|mut frame| {
+            let fin = frame.ends_with(EOT);
+            if fin {
+                frame.pop();
+                debug_assert!(!frame.contains(EOT), "EOT may only terminate a frame");
+            }
+            (frame, fin)
+        })
+    }
+
+    /// Server side: send one frame of response bytes. Channel sends
+    /// never block, so a masked server loop can flush safely.
+    pub fn send_response_frame(&self, text: impl Into<String>) -> Io<()> {
+        self.outbound.send(text.into())
+    }
+}
+
+impl FromValue for FrameConnection {
+    fn from_value(v: Value) -> Option<Self> {
+        match v {
+            Value::Pair(i, o) => Some(FrameConnection {
+                inbound: Chan::from_value(*i)?,
+                outbound: Chan::from_value(*o)?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl IntoValue for FrameConnection {
     fn into_value(self) -> Value {
         Value::Pair(
             Box::new(self.inbound.into_value()),

@@ -124,16 +124,7 @@ impl PooledServer {
     /// A worker's outcome commits in the same transaction as its
     /// `active` decrement, so returning means every outcome is visible.
     pub fn drain(&self) -> Io<()> {
-        fn wait(stats: ServerStats) -> Io<()> {
-            stats.snapshot().and_then(move |s| {
-                if s.active == 0 {
-                    Io::unit()
-                } else {
-                    Io::sleep(100).then(wait(stats))
-                }
-            })
-        }
-        wait(self.stats)
+        crate::server::wait_active_zero(self.stats)
     }
 
     /// Every worker thread id ever started, in start order (restarted

@@ -144,6 +144,24 @@ impl StatsSnapshot {
     pub fn conserved(&self) -> bool {
         self.active == 0 && self.outcomes() == self.accepted
     }
+
+    /// Field-wise sum, for aggregating per-shard cells. The aggregate
+    /// of quiescent shards obeys the same conservation law as a single
+    /// cell: sums of `accepted` and of outcomes match when each shard's
+    /// do (see the sharded-stats protocol in `crate::shard`).
+    pub fn merge(mut self, other: &StatsSnapshot) -> StatsSnapshot {
+        self.served += other.served;
+        self.read_timeouts += other.read_timeouts;
+        self.handler_timeouts += other.handler_timeouts;
+        self.handler_errors += other.handler_errors;
+        self.parse_errors += other.parse_errors;
+        self.active += other.active;
+        self.accepted += other.accepted;
+        self.aborted += other.aborted;
+        self.killed += other.killed;
+        self.shed += other.shed;
+        self
+    }
 }
 
 impl ServerStats {
@@ -356,17 +374,7 @@ impl Server {
     /// returning means every finished connection's outcome is already
     /// visible.
     pub fn drain(&self) -> Io<()> {
-        let stats = self.stats;
-        fn wait(stats: ServerStats) -> Io<()> {
-            stats.snapshot().and_then(move |s| {
-                if s.active == 0 {
-                    Io::unit()
-                } else {
-                    Io::sleep(100).then(wait(stats))
-                }
-            })
-        }
-        wait(stats)
+        wait_active_zero(self.stats)
     }
 
     /// Every worker thread id the acceptor ever forked, in fork order.
@@ -376,6 +384,21 @@ impl Server {
             _ => Vec::new(),
         })
     }
+}
+
+/// Polls a stats cell until `active == 0` — the drain shared by the
+/// classic server, the pooled server and every shard of the sharded
+/// plane. Because an outcome is recorded in the *same transaction* as
+/// its active decrement, this returning means every finished request's
+/// outcome is already visible in the cell.
+pub(crate) fn wait_active_zero(stats: ServerStats) -> Io<()> {
+    stats.snapshot().and_then(move |s| {
+        if s.active == 0 {
+            Io::unit()
+        } else {
+            Io::sleep(100).then(wait_active_zero(stats))
+        }
+    })
 }
 
 /// Starts the server: forks the acceptor loop and returns immediately.

@@ -63,6 +63,7 @@ mod runq;
 pub mod scheduler;
 pub mod stats;
 pub mod thread;
+pub mod timer;
 pub mod trace;
 pub mod value;
 
@@ -76,6 +77,7 @@ pub use crate::mvar::MVar;
 pub use crate::scheduler::Runtime;
 pub use crate::stats::Stats;
 pub use crate::thread::{MaskState, RaiseOrigin};
+pub use crate::timer::{TimerEntry, TimerWheel};
 pub use crate::trace::{BlockSite, IoEvent};
 pub use crate::value::{FromValue, IntoValue, Value};
 

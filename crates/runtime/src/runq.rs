@@ -43,6 +43,13 @@ impl RunQueue {
         self.buf.push_back(Some(tid));
     }
 
+    /// Pre-grows the buffer for a batch of `additional` pushes, so a
+    /// mass wakeup (one timer-wheel tick's worth of sleepers) pays for
+    /// at most one reallocation instead of amortizing per push.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
     /// Pops the first live entry; amortized O(1).
     pub fn pop_front(&mut self) -> Option<ThreadId> {
         while let Some(entry) = self.buf.pop_front() {

@@ -73,6 +73,11 @@ pub struct Stats {
     /// interrupted sleepers keeps this proportional to the number of
     /// *live* sleepers, not the total number of timeouts ever started.
     pub max_sleeper_heap: usize,
+    /// Timer-wheel operations performed: sleeper insertions plus
+    /// entries popped at expiry (stale entries included — a lazy
+    /// cancellation is paid for at its pop). The denominator for the
+    /// `timer_ops_per_sec` throughput the benchmarks report.
+    pub timer_ops: u64,
     /// Happens-before races detected by a schedule explorer's dynamic
     /// partial-order reduction over runs of this runtime (pairs of
     /// dependent, causally-unordered steps). Zero for plain runs; the
@@ -114,6 +119,7 @@ impl Stats {
         self.delivery_latency_samples += other.delivery_latency_samples;
         self.max_thread_slots = self.max_thread_slots.max(other.max_thread_slots);
         self.max_sleeper_heap = self.max_sleeper_heap.max(other.max_sleeper_heap);
+        self.timer_ops += other.timer_ops;
         self.races_detected += other.races_detected;
         self.backtracks_installed += other.backtracks_installed;
     }

@@ -88,6 +88,64 @@ fn sleeper_heap_stays_bounded_across_timeout_kill_cycles() {
     );
 }
 
+/// A mass cancellation: 1k threads all asleep at once, then a kill storm
+/// interrupts every one of them. Each kill lazily invalidates a timer-
+/// wheel entry; the >half-stale compaction must evict the pile long
+/// before its 1-second wake time, and the wheel must hold zero entries
+/// once the run has quiesced.
+#[test]
+fn interrupting_1k_sleepers_leaves_an_empty_timer_wheel() {
+    const SLEEPERS: usize = 1_000;
+    let mut rt = Runtime::new();
+    let mut spawn: Io<Vec<ThreadId>> = Io::pure(Vec::new());
+    for _ in 0..SLEEPERS {
+        spawn = spawn.and_then(|mut tids| {
+            Io::fork(Io::sleep(1_000_000).catch(|_| Io::unit())).map(move |tid| {
+                tids.push(tid);
+                tids
+            })
+        });
+    }
+    let prog = spawn.and_then(|tids| {
+        // Park main briefly so every child reaches its sleep; the wheel
+        // high-water is then all 1k children plus main's own entry.
+        Io::sleep(5)
+            .then({
+                let mut kills = Io::unit();
+                for tid in tids {
+                    kills = kills.then(Io::throw_to(tid, Exception::kill_thread()));
+                }
+                kills
+            })
+            // One more short sleep: had compaction not evicted the 1k
+            // stale entries, this insert would find them still filed and
+            // push the high-water past its phase-1 value.
+            .then(Io::sleep(10))
+    });
+    rt.run(prog).unwrap();
+    let stats = rt.stats();
+    assert_eq!(
+        stats.interrupted_blocked, SLEEPERS as u64,
+        "every kill should interrupt a sleeping thread"
+    );
+    assert_eq!(
+        stats.max_sleeper_heap,
+        SLEEPERS + 1,
+        "wheel high-water should be the 1k sleepers + main, and the \
+         post-storm sleep must not see the stale pile still filed"
+    );
+    assert_eq!(
+        rt.clock(),
+        15,
+        "no stale entry may advance the clock toward the dead 1s wakes"
+    );
+    assert_eq!(
+        rt.sleeper_queue_len(),
+        0,
+        "timer wheel must hold zero entries after quiesce"
+    );
+}
+
 // ---------------------------------------------------------------------
 // Throwing at dead (and reclaimed) threads
 // ---------------------------------------------------------------------
