@@ -17,7 +17,12 @@
 //!   clients × shards sweep of keep-alive connections each carrying a
 //!   pipelined request run, recording the quiescent-aggregate
 //!   conservation counters, virtual-time throughput and timer-wheel
-//!   throughput per row.
+//!   throughput per row. A `httpd_requests_sharded_skew` row sends 80%
+//!   of the clients to shard 0 and records the per-shard `accepted`
+//!   imbalance, and `httpd_requests_wall_parallel` rows (B12) run the
+//!   plane on `MultiRuntime` — one scheduler per shard — at
+//!   `os_threads = 1` vs `os_threads = shards`, asserting the two runs
+//!   are bit-identical and reporting the wall speedup.
 //! * `timer_churn` — the hierarchical timer wheel against the old
 //!   `BinaryHeap` sleeper queue on a 100k-standing-timer,
 //!   batched-wakeup churn shape.
@@ -38,7 +43,7 @@ use std::time::Instant;
 
 use conch_bench::{
     explore_once, serve_n_good, serve_n_good_paced, serve_n_good_pooled, serve_sharded,
-    timer_heap_churn, timer_wheel_churn,
+    serve_sharded_skewed, serve_wall_parallel, timer_heap_churn, timer_wheel_churn,
 };
 use conch_runtime::io::for_each;
 use conch_runtime::prelude::*;
@@ -53,6 +58,19 @@ const HTTPD_REQUESTS: u64 = 50;
 const SHARDED_CLIENTS: [usize; 3] = [1_000, 10_000, 100_000];
 const SHARDED_SHARDS: [usize; 3] = [1, 4, 16];
 const SHARDED_PIPELINE: usize = 10;
+/// The skewed-arrival row: 80% of 10k clients land on shard 0 of 4 —
+/// the per-shard `accepted` counters expose the imbalance while the
+/// aggregate still conserves.
+const SKEW_CLIENTS: usize = 10_000;
+const SKEW_SHARDS: usize = 4;
+const SKEW_HOT_PERCENT: usize = 80;
+/// The wall-parallel rows: each shard count runs twice — once with all
+/// shards multiplexed onto one OS thread (the wall baseline) and once
+/// with one OS thread per shard — and `wall_speedup` is the ratio of
+/// the two wall times. Everything else about the two runs must be
+/// bit-identical; the row records that check as `deterministic`.
+const WALL_CLIENTS: usize = 20_000;
+const WALL_SHARDS: [usize; 2] = [1, 4];
 /// T1 churn shape: 100k standing keep-alive timers plus fast
 /// request-timeout churn through the front of the queue —
 /// `TIMER_CYCLES` ticks each filing and expiring a `TIMER_BATCH`-sized
@@ -233,6 +251,98 @@ fn emit_json() {
                 timer_ops as f64 / secs,
             ));
         }
+    }
+
+    // The skewed-arrival row: 80% of the clients land on shard 0. The
+    // per-shard accepted counters expose the imbalance (hot shard vs a
+    // fair share); the aggregate still conserves and serves everything.
+    {
+        let mut rt = Runtime::new();
+        let start = Instant::now();
+        let (agg, per_shard) = rt
+            .run(serve_sharded_skewed(
+                SKEW_CLIENTS,
+                SKEW_SHARDS,
+                SHARDED_PIPELINE,
+                SKEW_HOT_PERCENT,
+            ))
+            .expect("skewed sharded run");
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let requests = (SKEW_CLIENTS * SHARDED_PIPELINE) as u64;
+        let accepted: Vec<i64> = per_shard.iter().map(|s| s.accepted).collect();
+        let hot = accepted.iter().copied().max().unwrap_or(0);
+        let fair = requests as f64 / SKEW_SHARDS as f64;
+        let accepted_list = accepted
+            .iter()
+            .map(|a| a.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        rows.push(format!(
+            "    {{\"workload\": \"httpd_requests_sharded_skew\", \"clients\": {}, \
+             \"shards\": {}, \"hot_percent\": {}, \"requests\": {}, \
+             \"accepted\": {}, \"outcomes\": {}, \"conserved\": {}, \
+             \"accepted_per_shard\": [{}], \"hot_shard_accepted\": {}, \
+             \"imbalance\": {:.2}, \"seconds\": {:.6}}}",
+            SKEW_CLIENTS,
+            SKEW_SHARDS,
+            SKEW_HOT_PERCENT,
+            requests,
+            agg.accepted,
+            agg.outcomes(),
+            agg.conserved(),
+            accepted_list,
+            hot,
+            hot as f64 / fair,
+            secs,
+        ));
+    }
+
+    // The wall-parallel rows: the same sharded load on the
+    // MultiRuntime plane, once with every shard on one OS thread (the
+    // wall baseline) and once with one OS thread per shard. The two
+    // runs must agree on every deterministic observable — merged and
+    // per-shard snapshots, ok counts, drain log, barrier rounds — and
+    // the row records that check plus the wall speedup. CI asserts
+    // `deterministic` unconditionally and the shards=4 speedup only on
+    // hosts with >= 4 CPUs.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for shards in WALL_SHARDS {
+        let base_start = Instant::now();
+        let base = serve_wall_parallel(WALL_CLIENTS, shards, SHARDED_PIPELINE, 1);
+        let base_secs = base_start.elapsed().as_secs_f64().max(1e-9);
+        let par_start = Instant::now();
+        let par = serve_wall_parallel(WALL_CLIENTS, shards, SHARDED_PIPELINE, shards);
+        let par_secs = par_start.elapsed().as_secs_f64().max(1e-9);
+        let deterministic = par.oks == base.oks
+            && par.merged == base.merged
+            && par.per_shard == base.per_shard
+            && par.oks_per_shard == base.oks_per_shard
+            && par.drain_log == base.drain_log
+            && par.rounds == base.rounds;
+        let requests = (WALL_CLIENTS * SHARDED_PIPELINE) as u64;
+        rows.push(format!(
+            "    {{\"workload\": \"httpd_requests_wall_parallel\", \"clients\": {}, \
+             \"shards\": {}, \"os_threads\": {}, \"requests\": {}, \
+             \"conserved\": {}, \"deterministic\": {}, \"rounds\": {}, \
+             \"messages\": {}, \"host_cpus\": {}, \"baseline_seconds\": {:.6}, \
+             \"seconds\": {:.6}, \"requests_per_sec\": {:.1}, \
+             \"wall_speedup\": {:.2}}}",
+            WALL_CLIENTS,
+            shards,
+            shards,
+            requests,
+            par.merged.conserved(),
+            deterministic,
+            par.rounds,
+            par.messages,
+            host_cpus,
+            base_secs,
+            par_secs,
+            requests as f64 / par_secs,
+            base_secs / par_secs,
+        ));
     }
 
     // T1: the timer structures head to head on the production churn

@@ -12,9 +12,10 @@ use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Test
 use conch_httpd::client::good_client;
 use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
+use conch_httpd::parallel::{wall_parallel_load, WallConfig};
 use conch_httpd::pool::{start_pooled, PoolConfig};
 use conch_httpd::server::{handler, start, Handler, ServerConfig, StatsSnapshot};
-use conch_httpd::shard::{sharded_load, LoadConfig};
+use conch_httpd::shard::{sharded_load, sharded_load_skewed, LoadConfig};
 use conch_runtime::io::{for_each, sequence, Io};
 use conch_runtime::prelude::*;
 use conch_runtime::timer::{TimerEntry, TimerWheel};
@@ -605,6 +606,70 @@ pub fn serve_sharded(clients: usize, shards: usize, requests_per_conn: usize) ->
         assert_eq!(snap.served, want, "aggregate must record every serve");
         snap
     })
+}
+
+/// S3: [`serve_sharded`] with a skewed arrival pattern — `hot_percent`%
+/// of the clients land on shard 0 (`conch_httpd::shard::sharded_load_skewed`).
+/// Returns the quiescent aggregate plus the per-shard snapshots whose
+/// `accepted` counters expose the imbalance; panics unless every request
+/// was served and the aggregate conserves, so the skew costs no
+/// requests — only fairness.
+pub fn serve_sharded_skewed(
+    clients: usize,
+    shards: usize,
+    requests_per_conn: usize,
+    hot_percent: usize,
+) -> Io<(StatsSnapshot, Vec<StatsSnapshot>)> {
+    let cfg = LoadConfig {
+        clients,
+        shards,
+        requests_per_conn,
+        arrival_gap: 100,
+        queue_capacity: 1_024,
+        ..LoadConfig::default()
+    };
+    let want = (clients * requests_per_conn) as i64;
+    sharded_load_skewed(handler(|_| Io::pure(Response::ok("ok"))), cfg, hot_percent).map(
+        move |(oks, agg, per_shard)| {
+            assert_eq!(oks, want, "skewed load must still serve every request");
+            assert_eq!(agg.served, want, "skewed aggregate must record every serve");
+            assert!(agg.conserved(), "skewed aggregate must conserve");
+            (agg, per_shard)
+        },
+    )
+}
+
+/// W1: the wall-clock parallel plane — `shards` independent schedulers
+/// spread over `os_threads` OS threads
+/// (`conch_httpd::parallel::wall_parallel_load`). Panics unless every
+/// request was served, the channel-plane aggregate conserves, and the
+/// merged snapshot that travelled through the cross-shard channels
+/// equals the host-side re-merge — so the bench numbers are only ever
+/// recorded for a run the determinism machinery fully validated.
+pub fn serve_wall_parallel(
+    clients: usize,
+    shards: usize,
+    requests_per_conn: usize,
+    os_threads: usize,
+) -> conch_httpd::parallel::WallReport {
+    let cfg = WallConfig {
+        shards,
+        clients,
+        requests_per_conn,
+        os_threads,
+        ..WallConfig::default()
+    };
+    let report = wall_parallel_load(|| handler(|_| Io::pure(Response::ok("ok"))), cfg);
+    let want = (clients * requests_per_conn) as i64;
+    assert_eq!(report.oks, want, "wall plane must serve every request");
+    assert_eq!(report.merged.served, want);
+    assert!(report.merged.conserved(), "wall aggregate must conserve");
+    assert_eq!(
+        report.merged,
+        report.host_merged(),
+        "channel-plane aggregate must equal the host-side re-merge"
+    );
+    report
 }
 
 /// T1: the timer-wheel churn microbench, production-shaped: `standing`

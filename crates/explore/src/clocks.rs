@@ -1051,8 +1051,10 @@ mod tests {
     /// The two must agree exactly — race count, flags, witnesses.
     #[test]
     fn incremental_matches_legacy_on_backtracking_log_sequences() {
-        for seed in 0..20 {
-            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ (seed * 0x5851F42D4C957F2D));
+        for seed in 0..20_u64 {
+            // Wrapping: the seed spread deliberately overflows u64 (it
+            // always wrapped in release; debug builds must agree).
+            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ seed.wrapping_mul(0x5851F42D4C957F2D));
             let threads = 2 + rng.next(4);
             let births: Vec<Birth> = (0..threads)
                 .map(|t| Birth {
@@ -1060,7 +1062,9 @@ mod tests {
                     // Arbitrary but fixed creation edges (t born of an
                     // early event of t-1), consistent across the runs
                     // of one "exploration" like the driver guarantees.
-                    parent_event: (t > 0).then_some((t - 1) as u32),
+                    // Lazily: `then_some` would evaluate `t - 1` even
+                    // at t = 0 and underflow in debug builds.
+                    parent_event: (t > 0).then(|| (t - 1) as u32),
                 })
                 .collect();
             let mut incremental = RaceState::new(false);

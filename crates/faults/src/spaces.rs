@@ -415,3 +415,153 @@ pub fn holds_actor_invariants(out: &[i64]) -> Result<(), String> {
         )),
     }
 }
+
+// -- the cross-shard kill space --------------------------------------------
+
+/// A single-runtime model of the parallel plane's cross-shard
+/// `throwTo` relay (`conch_runtime::parallel`): on the wall-clock
+/// plane a kill crosses shards as a channel message and is delivered
+/// by the destination runtime at its next epoch barrier — a step
+/// boundary, exactly like a host-side `throwTo`. This space models
+/// that drain protocol with explorer-visible pieces so DPOR can close
+/// the schedule space the real OS-thread plane cannot enumerate:
+///
+/// * the **victim** is a worker on the "destination shard" — it arms
+///   itself (bit 16), works (a sleep), and records completion (bit 1),
+///   all inside a catch whose handler records the kill (bit 2) only if
+///   the work never completed;
+/// * the **relay** is the destination shard's barrier drain: it takes
+///   one envelope off the channel `MVar` and, for a kill envelope,
+///   waits for the victim to be armed and then delivers the `throwTo`;
+///   bit 8 records the drain completing;
+/// * the **arm** (an [`Io::choose`] site) picks the episode: `0` — no
+///   kill crosses the channel; `1` — a kill races the victim's work;
+///   `2` — a *late* kill: the victim is already done, a new tenant
+///   thread (bit 4) has been forked — eligible to reuse the victim's
+///   slot — and the relayed `throwTo` still names the old [`ThreadId`].
+///   Generation tags make the stale delivery a no-op on every
+///   schedule: the tenant must survive.
+///
+/// Returns `[outcome bits, arm]`;
+/// [`holds_cross_shard_invariants`] pins the admissible combinations.
+pub fn cross_shard_kill_space() -> Io<Vec<i64>> {
+    Io::new_mvar(0_i64).and_then(|log| {
+        Io::new_empty_mvar::<i64>().and_then(move |chan| {
+            Io::fork(relay_victim(log)).and_then(move |victim| {
+                Io::fork(kill_relay(chan, victim, log)).and_then(move |_relay| {
+                    Io::choose(3).and_then(move |arm| {
+                        let episode = match arm {
+                            // A kill envelope races the victim's work.
+                            1 => chan.put(1),
+                            // The late kill: only after the victim has
+                            // finished does the tenant fork and the
+                            // (now stale) envelope cross the channel.
+                            2 => wait_bits(log, 1)
+                                .then(Io::fork(set_bit(log, 4)).map(|_| ()))
+                                .then(chan.put(1)),
+                            // No kill — the relay still drains.
+                            _ => chan.put(0),
+                        };
+                        let settled = match arm {
+                            // Either the work completed or the kill
+                            // was recorded — plus the relay's drain.
+                            1 => wait_either(log, 1, 2).then(wait_bits(log, 8)),
+                            2 => wait_bits(log, 1 | 4 | 8),
+                            _ => wait_bits(log, 1 | 8),
+                        };
+                        episode
+                            .then(settled)
+                            .then(Io::block(
+                                log.take().and_then(move |n| log.put(n).map(move |_| n)),
+                            ))
+                            .map(move |bits| vec![bits, arm])
+                    })
+                })
+            })
+        })
+    })
+}
+
+/// The victim worker: arm (bit 16), work (a sleep), complete (bit 1) —
+/// under a catch that records a mid-work kill as bit 2. The handler
+/// checks bit 1 first so a kill landing *after* completion (still
+/// inside the catch scope) cannot double-record the outcome.
+fn relay_victim(log: MVar<i64>) -> Io<()> {
+    set_bit(log, 16)
+        .then(Io::sleep(100))
+        .then(set_bit(log, 1))
+        .catch(move |_| {
+            Io::block(
+                log.take()
+                    .and_then(move |n| log.put(if n & 1 != 0 { n } else { n | 2 })),
+            )
+        })
+}
+
+/// The destination shard's barrier drain: one envelope, then bit 8.
+/// A kill envelope waits for the victim to be armed (its catch frame
+/// is then live) before the step-boundary `throwTo` — mirroring how
+/// the real relay only delivers at an epoch barrier, never mid-step.
+fn kill_relay(chan: MVar<i64>, victim: conch_runtime::ids::ThreadId, log: MVar<i64>) -> Io<()> {
+    chan.take()
+        .and_then(move |code| {
+            if code == 1 {
+                wait_bits(log, 16).then(Io::throw_to(
+                    victim,
+                    Exception::error_call("cross-shard kill"),
+                ))
+            } else {
+                Io::unit()
+            }
+        })
+        .then(set_bit(log, 8))
+}
+
+/// ORs `bit` into the log in one masked transaction.
+fn set_bit(log: MVar<i64>, bit: i64) -> Io<()> {
+    Io::block(log.take().and_then(move |n| log.put(n | bit)))
+}
+
+/// Polls until every bit of `mask` is set.
+fn wait_bits(log: MVar<i64>, mask: i64) -> Io<()> {
+    Io::block(log.take().and_then(move |n| log.put(n).map(move |_| n))).and_then(move |n| {
+        if n & mask == mask {
+            Io::unit()
+        } else {
+            Io::sleep(50).then(wait_bits(log, mask))
+        }
+    })
+}
+
+/// Polls until at least one of the two bits is set.
+fn wait_either(log: MVar<i64>, a: i64, b: i64) -> Io<()> {
+    Io::block(log.take().and_then(move |n| log.put(n).map(move |_| n))).and_then(move |n| {
+        if n & a != 0 || n & b != 0 {
+            Io::unit()
+        } else {
+            Io::sleep(50).then(wait_either(log, a, b))
+        }
+    })
+}
+
+/// The cross-shard kill invariants, on every schedule. Bits: 16 armed,
+/// 8 relay drained, 4 tenant survived, 2 killed mid-work, 1 completed.
+///
+/// * arm 0 (no kill): armed + completed + drained, nothing else;
+/// * arm 1 (racing kill): exactly one of completed/killed — the
+///   outcome is never lost and never double-counted;
+/// * arm 2 (stale kill): the victim completed, the relayed `throwTo`
+///   named a dead (possibly reused) slot, and the tenant survived it.
+pub fn holds_cross_shard_invariants(out: &[i64]) -> Result<(), String> {
+    const ARMED: i64 = 16;
+    const DRAINED: i64 = 8;
+    const TENANT: i64 = 4;
+    const KILLED: i64 = 2;
+    const DONE: i64 = 1;
+    match out {
+        [bits, 0] if *bits == ARMED | DRAINED | DONE => Ok(()),
+        [bits, 1] if *bits == ARMED | DRAINED | DONE || *bits == ARMED | DRAINED | KILLED => Ok(()),
+        [bits, 2] if *bits == ARMED | DRAINED | TENANT | DONE => Ok(()),
+        other => Err(format!("inadmissible cross-shard outcome {other:?}")),
+    }
+}

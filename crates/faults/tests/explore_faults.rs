@@ -26,8 +26,9 @@
 
 use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
 use conch_faults::spaces::{
-    actor_space, conn_fault_space, holds_actor_invariants, holds_invariants,
-    sharded_pipeline_space, storm_space, supervised_pool_space,
+    actor_space, conn_fault_space, cross_shard_kill_space, holds_actor_invariants,
+    holds_cross_shard_invariants, holds_invariants, sharded_pipeline_space, storm_space,
+    supervised_pool_space,
 };
 use conch_httpd::server::StatsSnapshot;
 use conch_runtime::io::Io;
@@ -214,5 +215,54 @@ fn actor_space_reports_identically_at_any_worker_count() {
     assert_eq!(
         sequential, parallel,
         "actor fault×schedule coverage must be bit-identical across engines"
+    );
+}
+
+fn check_cross_shard_invariants(out: &RunOutcome<Vec<i64>>) -> Result<(), String> {
+    match &out.result {
+        Ok(v) => holds_cross_shard_invariants(v),
+        Err(e) => Err(format!("run failed: {e:?}")),
+    }
+}
+
+fn explore_cross_shard(workers: usize) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 100_000,
+        max_depth: 512,
+        step_budget: 100_000,
+        preemption_bound: Some(2),
+        reduction: Reduction::Dpor,
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(cross_shard_kill_space(), check_cross_shard_invariants))
+    } else {
+        explorer.check_parallel(workers, move || {
+            TestCase::new(cross_shard_kill_space(), check_cross_shard_invariants)
+        })
+    };
+    result.report().clone()
+}
+
+#[test]
+fn cross_shard_kill_space_holds_invariants_on_every_schedule() {
+    let report = explore_cross_shard(1);
+    assert!(
+        report.complete,
+        "exploration must be exhaustive: {report:?}"
+    );
+    // Three episode arms, each with at least one schedule: the no-kill
+    // drain, the racing kill, and the stale kill to a dead slot.
+    assert!(report.explored >= 3, "{report:?}");
+}
+
+#[test]
+fn cross_shard_kill_space_reports_identically_at_any_worker_count() {
+    let sequential = explore_cross_shard(1);
+    let parallel = explore_cross_shard(4);
+    assert_eq!(
+        sequential, parallel,
+        "cross-shard fault×schedule coverage must be bit-identical across engines"
     );
 }

@@ -48,6 +48,7 @@ pub mod client;
 pub mod http;
 pub mod log;
 pub mod net;
+pub mod parallel;
 pub mod pool;
 pub mod router;
 pub mod server;

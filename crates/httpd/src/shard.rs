@@ -238,6 +238,23 @@ impl ShardedServer {
         io
     }
 
+    /// The per-shard quiescent snapshots, in shard order — the
+    /// imbalance probe behind the skewed-arrival bench row. Same
+    /// quiescence caveat as [`aggregate`](Self::aggregate).
+    pub fn aggregate_per_shard(&self) -> Io<Vec<StatsSnapshot>> {
+        let mut io: Io<Vec<StatsSnapshot>> = Io::pure(Vec::new());
+        for sh in &self.shards {
+            let stats = sh.stats;
+            io = io.and_then(move |mut acc| {
+                stats.snapshot().map(move |s| {
+                    acc.push(s);
+                    acc
+                })
+            });
+        }
+        io
+    }
+
     /// Every connection-handler thread id ever forked, across all
     /// shards in shard order — the kill-storm target list.
     pub fn worker_ids(&self) -> Io<Vec<ThreadId>> {
@@ -537,8 +554,68 @@ pub fn sharded_load(h: Handler, cfg: LoadConfig) -> Io<(i64, StatsSnapshot)> {
 
 /// Connections shard `i` carries: an even split, remainder to the
 /// lowest-numbered shards.
-fn per_shard(clients: usize, shards: usize, i: usize) -> usize {
+pub(crate) fn per_shard(clients: usize, shards: usize, i: usize) -> usize {
     clients / shards + usize::from(i < clients % shards)
+}
+
+/// Connections shard `i` carries under a skewed arrival pattern: shard
+/// 0 is the hot shard taking `hot_percent`% of all clients, the rest
+/// split the remainder evenly (remainder-of-the-remainder to the
+/// lowest-numbered cold shards). With one shard the skew is vacuous.
+pub fn per_shard_skewed(clients: usize, shards: usize, i: usize, hot_percent: usize) -> usize {
+    assert!(hot_percent <= 100);
+    if shards == 1 {
+        return clients;
+    }
+    let hot = clients * hot_percent / 100;
+    if i == 0 {
+        return hot;
+    }
+    per_shard(clients - hot, shards - 1, i - 1)
+}
+
+/// [`sharded_load`] with a skewed client split: `hot_percent`% of the
+/// clients arrive on shard 0 (see [`per_shard_skewed`]). Returns
+/// `(oks, aggregate, per_shard)` — the per-shard quiescent snapshots
+/// expose the `accepted` imbalance the skew creates, the measurement
+/// baseline for future cross-shard balancing.
+pub fn sharded_load_skewed(
+    h: Handler,
+    cfg: LoadConfig,
+    hot_percent: usize,
+) -> Io<(i64, StatsSnapshot, Vec<StatsSnapshot>)> {
+    assert!(cfg.shards >= 1 && cfg.requests_per_conn >= 1);
+    ShardedListener::bind(cfg.shards, cfg.queue_capacity).and_then(move |l| {
+        start_sharded(&l, h, cfg.server).and_then(move |server| {
+            Chan::<i64>::new().and_then(move |report| {
+                let mut forks = Io::unit();
+                for shard in 0..cfg.shards {
+                    let conns =
+                        per_shard_skewed(cfg.clients, cfg.shards, shard, hot_percent) as u64;
+                    let q = l.queue(shard);
+                    forks = forks.then(Chan::<FrameConnection>::new().and_then(move |pipe| {
+                        Io::fork(feeder(q, pipe, conns, cfg))
+                            .then(Io::fork(collector(pipe, conns, report)))
+                            .map(|_| ())
+                    }));
+                }
+                forks
+                    .then(sum_reports(report, cfg.shards as u64, 0))
+                    .and_then(move |oks| {
+                        server
+                            .shutdown_sync()
+                            .then(server.drain())
+                            .then(server.aggregate_per_shard())
+                            .map(move |per_shard| {
+                                let agg = per_shard
+                                    .iter()
+                                    .fold(StatsSnapshot::default(), |acc, s| acc.merge(s));
+                                (oks, agg, per_shard)
+                            })
+                    })
+            })
+        })
+    })
 }
 
 /// One shard's load feeder: every `arrival_gap` µs, open a connection,

@@ -59,6 +59,7 @@ pub mod exception;
 pub mod ids;
 pub mod io;
 pub mod mvar;
+pub mod parallel;
 mod runq;
 pub mod scheduler;
 pub mod stats;
@@ -74,6 +75,9 @@ pub use crate::exception::{ArithError, Exception, ExceptionKind, ExitReason};
 pub use crate::ids::{MVarId, ThreadId};
 pub use crate::io::Io;
 pub use crate::mvar::MVar;
+pub use crate::parallel::{
+    CrossMsg, Envelope, MultiConfig, MultiReport, MultiRuntime, ShardCtx, ShardProgram, ShardReport,
+};
 pub use crate::scheduler::Runtime;
 pub use crate::stats::Stats;
 pub use crate::thread::{MaskState, RaiseOrigin};

@@ -86,6 +86,11 @@ pub struct Runtime {
     main_tid: Option<ThreadId>,
     main_result: Option<Result<Value, Exception>>,
     yielded: bool,
+    /// The thread scheduled by the previous `pick_next`, for
+    /// context-switch accounting. A field (not a `run_value` local) so
+    /// an epoch-capped [`Runtime::pump`] counts switches across pump
+    /// boundaries exactly as one uninterrupted run would.
+    last_scheduled: Option<ThreadId>,
     /// External scheduling driver (only consulted under
     /// [`SchedulingPolicy::External`]). Kept in an `Option` so it can be
     /// temporarily moved out while the runtime is borrowed.
@@ -122,6 +127,21 @@ struct Slot {
 
 /// Cap on recycled thread boxes kept for reuse.
 const THREAD_POOL_MAX: usize = 256;
+
+/// Why a capped [`Runtime::pump`] handed control back to its driver.
+#[derive(Debug)]
+pub(crate) enum PumpOutcome {
+    /// The main thread finished (or hit the configured `max_steps` /
+    /// local deadlock, in the uncapped path): the run is over and (Proc
+    /// GC) has recycled every other thread.
+    Finished(Result<Value, RunError>),
+    /// The per-pump step budget ran out with work still queued.
+    Budget,
+    /// Nothing is runnable and no sleeper is due at or before the clock
+    /// cap. `next_wake` is the earliest stored wake time (possibly of a
+    /// lazily-invalidated sleeper), `None` if the wheel is empty.
+    Idle { next_wake: Option<u64> },
+}
 
 /// Is `tid` still genuinely asleep until exactly `wake_at`?
 ///
@@ -208,6 +228,7 @@ impl Runtime {
             main_tid: None,
             main_result: None,
             yielded: false,
+            last_scheduled: None,
             decider: None,
             view_scratch: Vec::new(),
             pos_scratch: Vec::new(),
@@ -243,6 +264,7 @@ impl Runtime {
         self.main_tid = None;
         self.main_result = None;
         self.yielded = false;
+        self.last_scheduled = None;
     }
 
     /// Runs `io` to completion as the main thread.
@@ -258,6 +280,21 @@ impl Runtime {
     }
 
     pub(crate) fn run_value(&mut self, action: Action) -> Result<Value, RunError> {
+        self.begin_run(action);
+        match self.pump_inner(None, None, true) {
+            PumpOutcome::Finished(res) => res,
+            out => unreachable!("uncapped pump returned {out:?} instead of finishing"),
+        }
+    }
+
+    /// Spawns `action` as a fresh main thread without running it yet —
+    /// the first half of [`Runtime::run`], split out so an epoch-synced
+    /// shard (see [`crate::parallel`]) can start a program and then
+    /// drive it in capped [`Runtime::pump`] slices. Resets per-run state
+    /// (threads, run queue, sleepers, stats, trace); `MVar`s, the
+    /// console and the clock persist, so host-allocated mailboxes stay
+    /// valid across `begin_run`.
+    pub(crate) fn begin_run(&mut self, action: Action) {
         // Reset per-run state; keep mvars, console, clock.
         self.recycle_all_threads();
         self.free_slots.clear();
@@ -269,11 +306,32 @@ impl Runtime {
         self.stats = Stats::default();
         self.trace.clear();
         self.main_result = None;
+        self.last_scheduled = None;
 
         let main = self.spawn(action, MaskState::Unblocked);
         self.main_tid = Some(main);
+    }
 
-        let mut last: Option<ThreadId> = None;
+    /// Runs the program started by [`Runtime::begin_run`] until it
+    /// finishes, exhausts `step_budget` interpreter steps, or goes idle
+    /// with no sleeper due at or before `clock_cap` (the inclusive end
+    /// of the current epoch). Never applies the deadlock policy — a
+    /// capped shard that is locally stuck may still be woken by a
+    /// cross-shard message, so only the coordinator, seeing every shard
+    /// idle with nothing in flight, can declare a global deadlock.
+    pub(crate) fn pump(&mut self, clock_cap: u64, step_budget: Option<u64>) -> PumpOutcome {
+        self.pump_inner(Some(clock_cap), step_budget, false)
+    }
+
+    /// The scheduler loop shared by [`Runtime::run`] (uncapped,
+    /// `local_deadlock`) and [`Runtime::pump`] (epoch-capped).
+    fn pump_inner(
+        &mut self,
+        clock_cap: Option<u64>,
+        step_budget: Option<u64>,
+        local_deadlock: bool,
+    ) -> PumpOutcome {
+        let budget_end = step_budget.map(|b| self.stats.steps.saturating_add(b));
         loop {
             if let Some(res) = self.main_result.take() {
                 // (Proc GC): once the main thread is finished, all other
@@ -284,31 +342,46 @@ impl Runtime {
                 self.sleepers.clear();
                 self.stale_sleepers = 0;
                 self.console_waiters.clear();
-                return res.map_err(RunError::Uncaught);
+                return PumpOutcome::Finished(res.map_err(RunError::Uncaught));
             }
             if let Some(limit) = self.config.max_steps {
                 if self.stats.steps >= limit {
-                    return Err(RunError::StepLimitExceeded { limit });
+                    return PumpOutcome::Finished(Err(RunError::StepLimitExceeded { limit }));
+                }
+            }
+            if let Some(end) = budget_end {
+                if self.stats.steps >= end {
+                    return PumpOutcome::Budget;
                 }
             }
             if self.run_queue.is_empty() {
-                if self.advance_clock() {
+                if self.advance_clock_capped(clock_cap) {
                     continue;
                 }
-                match self.config.deadlock {
-                    DeadlockPolicy::Report => return Err(self.deadlock_error()),
-                    DeadlockPolicy::RaiseBlockedIndefinitely => {
-                        if self.interrupt_all_stuck() {
-                            continue;
+                if local_deadlock {
+                    match self.config.deadlock {
+                        DeadlockPolicy::Report => {
+                            return PumpOutcome::Finished(Err(self.deadlock_error()))
                         }
-                        return Err(self.deadlock_error());
+                        DeadlockPolicy::RaiseBlockedIndefinitely => {
+                            if self.interrupt_all_stuck() {
+                                continue;
+                            }
+                            return PumpOutcome::Finished(Err(self.deadlock_error()));
+                        }
                     }
                 }
+                // The next wake may belong to a lazily-invalidated
+                // sleeper; the coordinator tolerates that (the next
+                // round's capped advance discards it and re-reports).
+                return PumpOutcome::Idle {
+                    next_wake: self.sleepers.peek_earliest_wake(),
+                };
             }
-            let tid = self.pick_next(last);
-            if last != Some(tid) {
+            let tid = self.pick_next(self.last_scheduled);
+            if self.last_scheduled != Some(tid) {
                 self.stats.context_switches += 1;
-                last = Some(tid);
+                self.last_scheduled = Some(tid);
             }
             let quantum = self.quantum_for();
             self.yielded = false;
@@ -319,7 +392,7 @@ impl Runtime {
                 }
                 if let Some(limit) = self.config.max_steps {
                     if self.stats.steps >= limit {
-                        return Err(RunError::StepLimitExceeded { limit });
+                        return PumpOutcome::Finished(Err(RunError::StepLimitExceeded { limit }));
                     }
                 }
                 self.step(tid);
@@ -606,6 +679,81 @@ impl Runtime {
         }
     }
 
+    /// [`Runtime::advance_clock`] with an optional inclusive cap: wakes
+    /// the earliest due tick only if it is at or before `cap`. With
+    /// `cap == None` this is byte-for-byte `advance_clock` (the peek is
+    /// skipped), so the uncapped path's traces are untouched.
+    ///
+    /// One capped-only subtlety: a tick whose sleepers were all
+    /// interrupted still advances the wheel's cursor when popped, and a
+    /// capped caller may then return to its driver and run threads that
+    /// insert new timers — so the clock advances to the stale tick too
+    /// (with a `TimeAdvance` event, keeping the trace's advance sum
+    /// equal to the clock delta) to preserve `clock >= cursor` for
+    /// [`TimerWheel::insert`]. The uncapped path never needs this
+    /// because no thread runs between a stale pop and the next live
+    /// wake, so it folds the whole delta into the next live advance.
+    fn advance_clock_capped(&mut self, cap: Option<u64>) -> bool {
+        let Some(cap) = cap else {
+            return self.advance_clock();
+        };
+        loop {
+            match self.sleepers.peek_earliest_wake() {
+                None => return false,
+                Some(w) if w > cap => return false,
+                Some(_) => {}
+            }
+            let mut due = std::mem::take(&mut self.due_scratch);
+            let wake_at = self
+                .sleepers
+                .pop_earliest_into(&mut due)
+                .expect("peek saw an entry");
+            let threads = &self.threads;
+            let before = due.len();
+            self.stats.timer_ops += before as u64;
+            due.retain(|e| sleeper_entry_is_valid(threads, e.payload, wake_at));
+            for _ in due.len()..before {
+                self.note_stale_sleeper_popped();
+            }
+            if due.is_empty() {
+                if wake_at > self.clock {
+                    self.trace.push(IoEvent::TimeAdvance(wake_at - self.clock));
+                    self.clock = wake_at;
+                }
+                self.due_scratch = due;
+                continue;
+            }
+            if wake_at > self.clock {
+                self.trace.push(IoEvent::TimeAdvance(wake_at - self.clock));
+                self.clock = wake_at;
+            }
+            self.run_queue.reserve(due.len());
+            for e in &due {
+                let th = self.thread_mut(e.payload).expect("sleeper exists");
+                th.status = Status::Runnable;
+                th.code = Code::ReturnVal(Value::Unit);
+                self.enqueue_runnable(e.payload);
+            }
+            due.clear();
+            self.due_scratch = due;
+            return true;
+        }
+    }
+
+    /// Fast-forwards the clock to `t` if it lags — the epoch-barrier
+    /// clock sync, recorded as an ordinary `TimeAdvance` so the trace's
+    /// advance sum still equals the clock delta. Safe at a barrier
+    /// because the shard is quiescent there: every live sleeper's wake
+    /// time is past the epoch being synced to (the epoch only advances
+    /// when all shards report `Idle` with wakes beyond the old cap), so
+    /// no due sleeper is skipped.
+    pub(crate) fn sync_clock_forward(&mut self, t: u64) {
+        if t > self.clock {
+            self.trace.push(IoEvent::TimeAdvance(t - self.clock));
+            self.clock = t;
+        }
+    }
+
     /// Balances [`Runtime::stale_sleepers`] when a stale wheel entry is
     /// popped. Every stale entry is counted exactly once at the moment
     /// its sleeper is invalidated, so the counter can never underflow;
@@ -649,7 +797,7 @@ impl Runtime {
         self.sleepers.len()
     }
 
-    fn deadlock_error(&self) -> RunError {
+    pub(crate) fn deadlock_error(&self) -> RunError {
         // Slot order is storage order; report in spawn order, which is
         // what the table order used to be before slot reclamation.
         let mut stuck: Vec<_> = self
@@ -667,7 +815,7 @@ impl Runtime {
 
     /// GHC-style deadlock recovery: throw `BlockedIndefinitely` to every
     /// stuck thread. Returns `true` if any thread was interrupted.
-    fn interrupt_all_stuck(&mut self) -> bool {
+    pub(crate) fn interrupt_all_stuck(&mut self) -> bool {
         let mut stuck: Vec<ThreadId> = self
             .threads
             .iter()
@@ -683,6 +831,50 @@ impl Runtime {
             self.enqueue_exception(tid, Exception::blocked_indefinitely(), None);
         }
         any
+    }
+
+    // ------------------------------------------------------------------
+    // Host-side operations (the epoch-barrier surface)
+    //
+    // The parallel coordinator acts on a shard's runtime only while the
+    // shard is between pumps — no program thread is mid-step — so these
+    // are ordinary step-boundary events, exactly where the paper allows
+    // asynchronous delivery.
+    // ------------------------------------------------------------------
+
+    /// Allocates a fresh empty `MVar` from outside any thread. Unlike
+    /// per-run thread state, `MVar` cells persist across
+    /// [`Runtime::begin_run`] (only [`Runtime::reset`] clears them), so
+    /// a host-allocated mailbox outlives the program it is handed to.
+    pub(crate) fn host_alloc_mvar(&mut self) -> MVarId {
+        let id = MVarId(self.mvars.len() as u64);
+        self.mvars.push(MVarCell::empty());
+        id
+    }
+
+    /// `tryPutMVar` from outside any thread: fills the cell (waking a
+    /// blocked taker, if any) and returns `true`, or returns `false` if
+    /// it is already full — the same non-blocking semantics as
+    /// `Action::TryPutMVar`, minus a thread to return the bool to.
+    pub(crate) fn host_try_put_mvar(&mut self, m: MVarId, v: Value) -> bool {
+        if self.mvars[m.0 as usize].contents.is_some() {
+            return false;
+        }
+        self.fill_or_handoff(m, v);
+        self.stats.mvar_ops += 1;
+        true
+    }
+
+    /// `throwTo` from outside any thread: enqueues `exc` for `target`,
+    /// interrupting it immediately if stuck (rule (Interrupt)). A
+    /// `target` that is dead — or a stale `ThreadId` whose slot was
+    /// reused, which the generation check distinguishes — is a no-op,
+    /// matching the paper's "throwTo to a finished thread trivially
+    /// succeeds". This is how a cross-shard `throwTo` lands at an epoch
+    /// barrier.
+    pub(crate) fn host_throw_to(&mut self, target: ThreadId, exc: Exception) {
+        self.stats.throwtos += 1;
+        self.enqueue_exception(target, exc, None);
     }
 
     // ------------------------------------------------------------------

@@ -137,17 +137,20 @@ impl<T> TimerWheel<T> {
     }
 
     /// Files `entry`, where `now` is the caller's current time. `now`
-    /// must equal the cursor unless the wheel is empty (in which case
-    /// the cursor rebases to `now`) — the scheduler satisfies this
-    /// because its clock and the cursor only ever advance together, to
-    /// the wake time of a popped slot.
+    /// must be at or past the cursor unless the wheel is empty (in
+    /// which case the cursor rebases to `now`). A plain `run` keeps
+    /// `now == cursor` exactly — the clock and the cursor only advance
+    /// together, to the wake time of a popped slot — but an epoch-synced
+    /// shard (see `parallel`) may silently fast-forward its clock past
+    /// the cursor at a barrier; filing only needs `wake_at >= cursor`,
+    /// which `wake_at >= now >= cursor` implies.
     pub fn insert(&mut self, now: u64, entry: TimerEntry<T>) {
         if self.len == 0 {
             self.cursor = now;
         }
-        debug_assert_eq!(
-            now, self.cursor,
-            "timer wheel cursor out of sync with the caller's clock"
+        debug_assert!(
+            now >= self.cursor,
+            "timer wheel cursor ran ahead of the caller's clock"
         );
         debug_assert!(entry.wake_at >= now, "inserting an already-due timer");
         self.file(entry);
@@ -231,6 +234,39 @@ impl<T> TimerWheel<T> {
             }
             unreachable!("timer wheel has {} entries but no occupied slot", self.len);
         }
+    }
+
+    /// Returns the earliest stored wake time without popping anything —
+    /// the scheduler's "when could a sleeper next fire?" probe for
+    /// epoch-capped runs. Replays [`TimerWheel::pop_earliest_into`]'s
+    /// level-ascending scan without cascading: the first occupied slot
+    /// found is the earliest time window (finer levels cover the
+    /// cursor's own window; coarser levels hold strictly later
+    /// windows), so its minimum `wake_at` is the global minimum. O(1)
+    /// bitmap probes plus one bucket scan.
+    pub fn peek_earliest_wake(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let t = self.cursor;
+        for level in 0..LEVELS {
+            let idx = ((t >> (level * SLOT_BITS)) & (SLOTS as u64 - 1)) as usize;
+            let mask = self.occupied[level] & (!0u64 << idx);
+            if mask == 0 {
+                continue;
+            }
+            let slot = mask.trailing_zeros() as usize;
+            if level == 0 {
+                return Some((t >> SLOT_BITS << SLOT_BITS) | slot as u64);
+            }
+            // A coarse slot: its entries share a window but not a tick;
+            // the earliest is the bucket minimum.
+            return self.slots[level * SLOTS + slot]
+                .iter()
+                .map(|e| e.wake_at)
+                .min();
+        }
+        unreachable!("timer wheel has {} entries but no occupied slot", self.len);
     }
 
     /// Keeps only entries satisfying `f` — the compaction primitive for
@@ -410,6 +446,50 @@ mod tests {
         assert_eq!(w.pop_earliest_into(&mut buf), Some(66));
         assert!(w.check_consistent());
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn peek_matches_pop_at_every_step() {
+        let mut w = wheel();
+        let mut x: u64 = 0x243f6a8885a308d3;
+        for seq in 0..300 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            w.insert(0, entry(x % 500_000, seq));
+        }
+        let mut buf = Vec::new();
+        loop {
+            let peeked = w.peek_earliest_wake();
+            let popped = w.pop_earliest_into(&mut buf);
+            assert_eq!(peeked, popped);
+            if popped.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_mutate() {
+        let mut w = wheel();
+        w.insert(0, entry(1 << 20, 1));
+        w.insert(0, entry(70, 2));
+        assert_eq!(w.peek_earliest_wake(), Some(70));
+        assert_eq!(w.peek_earliest_wake(), Some(70));
+        assert!(w.check_consistent());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn insert_with_clock_ahead_of_cursor_files_fine() {
+        let mut w = wheel();
+        w.insert(0, entry(10, 1));
+        let mut buf = Vec::new();
+        assert_eq!(w.pop_earliest_into(&mut buf), Some(10));
+        w.insert(10, entry(5_000, 2));
+        // An epoch-synced caller's clock may run ahead of the cursor.
+        w.insert(2_000, entry(2_500, 3));
+        assert_eq!(drain(&mut w), [(2_500, 3), (5_000, 2)]);
     }
 
     #[test]

@@ -262,3 +262,82 @@ fn masked_self_async_throw_is_deferred_until_unmask() {
     // is popped, so the handler runs.
     assert_eq!(rt.run(prog).unwrap(), -1);
 }
+
+// ---------------------------------------------------------------------
+// Cross-shard throwTo at dead and reused slots (the parallel plane)
+// ---------------------------------------------------------------------
+
+/// The dead-and-reused-slot guarantee crosses the channel plane: a
+/// `ShardCtx::throw_to` relayed from a *remote* shard and delivered at
+/// the destination's epoch barrier must still be a no-op when the
+/// target `ThreadId` names a thread that has since died — even though
+/// a new occupant has reused its table slot. The generation tag, not
+/// the slot index, is the identity the barrier delivery checks.
+///
+/// Shard 1 forks a ghost, lets it die, forks a new occupant into the
+/// freed slot, and only then ships the ghost's id to shard 0, which
+/// relays a kill back. The ack message is sequenced *after* the throw
+/// (same source, ascending seq), so when shard 1's `recv` returns, the
+/// stale kill has already been drained at the same barrier. If the old
+/// id aliased the new occupant, the occupant would die holding the
+/// `MVar` and the run would deadlock instead of returning 42.
+#[test]
+fn cross_shard_throw_to_a_dead_and_reused_slot_spares_the_new_occupant() {
+    use conch_runtime::parallel::{MultiConfig, MultiRuntime, ShardCtx, ShardProgram};
+    use conch_runtime::value::Value;
+
+    let programs: Vec<ShardProgram> = vec![
+        // Shard 0: the relay — kill whatever id shard 1 reports, then
+        // ack so shard 1 knows the kill has been drained.
+        Box::new(|ctx: &ShardCtx| {
+            let ctx = ctx.clone();
+            ctx.clone().recv().and_then(move |v| {
+                let ghost = v.as_thread_id().expect("ghost tid");
+                ctx.clone()
+                    .throw_to(1, ghost, Exception::kill_thread())
+                    .then(ctx.send(1, Value::Int(0)))
+                    .map(|()| Value::Int(0))
+            })
+        }),
+        // Shard 1: the victim shard with the reused slot.
+        Box::new(|ctx: &ShardCtx| {
+            let ctx = ctx.clone();
+            Io::new_empty_mvar::<i64>().and_then(move |m| {
+                Io::new_empty_mvar::<i64>().and_then(move |done| {
+                    Io::fork(Io::unit()).and_then(move |ghost| {
+                        Io::sleep(1) // the ghost finishes; its slot is freed
+                            .then(Io::fork(m.take().and_then(move |v| done.put(v))))
+                            .then(ctx.clone().send(0, Value::ThreadId(ghost)))
+                            .then(ctx.recv()) // the kill is drained by now
+                            .then(m.put(42))
+                            .then(done.take())
+                            .map(Value::Int)
+                    })
+                })
+            })
+        }),
+    ];
+    let report = MultiRuntime::new(MultiConfig {
+        epoch_us: 100,
+        ..MultiConfig::default()
+    })
+    .run(programs);
+    assert_eq!(report.shards[0].result, Ok(Value::Int(0)));
+    assert_eq!(
+        report.shards[1].result,
+        Ok(Value::Int(42)),
+        "the new occupant must survive the stale cross-shard kill"
+    );
+    // Shard 1 never held more than two live slots (main + one child),
+    // so the occupant genuinely reused the ghost's slot — the test
+    // exercises the generation check, not a missing slot.
+    assert_eq!(report.shards[1].stats.max_thread_slots, 2);
+    // Three messages crossed the plane: tid, throw, ack — the throw
+    // logged between the two data messages.
+    assert_eq!(report.messages, 3);
+    assert!(
+        report.drain_log.iter().any(|l| l.contains("throw")),
+        "{:?}",
+        report.drain_log
+    );
+}
