@@ -48,7 +48,7 @@ fn explore(space: Space, check: Check, workers: usize) -> CheckResult {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: conch_explore::Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);

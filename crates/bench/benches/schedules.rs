@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use conch_bench::{
     accept_loop_workload, explore_fault_space, explore_once, explore_once_parallel,
-    explore_reduced, log_fanin_workload, pipeline_workload,
+    explore_reduced, log_fanin_workload, pct_sample_bug, pipeline_workload, SeededBug,
 };
 use conch_explore::{Reduction, Report};
 use conch_runtime::io::Io;
@@ -291,6 +291,40 @@ fn emit_json() {
             ),
             workers, report.explored, report.pruned, report.truncated, report.complete, secs,
         ));
+    }
+
+    // X4: PCT sampling against the known-seeded corpus bugs — 256
+    // draws at depth 3, seed 0xC0FFEE, sequentially and at 4 workers.
+    // `samples_to_first_bug` is the 0-based index of the earliest
+    // failing draw (JSON null if the budget never hit the bug — CI
+    // asserts it never is), and every counter must be bit-identical
+    // across worker counts: a sample's schedule is a pure function of
+    // its index, and workers drain the whole budget.
+    for (config, bug) in [
+        ("pct_output_race", SeededBug::OutputRace),
+        ("pct_broken_bracket", SeededBug::BrokenBracket),
+    ] {
+        for workers in [1, 4] {
+            let start = Instant::now();
+            let (report, first) = pct_sample_bug(bug, workers, 256, 0xC0FFEE);
+            let secs = start.elapsed().as_secs_f64();
+            rows.push(format!(
+                concat!(
+                    "    {{\"config\": \"{}\", \"workers\": {}, \"samples\": {}, ",
+                    "\"distinct_schedules\": {}, \"bugs_found\": {}, ",
+                    "\"samples_to_first_bug\": {}, \"seconds\": {:.6}, ",
+                    "\"samples_per_sec\": {:.1}}}"
+                ),
+                config,
+                workers,
+                report.stats.sampled,
+                report.stats.distinct_schedules,
+                u64::from(first.is_some()),
+                first.map_or("null".to_owned(), |i| i.to_string()),
+                secs,
+                report.stats.sampled as f64 / secs.max(1e-9),
+            ));
+        }
     }
 
     // X1: the larger workloads, each explored under sleep sets and

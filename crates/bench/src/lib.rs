@@ -8,7 +8,7 @@
 
 use conch_actors::{spawn_actor_on, Mailbox};
 use conch_combinators::{modify_mvar, modify_mvar_naive, timeout};
-use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
+use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Strategy, TestCase};
 use conch_httpd::client::good_client;
 use conch_httpd::http::Response;
 use conch_httpd::net::Listener;
@@ -370,7 +370,7 @@ where
     let cfg = ExploreConfig {
         max_schedules: 2_000_000,
         preemption_bound,
-        reduction,
+        strategy: Strategy::Exhaustive(reduction),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);
@@ -404,7 +404,7 @@ pub fn explore_fault_space(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);
@@ -418,6 +418,98 @@ pub fn explore_fault_space(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers
         conch_explore::CheckResult::Failed(f) => {
             panic!("fault space violated recovery invariants: {}", f.message)
         }
+    }
+}
+
+/// X4: the known-seeded bugs the PCT sampling rows measure detection
+/// on. Both come from the `tests/dpor_equiv.rs` corpus, so the bench
+/// numbers describe the same programs the equivalence suite certifies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// The classic two-thread console race: forked `putChar 'b'` racing
+    /// the parent's `putChar 'a'`; the bug fires when the child wins.
+    OutputRace,
+    /// §7.1 with the acquire *outside* the protected region: a kill
+    /// landing right after it leaks the resource (`a` with no `r`).
+    BrokenBracket,
+}
+
+/// X4: draw `samples` PCT schedules (depth 3, the given seed) against
+/// one seeded bug and report `(report, samples_to_first_bug)` —
+/// `None` when the budget never hit the bug. The sampler drains the
+/// whole budget either way, so every counter in the report is
+/// bit-identical for every `workers` (CI asserts 1 vs 4).
+pub fn pct_sample_bug(
+    bug: SeededBug,
+    workers: usize,
+    samples: usize,
+    seed: u64,
+) -> (Report, Option<u64>) {
+    fn sample<T: FromValue + 'static>(
+        workers: usize,
+        samples: usize,
+        seed: u64,
+        program: impl Fn() -> Io<T> + Sync,
+        fail_if: fn(&RunOutcome<T>) -> Option<String>,
+    ) -> (Report, Option<u64>) {
+        let cfg = ExploreConfig {
+            max_schedules: samples,
+            max_depth: 512,
+            step_budget: 100_000,
+            strategy: Strategy::Pct { depth: 3, seed },
+            ..ExploreConfig::default()
+        };
+        let explorer = Explorer::with_config(cfg);
+        let factory = || {
+            TestCase::new(program(), move |out: &RunOutcome<T>| match fail_if(out) {
+                Some(msg) => Err(msg),
+                None => Ok(()),
+            })
+        };
+        let result = if workers == 1 {
+            explorer.check(factory)
+        } else {
+            explorer.check_parallel_exact(workers, factory)
+        };
+        let report = result.report().clone();
+        let first = report.first_failing_sample;
+        (report, first)
+    }
+    match bug {
+        SeededBug::OutputRace => sample(
+            workers,
+            samples,
+            seed,
+            || {
+                Io::fork(Io::put_char('b'))
+                    .then(Io::put_char('a'))
+                    .then(Io::sleep(1))
+            },
+            |out| (out.output == "ba").then(|| "child won the race".to_owned()),
+        ),
+        SeededBug::BrokenBracket => sample(
+            workers,
+            samples,
+            seed,
+            || {
+                let body = Io::put_char('a').map(|_| 0_i64).and_then(|_| {
+                    Io::block(
+                        Io::unblock(Io::pure(1_i64))
+                            .catch(|e| Io::put_char('r').then(Io::throw(e)))
+                            .and_then(|v| Io::put_char('r').map(move |_| v)),
+                    )
+                });
+                Io::fork(body.map(|_| ()).catch(|_| Io::unit()))
+                    .and_then(|w| Io::throw_to(w, Exception::kill_thread()))
+                    .then(Io::sleep(1))
+                    .map(|_| 0_i64)
+            },
+            |out| {
+                let a = out.output.matches('a').count();
+                let r = out.output.matches('r').count();
+                (a != r).then(|| format!("leak: acquired {a}, released {r}"))
+            },
+        ),
     }
 }
 
@@ -478,7 +570,7 @@ pub fn explore_actor_ring(workers: usize) -> Report {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);

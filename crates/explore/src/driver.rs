@@ -36,6 +36,7 @@ use conch_runtime::decide::{Decider, StepFootprint, ThreadView};
 use conch_runtime::ids::ThreadId;
 
 use crate::clocks::{Birth, ExecEvent};
+use crate::sample::SamplePolicy;
 use crate::schedule::Choice;
 
 /// A sleep-set entry: a thread and the footprint of the step it was put
@@ -172,6 +173,17 @@ pub(crate) struct DriverState {
     /// deliver), that event is a phantom — the thread's ordinary step
     /// never executed — and must be popped again.
     sched_logged: bool,
+    /// Sampling policy consulted at *unscripted* branch points (see
+    /// [`crate::sample`]). `None` for exhaustive exploration and for
+    /// certificate replay, where unscripted choices fall back to the
+    /// deterministic defaults as ever. The policy only ever substitutes
+    /// for a default choice — the forced paths (single runnable,
+    /// invisible-move fast-forward, preemption forcing, depth budget)
+    /// stay ahead of it, so which step boundaries become branch points
+    /// is the same function of the executed path under sampling as
+    /// under enumeration. That is what makes a sampled certificate
+    /// byte-compatible with an exhaustive one.
+    pub policy: Option<SamplePolicy>,
 }
 
 impl DriverState {
@@ -197,6 +209,7 @@ impl DriverState {
             births: Vec::new(),
             known_tids: Vec::new(),
             sched_logged: false,
+            policy: None,
         }
     }
 
@@ -216,6 +229,7 @@ impl DriverState {
         self.births.clear();
         self.known_tids.clear();
         self.sched_logged = false;
+        self.policy = None;
     }
 
     /// Note the threads visible at a step boundary, recording births
@@ -362,8 +376,12 @@ impl DriverState {
                 .unwrap_or_else(default_index),
             // A delivery or arm choice at a scheduling point can only
             // happen when replaying a spliced (shrunk) schedule; fall
-            // back.
-            Some(Choice::Deliver(_) | Choice::Arm(_)) | None => default_index(),
+            // back. Unscripted points ask the sampling policy first,
+            // when one is installed.
+            Some(Choice::Deliver(_) | Choice::Arm(_)) | None => match self.policy.as_mut() {
+                Some(policy) => policy.pick_thread(&alts, &sleeping),
+                None => default_index(),
+            },
         };
 
         if let Some(prev) = previous {
@@ -414,8 +432,11 @@ impl DriverState {
         let deliver = match scripted {
             Some(Choice::Deliver(b)) => b,
             // A thread or arm choice here means a spliced schedule;
-            // default.
-            Some(Choice::Thread(_) | Choice::Arm(_)) | None => true,
+            // default. Unscripted points ask the sampling policy first.
+            Some(Choice::Thread(_) | Choice::Arm(_)) | None => match self.policy.as_mut() {
+                Some(policy) => policy.pick_deliver(),
+                None => true,
+            },
         };
         if deliver {
             // The delivered exception starts unwinding the target: a step
@@ -455,8 +476,12 @@ impl DriverState {
         let arm = match scripted {
             // An out-of-range arm (or a thread/delivery choice) here
             // means a spliced schedule; take the default arm.
+            // Unscripted points ask the sampling policy first.
             Some(Choice::Arm(a)) if a < arms => a,
-            _ => 0,
+            _ => match self.policy.as_mut() {
+                Some(policy) => policy.pick_arm(arms),
+                None => 0,
+            },
         };
         self.record.push(Point {
             alts: Alts::new(),

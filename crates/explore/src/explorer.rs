@@ -17,6 +17,7 @@ use crate::dpor::dpor_round_loop;
 use crate::driver::{DriverState, ScriptedDecider};
 use crate::frontier::Frontier;
 use crate::pool::worker_loop;
+use crate::sample::{sample_loop, SamplePlan};
 use crate::schedule::Schedule;
 
 /// Which schedule-space reduction the explorer applies.
@@ -39,6 +40,73 @@ pub enum Reduction {
     /// [`crate::dpor`]). Typically explores far fewer schedules than
     /// sleep sets on programs with many independent threads.
     Dpor,
+}
+
+/// How the explorer picks the schedules it executes.
+///
+/// The exhaustive strategies *enumerate* the bounded schedule space
+/// (with a [`Reduction`] deciding how many redundant interleavings they
+/// skip) and can certify `complete = true`. The sampling strategies
+/// *draw* `max_schedules` schedules instead — the right tool once the
+/// space stops being enumerable (the 3-stage pipeline leaves sleep sets
+/// incomplete at 2M schedules; a production fault×schedule space never
+/// finishes). A sampled run can only ever report `complete = false`,
+/// but each sample carries a quantifiable bug-finding probability, and
+/// any failure it finds yields the same replayable, shrinkable
+/// certificate the exhaustive engines produce.
+///
+/// Every sampling strategy is fully seeded: the run set is a pure
+/// function of the configuration, so reports are bit-identical for any
+/// worker count and a failing seed reproduces forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Strategy {
+    /// Enumerate the bounded space under the given reduction — the
+    /// historical behaviour, and the default
+    /// (`Exhaustive(Reduction::SleepSets)`).
+    Exhaustive(Reduction),
+    /// Probabilistic concurrency testing: random thread priorities at
+    /// first sight plus `depth − 1` random priority-change points per
+    /// run. A bug needing `d` ordering constraints is found with
+    /// probability ≥ `1/(k·n^(d−1))` per sample (`k` threads, `n`
+    /// scheduling decisions). `depth` ≥ 1; `depth = 1` is priority
+    /// scheduling with no change points. See [`crate::sample`].
+    Pct {
+        /// PCT bug depth `d`: the number of ordering constraints the
+        /// sampler can force per run (`d − 1` priority-change points).
+        depth: usize,
+        /// Base seed of the sample stream.
+        seed: u64,
+    },
+    /// Uniform random walk: every unscripted choice drawn uniformly.
+    /// The baseline sampling strategies are measured against — no
+    /// probability guarantee, but maximally unopinionated.
+    UniformRandom {
+        /// Base seed of the sample stream.
+        seed: u64,
+    },
+    /// Swarm testing: interleaved PCT streams, one per seed, each with
+    /// its own depth derived from its seed (1..=4). Covers several bug
+    /// depths in one budget — diversity of configurations, not just of
+    /// seeds. `seeds` must be non-empty.
+    Swarm {
+        /// One PCT stream per entry; sample `i` belongs to stream
+        /// `i % seeds.len()`.
+        seeds: Vec<u64>,
+    },
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Exhaustive(Reduction::default())
+    }
+}
+
+impl Strategy {
+    /// `true` for the strategies that draw schedules instead of
+    /// enumerating them (everything except [`Strategy::Exhaustive`]).
+    pub fn is_sampling(&self) -> bool {
+        !matches!(self, Strategy::Exhaustive(_))
+    }
 }
 
 /// Everything observable about one driven execution.
@@ -88,8 +156,10 @@ impl<T> TestCase<T> {
 /// Exploration limits and the base runtime configuration.
 #[derive(Debug, Clone)]
 pub struct ExploreConfig {
-    /// Stop after this many schedules (0 = unlimited is not supported;
-    /// use a large number).
+    /// Stop after this many schedules; under a sampling
+    /// [`Strategy`], the number of samples to draw. 0 = unlimited is
+    /// not supported (use a large number) and is rejected by
+    /// [`Explorer::with_config`].
     pub max_schedules: usize,
     /// Maximum branch points per run; beyond it choices are forced to
     /// defaults and the run counts as truncated.
@@ -112,9 +182,10 @@ pub struct ExploreConfig {
     /// deadline, the same budget truncates at the same schedule on
     /// every machine. `None` = unbounded.
     pub max_total_steps: Option<u64>,
-    /// Which schedule-space reduction to apply (default
-    /// [`Reduction::SleepSets`]).
-    pub reduction: Reduction,
+    /// How schedules are picked: exhaustive enumeration under a
+    /// [`Reduction`], or seeded sampling (default
+    /// `Exhaustive(Reduction::SleepSets)`).
+    pub strategy: Strategy,
     /// Use the legacy full-recompute race analyzer instead of the
     /// incremental one (DPOR only). The two are bit-equivalent —
     /// `tests/dpor_equiv.rs` proves it over the corpus — and the flag
@@ -133,7 +204,7 @@ impl Default for ExploreConfig {
             runtime: RuntimeConfig::new(),
             max_shrink_runs: 512,
             max_total_steps: None,
-            reduction: Reduction::SleepSets,
+            strategy: Strategy::default(),
             legacy_race_analysis: false,
         }
     }
@@ -173,6 +244,19 @@ pub struct Report {
     pub truncated: usize,
     /// Extra runs spent validating shrink candidates.
     pub shrink_runs: usize,
+    /// Interpreter steps spent replaying shrink candidates. Counted
+    /// against `max_total_steps` alongside `steps`, so shrinking cannot
+    /// burn budget past the deadline unaccounted.
+    pub shrink_steps: u64,
+    /// `true` iff shrinking stopped early because `max_total_steps` ran
+    /// out mid-shrink: the certificate in the failure is the best found
+    /// so far, not necessarily minimal.
+    pub shrink_truncated: bool,
+    /// Under a sampling [`Strategy`]: the index of the earliest failing
+    /// sample (0-based), `None` on a pass or under exhaustive
+    /// strategies. Deterministic for every worker count — workers drain
+    /// the whole sample budget and the lowest index wins.
+    pub first_failing_sample: Option<u64>,
     /// Total interpreter steps across all explored schedules — the
     /// deterministic cost measure `max_total_steps` budgets against.
     pub steps: u64,
@@ -310,11 +394,40 @@ pub(crate) struct RunRecord {
 impl Explorer {
     /// An explorer with default bounds.
     pub fn new() -> Self {
-        Explorer::default()
+        Explorer::with_config(ExploreConfig::default())
     }
 
     /// An explorer with explicit bounds.
+    ///
+    /// # Panics
+    ///
+    /// If the configuration is unusable — mirroring the runtime's
+    /// `quantum >= 1` validation rather than exploring nothing and
+    /// reporting `complete = true`:
+    /// * `max_schedules == 0` (documented as unsupported);
+    /// * `Strategy::Pct { depth: 0, .. }` (PCT needs at least one
+    ///   priority level);
+    /// * `Strategy::Swarm { seeds }` with no seeds (no stream to draw
+    ///   from).
     pub fn with_config(config: ExploreConfig) -> Self {
+        assert!(
+            config.max_schedules >= 1,
+            "ExploreConfig.max_schedules must be at least 1, got 0 \
+             (a zero budget would explore nothing yet report complete)"
+        );
+        match &config.strategy {
+            Strategy::Pct { depth, .. } => assert!(
+                *depth >= 1,
+                "Strategy::Pct.depth must be at least 1, got 0 \
+                 (PCT needs at least one priority level per run)"
+            ),
+            Strategy::Swarm { seeds } => assert!(
+                !seeds.is_empty(),
+                "Strategy::Swarm.seeds must be non-empty \
+                 (the swarm needs at least one stream to draw from)"
+            ),
+            Strategy::Exhaustive(_) | Strategy::UniformRandom { .. } => {}
+        }
         Explorer { config }
     }
 
@@ -336,15 +449,22 @@ impl Explorer {
         // the plain sequential search (same runs, in the same order,
         // with the same counters and certificates as ever).
         let frontier = Frontier::new(1);
-        match self.config.reduction {
-            Reduction::Dpor => loop {
+        match &self.config.strategy {
+            Strategy::Exhaustive(Reduction::Dpor) => loop {
                 dpor_round_loop(self, &frontier, &mut factory);
                 if frontier.is_stopped() || !frontier.dpor_apply_pending() {
                     break;
                 }
                 frontier.start_round();
             },
-            Reduction::Off | Reduction::SleepSets => worker_loop(self, &frontier, &mut factory),
+            Strategy::Exhaustive(Reduction::Off | Reduction::SleepSets) => {
+                worker_loop(self, &frontier, &mut factory)
+            }
+            sampling => {
+                let plan = SamplePlan::from_strategy(sampling)
+                    .expect("non-exhaustive strategies always have a plan");
+                sample_loop(self, &frontier, &mut factory, &plan);
+            }
         }
         self.finalize(&frontier, &mut factory)
     }
@@ -414,8 +534,8 @@ impl Explorer {
             return self.check(&factory);
         }
         let frontier = Frontier::new(workers);
-        match self.config.reduction {
-            Reduction::Dpor => loop {
+        match &self.config.strategy {
+            Strategy::Exhaustive(Reduction::Dpor) => loop {
                 // One scope per round: the round barrier needs every
                 // worker drained before the backtrack sets may change.
                 std::thread::scope(|s| {
@@ -430,12 +550,28 @@ impl Explorer {
                 }
                 frontier.start_round();
             },
-            Reduction::Off | Reduction::SleepSets => {
+            Strategy::Exhaustive(Reduction::Off | Reduction::SleepSets) => {
                 std::thread::scope(|s| {
                     for _ in 0..workers {
                         let frontier = &frontier;
                         let factory = &factory;
                         s.spawn(move || worker_loop(self, frontier, factory));
+                    }
+                });
+            }
+            sampling => {
+                // Workers claim sample indices from the frontier's
+                // shared counter; each sample's behaviour is a pure
+                // function of (strategy, index), so the partition of
+                // indices across workers cannot change the run set.
+                let plan = SamplePlan::from_strategy(sampling)
+                    .expect("non-exhaustive strategies always have a plan");
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let frontier = &frontier;
+                        let factory = &factory;
+                        let plan = &plan;
+                        s.spawn(move || sample_loop(self, frontier, factory, plan));
                     }
                 });
             }
@@ -450,11 +586,15 @@ impl Explorer {
         T: FromValue,
         F: FnMut() -> TestCase<T>,
     {
+        let sampling = self.config.strategy.is_sampling();
         let mut report = Report {
             explored: frontier.explored(),
             pruned: frontier.pruned(),
             truncated: frontier.truncated(),
             shrink_runs: 0,
+            shrink_steps: 0,
+            shrink_truncated: false,
+            first_failing_sample: None,
             steps: frontier.steps(),
             stats: frontier.total_stats(),
             faults_injected: frontier.faults(),
@@ -467,7 +607,12 @@ impl Explorer {
                 }
             },
         };
-        if self.config.reduction == Reduction::Dpor {
+        if sampling {
+            // Distinctness is read off the shared hash set, not summed
+            // per worker — the same sampled schedule counted once.
+            report.stats.distinct_schedules = frontier.distinct_schedules() as u64;
+        }
+        if self.config.strategy == Strategy::Exhaustive(Reduction::Dpor) {
             // Under DPOR "pruned" is read off the final run trie (the
             // alternatives no registered run took) and the backtrack
             // count is the total size of the final backtrack sets —
@@ -476,6 +621,12 @@ impl Explorer {
             report.stats.backtracks_installed = frontier.dpor_backtracks();
         }
         if let Some(candidate) = frontier.take_failure() {
+            if sampling {
+                // The sampler's failure key is the sample index split
+                // into two big-endian u32 limbs (see crate::sample).
+                report.first_failing_sample =
+                    Some(((candidate.key[0] as u64) << 32) | candidate.key[1] as u64);
+            }
             let mut rt = self.make_runtime();
             let original = candidate.schedule;
             let (schedule, message) = self.shrink(
@@ -492,7 +643,9 @@ impl Explorer {
                 report,
             }));
         }
-        report.complete = !frontier.is_stopped() && report.truncated == 0;
+        // A sampled pass never certifies the space: samples are draws,
+        // not an enumeration.
+        report.complete = !sampling && !frontier.is_stopped() && report.truncated == 0;
         CheckResult::Passed(Box::new(report))
     }
 
@@ -608,17 +761,35 @@ impl Explorer {
         let mut best = original;
         let mut best_message = original_message;
         let budget = self.config.max_shrink_runs;
+        // Shrink replays burn interpreter steps too; they are checked
+        // against the same deterministic deadline exploration was, at
+        // the same point of every candidate loop, so the truncation
+        // point is the same on every machine and the report says so.
+        let out_of_steps = |report: &Report| match self.config.max_total_steps {
+            Some(deadline) => report.steps + report.shrink_steps >= deadline,
+            None => false,
+        };
 
         let mut fails =
             |rt: &mut Runtime, sched: &Schedule, report: &mut Report| -> Option<String> {
                 report.shrink_runs += 1;
-                let (_, check) = self.replay_in(rt, factory(), sched);
+                let (outcome, check) = self.replay_in(rt, factory(), sched);
+                report.shrink_steps += outcome.stats.steps;
                 check.err()
             };
+
+        if out_of_steps(report) {
+            report.shrink_truncated = true;
+            return (best, best_message);
+        }
 
         // Phase 1: shortest failing prefix.
         for len in 0..best.len() {
             if report.shrink_runs >= budget {
+                return (best, best_message);
+            }
+            if out_of_steps(report) {
+                report.shrink_truncated = true;
                 return (best, best_message);
             }
             let prefix = Schedule::from(best.choices[..len].to_vec());
@@ -635,6 +806,10 @@ impl Explorer {
             let mut i = 0;
             while i < best.len() {
                 if report.shrink_runs >= budget {
+                    return (best, best_message);
+                }
+                if out_of_steps(report) {
+                    report.shrink_truncated = true;
                     return (best, best_message);
                 }
                 let mut candidate = best.clone();
@@ -838,6 +1013,132 @@ mod tests {
         let report = result.expect_pass();
         assert_eq!(report.explored, 1);
         assert!(!report.complete);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_schedules")]
+    fn zero_schedule_budget_is_rejected_at_construction() {
+        // Previously accepted silently: explored nothing, reported
+        // complete = true. Mirrors the runtime's quantum >= 1 check.
+        let _ = Explorer::with_config(ExploreConfig {
+            max_schedules: 0,
+            ..ExploreConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "depth")]
+    fn zero_pct_depth_is_rejected_at_construction() {
+        let _ = Explorer::with_config(ExploreConfig {
+            strategy: Strategy::Pct { depth: 0, seed: 1 },
+            ..ExploreConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds")]
+    fn empty_swarm_is_rejected_at_construction() {
+        let _ = Explorer::with_config(ExploreConfig {
+            strategy: Strategy::Swarm { seeds: vec![] },
+            ..ExploreConfig::default()
+        });
+    }
+
+    #[test]
+    fn pct_sampling_finds_the_race_and_certifies_it() {
+        let cfg = ExploreConfig {
+            max_schedules: 64,
+            strategy: Strategy::Pct {
+                depth: 3,
+                seed: 0xC0FFEE,
+            },
+            ..ExploreConfig::default()
+        };
+        let explorer = Explorer::with_config(cfg);
+        let result = explorer.check(|| {
+            TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err("child won".to_owned())
+                } else {
+                    Ok(())
+                }
+            })
+        });
+        let failure = result.expect_fail();
+        let sample = failure
+            .report
+            .first_failing_sample
+            .expect("sampled failures carry their sample index");
+        assert!(sample < 64, "index within the budget, got {sample}");
+        // The sampled certificate is byte-compatible with the
+        // exhaustive machinery: a default (exhaustive) explorer replays
+        // both the original and the shrunk schedule to the failure.
+        for schedule in [&failure.original, &failure.schedule] {
+            let case = TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                if out.output == "ba" {
+                    Err("child won".to_owned())
+                } else {
+                    Ok(())
+                }
+            });
+            let (outcome, check) = Explorer::new().replay(case, schedule);
+            assert_eq!(outcome.output, "ba");
+            assert!(check.is_err());
+        }
+    }
+
+    #[test]
+    fn sampling_reports_draws_not_coverage() {
+        for strategy in [
+            Strategy::Pct { depth: 2, seed: 7 },
+            Strategy::UniformRandom { seed: 7 },
+            Strategy::Swarm {
+                seeds: vec![1, 2, 3],
+            },
+        ] {
+            let cfg = ExploreConfig {
+                max_schedules: 32,
+                strategy,
+                ..ExploreConfig::default()
+            };
+            let result = Explorer::with_config(cfg)
+                .check(|| TestCase::new(race_program(), |_: &RunOutcome<()>| Ok(())));
+            let report = result.expect_pass();
+            assert_eq!(report.explored, 32, "the sample budget is drained");
+            assert_eq!(report.stats.sampled, 32);
+            assert!(!report.complete, "samples are draws, not an enumeration");
+            let distinct = report.stats.distinct_schedules;
+            assert!(
+                distinct >= 1 && distinct <= 32,
+                "distinct_schedules out of range: {distinct}"
+            );
+            assert_eq!(report.pruned, 0, "sampling never prunes");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let check = |seed: u64| {
+            let cfg = ExploreConfig {
+                max_schedules: 48,
+                strategy: Strategy::Pct { depth: 2, seed },
+                ..ExploreConfig::default()
+            };
+            Explorer::with_config(cfg).check(|| {
+                TestCase::new(race_program(), |out: &RunOutcome<()>| {
+                    if out.output == "ba" {
+                        Err("child won".to_owned())
+                    } else {
+                        Ok(())
+                    }
+                })
+            })
+        };
+        let (a, b) = (check(11), check(11));
+        let (fa, fb) = (a.expect_fail(), b.expect_fail());
+        assert_eq!(fa.original, fb.original, "same seed, same failing run");
+        assert_eq!(fa.schedule, fb.schedule);
+        assert_eq!(fa.report, fb.report);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! that are strictly later, so the surviving candidate is exactly the
 //! run the sequential DFS would have failed on first.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 
@@ -363,6 +364,15 @@ pub(crate) struct Frontier {
     failure: Mutex<Option<FailureCandidate>>,
     stats: Mutex<Stats>,
     dpor: Mutex<DporShared>,
+    /// Next sample index to hand out (sampling strategies only). The
+    /// counter partitions the fixed index set `0..max_schedules` across
+    /// workers; each sample's behaviour is a pure function of its
+    /// index, so the partition never changes the run set.
+    next_sample: AtomicUsize,
+    /// Hashes of every sampled schedule — the `distinct_schedules`
+    /// counter. Shared (not per-worker) so duplicates across workers
+    /// collapse the same way they do sequentially.
+    sampled_hashes: Mutex<HashSet<u64>>,
 }
 
 impl Frontier {
@@ -394,7 +404,36 @@ impl Frontier {
                 }],
                 pending: Vec::new(),
             }),
+            next_sample: AtomicUsize::new(0),
+            sampled_hashes: Mutex::new(HashSet::new()),
         }
+    }
+
+    /// Claim the next sample index, or `None` once `total` samples have
+    /// been handed out (or a stop was requested). Sampling's equivalent
+    /// of [`next_item`](Frontier::next_item): workers race on the
+    /// counter, but since sample `i` behaves identically whoever runs
+    /// it, the race is coverage-invisible.
+    pub fn claim_sample(&self, total: usize) -> Option<usize> {
+        if self.is_stopped() {
+            return None;
+        }
+        let index = self.next_sample.fetch_add(1, Ordering::Relaxed);
+        if index < total {
+            Some(index)
+        } else {
+            None
+        }
+    }
+
+    /// Record one sampled schedule's hash for the distinctness counter.
+    pub fn note_schedule_hash(&self, hash: u64) {
+        lock(&self.sampled_hashes).insert(hash);
+    }
+
+    /// Distinct schedules among the sampled ones.
+    pub fn distinct_schedules(&self) -> usize {
+        lock(&self.sampled_hashes).len()
     }
 
     /// Pop an item, or block until one is donated. Returns `None` when

@@ -37,6 +37,13 @@
 //! coverage counts and certificates bit-identical to the sequential
 //! search for any worker count (see `DESIGN.md` for the argument).
 //!
+//! When the space is too large to enumerate, a sampling [`Strategy`]
+//! (PCT priority sampling, uniform random, swarm — see
+//! [`Strategy::Pct`]) draws seeded schedules through the same driver
+//! instead: every sampled failure yields the same replayable,
+//! shrinkable certificate, and reports stay bit-identical across
+//! worker counts.
+//!
 //! ```
 //! use conch_explore::{Explorer, TestCase, RunOutcome};
 //! use conch_runtime::prelude::*;
@@ -73,10 +80,11 @@ pub mod explorer;
 mod frontier;
 mod pool;
 pub mod props;
+mod sample;
 pub mod schedule;
 
 pub use crate::explorer::{
     effective_workers, CheckResult, ExploreConfig, Explorer, Failure, Reduction, Report,
-    RunOutcome, TestCase, Timing,
+    RunOutcome, Strategy, TestCase, Timing,
 };
 pub use crate::schedule::{Choice, ParseScheduleError, Schedule};

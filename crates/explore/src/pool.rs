@@ -24,7 +24,7 @@ use conch_runtime::stats::Stats;
 use conch_runtime::value::FromValue;
 
 use crate::driver::DriverState;
-use crate::explorer::{Explorer, Reduction, TestCase};
+use crate::explorer::{Explorer, Reduction, Strategy, TestCase};
 use crate::frontier::{dfs_key, Frontier, Node, WorkItem};
 
 /// Balances every `next_item` with a `finish_item`, even if the worker
@@ -53,7 +53,7 @@ where
     // Under `Reduction::Off` sleep entries are simply never loaded into
     // the driver, so every alternative is enumerated — the unreduced
     // baseline the benchmarks measure reductions against.
-    let use_sleep = config.reduction != Reduction::Off;
+    let use_sleep = config.strategy != Strategy::Exhaustive(Reduction::Off);
     // One runtime and one driver state per worker, reset between
     // schedules, so the per-schedule cost is interpretation, not
     // allocation. The `Rc` never leaves this thread.

@@ -1,0 +1,417 @@
+//! Probabilistic schedule sampling: PCT, uniform-random and swarm
+//! strategies over the same driver machinery as the exhaustive DFS.
+//!
+//! Where the exhaustive engines *enumerate* the branch points recorded
+//! by [`crate::driver::DriverState`], the sampler *draws* one schedule
+//! at a time: each run installs a [`SamplePolicy`] into the driver, and
+//! the policy answers exactly the choices the script does not cover —
+//! which is all of them, since sampled runs start from an empty script.
+//! Everything else is unchanged: the same invisible-move
+//! fast-forwarding, the same branch-point structure (a function of the
+//! executed path alone), the same recorded [`Schedule`](crate::Schedule).
+//! A sampled failure certificate is therefore byte-compatible with an
+//! exhaustive one — it replays and shrinks through the very machinery
+//! `Explorer::check` already has.
+//!
+//! The default policy is **PCT** (probabilistic concurrency testing, in
+//! the Coyote/shuttle lineage): every thread gets a random priority at
+//! first sight, the highest-priority runnable candidate runs at each
+//! branch point, and `depth − 1` priority-*change* points — scheduling
+//! decisions drawn uniformly up front — each demote the currently
+//! leading thread below everyone else. For a bug that needs `d`
+//! ordering constraints among `k` threads over `n` decisions, PCT finds
+//! it with probability at least `1/(k·n^(d−1))` per sample — which is
+//! what makes a fixed sample budget a meaningful statistical statement
+//! about the unenumerable spaces (the sharded httpd under the fault
+//! plane) the exhaustive engines cannot finish.
+//!
+//! # Determinism
+//!
+//! Sample `i` of a run with base seed `s` is driven entirely by
+//! [`stream_seed`]`(s, i)` — never by what other samples observed — so
+//! the *set* of sampled runs is a pure function of the configuration.
+//! Workers claim sample indices from a shared counter and the budget is
+//! always drained (a failure does not stop the sampler), so every
+//! counter is a sum over that fixed set and the reported failure (the
+//! lowest failing sample index) is bit-identical for any worker count.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use conch_runtime::stats::Stats;
+use conch_runtime::value::FromValue;
+
+use crate::driver::{DriverState, SleepEntry};
+use crate::explorer::{Explorer, Strategy, TestCase};
+use crate::frontier::Frontier;
+use crate::schedule::Choice;
+
+/// SplitMix64: the classic 64-bit mixing generator. Hand-rolled (seven
+/// lines) so sampling adds no dependency and the stream is pinned
+/// forever — a seed printed in a bug report must replay on every
+/// future version.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `0..n`. The modulo bias is below 2⁻⁵⁰ for the
+    /// candidate-list sizes that occur here (≤ a few hundred).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    pub fn coin(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// The seed of sample `index` in the stream rooted at `base`. A pure
+/// function of `(base, index)` — per-sample behaviour must not depend
+/// on which worker ran which earlier sample, or worker counts would
+/// diverge.
+pub(crate) fn stream_seed(base: u64, index: u64) -> u64 {
+    Rng::new(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
+/// The per-run random policy the driver consults at unscripted branch
+/// points (see [`DriverState`]). One policy drives one sample and is
+/// discarded; all its state is derived from the sample's seed.
+pub(crate) enum SamplePolicy {
+    Pct(PctState),
+    Uniform(Rng),
+}
+
+/// PCT state for one sampled run.
+pub(crate) struct PctState {
+    rng: Rng,
+    /// Random priority per thread, assigned at first sight (in
+    /// candidate-list order, which is deterministic per run). Higher
+    /// runs first.
+    priorities: Vec<(u64, i64)>,
+    /// The `depth − 1` scheduling-decision indices at which the
+    /// leading thread is demoted. Drawn up front from `1..=horizon`
+    /// (the branch-point budget), so they are fixed before the run
+    /// starts, as PCT requires.
+    change_points: Vec<u32>,
+    /// Scheduling decisions made so far this run.
+    decisions: u32,
+    /// Next demotion priority; decreases so later demotions rank below
+    /// earlier ones, and all demotions rank below every initial
+    /// (non-negative) priority.
+    demote_next: i64,
+}
+
+impl SamplePolicy {
+    pub fn pct(depth: usize, seed: u64, horizon: usize) -> Self {
+        let mut rng = Rng::new(seed);
+        let horizon = horizon.max(1) as u64;
+        let change_points = (1..depth).map(|_| rng.below(horizon) as u32 + 1).collect();
+        SamplePolicy::Pct(PctState {
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            decisions: 0,
+            demote_next: -1,
+        })
+    }
+
+    pub fn uniform(seed: u64) -> Self {
+        SamplePolicy::Uniform(Rng::new(seed))
+    }
+
+    /// The scheduling decision at an unscripted branch point:
+    /// `alts` is the candidate list in run-queue order, `sleeping` the
+    /// subset the sleep-set rule would skip (always empty for sampled
+    /// runs, which carry no DFS context; honored anyway so the policy
+    /// composes with scripted prefixes). Returns an index into `alts`.
+    pub fn pick_thread(&mut self, alts: &[SleepEntry], sleeping: &[u64]) -> usize {
+        let eligible = |i: &usize| !sleeping.contains(&alts[*i].0);
+        match self {
+            SamplePolicy::Uniform(rng) => {
+                let candidates: Vec<usize> = (0..alts.len()).filter(eligible).collect();
+                match candidates.len() {
+                    0 => 0,
+                    n => candidates[rng.below(n as u64) as usize],
+                }
+            }
+            SamplePolicy::Pct(st) => {
+                for &(tid, _) in alts {
+                    if !st.priorities.iter().any(|&(t, _)| t == tid) {
+                        // Initial priorities are non-negative, so every
+                        // demotion (negative) outranks none of them.
+                        let p = (st.rng.next_u64() >> 2) as i64;
+                        st.priorities.push((tid, p));
+                    }
+                }
+                st.decisions += 1;
+                let leader = |st: &PctState| {
+                    (0..alts.len())
+                        .filter(eligible)
+                        .max_by_key(|&i| {
+                            st.priorities
+                                .iter()
+                                .find(|&&(t, _)| t == alts[i].0)
+                                .map(|&(_, p)| p)
+                                .unwrap_or(i64::MIN)
+                        })
+                        .unwrap_or(0)
+                };
+                if st.change_points.contains(&st.decisions) {
+                    // A change point fires: the thread that would run
+                    // is demoted below everyone, handing the lead over.
+                    let demoted = alts[leader(st)].0;
+                    let p = st.demote_next;
+                    st.demote_next -= 1;
+                    if let Some(e) = st.priorities.iter_mut().find(|e| e.0 == demoted) {
+                        e.1 = p;
+                    }
+                }
+                leader(st)
+            }
+        }
+    }
+
+    /// The delivery decision at an unscripted delivery point. PCT has
+    /// no native notion of delivery points (they are this semantics'
+    /// extra nondeterminism, §5), so both policies flip a fair coin —
+    /// each landing site of a pending exception keeps probability
+    /// ≥ 2^-(sites).
+    pub fn pick_deliver(&mut self) -> bool {
+        match self {
+            SamplePolicy::Uniform(rng) => rng.coin(),
+            SamplePolicy::Pct(st) => st.rng.coin(),
+        }
+    }
+
+    /// The arm decision at an unscripted oracle point: uniform over the
+    /// arms, so every fault arm of an `Io::choose` site keeps
+    /// probability `1/arms` per visit.
+    pub fn pick_arm(&mut self, arms: u8) -> u8 {
+        let rng = match self {
+            SamplePolicy::Uniform(rng) => rng,
+            SamplePolicy::Pct(st) => &mut st.rng,
+        };
+        rng.below(arms.max(1) as u64) as u8
+    }
+}
+
+/// A sampling strategy resolved into its per-sample policy factory.
+pub(crate) enum SamplePlan {
+    Pct { depth: usize, seed: u64 },
+    Uniform { seed: u64 },
+    Swarm { seeds: Vec<u64> },
+}
+
+impl SamplePlan {
+    /// `None` for exhaustive strategies (which the DFS engines handle).
+    pub fn from_strategy(strategy: &Strategy) -> Option<SamplePlan> {
+        match strategy {
+            Strategy::Exhaustive(_) => None,
+            Strategy::Pct { depth, seed } => Some(SamplePlan::Pct {
+                depth: *depth,
+                seed: *seed,
+            }),
+            Strategy::UniformRandom { seed } => Some(SamplePlan::Uniform { seed: *seed }),
+            Strategy::Swarm { seeds } => Some(SamplePlan::Swarm {
+                seeds: seeds.clone(),
+            }),
+        }
+    }
+
+    /// The policy driving sample `index`. A pure function of
+    /// `(plan, index, horizon)` — see the module docs on determinism.
+    pub fn policy_for(&self, index: u64, horizon: usize) -> SamplePolicy {
+        match self {
+            SamplePlan::Pct { depth, seed } => {
+                SamplePolicy::pct(*depth, stream_seed(*seed, index), horizon)
+            }
+            SamplePlan::Uniform { seed } => SamplePolicy::uniform(stream_seed(*seed, index)),
+            SamplePlan::Swarm { seeds } => {
+                // Swarm = interleaved PCT streams: sample i belongs to
+                // stream i mod |seeds|, and each stream's PCT depth is
+                // itself drawn from its seed (1..=4), so the swarm
+                // covers several bug depths at once — the point of
+                // swarm testing is diversity of configurations, not
+                // just of seeds.
+                let n = seeds.len() as u64;
+                let base = seeds[(index % n) as usize];
+                let depth = 1 + (Rng::new(base).next_u64() % 4) as usize;
+                SamplePolicy::pct(depth, stream_seed(base, index / n), horizon)
+            }
+        }
+    }
+}
+
+/// FNV-1a over the choice list — the key of the `distinct_schedules`
+/// counter. A collision would undercount distinctness but (being a
+/// function of the choices alone) never breaks worker-count
+/// determinism.
+pub(crate) fn schedule_hash(choices: &[Choice]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    };
+    for c in choices {
+        match c {
+            Choice::Thread(t) => {
+                eat(1);
+                eat(*t);
+            }
+            Choice::Deliver(b) => {
+                eat(2);
+                eat(*b as u64);
+            }
+            Choice::Arm(a) => {
+                eat(3);
+                eat(*a as u64);
+            }
+        }
+    }
+    h
+}
+
+/// The failure-ranking key of sample `index`: two big-endian limbs, so
+/// lexicographic key order is numeric index order and
+/// [`Frontier::offer_failure`] keeps the lowest failing sample — the
+/// run the sequential sampler fails on first.
+pub(crate) fn sample_key(index: usize) -> Vec<u32> {
+    let i = index as u64;
+    vec![(i >> 32) as u32, i as u32]
+}
+
+/// Run one sampling worker to completion: claim sample indices from
+/// the shared counter, drive each through a fresh policy, record
+/// counters and the lowest-index failure. The budget is always drained
+/// (failures don't stop the loop), so reports are worker-count
+/// independent even on failing spaces; only `max_total_steps` stops
+/// the sampler early.
+pub(crate) fn sample_loop<T, F>(
+    explorer: &Explorer,
+    frontier: &Frontier,
+    mut factory: F,
+    plan: &SamplePlan,
+) where
+    T: FromValue,
+    F: FnMut() -> TestCase<T>,
+{
+    let config = explorer.config();
+    let mut rt = explorer.make_runtime();
+    let state = Rc::new(RefCell::new(DriverState::new(
+        Vec::new(),
+        Vec::new(),
+        config.preemption_bound,
+        config.max_depth,
+    )));
+    let mut local_stats = Stats::default();
+    let mut replay_ns = 0u64;
+
+    while let Some(index) = frontier.claim_sample(config.max_schedules) {
+        {
+            let mut st = state.borrow_mut();
+            st.reset();
+            st.policy = Some(plan.policy_for(index as u64, config.max_depth));
+        }
+        let t0 = std::time::Instant::now();
+        let (run, schedule) = explorer.run_once(&mut rt, factory(), &state);
+        replay_ns += t0.elapsed().as_nanos() as u64;
+        state.borrow_mut().policy = None;
+        frontier.note_run(run.depth_hit, run.stats.steps, &schedule.choices);
+        frontier.note_schedule_hash(schedule_hash(&schedule.choices));
+        local_stats.merge(&run.stats);
+        local_stats.sampled += 1;
+        if let Err(message) = run.check_result {
+            frontier.offer_failure(sample_key(index), schedule, message);
+        }
+        if let Some(budget) = config.max_total_steps {
+            if frontier.steps() >= budget {
+                frontier.request_stop();
+                break;
+            }
+        }
+    }
+    frontier.merge_stats(&local_stats);
+    frontier.add_timing(replay_ns, 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_stream_is_pinned() {
+        // The stream is part of the replay contract: a seed in a bug
+        // report must generate the same schedule forever.
+        let mut rng = Rng::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn stream_seeds_are_index_sensitive() {
+        let a = stream_seed(42, 0);
+        let b = stream_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, stream_seed(42, 0), "pure function of (base, index)");
+    }
+
+    #[test]
+    fn pct_change_point_demotes_the_leader() {
+        // depth 2 with horizon 2 puts the single change point on
+        // decision 1 or 2 depending on the seed. When it lands on
+        // decision 2, the leader of pick 1 is demoted below everyone
+        // at pick 2 — the lead must transfer and then stay put.
+        let alts: Vec<SleepEntry> = vec![
+            (0, conch_runtime::decide::StepFootprint::Local),
+            (1, conch_runtime::decide::StepFootprint::Local),
+        ];
+        let mut transfers = 0;
+        for seed in 0..32 {
+            let mut p = SamplePolicy::pct(2, seed, 2);
+            let first = p.pick_thread(&alts, &[]);
+            let second = p.pick_thread(&alts, &[]);
+            let third = p.pick_thread(&alts, &[]);
+            if first != second {
+                // Change point fired at decision 2: lead transferred,
+                // and with all change points spent it stays put.
+                transfers += 1;
+                assert_eq!(
+                    second, third,
+                    "priorities must be stable after the last change point"
+                );
+            }
+        }
+        assert!(
+            transfers > 0,
+            "some seed must place the change point mid-run"
+        );
+    }
+
+    #[test]
+    fn schedule_hash_distinguishes_choice_kinds() {
+        let a = schedule_hash(&[Choice::Thread(1)]);
+        let b = schedule_hash(&[Choice::Arm(1)]);
+        let c = schedule_hash(&[Choice::Deliver(true)]);
+        assert!(a != b && b != c && a != c);
+    }
+
+    #[test]
+    fn sample_keys_order_numerically() {
+        assert!(sample_key(1) < sample_key(2));
+        assert!(sample_key(u32::MAX as usize) < sample_key(u32::MAX as usize + 1));
+    }
+}

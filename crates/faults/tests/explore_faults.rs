@@ -24,7 +24,7 @@
 //! work-stealing engine — and the coverage reports must be equal, the
 //! determinism contract extended to fault branch points.
 
-use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase};
+use conch_explore::{ExploreConfig, Explorer, Reduction, Report, RunOutcome, Strategy, TestCase};
 use conch_faults::spaces::{
     actor_space, conn_fault_space, cross_shard_kill_space, holds_actor_invariants,
     holds_cross_shard_invariants, holds_invariants, sharded_pipeline_space, storm_space,
@@ -52,7 +52,7 @@ fn explore(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers: usize) -> Repo
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);
@@ -166,6 +166,92 @@ fn sharded_pipeline_space_reports_identically_at_any_worker_count() {
     );
 }
 
+// ------------------------------------------------------------- sampling
+//
+// The fault spaces are the motivating case for schedule *sampling*:
+// their unbounded products are unenumerable, and PCT draws schedules
+// straight from the unbounded space — no preemption bound — while
+// keeping the determinism contract (sample i is a pure function of the
+// strategy and i, so every worker count produces the same report).
+
+/// Like [`check_invariants`], but sampling-aware: a drawn schedule may
+/// legitimately starve the drain loop past the step budget — that
+/// sample is *truncated*, not a violation, so it must not be reported
+/// as one.
+fn check_sampled_invariants(out: &RunOutcome<(i64, i64, StatsSnapshot)>) -> Result<(), String> {
+    match &out.result {
+        Ok(v) => holds_invariants(v),
+        Err(conch_runtime::error::RunError::StepLimitExceeded { .. }) => Ok(()),
+        Err(e) => Err(format!("run failed: {e:?}")),
+    }
+}
+
+fn sample_space(space: fn() -> Io<(i64, i64, StatsSnapshot)>, workers: usize) -> Report {
+    let cfg = ExploreConfig {
+        max_schedules: 128,
+        max_depth: 512,
+        step_budget: 100_000,
+        strategy: Strategy::Pct {
+            depth: 3,
+            seed: 0xC0FFEE,
+        },
+        ..ExploreConfig::default()
+    };
+    let explorer = Explorer::with_config(cfg);
+    let result = if workers == 1 {
+        explorer.check(|| TestCase::new(space(), check_sampled_invariants))
+    } else {
+        explorer.check_parallel_exact(workers, move || {
+            TestCase::new(space(), check_sampled_invariants)
+        })
+    };
+    match result {
+        conch_explore::CheckResult::Passed(report) => *report,
+        conch_explore::CheckResult::Failed(f) => {
+            panic!(
+                "sampled fault space violated recovery invariants: {}",
+                f.message
+            )
+        }
+    }
+}
+
+#[test]
+fn pct_sampling_covers_the_fault_spaces() {
+    for space in [conn_fault_space, storm_space] {
+        let report = sample_space(space, 1);
+        assert!(
+            !report.complete,
+            "sampling must never claim exhaustive coverage: {report:?}"
+        );
+        assert_eq!(report.stats.sampled, 128, "{report:?}");
+        assert_eq!(
+            report.explored as u64, report.stats.sampled,
+            "every draw is one explored run: {report:?}"
+        );
+        assert_eq!(report.pruned, 0, "sampling prunes nothing: {report:?}");
+        assert!(
+            report.stats.distinct_schedules > 0
+                && report.stats.distinct_schedules <= report.stats.sampled,
+            "{report:?}"
+        );
+        assert!(
+            report.faults_injected > 0,
+            "random priorities must still reach the fault arms: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn pct_sampling_reports_identically_at_any_worker_count() {
+    let sequential = sample_space(conn_fault_space, 1);
+    let parallel = sample_space(conn_fault_space, 4);
+    assert_eq!(
+        sequential, parallel,
+        "sampled fault×schedule reports must be bit-identical across engines"
+    );
+}
+
 fn check_actor_invariants(out: &RunOutcome<Vec<i64>>) -> Result<(), String> {
     match &out.result {
         Ok(v) => holds_actor_invariants(v),
@@ -179,7 +265,7 @@ fn explore_actor(workers: usize) -> Report {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);
@@ -231,7 +317,7 @@ fn explore_cross_shard(workers: usize) -> Report {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let explorer = Explorer::with_config(cfg);

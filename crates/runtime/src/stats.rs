@@ -88,6 +88,14 @@ pub struct Stats {
     /// distinct (schedule prefix, alternative) pairs the race analysis
     /// asked the search to explore. Zero for plain runs.
     pub backtracks_installed: u64,
+    /// Schedules drawn by a schedule explorer's sampling strategy
+    /// (PCT/uniform/swarm). Zero for plain runs and for exhaustive
+    /// exploration; under sampling it equals the explored count.
+    pub sampled: u64,
+    /// Distinct schedules among the sampled ones, read off a shared
+    /// hash set at the end of a sampling exploration (not a per-run
+    /// counter, so it merges by `max`, like a high-water mark).
+    pub distinct_schedules: u64,
 }
 
 impl Stats {
@@ -122,6 +130,8 @@ impl Stats {
         self.timer_ops += other.timer_ops;
         self.races_detected += other.races_detected;
         self.backtracks_installed += other.backtracks_installed;
+        self.sampled += other.sampled;
+        self.distinct_schedules = self.distinct_schedules.max(other.distinct_schedules);
     }
 
     /// Mean steps between `throwTo` and delivery, if any were delivered.

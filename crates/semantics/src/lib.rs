@@ -52,7 +52,7 @@ pub use crate::derivation::{derive, derive_first, derive_random, DerivStep, Deri
 pub use crate::engine::{
     admits_trace, check_safety, random_run, CheckResult, ExploreConfig, Obs, State,
 };
-pub use crate::equiv::{trace_equivalent, trace_set};
+pub use crate::equiv::{trace_equivalent, trace_set, Truncated, TruncationLimit};
 pub use crate::process::{Mark, ProcTerm, Soup};
 pub use crate::rules::{enabled_transitions, Label, RuleConfig, RuleName, Transition};
 pub use crate::term::{Exc, MVarName, Term, TidName};

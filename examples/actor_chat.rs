@@ -230,7 +230,7 @@ fn explore(workers: usize) -> Report {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(3),
-        reduction: Reduction::Dpor,
+        strategy: conch::explore::Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     });
     let result = if workers == 1 {

@@ -1,5 +1,5 @@
 //! Finding, shrinking and replaying a masking bug by exhaustive
-//! schedule exploration.
+//! schedule exploration — or by seeded schedule *sampling*.
 //!
 //! Run with `cargo run --example explore_races`. Pass `--workers N` to
 //! spread the exploration over `N` OS threads (default: available
@@ -9,6 +9,14 @@
 //! (default: sleep sets); with `dpor` the sleep-set baseline is run
 //! too and the reduction ratio is printed.
 //!
+//! Pass `--sample {pct,uniform,swarm}` to *draw* schedules instead of
+//! enumerating them (`--samples N` for the budget, default 2048;
+//! `--seed S` for the stream, default 0xC0FFEE). Sampling is the tool
+//! for spaces too large to enumerate; here it demonstrates that a
+//! sampled failure hands back the very same replayable, shrinkable
+//! certificate the exhaustive search does, plus the index of the first
+//! failing sample.
+//!
 //! The victim is a hand-rolled resource guard with the classic mistake
 //! §7.1 warns about: the **acquire runs outside `block`**, so an
 //! asynchronous exception landing between the acquire and the start of
@@ -16,7 +24,7 @@
 //! that window occasionally; the explorer hits it *always*, and hands
 //! back a minimal, replayable schedule certificate.
 
-use conch::explore::{props, CheckResult, ExploreConfig, Explorer, Reduction, TestCase};
+use conch::explore::{props, CheckResult, ExploreConfig, Explorer, Reduction, Strategy, TestCase};
 use conch::prelude::*;
 use conch_combinators::bracket;
 
@@ -50,52 +58,95 @@ fn under_fire(body: Io<i64>) -> Io<()> {
         .then(Io::sleep(1))
 }
 
-/// `--workers N` (0, the default, lets `check_parallel` pick the
-/// machine's available parallelism) and `--reduction {sleep,dpor}`
-/// from the command line.
-fn cli_args() -> (usize, Reduction) {
-    let mut workers = 0;
-    let mut reduction = Reduction::SleepSets;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        if arg == "--workers" {
-            let value = args.next().unwrap_or_else(|| {
-                eprintln!("--workers needs a number");
-                std::process::exit(2);
-            });
-            workers = value.parse().unwrap_or_else(|_| {
-                eprintln!("--workers needs a number, got {value:?}");
-                std::process::exit(2);
-            });
-        } else if arg == "--reduction" {
-            reduction = match args.next().as_deref() {
-                Some("sleep") => Reduction::SleepSets,
-                Some("dpor") => Reduction::Dpor,
-                other => {
-                    eprintln!("--reduction needs 'sleep' or 'dpor', got {other:?}");
-                    std::process::exit(2);
-                }
-            };
-        }
-    }
-    (workers, reduction)
+struct Cli {
+    workers: usize,
+    strategy: Strategy,
+    samples: usize,
 }
 
-fn explorer_for(reduction: Reduction) -> Explorer {
+/// `--workers N` (0, the default, lets `check_parallel` pick the
+/// machine's available parallelism), `--reduction {sleep,dpor}`,
+/// `--sample {pct,uniform,swarm}`, `--samples N` and `--seed S` from
+/// the command line.
+fn cli_args() -> Cli {
+    let mut workers = 0;
+    let mut reduction = Reduction::SleepSets;
+    let mut sample: Option<String> = None;
+    let mut samples = 2048;
+    let mut seed = 0xC0FFEE_u64;
+    let mut args = std::env::args().skip(1);
+    let number = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
+        let value = args.next().unwrap_or_else(|| {
+            eprintln!("{flag} needs a number");
+            std::process::exit(2);
+        });
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} needs a number, got {value:?}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => workers = number(&mut args, "--workers") as usize,
+            "--samples" => samples = number(&mut args, "--samples") as usize,
+            "--seed" => seed = number(&mut args, "--seed"),
+            "--reduction" => {
+                reduction = match args.next().as_deref() {
+                    Some("sleep") => Reduction::SleepSets,
+                    Some("dpor") => Reduction::Dpor,
+                    other => {
+                        eprintln!("--reduction needs 'sleep' or 'dpor', got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--sample" => match args.next().as_deref() {
+                Some(name @ ("pct" | "uniform" | "swarm")) => sample = Some(name.to_owned()),
+                other => {
+                    eprintln!("--sample needs 'pct', 'uniform' or 'swarm', got {other:?}");
+                    std::process::exit(2);
+                }
+            },
+            _ => {}
+        }
+    }
+    let strategy = match sample.as_deref() {
+        None => Strategy::Exhaustive(reduction),
+        Some("pct") => Strategy::Pct { depth: 3, seed },
+        Some("uniform") => Strategy::UniformRandom { seed },
+        // Four PCT streams, one per seed, each with its own depth.
+        Some(_) => Strategy::Swarm {
+            seeds: (0..4).map(|i| seed.wrapping_add(i)).collect(),
+        },
+    };
+    Cli {
+        workers,
+        strategy,
+        samples,
+    }
+}
+
+fn explorer_for(strategy: Strategy, samples: usize) -> Explorer {
+    let max_schedules = if strategy.is_sampling() {
+        samples
+    } else {
+        ExploreConfig::default().max_schedules
+    };
     Explorer::with_config(ExploreConfig {
-        reduction,
+        max_schedules,
+        strategy,
         ..ExploreConfig::default()
     })
 }
 
 fn main() {
-    let (workers, reduction) = cli_args();
-    let explorer = explorer_for(reduction);
-    println!("reduction: {reduction:?}, workers: {workers}");
+    let cli = cli_args();
+    let explorer = explorer_for(cli.strategy.clone(), cli.samples);
+    println!("strategy: {:?}, workers: {}", cli.strategy, cli.workers);
 
     // The correct bracket survives every schedule.
     println!("\n== proper bracket ==");
-    let ok = explorer.check_parallel(workers, || {
+    let ok = explorer.check_parallel(cli.workers, || {
         TestCase::new(
             under_fire(proper_bracket()),
             props::releases_balanced('a', 'r'),
@@ -103,12 +154,19 @@ fn main() {
     });
     match &ok {
         CheckResult::Passed(report) => {
-            println!("every acquire released on every schedule: {report}");
-            if reduction == Reduction::Dpor {
+            if cli.strategy.is_sampling() {
+                println!(
+                    "every sampled acquire released: {} samples, {} distinct schedules",
+                    report.stats.sampled, report.stats.distinct_schedules
+                );
+            } else {
+                println!("every acquire released on every schedule: {report}");
+            }
+            if cli.strategy == Strategy::Exhaustive(Reduction::Dpor) {
                 // Run the sleep-set baseline on the same program so the
                 // summary can state the reduction directly.
-                let baseline = explorer_for(Reduction::SleepSets)
-                    .check_parallel(workers, || {
+                let baseline = explorer_for(Strategy::Exhaustive(Reduction::SleepSets), 0)
+                    .check_parallel(cli.workers, || {
                         TestCase::new(
                             under_fire(proper_bracket()),
                             props::releases_balanced('a', 'r'),
@@ -132,14 +190,32 @@ fn main() {
 
     // The buggy guard does not.
     println!("\n== unmasked-acquire guard ==");
-    let bad = explorer.check_parallel(workers, || {
+    let bad = explorer.check_parallel(cli.workers, || {
         TestCase::new(
             under_fire(unmasked_acquire_guard()),
             props::releases_balanced('a', 'r'),
         )
     });
+    // A sampler can legitimately exhaust a small budget without hitting
+    // the bug — that is a coverage statement, not a panic.
+    if cli.strategy.is_sampling() {
+        if let CheckResult::Passed(report) = &bad {
+            println!(
+                "no violation in {} samples ({} distinct schedules) — \
+                 raise --samples or change --seed",
+                report.stats.sampled, report.stats.distinct_schedules
+            );
+            return;
+        }
+    }
     let failure = bad.expect_fail();
     println!("violation found: {}", failure.message);
+    if let Some(index) = failure.report.first_failing_sample {
+        println!(
+            "  first failing sample: #{index} (of {} drawn)",
+            failure.report.explored
+        );
+    }
     println!(
         "  original certificate: {} ({} choices)",
         failure.original,

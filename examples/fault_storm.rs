@@ -31,7 +31,7 @@
 //! extended over fault branch points.
 
 use conch::explore::{
-    CheckResult, ExploreConfig, Explorer, Reduction, Report, RunOutcome, TestCase,
+    CheckResult, ExploreConfig, Explorer, Reduction, Report, RunOutcome, Strategy, TestCase,
 };
 use conch::faults::spaces::{conn_fault_space, holds_invariants, storm_space};
 use conch::httpd::server::StatsSnapshot;
@@ -57,7 +57,7 @@ fn explore(space: Space, workers: usize) -> Report {
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound: Some(2),
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         ..ExploreConfig::default()
     });
     let result = if workers == 1 {

@@ -32,7 +32,7 @@ use std::rc::Rc;
 
 use conch_actors::{link, monitor, spawn_actor, ActorRef, Down, Mailbox};
 use conch_combinators::{both, bracket, race, timeout, Either};
-use conch_explore::{ExploreConfig, Explorer, Reduction, RunOutcome, TestCase};
+use conch_explore::{ExploreConfig, Explorer, Reduction, RunOutcome, Strategy, TestCase};
 use conch_runtime::exception::ExitReason;
 use conch_runtime::prelude::*;
 use conch_runtime::value::{FromValue, Value};
@@ -66,7 +66,7 @@ fn run_mode<T: FromValue + Debug + 'static>(
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound,
-        reduction,
+        strategy: Strategy::Exhaustive(reduction),
         ..ExploreConfig::default()
     };
     let result = Explorer::with_config(cfg).check(|| {
@@ -118,7 +118,7 @@ fn dpor_counters<T: FromValue + Debug + 'static>(
         max_depth: 512,
         step_budget: 100_000,
         preemption_bound,
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         legacy_race_analysis,
         ..ExploreConfig::default()
     };
@@ -232,6 +232,138 @@ fn assert_equiv_bounded<T: FromValue + Debug + 'static>(
 
 fn no_failure<T>(_: &RunOutcome<T>) -> Option<String> {
     None
+}
+
+// ------------------------------------------- sampling detection harness
+//
+// PCT sampling must *find* the corpus's seeded bugs — not exhaustively,
+// but within a pinned sample budget at a pinned seed, so the assertion
+// is deterministic — and the sampled failure must flow through the very
+// same certificate machinery as an exhaustive one: the original
+// schedule replays the failure in a default (exhaustive-configured)
+// explorer, and shrinking lands on the byte-identical minimal
+// certificate the sleep-set DFS produces.
+
+/// Sample `program` under `Strategy::Pct` and assert the seeded bug is
+/// found within `budget` samples, the certificate replays through the
+/// exhaustive machinery, and the shrunk certificate matches the
+/// sleep-set reference byte for byte.
+fn assert_pct_detects<T: FromValue + Debug + 'static>(
+    name: &str,
+    depth: usize,
+    seed: u64,
+    budget: usize,
+    program: fn() -> Io<T>,
+    fail_if: fn(&RunOutcome<T>) -> Option<String>,
+) {
+    let case = move || {
+        TestCase::new(program(), move |out: &RunOutcome<T>| match fail_if(out) {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        })
+    };
+    let sampled = Explorer::with_config(ExploreConfig {
+        max_schedules: budget,
+        max_depth: 512,
+        step_budget: 100_000,
+        strategy: Strategy::Pct { depth, seed },
+        ..ExploreConfig::default()
+    })
+    .check(case);
+    let failure = sampled.expect_fail();
+    let index = failure
+        .report
+        .first_failing_sample
+        .expect("{name}: sampled failures carry their sample index");
+    assert!(
+        (index as usize) < budget,
+        "{name}: first failing sample {index} outside the pinned budget {budget}"
+    );
+    // Byte-compatibility: an exhaustive-configured explorer replays
+    // both certificates — the schedules mention only branch points the
+    // enumerator also sees.
+    let exhaustive = || {
+        Explorer::with_config(ExploreConfig {
+            max_schedules: 100_000,
+            max_depth: 512,
+            step_budget: 100_000,
+            ..ExploreConfig::default()
+        })
+    };
+    for schedule in [&failure.original, &failure.schedule] {
+        let (_, check) = exhaustive().replay(case(), schedule);
+        assert!(
+            check.is_err(),
+            "{name}: certificate {schedule} must replay the failure exhaustively"
+        );
+    }
+    // And the shrunk certificate is the one the exhaustive search
+    // produces: shrinking normalizes whatever sample tripped first down
+    // to the same minimal counterexample.
+    let reference = exhaustive().check(case);
+    let reference = reference.expect_fail();
+    assert_eq!(
+        failure.schedule, reference.schedule,
+        "{name}: sampled shrunk certificate diverged from the exhaustive one"
+    );
+    assert_eq!(failure.message, reference.message);
+}
+
+#[test]
+fn pct_detects_output_race() {
+    assert_pct_detects("output_race", 3, 0xC0FFEE, 64, output_race, |out| {
+        (out.output == "ba").then(|| "child won the race".to_owned())
+    });
+}
+
+#[test]
+fn pct_detects_broken_bracket_leak() {
+    // Depth 4 at this seed lands on a sample whose greedy shrink
+    // reaches the global minimum (`t1.t1`); shallower streams find the
+    // leak just as fast but shrink into a longer local minimum, which
+    // would break the byte-equality obligation below.
+    assert_pct_detects(
+        "broken_bracket",
+        4,
+        0x63,
+        128,
+        broken_bracket_under_kill,
+        |out| {
+            let a = out.output.matches('a').count();
+            let r = out.output.matches('r').count();
+            (a != r).then(|| format!("leak: acquired {a}, released {r}"))
+        },
+    );
+}
+
+#[test]
+fn swarm_detects_the_seeded_bugs_too() {
+    // Swarm runs interleaved PCT streams at varied depths; at a pinned
+    // seed vector it must still land on both corpus bugs within the
+    // same order-of-magnitude budget.
+    let strategies = Strategy::Swarm {
+        seeds: vec![0xC0FFEE, 0xC0FFEF, 0xC0FFF0, 0xC0FFF1],
+    };
+    let sampled = Explorer::with_config(ExploreConfig {
+        max_schedules: 256,
+        max_depth: 512,
+        step_budget: 100_000,
+        strategy: strategies,
+        ..ExploreConfig::default()
+    })
+    .check(|| {
+        TestCase::new(broken_bracket_under_kill(), |out: &RunOutcome<i64>| {
+            let a = out.output.matches('a').count();
+            let r = out.output.matches('r').count();
+            if a != r {
+                Err(format!("leak: acquired {a}, released {r}"))
+            } else {
+                Ok(())
+            }
+        })
+    });
+    let failure = sampled.expect_fail();
+    assert!(failure.report.first_failing_sample.is_some());
 }
 
 // --------------------------------------------------------------- corpus

@@ -339,7 +339,7 @@ fn stale_redelivery_to_reused_slot_is_a_noop_on_every_schedule() {
     let cfg = ExploreConfig {
         max_schedules: 200_000,
         preemption_bound: Some(2),
-        reduction: conch_explore::Reduction::Dpor,
+        strategy: conch_explore::Strategy::Exhaustive(conch_explore::Reduction::Dpor),
         ..ExploreConfig::default()
     };
     let result = Explorer::with_config(cfg).check(|| {

@@ -7,7 +7,8 @@
 //! certificate the sequential DFS would have produced.
 
 use conch_explore::{
-    effective_workers, ExploreConfig, Explorer, Reduction, Report, RunOutcome, Schedule, TestCase,
+    effective_workers, ExploreConfig, Explorer, Reduction, Report, RunOutcome, Schedule, Strategy,
+    TestCase,
 };
 use conch_runtime::exception::Exception;
 use conch_runtime::io::Io;
@@ -232,7 +233,7 @@ fn dpor_explorer() -> Explorer {
 fn dpor_explorer_with(legacy_race_analysis: bool) -> Explorer {
     Explorer::with_config(ExploreConfig {
         max_schedules: 100_000,
-        reduction: Reduction::Dpor,
+        strategy: Strategy::Exhaustive(Reduction::Dpor),
         legacy_race_analysis,
         ..ExploreConfig::default()
     })
@@ -303,7 +304,7 @@ fn dpor_failure_certificates_identical_for_every_worker_count() {
     let check = || {
         Explorer::with_config(ExploreConfig {
             max_schedules: 100_000,
-            reduction: Reduction::Dpor,
+            strategy: Strategy::Exhaustive(Reduction::Dpor),
             ..ExploreConfig::default()
         })
     };
@@ -324,6 +325,147 @@ fn dpor_failure_certificates_identical_for_every_worker_count() {
             failure.report, reference.report,
             "DPOR failing report diverged at workers={workers}"
         );
+    }
+}
+
+#[test]
+fn shrink_budget_truncates_deterministically() {
+    // A budget so tight the very first run exhausts it: the failure is
+    // still reported, but shrinking is cut off before its first
+    // candidate replay — the certificate is the unshrunk original and
+    // the report says so, instead of silently burning steps past the
+    // deadline (or worse, panicking mid-shrink).
+    let capped_cfg = || ExploreConfig {
+        max_schedules: 100_000,
+        max_total_steps: Some(1),
+        ..ExploreConfig::default()
+    };
+    let always_fails = || {
+        TestCase::new(output_race(), |_: &RunOutcome<()>| {
+            Err("seeded failure".to_owned())
+        })
+    };
+    let result = Explorer::with_config(capped_cfg()).check(always_fails);
+    let failure = result.expect_fail();
+    assert!(
+        failure.report.shrink_truncated,
+        "an exhausted budget must be reported: {:?}",
+        failure.report
+    );
+    assert_eq!(
+        failure.report.shrink_runs, 0,
+        "no candidate may be replayed once the budget is spent"
+    );
+    assert_eq!(failure.report.shrink_steps, 0);
+    assert_eq!(
+        failure.schedule, failure.original,
+        "best-so-far is the original when shrinking never started"
+    );
+    // Deterministic: a second capped search truncates identically.
+    let again = Explorer::with_config(capped_cfg()).check(always_fails);
+    let again = again.expect_fail();
+    assert_eq!(again.report, failure.report);
+    assert_eq!(again.schedule, failure.schedule);
+    // Contrast: with no deadline the same search shrinks normally,
+    // spends (and accounts) shrink steps, and is not marked truncated.
+    let free = explorer().check(racy_case);
+    let free = free.expect_fail();
+    assert!(!free.report.shrink_truncated);
+    assert!(free.report.shrink_runs > 0);
+    assert!(
+        free.report.shrink_steps > 0,
+        "shrink replays must be charged to the step ledger"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Sampling strategies share the determinism contract: a sample's
+// schedule is a pure function of (strategy, index), workers claim
+// indices from a shared counter and always drain the whole budget, so
+// reports and certificates are bit-identical for every worker count.
+// ---------------------------------------------------------------------
+
+fn sampling_strategies() -> Vec<Strategy> {
+    vec![
+        Strategy::Pct {
+            depth: 3,
+            seed: 0xC0FFEE,
+        },
+        Strategy::UniformRandom { seed: 7 },
+        Strategy::Swarm {
+            seeds: vec![1, 2, 3],
+        },
+    ]
+}
+
+fn sampler(strategy: Strategy, samples: usize) -> Explorer {
+    Explorer::with_config(ExploreConfig {
+        max_schedules: samples,
+        strategy,
+        ..ExploreConfig::default()
+    })
+}
+
+#[test]
+fn sampled_passing_reports_identical_for_every_worker_count() {
+    for strategy in sampling_strategies() {
+        let reference = sampler(strategy.clone(), 64)
+            .check(|| {
+                TestCase::new(three_way_race(), |out: &RunOutcome<i64>| match out.result {
+                    Ok(_) => Ok(()),
+                    Err(ref e) => Err(e.to_string()),
+                })
+            })
+            .expect_pass()
+            .clone();
+        assert!(!reference.complete, "sampling never claims coverage");
+        assert_eq!(reference.stats.sampled, 64);
+        for workers in WORKER_COUNTS {
+            let parallel = sampler(strategy.clone(), 64)
+                .check_parallel_exact(workers, || {
+                    TestCase::new(three_way_race(), |out: &RunOutcome<i64>| match out.result {
+                        Ok(_) => Ok(()),
+                        Err(ref e) => Err(e.to_string()),
+                    })
+                })
+                .expect_pass()
+                .clone();
+            assert_eq!(
+                parallel, reference,
+                "sampled report diverged at workers={workers} under {strategy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sampled_failure_certificates_identical_for_every_worker_count() {
+    for strategy in sampling_strategies() {
+        let reference = sampler(strategy.clone(), 256).check(racy_case);
+        let reference = reference.expect_fail();
+        let first = reference
+            .report
+            .first_failing_sample
+            .expect("a sampled failure must carry its sample index");
+        for workers in WORKER_COUNTS {
+            let result = sampler(strategy.clone(), 256).check_parallel_exact(workers, racy_case);
+            let failure = result.expect_fail();
+            assert_eq!(
+                failure.report.first_failing_sample,
+                Some(first),
+                "earliest failing sample diverged at workers={workers} under {strategy:?}"
+            );
+            assert_eq!(
+                failure.schedule, reference.schedule,
+                "sampled shrunk certificate diverged at workers={workers} under {strategy:?}"
+            );
+            assert_eq!(failure.original, reference.original);
+            assert_eq!(failure.message, reference.message);
+            assert_eq!(
+                failure.report, reference.report,
+                "sampled failing report diverged at workers={workers} under {strategy:?}"
+            );
+        }
     }
 }
 
